@@ -1,0 +1,196 @@
+"""Experiment ``ablation`` — design choices called out in DESIGN.md.
+
+* **purge via transposition vs a hypothetical native dual** — the library
+  implements PURGE as ``TRANSPOSE ∘ CLEAN-UP ∘ TRANSPOSE`` (faithful to
+  the paper's duality); the ablation compares against a hand-fused
+  column-wise implementation to quantify the cost of the faithful route;
+* **compact pipelines vs raw + removal** — ``group_compact`` against the
+  literal GROUP → CLEAN-UP → PURGE chain (they must agree);
+* **equivalence checking** — sort-refinement fast path vs the permutation
+  backtracking fallback.
+"""
+
+import pytest
+
+from repro.algebra import cleanup, group, group_compact, purge, transpose
+from repro.core import NULL, Symbol, Table, make_table
+from repro.data import synthetic_grouped_table, synthetic_sales_table
+
+
+def fused_purge(table: Table, on, by) -> Table:
+    """A hand-fused, column-wise purge (ablation baseline only).
+
+    Semantically identical to the library's transposition-based purge for
+    the cases exercised here; not part of the public API.
+    """
+    from repro.algebra.opshelpers import as_attr_set
+
+    on_set = as_attr_set(on)
+    by_set = as_attr_set(by)
+    by_rows = [i for i in table.data_row_indices() if table.entry(i, 0) in by_set]
+
+    order: list[tuple] = []
+    groups: dict[tuple, list[int]] = {}
+    untouched: list[int] = []
+    for j in table.data_col_indices():
+        attr = table.entry(0, j)
+        if attr not in on_set:
+            untouched.append(j)
+            continue
+        key = (attr, tuple(table.entry(i, j) for i in by_rows))
+        if key not in groups:
+            order.append(key)
+            groups[key] = []
+        groups[key].append(j)
+
+    def merge_columns(cols: list[int]) -> list[Symbol] | None:
+        merged = []
+        for i in range(table.nrows):
+            candidate: Symbol = NULL
+            for j in cols:
+                entry = table.entry(i, j)
+                if entry.is_null:
+                    continue
+                if candidate.is_null:
+                    candidate = entry
+                elif candidate != entry:
+                    return None
+            merged.append(candidate)
+        return merged
+
+    replacement: dict[int, list[Symbol]] = {}
+    skip: set[int] = set()
+    for key in order:
+        cols = groups[key]
+        if len(cols) == 1:
+            continue
+        merged = merge_columns(cols)
+        if merged is None:
+            continue
+        replacement[cols[0]] = merged
+        skip.update(cols[1:])
+
+    columns = []
+    for j in range(table.ncols):
+        if j in skip:
+            continue
+        if j in replacement:
+            columns.append(replacement[j])
+        else:
+            columns.append([table.entry(i, j) for i in range(table.nrows)])
+    return Table(zip(*columns))
+
+
+@pytest.fixture(params=(10, 40, 160), ids=lambda n: f"parts{n}")
+def cleaned_grouped(request):
+    table = synthetic_sales_table(request.param, 4, seed=request.param)
+    grouped = group(table, by="Region", on="Sold")
+    return cleanup(grouped, by="Part", on=[None])
+
+
+class TestPurgeAblation:
+    def test_agreement(self, cleaned_grouped):
+        via_transpose = purge(cleaned_grouped, on="Sold", by="Region")
+        fused = fused_purge(cleaned_grouped, on="Sold", by="Region")
+        assert via_transpose == fused
+
+    def test_purge_via_transposition(self, benchmark, cleaned_grouped):
+        result = benchmark(purge, cleaned_grouped, "Sold", "Region")
+        assert result.width <= cleaned_grouped.width
+
+    def test_purge_fused(self, benchmark, cleaned_grouped):
+        result = benchmark(fused_purge, cleaned_grouped, "Sold", "Region")
+        assert result.width <= cleaned_grouped.width
+
+
+class TestCompactPipelineAblation:
+    def test_agreement(self, sized_sales):
+        compact = group_compact(sized_sales, by="Region", on="Sold")
+        literal = purge(
+            cleanup(
+                group(sized_sales, by="Region", on="Sold"), by="Part", on=[None]
+            ),
+            on="Sold",
+            by="Region",
+        )
+        assert compact.equivalent(literal)
+
+    def test_group_compact(self, benchmark, sized_sales):
+        result = benchmark(group_compact, sized_sales, "Region", "Sold")
+        assert result.height >= 1
+
+
+class TestOptimizerAblation:
+    """Compiled programs, raw vs optimized (dead temps removed)."""
+
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        from repro.relational import (
+            Assign,
+            FWProgram,
+            Join,
+            Project,
+            Rel,
+            Relation,
+            RelationalDatabase,
+            compile_program,
+            relational_to_tabular,
+        )
+
+        expr = (
+            Join(
+                Rel("E").rename("A", "X").rename("B", "Y"),
+                Rel("E").rename("A", "Y").rename("B", "Z"),
+            )
+            .project("X", "Z")
+        )
+        fw = FWProgram(
+            [
+                Assign("Scratch", Project(Rel("E"), ["A"])),
+                Assign("Out", expr),
+            ]
+        )
+        program = compile_program(fw, {"E": ("A", "B")})
+        db = relational_to_tabular(
+            RelationalDatabase(
+                [Relation("E", ["A", "B"], [(i, i + 1) for i in range(12)])]
+            )
+        )
+        return program, db
+
+    def test_agreement(self, compiled):
+        from repro.algebra.programs import optimize
+
+        program, db = compiled
+        lean = optimize(program, ["Out"])
+        assert len(lean) < len(program)
+        assert program.run(db).tables_named("Out") == lean.run(db).tables_named("Out")
+
+    def test_raw_compiled(self, benchmark, compiled):
+        program, db = compiled
+        result = benchmark(program.run, db)
+        assert result.tables_named("Out")
+
+    def test_optimized_compiled(self, benchmark, compiled):
+        from repro.algebra.programs import optimize
+
+        program, db = compiled
+        lean = optimize(program, ["Out"])
+        result = benchmark(lean.run, db)
+        assert result.tables_named("Out")
+
+
+class TestEquivalenceAblation:
+    def test_fast_path(self, benchmark):
+        a = synthetic_grouped_table(60, 6, seed=3)
+        shuffled = a.subtable(
+            [0] + list(reversed(range(1, a.nrows))),
+            [0] + list(reversed(range(1, a.ncols))),
+        )
+        assert benchmark(a.equivalent, shuffled)
+
+    def test_backtracking_path(self, benchmark):
+        # repeated attributes with entangled values force the search
+        a = make_table("R", ["A"] * 6, [tuple(range(6))] * 3)
+        b = make_table("R", ["A"] * 6, [tuple(reversed(range(6)))] * 3)
+        assert benchmark(a.equivalent, b)

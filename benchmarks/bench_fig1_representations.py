@@ -1,0 +1,98 @@
+"""Experiment ``fig1`` — Figure 1: the four SalesInfo databases.
+
+Checks, against the printed figure: all four representations (bold and
+summary-extended) are constructed exactly; every representation
+restructures into every other (the paper's closing claim of Section 1);
+then times each restructuring direction.
+"""
+
+import pytest
+
+from repro.algebra import (
+    collapse_compact,
+    group_compact,
+    merge_compact,
+    split,
+)
+from repro.data import (
+    BASE_FACTS,
+    figure4_top,
+    sales_info1,
+    sales_info2,
+    sales_info3,
+    sales_info4,
+)
+from repro.olap import Cube, cube_to_matrix_table, matrix_table_to_cube, cube_to_relation_table
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return figure4_top()
+
+
+class TestFigure1Exactness:
+    """The printed databases, bit for bit."""
+
+    def test_bold_parts_constructed(self):
+        assert sales_info1().table("Sales").height == len(BASE_FACTS)
+        assert sales_info2().tables[0].width == 5
+        assert sales_info3().tables[0].width == 3
+        assert len(sales_info4().tables_named("Sales")) == 4
+
+    def test_summary_parts_constructed(self):
+        assert len(sales_info1(with_summary=True)) == 4
+        assert sales_info2(with_summary=True).tables[0].width == 6
+        assert len(sales_info4(with_summary=True).tables_named("Sales")) == 5
+
+
+class TestRestructurings:
+    """Any representation to any other (via the relational hub)."""
+
+    def test_info2_to_relation(self, benchmark, relation):
+        pivot = sales_info2().tables[0]
+        result = benchmark(merge_compact, pivot, "Sold", "Region")
+        assert result.equivalent(relation)
+
+    def test_relation_to_info2(self, benchmark, relation):
+        pivot = sales_info2().tables[0]
+        result = benchmark(group_compact, relation, "Region", "Sold")
+        assert result.equivalent(pivot)
+
+    def test_relation_to_info4(self, benchmark, relation):
+        expected = sales_info4().tables
+        result = benchmark(split, relation, "Region")
+        assert all(any(p.equivalent(t) for t in expected) for p in result)
+
+    def test_info4_to_relation(self, benchmark, relation):
+        tables = sales_info4().tables
+        result = benchmark(collapse_compact, tables, "Region")
+        assert result.equivalent(relation)
+
+    def test_relation_to_info3(self, benchmark, relation):
+        expected = sales_info3().tables[0]
+
+        def to_matrix():
+            cube = Cube.from_facts(BASE_FACTS, ["Part", "Region"], measure="Sold")
+            return cube_to_matrix_table(cube, "Region", "Part", "Sales")
+
+        result = benchmark(to_matrix)
+        assert result.equivalent(expected)
+
+    def test_info3_to_relation(self, benchmark, relation):
+        matrix = sales_info3().tables[0]
+
+        def to_relation():
+            cube = matrix_table_to_cube(matrix, "Region", "Part", "Sold")
+            return cube_to_relation_table(cube, "Sales")
+
+        result = benchmark(to_relation)
+        # SalesInfo3 has region as the first dimension
+        facts = {
+            (row[2], row[1], row[3])
+            for row in (result.row(i) for i in result.data_row_indices())
+        }
+        expected_facts = {
+            (relation.entry(i, 1), relation.entry(i, 2), relation.entry(i, 3))
+            for i in relation.data_row_indices()
+        }
+        assert facts == expected_facts

@@ -1,0 +1,52 @@
+"""Experiment ``fig2`` — Figure 2: the four regions of a table.
+
+Figure 2 is the diagrammatic decomposition of a table into table name,
+column attributes, row attributes, and data entries, with the subtable
+notation τ_I^J.  The benchmark validates the decomposition laws on the
+sales tables and times region extraction / subtable formation as the
+table grows.
+"""
+
+import pytest
+
+from repro.data import sales_info2, synthetic_sales_table
+
+
+class TestRegionLaws:
+    def test_regions_partition_the_grid(self):
+        table = sales_info2().tables[0]
+        cells = 1 + len(table.column_attributes) + len(table.row_attributes)
+        cells += sum(len(row) for row in table.data)
+        assert cells == table.nrows * table.ncols
+
+    def test_subtable_notation(self):
+        table = sales_info2().tables[0]
+        # τ_0^> is the attribute row; τ_>^0 the attribute column; τ_>^> data
+        top = table.subtable([0], range(1, table.ncols))
+        assert top.row(0) == table.column_attributes
+        assert table.subtable(range(table.nrows), [0]).nrows == table.nrows
+
+
+class TestRegionExtraction:
+    def test_extract_regions(self, benchmark, sized_sales):
+        def extract():
+            return (
+                sized_sales.name,
+                sized_sales.column_attributes,
+                sized_sales.row_attributes,
+                sized_sales.data,
+            )
+
+        name, cols, rows, data = benchmark(extract)
+        assert len(rows) == sized_sales.height
+        assert len(data) == sized_sales.height
+
+    def test_subtable_half(self, benchmark, sized_sales):
+        rows = range(0, sized_sales.nrows, 2)
+        cols = range(sized_sales.ncols)
+        result = benchmark(sized_sales.subtable, rows, cols)
+        assert result.ncols == sized_sales.ncols
+
+    def test_transpose_scaling(self, benchmark, sized_sales):
+        result = benchmark(lambda: sized_sales.transpose())
+        assert result.width == sized_sales.height

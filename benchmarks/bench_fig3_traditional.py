@@ -1,0 +1,69 @@
+"""Experiment ``fig3`` — Figure 3: union, difference, Cartesian product.
+
+Validates the diagrammatic shape laws of Figure 3 (widths concatenate for
+union/product; heights add for union and multiply for product; difference
+keeps the left scheme) on the sales tables, then times the traditional
+operations over growing synthetic inputs.
+"""
+
+import pytest
+
+from repro.algebra import classical_union, difference, product, project, select, union
+from repro.data import synthetic_sales_table
+
+
+@pytest.fixture
+def pair(sized_sales):
+    other = synthetic_sales_table(
+        n_parts=max(2, sized_sales.height // 5), n_regions=4, seed=99
+    )
+    return sized_sales, other
+
+
+class TestShapeLaws:
+    def test_union_shape(self, pair):
+        left, right = pair
+        u = union(left, right)
+        assert u.width == left.width + right.width
+        assert u.height == left.height + right.height
+
+    def test_product_shape(self, pair):
+        left, right = pair
+        small_left = left.subtable(range(0, min(11, left.nrows)), range(left.ncols))
+        p = product(small_left, right.subtable(range(0, min(11, right.nrows)), range(right.ncols)))
+        assert p.width == left.width + right.width
+
+    def test_difference_scheme(self, pair):
+        left, right = pair
+        assert difference(left, right).column_attributes == left.column_attributes
+
+
+class TestTiming:
+    def test_union(self, benchmark, pair):
+        left, right = pair
+        result = benchmark(union, left, right)
+        assert result.height == left.height + right.height
+
+    def test_classical_union(self, benchmark, pair):
+        left, right = pair
+        result = benchmark(classical_union, left, left)
+        assert result.width == left.width
+
+    def test_difference_self(self, benchmark, sized_sales):
+        result = benchmark(difference, sized_sales, sized_sales)
+        assert result.height == 0
+
+    def test_product_small(self, benchmark, sized_sales):
+        head = sized_sales.subtable(
+            range(0, min(11, sized_sales.nrows)), range(sized_sales.ncols)
+        )
+        result = benchmark(product, head, head)
+        assert result.height == head.height**2
+
+    def test_select(self, benchmark, sized_sales):
+        result = benchmark(select, sized_sales, "Part", "Part")
+        assert result.height == sized_sales.height
+
+    def test_project(self, benchmark, sized_sales):
+        result = benchmark(project, sized_sales, ["Part", "Sold"])
+        assert result.width == 2

@@ -1,0 +1,39 @@
+"""Experiment ``fig4`` — Figure 4: GROUP by Region on Sold.
+
+The exactness target: applying the grouping statement to the printed
+*top* table must produce the printed *bottom* table, symbol for symbol.
+The sweep times GROUP (raw, as printed) and the compact pivot pipeline
+(GROUP + CLEAN-UP + PURGE) on growing relations.
+"""
+
+from repro.algebra import cleanup, group, group_compact, purge
+from repro.data import figure4_bottom, figure4_top, sales_info2
+
+
+class TestExactness:
+    def test_group_reproduces_the_printed_table(self, benchmark):
+        top = figure4_top()
+        result = benchmark(group, top, "Region", "Sold")
+        assert result == figure4_bottom()
+
+    def test_cleanup_purge_reach_salesinfo2(self, benchmark):
+        bottom = figure4_bottom()
+
+        def compact():
+            cleaned = cleanup(bottom, by="Part", on=[None])
+            return purge(cleaned, on="Sold", by="Region")
+
+        result = benchmark(compact)
+        assert result.equivalent(sales_info2().tables[0])
+
+
+class TestScaling:
+    def test_group_scaling(self, benchmark, sized_sales):
+        result = benchmark(group, sized_sales, "Region", "Sold")
+        # one ℬ-block per data row + the kept Part column
+        assert result.width == 1 + sized_sales.height
+
+    def test_group_compact_scaling(self, benchmark, sized_sales):
+        result = benchmark(group_compact, sized_sales, "Region", "Sold")
+        # one Sold column per distinct region (4 generated regions)
+        assert result.width <= 1 + 4

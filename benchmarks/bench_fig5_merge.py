@@ -1,0 +1,46 @@
+"""Experiment ``fig5`` — Figure 5: MERGE on Sold by Region.
+
+Exactness: merging the bold ``Sales`` of ``SalesInfo2`` must produce the
+printed twelve-row table (⊥ rows included), symbol for symbol; dropping
+the all-⊥ rows recovers Figure 4 top.  The sweep times MERGE and the
+compact unpivot on growing grouped tables.
+"""
+
+from repro.algebra import merge, merge_compact
+from repro.data import (
+    figure4_top,
+    figure5_result,
+    sales_info2,
+    synthetic_grouped_table,
+)
+import pytest
+
+
+class TestExactness:
+    def test_merge_reproduces_the_printed_table(self, benchmark):
+        pivot = sales_info2().tables[0]
+        result = benchmark(merge, pivot, "Sold", "Region")
+        assert result == figure5_result()
+
+    def test_null_filtering_recovers_the_relation(self, benchmark):
+        pivot = sales_info2().tables[0]
+        result = benchmark(merge_compact, pivot, "Sold", "Region")
+        assert result.equivalent(figure4_top())
+
+
+@pytest.fixture(params=(10, 40, 160), ids=lambda n: f"parts{n}")
+def grouped_table(request):
+    return synthetic_grouped_table(n_parts=request.param, n_regions=6, seed=request.param)
+
+
+class TestScaling:
+    def test_merge_scaling(self, benchmark, grouped_table):
+        result = benchmark(merge, grouped_table, "Sold", "Region")
+        # one output row per (part row x region column)
+        parts = grouped_table.height - 1
+        regions = grouped_table.width - 1
+        assert result.height == parts * regions
+
+    def test_merge_compact_scaling(self, benchmark, grouped_table):
+        result = benchmark(merge_compact, grouped_table, "Sold", "Region")
+        assert result.height <= (grouped_table.height - 1) * (grouped_table.width - 1)

@@ -1,0 +1,73 @@
+"""Experiment ``lem42`` — Lemmas 4.2/4.3: the canonical representation.
+
+Round trip: ``decode(encode(D))`` must be D up to row/column permutations
+for every Figure 1 database and for random databases of growing size;
+identifier choice must be immaterial; the FDs must validate.  The sweep
+times encode and decode separately.
+"""
+
+import pytest
+
+from repro.canonical import DATA, MAP, decode, encode, validate_rep
+from repro.core import FreshValueSource, TabularDatabase
+from repro.data import (
+    random_database,
+    sales_info1,
+    sales_info2,
+    sales_info3,
+    sales_info4,
+    synthetic_sales_table,
+)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "factory",
+        [sales_info1, sales_info2, sales_info3, sales_info4],
+        ids=["info1", "info2", "info3", "info4"],
+    )
+    def test_figure1_round_trip(self, benchmark, factory):
+        db = factory(with_summary=True)
+
+        def round_trip():
+            return decode(encode(db))
+
+        result = benchmark(round_trip)
+        assert result.equivalent(db)
+
+    def test_random_databases_round_trip(self):
+        for seed in range(5):
+            db = random_database(n_tables=3, height=3, width=3, seed=seed)
+            usable = TabularDatabase(
+                t for t in db.tables if t.height > 0 and t.width > 0
+            )
+            assert decode(encode(usable)).equivalent(usable)
+
+    def test_identifier_choice_immaterial(self):
+        db = sales_info2()
+        a = decode(encode(db, FreshValueSource(0)))
+        b = decode(encode(db, FreshValueSource(10_000)))
+        assert a.equivalent(b)
+
+
+class TestScaling:
+    @pytest.fixture(params=(10, 40, 160), ids=lambda n: f"rows{n}")
+    def db(self, request):
+        table = synthetic_sales_table(n_parts=request.param, n_regions=4, seed=1)
+        return TabularDatabase([table])
+
+    def test_encode_scaling(self, benchmark, db):
+        rep = benchmark(encode, db)
+        validate_rep(rep)
+        rows = sum(t.height for t in db.tables)
+        assert rep.table(DATA).height == rows * 3  # three data columns
+
+    def test_decode_scaling(self, benchmark, db):
+        rep = encode(db)
+        result = benchmark(decode, rep)
+        assert result.equivalent(db)
+
+    def test_fixed_width_invariant(self, db):
+        rep = encode(db)
+        assert rep.table(DATA).width == 4
+        assert rep.table(MAP).width == 2

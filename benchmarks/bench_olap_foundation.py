@@ -1,0 +1,76 @@
+"""Experiment ``olap`` — Section 4.3: tabular algebra as an OLAP foundation.
+
+Exactness: the Figure 1 summary data (per-part totals, per-region totals,
+grand total 420) regenerates from the cube operator, in all four
+representation shapes.  Scaling: pivot (through the tabular algebra),
+roll-up, and the cube operator over growing workloads.
+"""
+
+import pytest
+
+from repro.data import BASE_FACTS, synthetic_sales_facts
+from repro.olap import (
+    Cube,
+    cube_operator,
+    cube_to_grouped_table,
+    cube_to_matrix_table,
+    database_with_totals,
+    grouped_with_totals,
+    matrix_with_totals,
+    summary_relations,
+)
+from repro.data import sales_info1, sales_info2, sales_info3, sales_info4
+
+
+@pytest.fixture(scope="module")
+def paper_cube():
+    return Cube.from_facts(BASE_FACTS, ["Part", "Region"], measure="Sold")
+
+
+class TestFigure1Summaries:
+    def test_summary_relations(self, benchmark, paper_cube):
+        result = benchmark(summary_relations, paper_cube)
+        expected = sales_info1(with_summary=True)
+        for name in ("TotalPartSales", "TotalRegionSales", "GrandTotal"):
+            assert result.table(name).equivalent(expected.table(name))
+
+    def test_salesinfo2_summaries(self, benchmark, paper_cube):
+        result = benchmark(grouped_with_totals, paper_cube, "Part", "Region", "Sales")
+        assert result.equivalent(sales_info2(with_summary=True).tables[0])
+
+    def test_salesinfo3_summaries(self, benchmark, paper_cube):
+        result = benchmark(matrix_with_totals, paper_cube, "Region", "Part", "Sales")
+        assert result.equivalent(sales_info3(with_summary=True).tables[0])
+
+    def test_salesinfo4_summaries(self, benchmark, paper_cube):
+        result = benchmark(database_with_totals, paper_cube, "Region", "Sales")
+        expected = sales_info4(with_summary=True).tables
+        assert all(any(t.equivalent(x) for x in expected) for t in result.tables)
+
+
+@pytest.fixture(params=(10, 40, 160), ids=lambda n: f"parts{n}")
+def workload_cube(request):
+    facts = synthetic_sales_facts(request.param, 6, 0.8, seed=request.param)
+    return Cube.from_facts(facts, ["Part", "Region"], measure="Sold")
+
+
+class TestScaling:
+    def test_pivot_through_the_algebra(self, benchmark, workload_cube):
+        result = benchmark(
+            cube_to_grouped_table, workload_cube, "Part", "Region", "Sales"
+        )
+        assert result.width <= 1 + len(workload_cube.coords["Region"])
+
+    def test_matrix_bridge(self, benchmark, workload_cube):
+        result = benchmark(
+            cube_to_matrix_table, workload_cube, "Part", "Region", "Sales"
+        )
+        assert result.height == len(workload_cube.coords["Part"])
+
+    def test_rollup(self, benchmark, workload_cube):
+        result = benchmark(workload_cube.rollup, "Region")
+        assert result.arity == 1
+
+    def test_cube_operator(self, benchmark, workload_cube):
+        result = benchmark(cube_operator, workload_cube)
+        assert len(result.cells) > len(workload_cube.cells)

@@ -1,0 +1,115 @@
+"""Experiment ``scale`` — engine scaling of every tabular algebra family.
+
+No paper counterpart (the authors' Access/Excel system was never
+evaluated); this sweep characterizes the pure-Python engine so the other
+experiments' timings have context.  One benchmark per operation family
+over the shared size sweep.
+"""
+
+import pytest
+
+from repro.algebra import (
+    cleanup,
+    deduplicate,
+    group,
+    merge,
+    project,
+    purge,
+    rename,
+    select_constant,
+    split,
+    transpose,
+    tuplenew,
+    union,
+)
+from repro.algebra.programs import parse_program
+from repro.core import FreshValueSource
+from repro.data import sales_info1, synthetic_grouped_table
+
+
+class TestOperationScaling:
+    def test_transpose(self, benchmark, sized_sales):
+        result = benchmark(transpose, sized_sales)
+        assert result.width == sized_sales.height
+
+    def test_rename(self, benchmark, sized_sales):
+        result = benchmark(rename, sized_sales, "Sold", "Quantity")
+        assert result.height == sized_sales.height
+
+    def test_project(self, benchmark, sized_sales):
+        result = benchmark(project, sized_sales, ["Part"])
+        assert result.width == 1
+
+    def test_select_constant(self, benchmark, sized_sales):
+        result = benchmark(select_constant, sized_sales, "Region", "region0")
+        assert result.height <= sized_sales.height
+
+    def test_union_self(self, benchmark, sized_sales):
+        result = benchmark(union, sized_sales, sized_sales)
+        assert result.height == 2 * sized_sales.height
+
+    def test_group(self, benchmark, sized_sales):
+        result = benchmark(group, sized_sales, "Region", "Sold")
+        assert result.height == sized_sales.height + 1
+
+    def test_split(self, benchmark, sized_sales):
+        result = benchmark(split, sized_sales, "Region")
+        assert 1 <= len(result) <= 4
+
+    def test_cleanup(self, benchmark, sized_sales):
+        grouped = group(sized_sales, by="Region", on="Sold")
+        result = benchmark(cleanup, grouped, "Part", [None])
+        assert result.height <= grouped.height
+
+    def test_purge(self, benchmark, sized_sales):
+        grouped = cleanup(
+            group(sized_sales, by="Region", on="Sold"), by="Part", on=[None]
+        )
+        result = benchmark(purge, grouped, "Sold", "Region")
+        assert result.width <= grouped.width
+
+    def test_merge(self, benchmark):
+        grouped = synthetic_grouped_table(40, 6, seed=7)
+        result = benchmark(merge, grouped, "Sold", "Region")
+        assert result.height == (grouped.height - 1) * (grouped.width - 1)
+
+    def test_deduplicate(self, benchmark, sized_sales):
+        doubled = union(sized_sales, sized_sales)
+        from repro.algebra import deduplicate_columns
+
+        merged = deduplicate_columns(doubled)
+        result = benchmark(deduplicate, merged)
+        assert result.height == sized_sales.height
+
+    def test_tuplenew(self, benchmark, sized_sales):
+        result = benchmark(
+            lambda: tuplenew(sized_sales, "Id", FreshValueSource())
+        )
+        assert result.width == sized_sales.width + 1
+
+
+class TestInterpreterOverhead:
+    """Interpreter dispatch vs direct calls (ablation input)."""
+
+    def test_program_pipeline(self, benchmark):
+        program = parse_program(
+            """
+            Grouped <- GROUP by {Region} on {Sold} (Sales)
+            Cleaned <- CLEANUP by {Part} on {null} (Grouped)
+            Pivot   <- PURGE on {Sold} by {Region} (Cleaned)
+            """
+        )
+        db = sales_info1()
+        result = benchmark(program.run, db)
+        assert result.tables_named("Pivot")
+
+    def test_direct_pipeline(self, benchmark):
+        table = sales_info1().table("Sales")
+
+        def direct():
+            grouped = group(table, by="Region", on="Sold")
+            cleaned = cleanup(grouped, by="Part", on=[None])
+            return purge(cleaned, on="Sold", by="Region")
+
+        result = benchmark(direct)
+        assert result.width == 5

@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark module regenerates one paper artifact (a figure or a
+theorem's executable content) and *asserts* the reproduction before
+timing, so `pytest benchmarks/ --benchmark-only` doubles as the
+experiment harness of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import synthetic_sales_table
+
+#: Row counts for scaling sweeps (kept laptop-friendly).
+SWEEP_SIZES = (10, 40, 160)
+
+
+@pytest.fixture(params=SWEEP_SIZES, ids=lambda n: f"rows{n}")
+def sized_sales(request):
+    """A synthetic relation-style sales table with ~n data rows."""
+    n = request.param
+    return synthetic_sales_table(n_parts=max(2, n // 4), n_regions=4, seed=n)
+
+
+def report(label: str, **values) -> None:
+    """Print one experiment observation (captured with ``-s``)."""
+    rendered = "  ".join(f"{k}={v}" for k, v in values.items())
+    print(f"[{label}] {rendered}")

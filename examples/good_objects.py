@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""GOOD on tables — object-graph restructuring through the tabular model.
+
+Builds a small object base (people, parentage, cities), runs GOOD's
+pattern-based operations natively, and replays the additive/deletive
+program through its tabular algebra compilation (paper contribution 4).
+
+Run:  python examples/good_objects.py
+"""
+
+from repro.core import render_database
+from repro.good import (
+    Abstraction,
+    EdgeAddition,
+    GoodEdge,
+    GoodNode,
+    GoodProgram,
+    NodeAddition,
+    ObjectGraph,
+    Pattern,
+    PatternEdge,
+    PatternNode,
+    compile_to_ta,
+    decode_graph,
+    encode_graph,
+    graphs_isomorphic,
+)
+
+# ---------------------------------------------------------------------------
+# 1. The object base.
+# ---------------------------------------------------------------------------
+graph = ObjectGraph(
+    [
+        GoodNode.make("p1", "Person", "ann"),
+        GoodNode.make("p2", "Person", "bob"),
+        GoodNode.make("p3", "Person", "cal"),
+        GoodNode.make("p4", "Person", "dee"),
+        GoodNode.make("c1", "City", "montreal"),
+        GoodNode.make("c2", "City", "diepenbeek"),
+    ],
+    [
+        GoodEdge.make("p1", "parent", "p2"),
+        GoodEdge.make("p2", "parent", "p3"),
+        GoodEdge.make("p1", "parent", "p4"),
+        GoodEdge.make("p1", "lives", "c1"),
+        GoodEdge.make("p2", "lives", "c1"),
+        GoodEdge.make("p3", "lives", "c2"),
+        GoodEdge.make("p4", "lives", "c2"),
+    ],
+)
+print(f"Object base: {graph}")
+print()
+
+# ---------------------------------------------------------------------------
+# 2. A GOOD program: derive grandparents, then materialize Household
+#    objects (one per (person, city) pair).
+# ---------------------------------------------------------------------------
+grandparent = Pattern(
+    [
+        PatternNode.make("X", "Person"),
+        PatternNode.make("Y", "Person"),
+        PatternNode.make("Z", "Person"),
+    ],
+    [PatternEdge.make("X", "parent", "Y"), PatternEdge.make("Y", "parent", "Z")],
+)
+residence = Pattern(
+    [PatternNode.make("P", "Person"), PatternNode.make("C", "City")],
+    [PatternEdge.make("P", "lives", "C")],
+)
+program = GoodProgram(
+    (
+        EdgeAddition(grandparent, "X", "grandparent", "Z"),
+        NodeAddition(residence, "Household", (("head", "P"), ("in", "C"))),
+    )
+)
+native = program.run(graph)
+print(f"After the program: {native}")
+print(f"  grandparent edges: {[str(e) for e in native.edges_labelled('grandparent')]}")
+print(f"  Household objects: {len(native.nodes_labelled('Household'))}")
+print()
+
+# ---------------------------------------------------------------------------
+# 3. The same program through the tabular algebra.
+# ---------------------------------------------------------------------------
+encoded = encode_graph(graph)
+print("Tabular encoding of the object base:")
+print(render_database(encoded))
+print()
+
+ta_program = compile_to_ta(program)
+print(f"Compiled tabular algebra program: {len(ta_program.statements)} statements")
+simulated = decode_graph(ta_program.run(encoded))
+print(
+    "Simulation agrees up to the choice of new object ids:",
+    graphs_isomorphic(simulated, native, fixed=graph.symbols()),
+)
+print()
+
+# ---------------------------------------------------------------------------
+# 4. Abstraction (native): group people by where they live.
+# ---------------------------------------------------------------------------
+cohorts = GoodProgram(
+    (
+        Abstraction(
+            Pattern([PatternNode.make("P", "Person")]),
+            "P",
+            "lives",
+            "Cohort",
+            "member",
+        ),
+    )
+)
+abstracted = cohorts.run(graph)
+print("Abstraction by residence:")
+for cohort in sorted(abstracted.nodes_labelled("Cohort"), key=lambda n: n.id.sort_key()):
+    members = sorted(
+        str(abstracted.node(m).value) for m in abstracted.neighbors(cohort.id, "member")
+    )
+    print(f"  {cohort.id!s}: members {members}")

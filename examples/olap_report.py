@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""An OLAP session on the tabular model — Section 4.3 made executable.
+
+Loads a larger synthetic sales workload into a three-dimensional cube
+(part × region × quarter), then runs the classic OLAP repertoire: slice,
+dice, roll-up, drill-down, the cube operator, classification into zones,
+and spreadsheet-style analytics — finishing with the Figure 1 summary
+tables regenerated from the data.
+
+Run:  python examples/olap_report.py
+"""
+
+import random
+
+from repro.core import render_database, render_table
+from repro.data import BASE_FACTS
+from repro.olap import (
+    Cube,
+    agg_avg,
+    agg_max,
+    append_aggregate_row,
+    classify_dimension,
+    cube_operator,
+    cube_to_grouped_table,
+    cube_to_matrix_table,
+    drilldown,
+    grouped_with_totals,
+    mapping_classifier,
+    row_arithmetic,
+    summary_relations,
+)
+
+# ---------------------------------------------------------------------------
+# 1. A three-dimensional workload: part x region x quarter.
+# ---------------------------------------------------------------------------
+rng = random.Random(1996)
+parts = ["nuts", "screws", "bolts", "nails", "washers"]
+regions = ["east", "west", "north", "south"]
+quarters = ["Q1", "Q2", "Q3", "Q4"]
+facts = [
+    (p, r, q, rng.randrange(10, 100))
+    for p in parts
+    for r in regions
+    for q in quarters
+    if rng.random() < 0.8
+]
+cube = Cube.from_facts(facts, ["Part", "Region", "Quarter"], measure="Sold")
+print(f"Workload: {cube} (density {cube.density():.2f})")
+print()
+
+# ---------------------------------------------------------------------------
+# 2. Slice and dice.
+# ---------------------------------------------------------------------------
+q1 = cube.slice("Quarter", "Q1")
+print(f"Slice Quarter=Q1: {q1}")
+coastal = cube.dice({"Region": ["east", "west"]})
+print(f"Dice Region in {{east, west}}: {coastal}")
+print()
+
+# ---------------------------------------------------------------------------
+# 3. Roll-up and drill-down.
+# ---------------------------------------------------------------------------
+per_part_region = cube.rollup("Quarter")
+print("Roll up quarters -> the 2-d part x region cube:")
+print(render_table(cube_to_matrix_table(per_part_region, "Part", "Region", "Sales")))
+print()
+checked = drilldown(per_part_region, cube, "Quarter")
+print("Drill-down validated: the quarterly cube refines the annual one.")
+print()
+
+# ---------------------------------------------------------------------------
+# 4. The cube operator: every subtotal at once.
+# ---------------------------------------------------------------------------
+extended = cube_operator(per_part_region)
+print(
+    f"Cube operator: {len(per_part_region.cells)} base cells -> "
+    f"{len(extended.cells)} cells including all subtotals"
+)
+print()
+
+# ---------------------------------------------------------------------------
+# 5. Classification: regions -> zones, then re-aggregate.
+# ---------------------------------------------------------------------------
+zones = mapping_classifier(
+    {"east": "coastal", "west": "coastal", "north": "inland", "south": "inland"}
+)
+zoned = classify_dimension(per_part_region, "Region", zones, "Zone")
+print("Classified into zones:")
+print(render_table(cube_to_matrix_table(zoned, "Part", "Zone", "Sales")))
+print()
+
+# ---------------------------------------------------------------------------
+# 6. Spreadsheet analytics: grouped table + derived totals row, and a
+#    derived average column via row arithmetic.
+# ---------------------------------------------------------------------------
+grouped = cube_to_grouped_table(per_part_region, "Part", "Region", "Sales")
+with_totals = append_aggregate_row(grouped, "sum", attrs=["Sold"], over_rows=[None])
+print("Pivot with a spreadsheet-style Total row:")
+print(render_table(with_totals))
+print()
+
+# ---------------------------------------------------------------------------
+# 7. The paper's own example: the Figure 1 summaries, regenerated.
+# ---------------------------------------------------------------------------
+paper_cube = Cube.from_facts(BASE_FACTS, ["Part", "Region"], measure="Sold")
+print("Figure 1 summary relations (SalesInfo1, regular outline):")
+print(render_database(summary_relations(paper_cube)))
+print()
+print("SalesInfo2 with its absorbed summaries:")
+print(render_table(grouped_with_totals(paper_cube, "Part", "Region", "Sales")))

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart — the tabular model and algebra in five minutes.
+
+Builds the paper's running sales example, shows the four table regions,
+runs the headline restructuring (GROUP by Region on Sold — the pivot of
+Figure 4), and round-trips back with MERGE.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.algebra import group, group_compact, merge_compact
+from repro.core import make_table, render_table
+
+# ---------------------------------------------------------------------------
+# 1. A table is a matrix of symbols with four regions (Figure 2):
+#    the table name, column attributes, row attributes, and data entries.
+# ---------------------------------------------------------------------------
+sales = make_table(
+    "Sales",
+    ["Part", "Region", "Sold"],
+    [
+        ("nuts", "east", 50),
+        ("nuts", "west", 60),
+        ("nuts", "south", 40),
+        ("screws", "west", 50),
+        ("screws", "north", 60),
+        ("screws", "south", 50),
+        ("bolts", "east", 70),
+        ("bolts", "north", 40),
+    ],
+)
+
+print("The relation-style Sales table (SalesInfo1 / Figure 4 top):")
+print(render_table(sales))
+print()
+print(f"name = {sales.name}, width = {sales.width}, height = {sales.height}")
+print(f"column attributes: {[str(a) for a in sales.column_attributes]}")
+print()
+
+# ---------------------------------------------------------------------------
+# 2. GROUP by Region on Sold — the paper's Figure 4 restructuring.
+#    The raw result is deliberately uneconomical: one Sold column per row.
+# ---------------------------------------------------------------------------
+grouped = group(sales, by="Region", on="Sold")
+print(f"GROUP by Region on Sold: {grouped.width} columns, {grouped.height} rows")
+print("(the printed Figure 4 bottom — uneconomical by design)")
+print()
+
+# ---------------------------------------------------------------------------
+# 3. The compact pivot: GROUP + CLEAN-UP + PURGE = the Sales table of
+#    SalesInfo2 — one Sold column per region.
+# ---------------------------------------------------------------------------
+pivot = group_compact(sales, by="Region", on="Sold")
+print("The compact pivot (SalesInfo2):")
+print(render_table(pivot))
+print()
+
+# ---------------------------------------------------------------------------
+# 4. And back: MERGE on Sold by Region recovers the relation.
+# ---------------------------------------------------------------------------
+recovered = merge_compact(pivot, on="Sold", by="Region")
+print("MERGE recovers the relation (up to row order):",
+      recovered.equivalent(sales))

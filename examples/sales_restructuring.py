@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""The full Figure 1 tour — every representation, restructured to every other.
+
+The paper: "it is possible to restructure the data from any of the
+representations SalesInfo2–SalesInfo4 in Figure 1 to any other."  This
+example materializes all four SalesInfo databases, then walks the
+restructurings with *textual tabular algebra programs* run through the
+interpreter.
+
+Run:  python examples/sales_restructuring.py
+"""
+
+from repro.algebra.programs import parse_program
+from repro.core import render_database, render_table
+from repro.data import (
+    figure4_top,
+    sales_info1,
+    sales_info2,
+    sales_info3,
+    sales_info4,
+)
+
+print("=" * 72)
+print("Figure 1: four tabular databases for the same sales data")
+print("=" * 72)
+for label, db in [
+    ("SalesInfo1 (relational)", sales_info1()),
+    ("SalesInfo2 (one Sold column per region)", sales_info2()),
+    ("SalesInfo3 (row and column names are data!)", sales_info3()),
+    ("SalesInfo4 (one Sales table per region)", sales_info4()),
+]:
+    print()
+    print(render_database(db, title=label))
+
+# ---------------------------------------------------------------------------
+# SalesInfo1 -> SalesInfo2: the Section 3.2/3.4 pipeline, exactly as the
+# paper states it: GROUP, then CLEAN-UP by Part on ⊥, then PURGE on Sold
+# by Region.
+# ---------------------------------------------------------------------------
+print()
+print("=" * 72)
+print("SalesInfo1 -> SalesInfo2  (GROUP; CLEAN-UP by Part on ⊥; PURGE)")
+print("=" * 72)
+program = parse_program(
+    """
+    Grouped <- GROUP by {Region} on {Sold} (Sales)
+    Cleaned <- CLEANUP by {Part} on {null} (Grouped)
+    Pivot   <- PURGE on {Sold} by {Region} (Cleaned)
+    """
+)
+result = program.run(sales_info1())
+pivot = result.tables_named("Pivot")[0]
+print(render_table(pivot))
+expected = sales_info2().tables[0].with_name(pivot.name)
+print("matches the printed SalesInfo2:", pivot.equivalent(expected))
+
+# ---------------------------------------------------------------------------
+# SalesInfo2 -> SalesInfo1: MERGE, then select out the ⊥-Sold tuples.
+# ---------------------------------------------------------------------------
+print()
+print("=" * 72)
+print("SalesInfo2 -> SalesInfo1  (MERGE; drop all-null Sold rows)")
+print("=" * 72)
+program = parse_program(
+    """
+    Merged   <- MERGE on {Sold} by {Region} (Sales)
+    Relation <- DROPNULLROWS attr Sold (Merged)
+    """
+)
+result = program.run(sales_info2())
+relation = result.tables_named("Relation")[0]
+print(render_table(relation))
+print(
+    "matches the relational Sales:",
+    relation.equivalent(figure4_top().with_name(relation.name)),
+)
+
+# ---------------------------------------------------------------------------
+# SalesInfo1 -> SalesInfo4 and back: SPLIT / COLLAPSE.
+# ---------------------------------------------------------------------------
+print()
+print("=" * 72)
+print("SalesInfo1 -> SalesInfo4  (SPLIT on Region)")
+print("=" * 72)
+program = parse_program("PerRegion <- SPLIT on {Region} (Sales)")
+result = program.run(sales_info1())
+per_region = result.tables_named("PerRegion")
+print(f"SPLIT produced {len(per_region)} tables (one per region):")
+for table in per_region:
+    print()
+    print(render_table(table))
+matches = all(
+    any(t.equivalent(x.with_name(t.name)) for x in sales_info4().tables)
+    for t in per_region
+)
+print("matches the printed SalesInfo4:", matches)
+
+print()
+print("=" * 72)
+print("SalesInfo4 -> SalesInfo1  (COLLAPSE by Region + redundancy removal)")
+print("=" * 72)
+program = parse_program("Relation <- COLLAPSECOMPACT by {Region} (Sales)")
+result = program.run(sales_info4())
+rebuilt = result.tables_named("Relation")[0]
+print(render_table(rebuilt))
+print(
+    "matches the relational Sales:",
+    rebuilt.equivalent(figure4_top().with_name(rebuilt.name)),
+)
+
+# ---------------------------------------------------------------------------
+# SalesInfo2 -> SalesInfo3: transpose the pivot and switch the attributes;
+# here via the cube bridge, which routes through the algebra.
+# ---------------------------------------------------------------------------
+print()
+print("=" * 72)
+print("SalesInfo1 -> SalesInfo3  (pivot with data as attributes)")
+print("=" * 72)
+from repro.data import BASE_FACTS
+from repro.olap import Cube, cube_to_matrix_table
+
+cube = Cube.from_facts(BASE_FACTS, ["Part", "Region"], measure="Sold")
+matrix = cube_to_matrix_table(cube, "Region", "Part", "Sales")
+print(render_table(matrix))
+print(
+    "matches the printed SalesInfo3:",
+    matrix.equivalent(sales_info3().tables[0]),
+)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""View maintenance over restructuring views.
+
+The introduction lists view maintenance among the applications of
+restructuring.  This example defines a pivot *view* over the sales
+relation, applies base-table updates, and maintains the view two ways —
+full recomputation and a differential check using the algebra's own
+difference operation — demonstrating that views across *representations*
+(a pivot is a different representation, not just a projection) are still
+algebra objects.
+
+Run:  python examples/view_maintenance.py
+"""
+
+from repro.algebra import classical_union, difference, group_compact, merge_compact
+from repro.core import make_table, render_table
+from repro.data import BASE_FACTS
+
+# ---------------------------------------------------------------------------
+# 1. Base table and the pivot view over it.
+# ---------------------------------------------------------------------------
+base = make_table("Sales", ["Part", "Region", "Sold"], BASE_FACTS)
+
+
+def pivot_view(table):
+    return group_compact(table, by="Region", on="Sold", name="PivotView")
+
+
+view = pivot_view(base)
+print("The view (pivot per region):")
+print(render_table(view))
+print()
+
+# ---------------------------------------------------------------------------
+# 2. An update batch arrives: new sales facts.
+# ---------------------------------------------------------------------------
+delta = make_table(
+    "Sales",
+    ["Part", "Region", "Sold"],
+    [("washers", "east", 30), ("nuts", "north", 20)],
+)
+print("Update batch:")
+print(render_table(delta))
+print()
+
+updated_base = classical_union(base, delta, name="Sales")
+print(f"Base table: {base.height} rows -> {updated_base.height} rows")
+print()
+
+# ---------------------------------------------------------------------------
+# 3. Maintain the view by recomputation, then verify it differentially:
+#    unpivot the new view and diff against the updated base — the
+#    restructuring view is consistent iff both differences are empty.
+# ---------------------------------------------------------------------------
+new_view = pivot_view(updated_base)
+print("Maintained view:")
+print(render_table(new_view))
+print()
+
+unpivoted = merge_compact(new_view, on="Sold", by="Region", name="Sales")
+missing = difference(updated_base, unpivoted)
+spurious = difference(unpivoted, updated_base)
+print(f"consistency check: missing={missing.height} spurious={spurious.height}")
+print("view is consistent with the base:",
+      missing.height == 0 and spurious.height == 0)
+print()
+
+# ---------------------------------------------------------------------------
+# 4. What changed in the view?  The symmetric difference of old and new
+#    views, computed with the tabular difference (which never requires
+#    union compatibility — the view grew a column for the new region!).
+# ---------------------------------------------------------------------------
+grew = new_view.width - view.width
+print(f"the view grew by {grew} column(s) — 'washers' introduced no new "
+      f"region, but the pivot gained a row; widths: {view.width} -> {new_view.width}")
+added_rows = difference(new_view, view)
+print("rows added or changed in the view:", added_rows.height)

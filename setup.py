@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package and no network, so PEP 517
+editable installs (which require building a wheel) fail; this shim lets
+``pip install -e . --no-use-pep517`` fall back to ``setup.py develop``.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — a reproduction of *Tables as a Paradigm for Querying and
+Restructuring* (Gyssens, Lakshmanan, Subramanian; PODS 1996).
+
+The package implements the tabular database model, the tabular algebra and
+its program layer, the canonical representation and transformation theory
+behind the completeness theorem, the FO+while+new / SchemaLog / GOOD
+embeddings, and an OLAP layer built on the tabular model.
+
+Quickstart::
+
+    from repro.core import make_table
+    from repro.algebra import group_compact
+
+    sales = make_table("Sales", ["Part", "Region", "Sold"],
+                       [("nuts", "east", 50), ("bolts", "east", 70)])
+    pivoted = group_compact(sales, by="Region", on="Sold")
+    print(pivoted)
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    algebra,
+    canonical,
+    core,
+    data,
+    federation,
+    good,
+    ndim,
+    olap,
+    relational,
+    schemalog,
+    schemasql,
+    transform,
+)
+
+__all__ = [
+    "algebra",
+    "canonical",
+    "core",
+    "data",
+    "federation",
+    "good",
+    "ndim",
+    "olap",
+    "relational",
+    "schemalog",
+    "schemasql",
+    "transform",
+    "__version__",
+]

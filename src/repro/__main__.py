@@ -1,0 +1,128 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures`` — print every Figure 1–5 artifact, regenerated live, with
+  the exactness checks;
+* ``check``   — a fast self-check of the headline reproductions (exit
+  status 0 iff everything holds);
+* ``demo``    — the quickstart walkthrough.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _figures() -> int:
+    from .algebra import group, merge
+    from .core import render_database, render_table
+    from .data import (
+        figure4_bottom,
+        figure4_top,
+        figure5_result,
+        sales_info1,
+        sales_info2,
+        sales_info3,
+        sales_info4,
+    )
+
+    print("=" * 72)
+    print("Figure 1 — the four SalesInfo databases (bold parts)")
+    print("=" * 72)
+    for label, db in [
+        ("SalesInfo1", sales_info1()),
+        ("SalesInfo2", sales_info2()),
+        ("SalesInfo3", sales_info3()),
+        ("SalesInfo4", sales_info4()),
+    ]:
+        print()
+        print(render_database(db, title=label))
+    print()
+    print("=" * 72)
+    print("Figure 4 — Sales <- GROUP by Region on Sold (Sales)")
+    print("=" * 72)
+    grouped = group(figure4_top(), by="Region", on="Sold")
+    print(render_table(grouped))
+    print()
+    print("reproduces the printed figure exactly:", grouped == figure4_bottom())
+    print()
+    print("=" * 72)
+    print("Figure 5 — Sales <- MERGE on Sold by Region (Sales)")
+    print("=" * 72)
+    merged = merge(sales_info2().tables[0], on="Sold", by="Region")
+    print(render_table(merged))
+    print()
+    print("reproduces the printed figure exactly:", merged == figure5_result())
+    return 0
+
+
+def _check() -> int:
+    from .algebra import collapse_compact, group, group_compact, merge, merge_compact, split
+    from .canonical import decode, encode
+    from .data import (
+        figure4_bottom,
+        figure4_top,
+        figure5_result,
+        sales_info1,
+        sales_info2,
+        sales_info4,
+    )
+
+    checks = {
+        "Figure 4 (GROUP, exact)": group(figure4_top(), by="Region", on="Sold")
+        == figure4_bottom(),
+        "Figure 5 (MERGE, exact)": merge(
+            sales_info2().tables[0], on="Sold", by="Region"
+        )
+        == figure5_result(),
+        "SalesInfo1 -> SalesInfo2": group_compact(
+            figure4_top(), by="Region", on="Sold"
+        ).equivalent(sales_info2().tables[0]),
+        "SalesInfo2 -> SalesInfo1": merge_compact(
+            sales_info2().tables[0], on="Sold", by="Region"
+        ).equivalent(figure4_top()),
+        "SalesInfo4 -> SalesInfo1": collapse_compact(
+            sales_info4().tables, by="Region"
+        ).equivalent(figure4_top()),
+        "SalesInfo1 -> SalesInfo4": all(
+            any(p.equivalent(t) for t in sales_info4().tables)
+            for p in split(figure4_top(), on="Region")
+        ),
+        "canonical round trip": decode(encode(sales_info1())).equivalent(
+            sales_info1()
+        ),
+    }
+    failed = 0
+    for label, ok in checks.items():
+        print(f"{'ok  ' if ok else 'FAIL'}  {label}")
+        failed += 0 if ok else 1
+    print()
+    print(f"{len(checks) - failed}/{len(checks)} reproductions hold")
+    return 1 if failed else 0
+
+
+def _demo() -> int:
+    import runpy
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parent.parent.parent / "examples" / "quickstart.py"
+    if not script.exists():
+        print("quickstart example not found (installed without examples/)")
+        return 1
+    runpy.run_path(str(script), run_name="__main__")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    command = args[0] if args else "check"
+    commands = {"figures": _figures, "check": _check, "demo": _demo}
+    if command not in commands:
+        print(__doc__)
+        return 2
+    return commands[command]()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""The tabular algebra (paper, Section 3).
+
+Operations are pure functions from tables to tables (SPLIT returns a tuple
+of tables); the program layer in :mod:`repro.algebra.programs` adds the
+assignment-statement semantics, parameters, and the while construct.
+"""
+
+from .derived import (
+    classical_union,
+    const_column,
+    collapse_compact,
+    deduplicate,
+    deduplicate_columns,
+    drop_all_null_rows,
+    group_compact,
+    merge_compact,
+    natural_join,
+)
+from .redundancy import cleanup, purge
+from .restructuring import collapse, group, merge, segment_blocks, split
+from .tagging import DEFAULT_SETNEW_LIMIT, setnew, tuplenew
+from .traditional import (
+    difference,
+    intersection,
+    product,
+    project,
+    rename,
+    select,
+    select_constant,
+    union,
+)
+from .transposition import dual, switch, transpose
+
+__all__ = [
+    "union",
+    "difference",
+    "intersection",
+    "product",
+    "rename",
+    "project",
+    "select",
+    "select_constant",
+    "group",
+    "merge",
+    "split",
+    "collapse",
+    "segment_blocks",
+    "transpose",
+    "switch",
+    "dual",
+    "cleanup",
+    "purge",
+    "tuplenew",
+    "setnew",
+    "DEFAULT_SETNEW_LIMIT",
+    "classical_union",
+    "const_column",
+    "deduplicate",
+    "deduplicate_columns",
+    "drop_all_null_rows",
+    "group_compact",
+    "merge_compact",
+    "collapse_compact",
+    "natural_join",
+]

@@ -1,0 +1,203 @@
+"""Derived operations — compositions the paper singles out.
+
+The tabular algebra was designed so that "useful transformations can be
+expressed directly at a high level"; this module packages the compositions
+the paper itself describes:
+
+* :func:`classical_union` — tabular union, then purge (redundant columns),
+  then clean-up (duplicate rows), for union-compatible relation-style
+  tables (Section 3.4);
+* :func:`deduplicate` / :func:`deduplicate_columns` — clean-up/purge as
+  duplicate elimination;
+* :func:`group_compact` — GROUP followed by the CLEAN-UP and PURGE of the
+  Section 3.2/3.4 running example, yielding the *economical* grouped table
+  the authors "had in mind … when we conceived this operation" (the bold
+  ``Sales`` of ``SalesInfo2``);
+* :func:`merge_compact` — MERGE followed by removal of the all-⊥ rows via
+  projection/difference, recovering the relation-style table (Figure 4
+  top from Figure 5);
+* :func:`collapse_compact` — COLLAPSE followed by redundancy removal;
+* :func:`drop_all_null_rows` — "selecting out the tuples with Sold entry
+  ⊥", the difference-based simulation the paper sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import NULL, Symbol, Table
+from .opshelpers import as_attr_set, as_attr_symbol
+from .redundancy import cleanup, purge
+from .restructuring import collapse, group, merge
+from .traditional import difference, product, project, select_constant, union
+
+__all__ = [
+    "classical_union",
+    "const_column",
+    "deduplicate",
+    "deduplicate_columns",
+    "drop_all_null_rows",
+    "group_compact",
+    "merge_compact",
+    "collapse_compact",
+    "natural_join",
+]
+
+
+def _named(table: Table, name: object | None) -> Table:
+    if name is None:
+        return table
+    return table.with_name(as_attr_symbol(name))
+
+
+def _scheme(table: Table) -> frozenset[Symbol]:
+    return frozenset(table.column_attributes)
+
+
+def _row_attr_universe(table: Table) -> frozenset[Symbol]:
+    return frozenset(table.row_attributes) | {NULL}
+
+
+def deduplicate(table: Table, name: object | None = None) -> Table:
+    """Duplicate-row elimination: clean-up by the full scheme, on every
+    row attribute (identical rows always merge position-wise)."""
+    return _named(
+        cleanup(table, by=_scheme(table), on=_row_attr_universe(table)), name
+    )
+
+
+def deduplicate_columns(table: Table, name: object | None = None) -> Table:
+    """Duplicate-column elimination: purge over the full scheme.
+
+    The empty 𝒜 makes columns group by their attribute alone, so the
+    ⊥-disjoint copies produced by tabular union merge position-wise.
+    """
+    return _named(
+        purge(table, on=_scheme(table) | {NULL}, by=frozenset()),
+        name,
+    )
+
+
+def classical_union(rho: Table, sigma: Table, name: object | None = None) -> Table:
+    """Classical union of two union-compatible relation-style tables.
+
+    Exactly the Section 3.4 recipe: tabular union (schemes concatenate,
+    rows pad with ⊥), purge to eliminate the redundant columns, clean-up
+    to eliminate duplicate rows.
+    """
+    combined = union(rho, sigma)
+    return _named(deduplicate(deduplicate_columns(combined)), name)
+
+
+def const_column(
+    table: Table, attr: object, value: object, name: object | None = None
+) -> Table:
+    """Append a column named ``attr`` holding ``value`` in every data row.
+
+    Needed to express rules whose heads mention explicit constants (the
+    SchemaLog embedding, Theorem 4.5).  In core tabular algebra the same
+    effect is reachable through the attribute machinery — RENAME can write
+    any symbol into the attribute row, TRANSPOSE/SWITCH relocate it, and a
+    GROUP header row replicates it across a row — but the composition is
+    long and instance-dependent, so the library ships the operation as a
+    first-class derived op.
+    """
+    from ..core import coerce_symbol
+
+    column: list[Symbol] = [as_attr_symbol(attr)]
+    column += [coerce_symbol(value)] * table.height
+    return _named(table.append_columns([column]), name)
+
+
+def drop_all_null_rows(table: Table, attr: object, name: object | None = None) -> Table:
+    """Remove the data rows whose ``attr``-entries are entirely ⊥.
+
+    This is the paper's "selecting out the tuples with Sold entry ⊥ …
+    simulated using projection, transposition, and difference": here
+    realized as ``R \\ σ_{attr=⊥}(R)``.
+    """
+    return _named(difference(table, select_constant(table, attr, None)), name)
+
+
+def group_compact(table: Table, by: object, on: object, name: object | None = None) -> Table:
+    """GROUP, then CLEAN-UP and PURGE — the economical grouped table.
+
+    For Figure 4 top with ``by=Region, on=Sold`` this is precisely
+    ``PURGE on Sold by Region (CLEAN-UP by Part on ⊥ (GROUP by Region on
+    Sold (Sales)))`` and reproduces the bold ``Sales`` of ``SalesInfo2``.
+    """
+    by_set = as_attr_set(by)
+    on_set = as_attr_set(on)
+    grouped = group(table, by=by_set, on=on_set)
+    rest = _scheme(table) - by_set - on_set
+    cleaned = cleanup(grouped, by=rest, on=_row_attr_universe(table))
+    header_names = frozenset(
+        table.entry(0, j) for j in table.data_col_indices() if table.entry(0, j) in by_set
+    )
+    return _named(purge(cleaned, on=on_set, by=header_names), name)
+
+
+def merge_compact(table: Table, on: object, by: object, name: object | None = None) -> Table:
+    """MERGE, then drop the rows that are entirely ⊥ on the merged names.
+
+    For the bold ``Sales`` of ``SalesInfo2`` with ``on=Sold, by=Region``
+    this recovers Figure 4 top (up to row order).
+    """
+    on_set = as_attr_set(on)
+    merged = merge(table, on=on_set, by=by)
+    result = merged
+    for attr in sorted(on_set, key=lambda s: s.sort_key()):
+        result = drop_all_null_rows(result, attr)
+    return _named(result, name)
+
+
+def natural_join(rho: Table, sigma: Table, name: object | None = None) -> Table:
+    """Classical natural join of two relation-style tables.
+
+    Derived from the tabular primitives exactly like its relational
+    counterpart: rename σ's shared attributes apart, take the Cartesian
+    product, select equality per shared attribute, project the result
+    schema, and deduplicate.  Shared attributes must occur exactly once on
+    each side (the classical named perspective).
+    """
+    from .traditional import rename as rename_op
+    from .traditional import select
+
+    shared = [a for a in rho.column_attributes if a in set(sigma.column_attributes)]
+    for attr in shared:
+        if (
+            len(rho.columns_named(attr)) != 1
+            or len(sigma.columns_named(attr)) != 1
+        ):
+            from ..core import UndefinedOperationError
+
+            raise UndefinedOperationError(
+                f"natural join needs each shared attribute once per side; "
+                f"{attr!s} repeats"
+            )
+    from ..core import Name
+
+    primed = sigma
+    primes = {}
+    for attr in shared:
+        primed_name = Name(f"__join_{attr!s}")
+        primes[attr] = primed_name
+        primed = rename_op(primed, attr, primed_name)
+    joined = product(rho, primed)
+    for attr in shared:
+        joined = select(joined, attr, primes[attr])
+    keep = list(rho.column_attributes) + [
+        a for a in sigma.column_attributes if a not in set(shared)
+    ]
+    projected = project(joined, keep)
+    return _named(deduplicate(projected), name)
+
+
+def collapse_compact(tables: Sequence[Table], by: object, name: object | None = None) -> Table:
+    """COLLAPSE, then purge the padded columns and deduplicate rows.
+
+    Recovers the relation-style table from the ``SalesInfo4``-style family
+    (Figure 1's claim that any representation restructures to any other).
+    """
+    collapsed = collapse(tables, by=by)
+    return _named(deduplicate(deduplicate_columns(collapsed)), name)

@@ -1,0 +1,49 @@
+"""The tabular algebra program layer (paper, Section 3.6).
+
+Exports parameters, statements, the interpreter, and the textual parser.
+"""
+
+from .params import (
+    ANY,
+    NOTHING,
+    AnyParam,
+    Binding,
+    Lit,
+    Nothing,
+    Pair,
+    Parameter,
+    ParamSet,
+    Star,
+    as_parameter,
+)
+from .optimize import collapse_idempotent_pairs, eliminate_dead_statements, optimize
+from .parser import parse_program, parse_statement
+from .registry import OPERATIONS, OpSpec
+from .statements import Assignment, Interpreter, Program, Statement, While, assign
+
+__all__ = [
+    "ANY",
+    "NOTHING",
+    "AnyParam",
+    "Nothing",
+    "Binding",
+    "Lit",
+    "Pair",
+    "Parameter",
+    "ParamSet",
+    "Star",
+    "as_parameter",
+    "parse_program",
+    "parse_statement",
+    "optimize",
+    "eliminate_dead_statements",
+    "collapse_idempotent_pairs",
+    "OPERATIONS",
+    "OpSpec",
+    "Assignment",
+    "Interpreter",
+    "Program",
+    "Statement",
+    "While",
+    "assign",
+]

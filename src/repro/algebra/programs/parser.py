@@ -1,0 +1,262 @@
+"""A textual surface syntax for tabular algebra programs.
+
+The paper presents statements like ``Sales ← GROUP by Region on Sold
+(Sales)``; this parser accepts exactly that style::
+
+    Grouped   <- GROUP by {Region} on {Sold} (Sales)
+    Cleaned   <- CLEANUP by {Part} on {null} (Grouped)
+    Pivot     <- PURGE on {Sold} by {Region} (Cleaned)
+    Everything <- UNION (R, S)
+    while Work do
+        Work <- DIFFERENCE (Work, Done)
+    end
+
+Grammar (EBNF)::
+
+    program    = { statement } ;
+    statement  = assignment | while ;
+    assignment = nameparam "<-" OP { keyword param } "(" nameparam { "," nameparam } ")" ;
+    while      = "while" nameparam "do" { statement } "end" ;
+    param      = item | "{" item { "," item } [ "-" item { "," item } ] "}" ;
+    item       = NAME | STAR | "null" | "any" | STRING | NUMBER
+               | "(" param "," param ")" ;
+    nameparam  = NAME | STAR ;
+
+``null`` is the inapplicable ⊥, ``any`` the catch-all pair component,
+``*``/``*1``/``*2`` are wildcards, quoted strings and numbers are values,
+bare identifiers are names.  ``#`` starts a comment.  Operation names and
+their keywords come from :mod:`repro.algebra.programs.registry`
+(e.g. ``GROUP`` takes ``by`` and ``on``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ...core import NULL, ParseError, Value
+from .params import ANY, Lit, Pair, Parameter, ParamSet, Star
+from .registry import OPERATIONS
+from .statements import Assignment, Program, Statement, While
+
+__all__ = ["parse_program", "parse_statement"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<arrow><-)
+  | (?P<star>\*[0-9]*)
+  | (?P<number>-?[0-9]+(?:\.[0-9]+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<sym>[{}(),\-])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"while", "do", "end", "null", "any"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line, col = 1, 1
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line, col)
+        kind = match.lastgroup or ""
+        chunk = match.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, chunk, line, col))
+        newlines = chunk.count("\n")
+        if newlines:
+            line += newlines
+            col = len(chunk) - chunk.rfind("\n")
+        else:
+            col += len(chunk)
+        pos = match.end()
+    tokens.append(_Token("eof", "", line, col))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def at_ident(self, text: str) -> bool:
+        token = self.peek()
+        return token.kind == "ident" and token.text == text
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        statements: list[Statement] = []
+        while self.peek().kind != "eof":
+            statements.append(self.parse_statement())
+        return Program(statements)
+
+    def parse_statement(self) -> Statement:
+        if self.at_ident("while"):
+            return self.parse_while()
+        return self.parse_assignment()
+
+    def parse_while(self) -> While:
+        self.expect("ident", "while")
+        condition = self.parse_name_param()
+        self.expect("ident", "do")
+        body: list[Statement] = []
+        while not self.at_ident("end"):
+            if self.peek().kind == "eof":
+                token = self.peek()
+                raise ParseError("while without matching 'end'", token.line, token.column)
+            body.append(self.parse_statement())
+        self.expect("ident", "end")
+        return While(condition, body)
+
+    def parse_assignment(self) -> Assignment:
+        target = self.parse_name_param()
+        self.expect("arrow")
+        op_token = self.expect("ident")
+        op_key = op_token.text.upper().replace("_", "")
+        if op_key not in OPERATIONS:
+            raise ParseError(
+                f"unknown operation {op_token.text!r}", op_token.line, op_token.column
+            )
+        spec = OPERATIONS[op_key]
+        params: dict[str, Parameter] = {}
+        while self.peek().kind == "ident" and self.peek().text in spec.params:
+            keyword = self.advance().text
+            if keyword in params:
+                token = self.peek()
+                raise ParseError(f"duplicate parameter {keyword!r}", token.line, token.column)
+            params[keyword] = self.parse_param()
+        self.expect("sym", "(")
+        args = [self.parse_name_param()]
+        while self.peek().kind == "sym" and self.peek().text == ",":
+            self.advance()
+            args.append(self.parse_name_param())
+        self.expect("sym", ")")
+        try:
+            return Assignment(target, op_key, args, params)
+        except Exception as exc:
+            raise ParseError(f"{exc}", op_token.line, op_token.column) from exc
+
+    def parse_name_param(self) -> Parameter:
+        token = self.peek()
+        if token.kind == "star":
+            self.advance()
+            index = int(token.text[1:]) if len(token.text) > 1 else 0
+            return Star(index)
+        if token.kind == "ident" and token.text not in _KEYWORDS:
+            self.advance()
+            return Lit(token.text)
+        raise ParseError(
+            f"expected a table name or wildcard, found {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    def parse_param(self) -> Parameter:
+        token = self.peek()
+        if token.kind == "sym" and token.text == "{":
+            return self.parse_param_set()
+        return self.parse_item()
+
+    def parse_param_set(self) -> Parameter:
+        self.expect("sym", "{")
+        positive = [self.parse_item()]
+        while self.peek().kind == "sym" and self.peek().text == ",":
+            self.advance()
+            positive.append(self.parse_item())
+        negative: list[Parameter] = []
+        if self.peek().kind == "sym" and self.peek().text == "-":
+            self.advance()
+            negative.append(self.parse_item())
+            while self.peek().kind == "sym" and self.peek().text == ",":
+                self.advance()
+                negative.append(self.parse_item())
+        self.expect("sym", "}")
+        return ParamSet(positive, negative)
+
+    def parse_item(self) -> Parameter:
+        token = self.peek()
+        if token.kind == "star":
+            self.advance()
+            index = int(token.text[1:]) if len(token.text) > 1 else 0
+            return Star(index)
+        if token.kind == "string":
+            self.advance()
+            return Lit(Value(token.text[1:-1]))
+        if token.kind == "number":
+            self.advance()
+            number = float(token.text) if "." in token.text else int(token.text)
+            return Lit(Value(number))
+        if token.kind == "ident":
+            if token.text == "null":
+                self.advance()
+                return Lit(NULL)
+            if token.text == "any":
+                self.advance()
+                return ANY
+            if token.text not in _KEYWORDS:
+                self.advance()
+                return Lit(token.text)
+        if token.kind == "sym" and token.text == "(":
+            self.advance()
+            row = self.parse_param()
+            self.expect("sym", ",")
+            col = self.parse_param()
+            self.expect("sym", ")")
+            return Pair(row, col)
+        raise ParseError(
+            f"expected a parameter item, found {token.text or 'end of input'!r}",
+            token.line,
+            token.column,
+        )
+
+
+def parse_program(text: str) -> Program:
+    """Parse a full tabular algebra program."""
+    return _Parser(text).parse_program()
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a single statement (assignment or while)."""
+    parser = _Parser(text)
+    statement = parser.parse_statement()
+    token = parser.peek()
+    if token.kind != "eof":
+        raise ParseError(f"trailing input {token.text!r}", token.line, token.column)
+    return statement

@@ -1,0 +1,150 @@
+"""Registry of the tabular algebra operations available to statements.
+
+Each entry describes how an assignment statement invokes the underlying
+operation from :mod:`repro.algebra`: how many argument tables it takes, the
+keyword parameters it expects and whether each denotes a single symbol or a
+symbol set, and whether it runs once per matching table combination or once
+over the whole set of matching tables (COLLAPSE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ...core import EvaluationError, FreshValueSource, Symbol, Table
+from .. import (
+    classical_union,
+    const_column,
+    cleanup,
+    collapse,
+    collapse_compact,
+    deduplicate,
+    deduplicate_columns,
+    difference,
+    drop_all_null_rows,
+    group,
+    group_compact,
+    intersection,
+    merge,
+    merge_compact,
+    natural_join,
+    product,
+    project,
+    purge,
+    rename,
+    select,
+    select_constant,
+    setnew,
+    split,
+    switch,
+    transpose,
+    tuplenew,
+    union,
+)
+
+__all__ = ["OpSpec", "OPERATIONS", "PARAM_SINGLE", "PARAM_SET", "PARAM_ENTRY"]
+
+#: Parameter kinds: a single attribute, an attribute set, a single entry.
+PARAM_SINGLE = "single"
+PARAM_SET = "set"
+PARAM_ENTRY = "entry"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """How a statement invokes one algebra operation.
+
+    ``params`` maps keyword → kind (:data:`PARAM_SINGLE`,
+    :data:`PARAM_SET`, or :data:`PARAM_ENTRY`); ``arity`` is the number of
+    argument tables; ``aggregate`` marks operations consuming *all* tables
+    of a name at once; ``multi_result`` marks operations returning several
+    tables; ``needs_fresh`` marks the tagging operations.
+    """
+
+    name: str
+    function: Callable
+    arity: int = 1
+    params: Mapping[str, str] = field(default_factory=dict)
+    aggregate: bool = False
+    multi_result: bool = False
+    needs_fresh: bool = False
+
+    def invoke(
+        self,
+        tables: Sequence[Table],
+        arguments: Mapping[str, object],
+        fresh: FreshValueSource | None,
+    ) -> tuple[Table, ...]:
+        """Run the operation; always returns a tuple of result tables."""
+        kwargs = dict(arguments)
+        if self.needs_fresh:
+            kwargs["source"] = fresh
+        if self.aggregate:
+            result = self.function(list(tables), **kwargs)
+        else:
+            if len(tables) != self.arity:
+                raise EvaluationError(
+                    f"{self.name} expects {self.arity} argument table(s), got {len(tables)}"
+                )
+            result = self.function(*tables, **kwargs)
+        if self.multi_result:
+            return tuple(result)
+        return (result,)
+
+
+def _spec(name, function, arity=1, params=None, **flags) -> tuple[str, OpSpec]:
+    return name, OpSpec(name=name, function=function, arity=arity, params=dict(params or {}), **flags)
+
+
+#: All statement-invocable operations, keyed by their (upper-case) name.
+OPERATIONS: dict[str, OpSpec] = dict(
+    [
+        # Traditional (Section 3.1)
+        _spec("UNION", union, arity=2),
+        _spec("DIFFERENCE", difference, arity=2),
+        _spec("INTERSECTION", intersection, arity=2),
+        _spec("PRODUCT", product, arity=2),
+        _spec("RENAME", rename, params={"old": PARAM_SINGLE, "new": PARAM_SINGLE}),
+        _spec("PROJECT", project, params={"attrs": PARAM_SET}),
+        _spec("SELECT", select, params={"left": PARAM_SINGLE, "right": PARAM_SINGLE}),
+        _spec(
+            "SELECTCONST",
+            select_constant,
+            params={"attr": PARAM_SINGLE, "value": PARAM_ENTRY},
+        ),
+        # Restructuring (Section 3.2)
+        _spec("GROUP", group, params={"by": PARAM_SET, "on": PARAM_SET}),
+        _spec("MERGE", merge, params={"on": PARAM_SET, "by": PARAM_SET}),
+        _spec("SPLIT", split, params={"on": PARAM_SET}, multi_result=True),
+        _spec("COLLAPSE", collapse, params={"by": PARAM_SET}, aggregate=True),
+        # Transposition (Section 3.3)
+        _spec("TRANSPOSE", transpose),
+        _spec("SWITCH", switch, params={"value": PARAM_ENTRY}),
+        # Redundancy removal (Section 3.4)
+        _spec("CLEANUP", cleanup, params={"by": PARAM_SET, "on": PARAM_SET}),
+        _spec("PURGE", purge, params={"on": PARAM_SET, "by": PARAM_SET}),
+        # Tagging (Section 3.5)
+        _spec("TUPLENEW", tuplenew, params={"attr": PARAM_SINGLE}, needs_fresh=True),
+        _spec("SETNEW", setnew, params={"attr": PARAM_SINGLE}, needs_fresh=True),
+        # Derived operations (Sections 3.2/3.4 compositions)
+        _spec("CLASSICALUNION", classical_union, arity=2),
+        _spec("NATURALJOIN", natural_join, arity=2),
+        _spec("DEDUP", deduplicate),
+        _spec("DEDUPCOLUMNS", deduplicate_columns),
+        _spec("DROPNULLROWS", drop_all_null_rows, params={"attr": PARAM_SINGLE}),
+        _spec(
+            "CONSTCOLUMN",
+            const_column,
+            params={"attr": PARAM_SINGLE, "value": PARAM_ENTRY},
+        ),
+        _spec("GROUPCOMPACT", group_compact, params={"by": PARAM_SET, "on": PARAM_SET}),
+        _spec("MERGECOMPACT", merge_compact, params={"on": PARAM_SET, "by": PARAM_SET}),
+        _spec(
+            "COLLAPSECOMPACT",
+            collapse_compact,
+            params={"by": PARAM_SET},
+            aggregate=True,
+        ),
+    ]
+)

@@ -1,0 +1,274 @@
+"""Tabular algebra programs: assignment statements, while loops, interpreter.
+
+A program is a sequence of assignment statements of the form
+``T ← (operation)(parameter list)(argument list)`` and while programs
+``while R ≠ ∅ do P`` (paper, Sections 3 and 3.6).  Execution semantics:
+
+* each assignment is executed for **all combinations of tables** whose
+  names match the argument parameters (a name parameter matches every
+  table carrying that name — there may be several); wildcards bind to the
+  names in the combination and are shared across the whole statement,
+  including the target;
+* the results of all combinations are named after the target and
+  **replace** the tables previously carrying that name (DESIGN.md
+  decision 13) — the database is otherwise only augmented;
+* aggregate operations (COLLAPSE) consume all tables of a matching name at
+  once rather than one combination at a time;
+* ``while R ≠ ∅ do P`` repeats P as long as some table named R contains a
+  non-empty set of data rows; the interpreter enforces an iteration budget
+  since the language is Turing-complete.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ...core import (
+    EvaluationError,
+    FreshValueSource,
+    NonTerminationError,
+    Symbol,
+    TabularDatabase,
+    Table,
+)
+from .params import Binding, Lit, Parameter, Star, as_parameter
+from .registry import OPERATIONS, PARAM_ENTRY, PARAM_SET, PARAM_SINGLE, OpSpec
+
+__all__ = ["Statement", "Assignment", "While", "Program", "Interpreter", "assign"]
+
+
+class Statement:
+    """Abstract base of program statements."""
+
+    def execute(self, db: TabularDatabase, interp: "Interpreter") -> TabularDatabase:
+        raise NotImplementedError
+
+
+class Assignment(Statement):
+    """``target ← OP (params) (args)``.
+
+    ``target`` and each member of ``args`` are name parameters (literal
+    names or wildcards); ``params`` maps the operation's keywords to
+    parameters (coerced via :func:`repro.algebra.programs.params.as_parameter`).
+    """
+
+    def __init__(
+        self,
+        target: object,
+        op: str,
+        args: Sequence[object],
+        params: Mapping[str, object] | None = None,
+    ):
+        op_key = op.upper().replace("-", "").replace("_", "")
+        if op_key not in OPERATIONS:
+            raise EvaluationError(f"unknown operation {op!r}")
+        self.spec: OpSpec = OPERATIONS[op_key]
+        self.target = as_parameter(target)
+        self.args = tuple(as_parameter(a) for a in args)
+        self.params = {k: as_parameter(v) for k, v in (params or {}).items()}
+        unknown = set(self.params) - set(self.spec.params)
+        if unknown:
+            raise EvaluationError(
+                f"{self.spec.name} does not take parameter(s) {sorted(unknown)}"
+            )
+        missing = set(self.spec.params) - set(self.params)
+        if missing:
+            raise EvaluationError(
+                f"{self.spec.name} is missing parameter(s) {sorted(missing)}"
+            )
+        if not self.spec.aggregate and len(self.args) != self.spec.arity:
+            raise EvaluationError(
+                f"{self.spec.name} takes {self.spec.arity} argument table(s), got {len(self.args)}"
+            )
+        if self.spec.aggregate and len(self.args) != 1:
+            raise EvaluationError(f"{self.spec.name} takes exactly one argument name")
+
+    # -- matching ------------------------------------------------------
+
+    def _candidate_names(
+        self, param: Parameter, db: TabularDatabase, binding: Binding
+    ) -> Iterator[tuple[Symbol, Binding]]:
+        """Names a table-name parameter can denote, with extended bindings."""
+        if isinstance(param, Star):
+            if binding.bound(param.index):
+                yield binding.get(param.index), binding
+            else:
+                for name in sorted(db.table_names(), key=lambda s: s.sort_key()):
+                    yield name, binding.extended(param.index, name)
+        elif isinstance(param, Lit):
+            yield param.symbol, binding
+        else:
+            raise EvaluationError(
+                f"argument parameters must be names or wildcards, got {param!r}"
+            )
+
+    def _combinations(
+        self, db: TabularDatabase, binding: Binding
+    ) -> Iterator[tuple[tuple[Table, ...], Binding]]:
+        """All argument-table combinations with their wildcard bindings."""
+
+        def recurse(
+            idx: int, chosen: tuple[Table, ...], bnd: Binding
+        ) -> Iterator[tuple[tuple[Table, ...], Binding]]:
+            if idx == len(self.args):
+                yield chosen, bnd
+                return
+            for name, bnd2 in self._candidate_names(self.args[idx], db, bnd):
+                for table in db.tables_named(name):
+                    yield from recurse(idx + 1, chosen + (table,), bnd2)
+
+        yield from recurse(0, (), binding)
+
+    def _aggregate_groups(
+        self, db: TabularDatabase, binding: Binding
+    ) -> Iterator[tuple[tuple[Table, ...], Binding]]:
+        """For aggregate operations: all tables of each matching name."""
+        for name, bnd in self._candidate_names(self.args[0], db, binding):
+            tables = db.tables_named(name)
+            if tables:
+                yield tables, bnd
+
+    # -- parameter evaluation ------------------------------------------
+
+    def _evaluate_params(self, binding: Binding, table: Table) -> dict[str, object]:
+        out: dict[str, object] = {}
+        for keyword, kind in self.spec.params.items():
+            param = self.params[keyword]
+            if kind == PARAM_SET:
+                out[keyword] = param.evaluate(binding, table)
+            elif kind in (PARAM_SINGLE, PARAM_ENTRY):
+                out[keyword] = param.evaluate_single(binding, table)
+            else:  # pragma: no cover - registry invariant
+                raise EvaluationError(f"unknown parameter kind {kind!r}")
+        return out
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, db: TabularDatabase, interp: "Interpreter") -> TabularDatabase:
+        source = (
+            self._aggregate_groups(db, interp.binding)
+            if self.spec.aggregate
+            else self._combinations(db, interp.binding)
+        )
+        results: dict[Symbol, list[Table]] = {}
+        target_names: set[Symbol] = set()
+        for tables, binding in source:
+            arguments = self._evaluate_params(binding, tables[0])
+            produced = self.spec.invoke(tables, arguments, interp.fresh)
+            target = self.target.evaluate_single(binding, tables[0])
+            target_names.add(target)
+            results.setdefault(target, []).extend(
+                t.with_name(target) for t in produced
+            )
+        if not target_names and isinstance(self.target, Lit):
+            # No combination matched: the target name becomes empty.
+            target_names.add(self.target.symbol)
+        new_db = db
+        for name in target_names:
+            new_db = new_db.replace_named(name, results.get(name, []))
+        return new_db
+
+    def __repr__(self) -> str:
+        params = " ".join(f"{k} {v}" for k, v in self.params.items())
+        args = ", ".join(str(a) for a in self.args)
+        middle = f" {params}" if params else ""
+        return f"{self.target} <- {self.spec.name}{middle} ({args})"
+
+
+class While(Statement):
+    """``while R ≠ ∅ do P`` — repeat P while some table named R has data rows.
+
+    The condition parameter must denote a fixed name (a literal or a
+    wildcard already bound by an enclosing statement).
+    """
+
+    def __init__(self, condition: object, body: "Program | Sequence[Statement]"):
+        self.condition = as_parameter(condition)
+        self.body = body if isinstance(body, Program) else Program(body)
+
+    def _holds(self, db: TabularDatabase, interp: "Interpreter") -> bool:
+        name = self.condition.evaluate_single(interp.binding, None)
+        return any(t.height > 0 for t in db.tables_named(name))
+
+    def execute(self, db: TabularDatabase, interp: "Interpreter") -> TabularDatabase:
+        iterations = 0
+        while self._holds(db, interp):
+            iterations += 1
+            if iterations > interp.max_while_iterations:
+                raise NonTerminationError(
+                    f"while loop on {self.condition} exceeded "
+                    f"{interp.max_while_iterations} iterations"
+                )
+            db = self.body.execute(db, interp)
+        return db
+
+    def __repr__(self) -> str:
+        return f"while {self.condition} do {self.body!r} end"
+
+
+class Program:
+    """A sequence of statements, executed consecutively."""
+
+    def __init__(self, statements: Iterable[Statement] = ()):
+        self.statements = tuple(statements)
+        for statement in self.statements:
+            if not isinstance(statement, Statement):
+                raise EvaluationError(f"not a statement: {statement!r}")
+
+    def execute(self, db: TabularDatabase, interp: "Interpreter") -> TabularDatabase:
+        for statement in self.statements:
+            db = statement.execute(db, interp)
+        return db
+
+    def run(
+        self,
+        db: TabularDatabase,
+        fresh: FreshValueSource | None = None,
+        max_while_iterations: int = 10_000,
+    ) -> TabularDatabase:
+        """Convenience: run on ``db`` with a fresh interpreter."""
+        return Interpreter(
+            fresh=fresh, max_while_iterations=max_while_iterations
+        ).run(self, db)
+
+    def __add__(self, other: "Program") -> "Program":
+        if not isinstance(other, Program):
+            return NotImplemented
+        return Program(self.statements + other.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __repr__(self) -> str:
+        return "Program([\n  " + ",\n  ".join(repr(s) for s in self.statements) + "\n])"
+
+
+class Interpreter:
+    """Executes tabular algebra programs against a database.
+
+    Carries the fresh-value source (advanced past every tagged value in
+    the input so tagging yields globally new values), the wildcard binding
+    environment, and the while-loop iteration budget.
+    """
+
+    def __init__(
+        self,
+        fresh: FreshValueSource | None = None,
+        max_while_iterations: int = 10_000,
+        binding: Binding | None = None,
+    ):
+        self.fresh = fresh if fresh is not None else FreshValueSource()
+        self.max_while_iterations = max_while_iterations
+        self.binding = binding if binding is not None else Binding()
+
+    def run(self, program: Program, db: TabularDatabase) -> TabularDatabase:
+        self.fresh.advance_past(db.symbols())
+        return program.execute(db, self)
+
+
+def assign(target: object, op: str, *args: object, **params: object) -> Assignment:
+    """Sugar for building assignment statements.
+
+    >>> stmt = assign("T", "group", "Sales", by="Region", on="Sold")
+    """
+    return Assignment(target, op, args, params)

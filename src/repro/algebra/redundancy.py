@@ -1,0 +1,116 @@
+"""Redundancy removal: CLEAN-UP and its dual PURGE (paper, Section 3.4).
+
+``CLEAN-UP by 𝒜 on ℬ`` merges groups of data rows that (a) carry the same
+row attribute, drawn from ℬ, (b) agree on their 𝒜-subtuple, and (c) are
+position-wise compatible — every data column sees at most one distinct
+non-⊥ value across the group.  The merged row is the least common subsumer
+and replaces the group at its first member's position.
+
+``PURGE on ℬ by 𝒜`` is the exact dual, implemented as
+``TRANSPOSE ∘ CLEAN-UP by 𝒜 on ℬ ∘ TRANSPOSE``.
+
+Clean-up generalizes duplicate-row elimination (identical rows always merge)
+and purge duplicate-column elimination; composed with tabular union they
+yield the classical union (see :func:`repro.algebra.derived.classical_union`).
+
+The position-wise reading of "least common tuple" is an interpretation
+decision forced by the figures — see DESIGN.md, Section 3, decision 9.
+"""
+
+from __future__ import annotations
+
+from ..core import NULL, Symbol, Table
+from .opshelpers import as_attr_set, as_attr_symbol, columns_with_attr_in
+from .transposition import transpose
+
+__all__ = ["cleanup", "purge"]
+
+
+def _named(table: Table, name: object | None) -> Table:
+    if name is None:
+        return table
+    return table.with_name(as_attr_symbol(name))
+
+
+def _merge_rows(table: Table, rows: list[int]) -> list[Symbol] | None:
+    """Position-wise merge of a group of data rows, or None when incompatible.
+
+    Compatible means: at every grid column (including column 0, the row
+    attribute) the group's non-⊥ entries are all equal.  The merged row
+    takes each column's unique non-⊥ entry, or ⊥.
+    """
+    merged: list[Symbol] = []
+    for j in range(table.ncols):
+        candidate: Symbol = NULL
+        for i in rows:
+            entry = table.entry(i, j)
+            if entry.is_null:
+                continue
+            if candidate.is_null:
+                candidate = entry
+            elif candidate != entry:
+                return None
+        merged.append(candidate)
+    return merged
+
+
+def cleanup(table: Table, by: object, on: object, name: object | None = None) -> Table:
+    """``T ← CLEAN-UP by 𝒜 on ℬ (R)``.
+
+    Example (Section 3.4): ``CLEAN-UP by Part on ⊥`` applied to Figure 4
+    *bottom* groups the information on nuts, screws, and bolts into one row
+    each; the subsequent ``PURGE on Sold by Region`` yields the bold
+    ``Sales`` of ``SalesInfo2``.
+    """
+    by_set = as_attr_set(by)
+    on_set = as_attr_set(on)
+    by_cols = columns_with_attr_in(table, by_set)
+
+    # Group the ℬ-rows by (row attribute, 𝒜-subtuple); keep first positions.
+    order: list[tuple[Symbol, tuple[Symbol, ...]]] = []
+    groups: dict[tuple[Symbol, tuple[Symbol, ...]], list[int]] = {}
+    untouched: list[int] = []
+    for i in table.data_row_indices():
+        attr = table.entry(i, 0)
+        if attr not in on_set:
+            untouched.append(i)
+            continue
+        key = (attr, tuple(table.entry(i, j) for j in by_cols))
+        if key not in groups:
+            order.append(key)
+            groups[key] = []
+        groups[key].append(i)
+
+    # Emit rows in original order; each group appears (merged or intact) at
+    # its first member's position.
+    replacement: dict[int, list[list[Symbol]]] = {}
+    skip: set[int] = set()
+    for key in order:
+        rows = groups[key]
+        if len(rows) == 1:
+            continue
+        merged = _merge_rows(table, rows)
+        if merged is None:
+            continue
+        replacement[rows[0]] = [merged]
+        skip.update(rows[1:])
+
+    grid: list[tuple[Symbol, ...] | list[Symbol]] = [table.row(0)]
+    for i in table.data_row_indices():
+        if i in skip:
+            continue
+        if i in replacement:
+            grid.extend(replacement[i])
+        else:
+            grid.append(table.row(i))
+    return _named(Table(grid), name)
+
+
+def purge(table: Table, on: object, by: object, name: object | None = None) -> Table:
+    """``T ← PURGE on ℬ by 𝒜 (R)`` — the dual of clean-up.
+
+    Merges position-wise compatible groups of data *columns* that carry the
+    same column attribute (from ℬ) and agree on their 𝒜-subcolumn (entries
+    in the rows whose row attribute is in 𝒜).
+    """
+    return _named(transpose(cleanup(transpose(table), by=by, on=on)), name)

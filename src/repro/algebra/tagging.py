@@ -1,0 +1,76 @@
+"""Tagging operations: TUPLENEW and SETNEW (paper, Section 3.5).
+
+These introduce *new values* into the database — the object-creating
+primitives (inspired by FO + new + while of [3]) needed for the
+completeness theorem.  ``TUPLENEW_A`` tags every data row with a distinct
+fresh value in a new ``A``-column; ``SETNEW_A`` enumerates *all non-empty
+subsets* of the data rows, each subset re-listing its rows tagged with the
+subset's own fresh value — the power-set construct.
+
+Fresh values come from a :class:`repro.core.FreshValueSource`; an
+interpreter advances the source past every tagged value already present so
+freshness is global (see DESIGN.md decision 14).
+"""
+
+from __future__ import annotations
+
+from ..core import FreshValueSource, LimitExceededError, Symbol, Table
+from .opshelpers import as_attr_symbol
+
+__all__ = ["tuplenew", "setnew", "DEFAULT_SETNEW_LIMIT"]
+
+#: SETNEW enumerates 2^m - 1 subsets; refuse beyond this many data rows.
+DEFAULT_SETNEW_LIMIT = 16
+
+
+def _named(table: Table, name: object | None) -> Table:
+    if name is None:
+        return table
+    return table.with_name(as_attr_symbol(name))
+
+
+def tuplenew(
+    table: Table,
+    attr: object,
+    source: FreshValueSource | None = None,
+    name: object | None = None,
+) -> Table:
+    """``T ← TUPLENEW_A(R)``: a new ``A``-column holding a distinct new
+    value for each data row (tuple identifiers)."""
+    src = source if source is not None else FreshValueSource()
+    column: list[Symbol] = [as_attr_symbol(attr)]
+    column += [src.fresh() for _ in table.data_row_indices()]
+    return _named(table.append_columns([column]), name)
+
+
+def setnew(
+    table: Table,
+    attr: object,
+    source: FreshValueSource | None = None,
+    name: object | None = None,
+    limit: int = DEFAULT_SETNEW_LIMIT,
+) -> Table:
+    """``T ← SETNEW_A(R)``: enumerate all non-empty subsets of the data rows.
+
+    The result consecutively lists, for every non-empty subset of R's data
+    rows, that subset's rows extended with a new ``A``-column holding the
+    subset's own distinct new value.  Subsets are enumerated in increasing
+    bitmask order (deterministic); the operation is exponential by design
+    and guarded by ``limit``.
+    """
+    m = table.height
+    if m > limit:
+        raise LimitExceededError(
+            f"SETNEW on {m} data rows would enumerate 2^{m} - 1 subsets; "
+            f"limit is {limit} rows (pass a higher limit explicitly to override)"
+        )
+    src = source if source is not None else FreshValueSource()
+    header = list(table.row(0)) + [as_attr_symbol(attr)]
+    grid: list[list[Symbol]] = [header]
+    data_rows = list(table.data_row_indices())
+    for mask in range(1, 1 << m):
+        tag = src.fresh()
+        for position, i in enumerate(data_rows):
+            if mask & (1 << position):
+                grid.append(list(table.row(i)) + [tag])
+    return _named(Table(grid), name)

@@ -1,0 +1,165 @@
+"""Traditional operations of the tabular algebra (paper, Section 3.1).
+
+Adaptations of the classical relational operations to tables: union,
+difference, intersection, Cartesian product, renaming, projection, and
+selection.  Following Figure 3:
+
+* **union** and **difference** are defined so that they *always exist* —
+  union concatenates schemes and pads with ⊥; difference keeps the left
+  scheme and filters rows by mutual subsumption;
+* **selection** compares attribute entry sets under *weak* equality;
+* the **classical** versions of union etc. are *derived* (see
+  :mod:`repro.algebra.derived`) by composing the tabular versions with the
+  redundancy-removal operations, exactly as Section 3.4 describes.
+
+Every operation takes an optional ``name`` for the result table (the ``T``
+of an assignment statement); by default the left operand's name is kept.
+"""
+
+from __future__ import annotations
+
+from ..core import NULL, Symbol, Table
+from .opshelpers import (
+    as_attr_set,
+    as_attr_symbol,
+    columns_with_attr_in,
+    combine_row_attributes,
+)
+
+__all__ = [
+    "union",
+    "difference",
+    "intersection",
+    "product",
+    "rename",
+    "project",
+    "select",
+    "select_constant",
+]
+
+
+def _named(table: Table, name: object | None) -> Table:
+    if name is None:
+        return table
+    return table.with_name(as_attr_symbol(name))
+
+
+def union(rho: Table, sigma: Table, name: object | None = None) -> Table:
+    """Tabular union ``T ← R ∪ S`` (Figure 3, left).
+
+    The result's scheme is ρ's columns followed by σ's; ρ's data rows are
+    padded with ⊥ under σ's columns and vice versa.  Always defined — no
+    union compatibility is required.
+    """
+    left_pad = (NULL,) * sigma.width
+    right_pad = (NULL,) * rho.width
+    grid = [rho.row(0) + sigma.column_attributes]
+    for i in rho.data_row_indices():
+        grid.append(rho.row(i) + left_pad)
+    for k in sigma.data_row_indices():
+        row = sigma.row(k)
+        grid.append((row[0],) + right_pad + row[1:])
+    return _named(Table(grid), name)
+
+
+def difference(rho: Table, sigma: Table, name: object | None = None) -> Table:
+    """Tabular difference ``T ← R \\ S`` (Figure 3, middle).
+
+    Keeps ρ's scheme; a data row of ρ is dropped iff some data row of σ
+    *mutually subsumes* it (ρ_i ≍ σ_k) and their row attributes coincide.
+    Always defined.
+    """
+    kept = [rho.row(0)]
+    for i in rho.data_row_indices():
+        dropped = any(
+            rho.entry(i, 0) == sigma.entry(k, 0)
+            and rho.rows_subsume_each_other(i, sigma, k)
+            for k in sigma.data_row_indices()
+        )
+        if not dropped:
+            kept.append(rho.row(i))
+    return _named(Table(kept), name)
+
+
+def intersection(rho: Table, sigma: Table, name: object | None = None) -> Table:
+    """Tabular intersection, defined as ``R \\ (R \\ S)`` in the usual way."""
+    return _named(difference(rho, difference(rho, sigma)), name)
+
+
+def product(rho: Table, sigma: Table, name: object | None = None) -> Table:
+    """Tabular Cartesian product ``T ← R × S`` (Figure 3, right).
+
+    One output data row per pair of data rows; schemes concatenate; the
+    single row-attribute slot combines the two input row attributes
+    (equal → kept, one ⊥ → the other, conflict → ⊥).
+    """
+    grid = [rho.row(0) + sigma.column_attributes]
+    for i in rho.data_row_indices():
+        left = rho.row(i)
+        for k in sigma.data_row_indices():
+            right = sigma.row(k)
+            attr = combine_row_attributes(left[0], right[0])
+            grid.append((attr,) + left[1:] + right[1:])
+    return _named(Table(grid), name)
+
+
+def rename(table: Table, old: object, new: object, name: object | None = None) -> Table:
+    """``T ← RENAME_{B←A}(R)``: replace attribute ``A`` by ``B`` in the
+    attribute row (every occurrence)."""
+    old_sym = as_attr_symbol(old)
+    new_sym = as_attr_symbol(new)
+    header = list(table.row(0))
+    for j in range(1, len(header)):
+        if header[j] == old_sym:
+            header[j] = new_sym
+    grid = [tuple(header)] + [table.row(i) for i in table.data_row_indices()]
+    return _named(Table(grid), name)
+
+
+def project(table: Table, attrs: object, name: object | None = None) -> Table:
+    """``T ← PROJECT_𝒜(R)``: keep the columns whose attribute lies in 𝒜.
+
+    The attribute column (row attributes) is kept implicitly, mirroring how
+    the relational projection keeps tuple identity (DESIGN.md decision 4).
+    """
+    attr_set = as_attr_set(attrs)
+    keep = [0] + columns_with_attr_in(table, attr_set)
+    return _named(table.subtable(range(table.nrows), keep), name)
+
+
+def select(table: Table, left: object, right: object, name: object | None = None) -> Table:
+    """``T ← SELECT_{A=B}(R)``: keep data rows where ``τ_i(A) ≈ τ_i(B)``.
+
+    Weak equality is used instead of classical equality (Section 3.1), so
+    rows where both attribute entry sets are entirely ⊥ also qualify.
+    """
+    a = as_attr_symbol(left)
+    b = as_attr_symbol(right)
+    from ..core import weakly_equal
+
+    kept = [table.row(0)]
+    for i in table.data_row_indices():
+        if weakly_equal(table.row_entry_set(i, a), table.row_entry_set(i, b)):
+            kept.append(table.row(i))
+    return _named(Table(kept), name)
+
+
+def select_constant(
+    table: Table, attr: object, value: object, name: object | None = None
+) -> Table:
+    """Constant selection ``T ← σ_{A=v}(R)``: keep rows with ``τ_i(A) ≈ {v}``.
+
+    The paper derives this from SWITCH and SELECT (Section 3.3); it is
+    provided directly as a derived operation.  With ``v = ⊥`` this keeps
+    the rows whose ``A``-entries are entirely inapplicable — the building
+    block for "selecting out the tuples with Sold entry ⊥" (Section 3.2).
+    """
+    from ..core import coerce_symbol, weakly_equal
+
+    a = as_attr_symbol(attr)
+    v = coerce_symbol(value)
+    kept = [table.row(0)]
+    for i in table.data_row_indices():
+        if weakly_equal(table.row_entry_set(i, a), {v}):
+            kept.append(table.row(i))
+    return _named(Table(kept), name)

@@ -1,0 +1,28 @@
+"""Canonical representations of tabular databases (paper, Section 4.1).
+
+``encode`` / ``decode`` realize the semantic content of the paper's
+programs ``P_Rep`` and ``P_Rep⁻`` (Lemmas 4.2 and 4.3): every tabular
+database maps to a fixed-scheme relational encoding — the ``Rep`` scheme —
+and back, up to row/column permutations and the choice of occurrence
+identifiers.  This is the pivot of the completeness proof (Theorem 4.4).
+"""
+
+from .decode import decode, validate_rep
+from .encode import encode
+from .rep_schema import COL, DATA, DATA_COLUMNS, ENTRY, ID, MAP, MAP_COLUMNS, ROW, TBL, VAL
+
+__all__ = [
+    "encode",
+    "decode",
+    "validate_rep",
+    "DATA",
+    "MAP",
+    "TBL",
+    "ROW",
+    "COL",
+    "VAL",
+    "ID",
+    "ENTRY",
+    "DATA_COLUMNS",
+    "MAP_COLUMNS",
+]

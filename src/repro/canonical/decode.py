@@ -1,0 +1,129 @@
+"""Decoding a canonical representation back into tables (Lemma 4.3).
+
+``decode`` realizes the paper's inverse program ``P_Rep⁻``: for an instance
+over the ``Rep`` scheme it rebuilds the represented tabular database, so
+that ``decode(encode(D))`` equals D up to permutations of rows and columns
+(and, from the other side, ``encode(decode(R))`` re-represents R up to the
+choice of occurrence identifiers).
+
+Degenerate tables — width 0 or height 0 — produce no ``Data`` tuples, so
+their shape is not recoverable from a canonical representation; this is a
+property of the paper's scheme (``Data`` is the only link between a table
+and its rows/columns), and the round-trip guarantees therefore hold for
+databases whose tables all have at least one data row and one data column.
+``encode`` still accepts degenerate tables (their name occurrence lands in
+``Map``), but ``decode`` reconstructs only what ``Data`` describes.
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    SchemaError,
+    Symbol,
+    Table,
+    TabularDatabase,
+)
+from .rep_schema import DATA, ENTRY, ID, MAP
+
+__all__ = ["decode", "validate_rep"]
+
+
+def _column_index(table: Table, attribute: Symbol) -> int:
+    columns = table.columns_named(attribute)
+    if len(columns) != 1:
+        raise SchemaError(
+            f"{table.name!s} must have exactly one {attribute!s} column, found {len(columns)}"
+        )
+    return columns[0]
+
+
+def _read_map(map_table: Table) -> dict[Symbol, Symbol]:
+    """Read Map(Id, Entry), enforcing the FD Id → Entry."""
+    id_col = _column_index(map_table, ID)
+    entry_col = _column_index(map_table, ENTRY)
+    mapping: dict[Symbol, Symbol] = {}
+    for i in map_table.data_row_indices():
+        occurrence = map_table.entry(i, id_col)
+        entry = map_table.entry(i, entry_col)
+        if occurrence in mapping and mapping[occurrence] != entry:
+            raise SchemaError(
+                f"Map violates Id → Entry: id {occurrence!s} maps to both "
+                f"{mapping[occurrence]!s} and {entry!s}"
+            )
+        mapping[occurrence] = entry
+    return mapping
+
+
+def _read_data(
+    data_table: Table,
+) -> dict[Symbol, dict[tuple[Symbol, Symbol], Symbol]]:
+    """Read Data(Tbl, Row, Col, Val) grouped per table occurrence,
+    enforcing the FD Tbl, Row, Col → Val."""
+    from .rep_schema import COL, ROW, TBL, VAL
+
+    tbl_col = _column_index(data_table, TBL)
+    row_col = _column_index(data_table, ROW)
+    col_col = _column_index(data_table, COL)
+    val_col = _column_index(data_table, VAL)
+    per_table: dict[Symbol, dict[tuple[Symbol, Symbol], Symbol]] = {}
+    for i in data_table.data_row_indices():
+        tbl = data_table.entry(i, tbl_col)
+        key = (data_table.entry(i, row_col), data_table.entry(i, col_col))
+        val = data_table.entry(i, val_col)
+        cells = per_table.setdefault(tbl, {})
+        if key in cells and cells[key] != val:
+            raise SchemaError(
+                f"Data violates Tbl,Row,Col → Val for table id {tbl!s} at {key}"
+            )
+        cells[key] = val
+    return per_table
+
+
+def validate_rep(db: TabularDatabase) -> None:
+    """Check that ``db`` is a well-formed ``Rep`` instance.
+
+    Verifies the presence of the ``Data`` and ``Map`` tables, both
+    functional dependencies, that every identifier used in ``Data``
+    resolves through ``Map``, and that every table occurrence is
+    *rectangular* (each of its rows meets each of its columns exactly
+    once).  Raises :class:`~repro.core.SchemaError` otherwise.
+    """
+    mapping = _read_map(db.table(MAP))
+    per_table = _read_data(db.table(DATA))
+    for tbl, cells in per_table.items():
+        rows = _ordered_firsts(r for (r, _c) in cells)
+        cols = _ordered_firsts(c for (_r, c) in cells)
+        for identifier in [tbl, *rows, *cols, *cells.values()]:
+            if identifier not in mapping:
+                raise SchemaError(f"Data references id {identifier!s} absent from Map")
+        missing = [(r, c) for r in rows for c in cols if (r, c) not in cells]
+        if missing:
+            raise SchemaError(
+                f"table id {tbl!s} is not rectangular: {len(missing)} missing positions"
+            )
+
+
+def _ordered_firsts(items) -> list:
+    seen = []
+    lookup = set()
+    for item in items:
+        if item not in lookup:
+            lookup.add(item)
+            seen.append(item)
+    return seen
+
+
+def decode(db: TabularDatabase) -> TabularDatabase:
+    """Rebuild the tabular database a ``Rep`` instance represents."""
+    validate_rep(db)
+    mapping = _read_map(db.table(MAP))
+    per_table = _read_data(db.table(DATA))
+    tables = []
+    for tbl, cells in sorted(per_table.items(), key=lambda kv: kv[0].sort_key()):
+        rows = _ordered_firsts(r for (r, _c) in cells)
+        cols = _ordered_firsts(c for (_r, c) in cells)
+        grid = [[mapping[tbl]] + [mapping[c] for c in cols]]
+        for r in rows:
+            grid.append([mapping[r]] + [mapping[cells[(r, c)]] for c in cols])
+        tables.append(Table(grid))
+    return TabularDatabase(tables)

@@ -1,0 +1,57 @@
+"""The canonical representation scheme ``Rep`` (paper, Section 4.1).
+
+A canonical representation of a tabular database ``D`` is a relational
+database over::
+
+    Rep = { Data(Tbl, Row, Col, Val),  Map(Id, Entry) }
+
+with the functional dependencies ``Id → Entry`` and ``Tbl, Row, Col → Val``,
+such that a table ρ of D has ``ρ_0^0``, ``ρ_i^0``, ``ρ_0^j`` and ``ρ_i^j``
+at the indicated positions iff there exist occurrence identifiers
+``id1..id4`` with ``(id_k, entry_k) ∈ Map`` and ``(id1, id2, id3, id4) ∈
+Data``.  Every *occurrence* — a table, a row of a table, a column of a
+table, a grid position — gets its own identifier; ``Map`` resolves
+identifiers to the symbols occupying them.
+
+Although tables have variable width, the canonical representation always
+has fixed-width relations — the linchpin of the completeness proof.
+
+Here the canonical representation lives inside the tabular model itself
+(relation-style tables named ``Data`` and ``Map``), which is exactly the
+"natural representation in the tabular model of the canonical
+representation" that Lemmas 4.2 and 4.3 speak about.
+"""
+
+from __future__ import annotations
+
+from ..core import Name
+
+__all__ = [
+    "DATA",
+    "MAP",
+    "TBL",
+    "ROW",
+    "COL",
+    "VAL",
+    "ID",
+    "ENTRY",
+    "DATA_COLUMNS",
+    "MAP_COLUMNS",
+]
+
+#: Relation names of the Rep scheme.
+DATA = Name("Data")
+MAP = Name("Map")
+
+#: Attributes of ``Data(Tbl, Row, Col, Val)``.
+TBL = Name("Tbl")
+ROW = Name("Row")
+COL = Name("Col")
+VAL = Name("Val")
+
+#: Attributes of ``Map(Id, Entry)``.
+ID = Name("Id")
+ENTRY = Name("Entry")
+
+DATA_COLUMNS = (TBL, ROW, COL, VAL)
+MAP_COLUMNS = (ID, ENTRY)

@@ -1,0 +1,73 @@
+"""Core tabular database model (paper, Section 2).
+
+Exports the symbol sorts, weak containment/equality, the :class:`Table`
+matrix with its four regions and subsumption relations, the
+:class:`TabularDatabase` set-of-tables, builders, and the ASCII renderer.
+"""
+
+from .builders import N, V, attr_symbol, data_symbol, database, grid_table, make_table, relation_table
+from .database import TabularDatabase
+from .errors import (
+    EvaluationError,
+    LimitExceededError,
+    NonTerminationError,
+    ParseError,
+    ReproError,
+    SchemaError,
+    UndefinedOperationError,
+)
+from .io import table_from_csv, table_to_csv, table_to_markdown
+from .render import render_database, render_symbol, render_table
+from .symbols import (
+    NULL,
+    FreshValueSource,
+    Name,
+    Null,
+    Symbol,
+    TaggedValue,
+    Value,
+    coerce_name,
+    coerce_symbol,
+    strip_null,
+    weakly_contained,
+    weakly_equal,
+)
+from .table import Table
+
+__all__ = [
+    "N",
+    "V",
+    "NULL",
+    "Name",
+    "Null",
+    "Symbol",
+    "TaggedValue",
+    "Value",
+    "FreshValueSource",
+    "Table",
+    "TabularDatabase",
+    "attr_symbol",
+    "coerce_name",
+    "coerce_symbol",
+    "data_symbol",
+    "database",
+    "grid_table",
+    "make_table",
+    "relation_table",
+    "render_database",
+    "render_symbol",
+    "render_table",
+    "table_to_csv",
+    "table_from_csv",
+    "table_to_markdown",
+    "strip_null",
+    "weakly_contained",
+    "weakly_equal",
+    "ReproError",
+    "SchemaError",
+    "UndefinedOperationError",
+    "LimitExceededError",
+    "NonTerminationError",
+    "ParseError",
+    "EvaluationError",
+]

@@ -1,0 +1,128 @@
+"""Convenience constructors for tables and databases.
+
+The :class:`repro.core.table.Table` constructor is strict (symbols only);
+these helpers coerce plain Python data using the conventions:
+
+* ``None`` becomes the inapplicable null ``⊥``;
+* in *attribute* positions (table name, column attributes, row attributes)
+  strings become :class:`~repro.core.symbols.Name`;
+* in *data* positions strings and numbers become
+  :class:`~repro.core.symbols.Value`;
+* :class:`~repro.core.symbols.Symbol` instances always pass through, so any
+  convention can be overridden locally (e.g. a value in an attribute
+  position, as in ``SalesInfo3`` of Figure 1, or a name in a data position,
+  as the ``Region`` rows of ``SalesInfo4``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .database import TabularDatabase
+from .errors import SchemaError
+from .symbols import NULL, Name, Symbol, Value, coerce_symbol
+from .table import Table
+
+__all__ = [
+    "N",
+    "V",
+    "attr_symbol",
+    "data_symbol",
+    "make_table",
+    "relation_table",
+    "grid_table",
+    "database",
+]
+
+
+def N(text: str) -> Name:
+    """Shorthand for :class:`Name` (the paper's typewriter font)."""
+    return Name(text)
+
+
+def V(payload: object) -> Value:
+    """Shorthand for :class:`Value`."""
+    return Value(payload)
+
+
+def attr_symbol(obj: object) -> Symbol:
+    """Coerce an object destined for an attribute position (str → Name)."""
+    if isinstance(obj, Symbol):
+        return obj
+    if obj is None:
+        return NULL
+    if isinstance(obj, str):
+        return Name(obj)
+    return Value(obj)
+
+
+def data_symbol(obj: object) -> Symbol:
+    """Coerce an object destined for a data position (str → Value)."""
+    return coerce_symbol(obj)
+
+
+def make_table(
+    name: object,
+    columns: Sequence[object],
+    rows: Iterable[Sequence[object]],
+    row_attrs: Sequence[object] | None = None,
+) -> Table:
+    """Build a table from a name, column attributes, and data rows.
+
+    ``row_attrs`` gives the column-0 entries of the data rows; omitted row
+    attributes default to ``⊥`` (the common case for relation-style tables).
+
+    >>> t = make_table("Sales", ["Part", "Sold"], [["nuts", 50]])
+    >>> t.width, t.height
+    (2, 1)
+    """
+    data_rows = [list(r) for r in rows]
+    if row_attrs is None:
+        row_attrs = [None] * len(data_rows)
+    if len(row_attrs) != len(data_rows):
+        raise SchemaError(
+            f"{len(row_attrs)} row attributes for {len(data_rows)} data rows"
+        )
+    for i, row in enumerate(data_rows):
+        if len(row) != len(columns):
+            raise SchemaError(
+                f"data row {i} has {len(row)} entries for {len(columns)} columns"
+            )
+    grid = [[attr_symbol(name)] + [attr_symbol(c) for c in columns]]
+    for attr, row in zip(row_attrs, data_rows):
+        grid.append([attr_symbol(attr)] + [data_symbol(v) for v in row])
+    return Table(grid)
+
+
+def relation_table(name: object, columns: Sequence[object], rows: Iterable[Sequence[object]]) -> Table:
+    """The natural tabular counterpart of a relation (⊥ row attributes)."""
+    return make_table(name, columns, rows)
+
+
+def grid_table(grid: Iterable[Sequence[object]], names: Iterable[str] = ()) -> Table:
+    """Build a table from a full grid of plain Python objects.
+
+    Row 0 and column 0 coerce as attribute positions; other positions as
+    data.  Strings listed in ``names`` coerce to :class:`Name` in *any*
+    position (e.g. the literal ``Region`` row attribute that GROUP and
+    SPLIT introduce into data rows).
+    """
+    name_set = set(names)
+
+    def coerce(i: int, j: int, obj: object) -> Symbol:
+        if isinstance(obj, str) and obj in name_set:
+            return Name(obj)
+        if i == 0 or j == 0:
+            return attr_symbol(obj)
+        return data_symbol(obj)
+
+    materialized = [list(row) for row in grid]
+    return Table(
+        [coerce(i, j, obj) for j, obj in enumerate(row)]
+        for i, row in enumerate(materialized)
+    )
+
+
+def database(*tables: Table) -> TabularDatabase:
+    """Build a :class:`TabularDatabase` from tables."""
+    return TabularDatabase(tables)

@@ -1,0 +1,182 @@
+"""Tabular databases — sets of tables.
+
+A tabular database is a *set* of tables (paper, Section 2).  Unlike in the
+relational model, several tables may carry the same name (``SalesInfo4`` in
+Figure 1 has one ``Sales`` table per region, their number depending on the
+instance), so lookup by name returns a tuple of tables.
+
+Databases are immutable; tables are stored deduplicated and in a canonical
+deterministic order, so two databases built from the same tables in any
+order compare equal, hash equal, and render identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .errors import SchemaError
+from .symbols import NULL, Name, Symbol
+from .table import Table
+
+__all__ = ["TabularDatabase"]
+
+
+class TabularDatabase:
+    """An immutable set of :class:`Table` objects.
+
+    Supports the paper's notions directly:
+
+    * ``db.table_names()`` — the names occurring as table names (a scheme
+      for ``db`` is any finite superset of these inside 𝒩);
+    * ``db.symbols()`` — ``|D|``, the set of symbols occurring in ``db``;
+    * ``db.tables_named(n)`` — all tables named ``n`` (possibly several);
+    * set-like combination (``|``), addition and replacement of tables.
+    """
+
+    __slots__ = ("_tables", "_hash")
+
+    def __init__(self, tables: Iterable[Table] = ()):
+        unique = set()
+        for table in tables:
+            if not isinstance(table, Table):
+                raise SchemaError(f"a TabularDatabase holds Table objects, got {table!r}")
+            unique.add(table)
+        ordered = tuple(sorted(unique, key=Table.sort_key))
+        object.__setattr__(self, "_tables", ordered)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("TabularDatabase is immutable")
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def tables(self) -> tuple[Table, ...]:
+        """All tables, in canonical order."""
+        return self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables)
+
+    def __contains__(self, table: object) -> bool:
+        return table in set(self._tables)
+
+    def is_empty(self) -> bool:
+        """True iff the database holds no tables."""
+        return not self._tables
+
+    def tables_named(self, name: Symbol | str) -> tuple[Table, ...]:
+        """All tables whose name position holds ``name``."""
+        if isinstance(name, str):
+            name = Name(name)
+        return tuple(t for t in self._tables if t.name == name)
+
+    def table(self, name: Symbol | str) -> Table:
+        """The unique table named ``name``; raises if absent or ambiguous."""
+        found = self.tables_named(name)
+        if not found:
+            raise SchemaError(f"no table named {name!s}")
+        if len(found) > 1:
+            raise SchemaError(f"{len(found)} tables named {name!s}; use tables_named()")
+        return found[0]
+
+    def table_names(self) -> frozenset[Symbol]:
+        """The set of symbols used as table names."""
+        return frozenset(t.name for t in self._tables)
+
+    def symbols(self) -> frozenset[Symbol]:
+        """``|D|`` — all symbols occurring anywhere in the database."""
+        out: set[Symbol] = set()
+        for table in self._tables:
+            out |= table.symbols()
+        return frozenset(out)
+
+    def names(self) -> frozenset[Name]:
+        """All symbols of the name sort occurring in the database."""
+        return frozenset(s for s in self.symbols() if isinstance(s, Name))
+
+    def scheme(self) -> frozenset[Name]:
+        """The minimal scheme: table names that are proper names.
+
+        The paper allows any finite ``N ⊆ 𝒩`` containing all table names as
+        a scheme; this returns the smallest such set.  Table names that are
+        not of the name sort (⊥ or values) are not part of any scheme.
+        """
+        return frozenset(n for n in self.table_names() if isinstance(n, Name))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add(self, *tables: Table) -> "TabularDatabase":
+        """A database with the given tables added (set union)."""
+        return TabularDatabase(self._tables + tables)
+
+    def remove(self, *tables: Table) -> "TabularDatabase":
+        """A database with the given tables removed (missing ones ignored)."""
+        drop = set(tables)
+        return TabularDatabase(t for t in self._tables if t not in drop)
+
+    def without_name(self, name: Symbol | str) -> "TabularDatabase":
+        """A database with every table named ``name`` removed."""
+        if isinstance(name, str):
+            name = Name(name)
+        return TabularDatabase(t for t in self._tables if t.name != name)
+
+    def replace_named(self, name: Symbol | str, tables: Iterable[Table]) -> "TabularDatabase":
+        """Assignment semantics: drop all tables named ``name``, add ``tables``.
+
+        This is how ``T ← op(...)`` statements update the database (DESIGN.md
+        interpretation decision 13).
+        """
+        return self.without_name(name).add(*tables)
+
+    def __or__(self, other: "TabularDatabase") -> "TabularDatabase":
+        if not isinstance(other, TabularDatabase):
+            return NotImplemented
+        return TabularDatabase(self._tables + other._tables)
+
+    # ------------------------------------------------------------------
+    # Equality
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TabularDatabase) and other._tables == self._tables
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(self, "_hash", hash(self._tables))
+        return self._hash
+
+    def equivalent(self, other: "TabularDatabase") -> bool:
+        """Equality up to row/column permutations inside the tables.
+
+        Two databases are identified when their tables pairwise match up to
+        permutations of non-attribute rows and columns (the paper's
+        condition (iii) on isomorphisms, with the identity on symbols).
+        """
+        if len(self) != len(other):
+            return False
+        remaining = list(other._tables)
+        for table in self._tables:
+            for candidate in remaining:
+                if table.equivalent(candidate):
+                    remaining.remove(candidate)
+                    break
+            else:
+                return False
+        return not remaining
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(str(t.name) for t in self._tables))
+        return f"TabularDatabase({len(self._tables)} tables: {names})"
+
+    def __str__(self) -> str:
+        from .render import render_database
+
+        return render_database(self)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the tabular database reproduction.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch one type to handle any model- or algebra-level failure while letting
+genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A table, database, or relation violates a structural requirement.
+
+    Examples: a ragged grid, an empty grid, a relation tuple whose arity
+    does not match its schema, or a canonical representation instance that
+    violates one of the ``Rep`` functional dependencies.
+    """
+
+
+class UndefinedOperationError(ReproError):
+    """A tabular algebra operation was applied outside its domain.
+
+    The paper leaves an operation's effect *undefined* when, for instance, a
+    parameter that must denote a single column attribute matches several
+    attributes, or a grouping attribute occurs in no column at all.  We
+    surface those situations as this exception rather than guessing.
+    """
+
+
+class LimitExceededError(ReproError):
+    """A resource guard tripped (e.g. SETNEW on too many data rows).
+
+    ``SETNEW`` enumerates all non-empty subsets of the data rows and is
+    therefore exponential by design (it is the power-set construct needed
+    for completeness).  A configurable guard raises this error instead of
+    exhausting memory.
+    """
+
+
+class NonTerminationError(ReproError):
+    """A ``while`` program exceeded its iteration budget.
+
+    Tabular algebra with iteration is Turing-complete, so the interpreter
+    enforces a caller-configurable bound on loop iterations.
+    """
+
+
+class ParseError(ReproError):
+    """A textual tabular algebra or SchemaLog program failed to parse."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class EvaluationError(ReproError):
+    """A program (TA, FO+while+new, SchemaLog, GOOD) failed during evaluation."""

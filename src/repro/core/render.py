@@ -1,0 +1,71 @@
+"""ASCII rendering of tables and databases in the style of the paper's figures.
+
+Tables render as boxed grids with the attribute row and attribute column
+visually separated (mirroring the bold rulings of Figure 1):
+
+    +-------+--------+--------+
+    | Sales | Part   | Sold   |
+    +-------+--------+--------+
+    | ⊥     | 'nuts' | 50     |
+    +-------+--------+--------+
+
+Names print bare, textual values print quoted, numbers print plainly, and
+the inapplicable null prints as ``⊥``.  The renderer is deterministic, so
+figure-regeneration benchmarks can diff rendered output against the
+expected text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .symbols import Symbol
+from .table import Table
+
+__all__ = ["render_table", "render_database", "render_symbol"]
+
+
+def render_symbol(symbol: Symbol) -> str:
+    """The display text of a symbol (``str(symbol)``)."""
+    return str(symbol)
+
+
+def render_table(table: Table, title: str | None = None) -> str:
+    """Render a table as a boxed ASCII grid.
+
+    ``title`` adds a caption line above the box (used by
+    :func:`render_database` to label multiple tables).
+    """
+    cells = [[render_symbol(entry) for entry in row] for row in table.grid]
+    widths = [
+        max(len(cells[i][j]) for i in range(len(cells))) for j in range(len(cells[0]))
+    ]
+
+    def rule() -> str:
+        return "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+    def line(row: list[str]) -> str:
+        padded = (f" {text.ljust(widths[j])} " for j, text in enumerate(row))
+        return "|" + "|".join(padded) + "|"
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(rule())
+    out.append(line(cells[0]))
+    out.append(rule())
+    for row in cells[1:]:
+        out.append(line(row))
+    if len(cells) > 1:
+        out.append(rule())
+    return "\n".join(out)
+
+
+def render_database(db: Iterable[Table], title: str | None = None) -> str:
+    """Render every table of a database, separated by blank lines."""
+    blocks = []
+    if title:
+        blocks.append(f"=== {title} ===")
+    for table in db:
+        blocks.append(render_table(table))
+    return "\n\n".join(blocks) if blocks else "(empty database)"

@@ -1,0 +1,45 @@
+"""Workloads: the paper's Figure 1 sales data and synthetic generators."""
+
+from .generators import (
+    random_database,
+    random_table,
+    synthetic_grouped_table,
+    synthetic_sales_facts,
+    synthetic_sales_table,
+)
+from .sales import (
+    BASE_FACTS,
+    GRAND_TOTAL,
+    PART_TOTALS,
+    PARTS,
+    REGION_TOTALS,
+    REGIONS,
+    figure4_bottom,
+    figure4_top,
+    figure5_result,
+    sales_info1,
+    sales_info2,
+    sales_info3,
+    sales_info4,
+)
+
+__all__ = [
+    "BASE_FACTS",
+    "PARTS",
+    "REGIONS",
+    "PART_TOTALS",
+    "REGION_TOTALS",
+    "GRAND_TOTAL",
+    "sales_info1",
+    "sales_info2",
+    "sales_info3",
+    "sales_info4",
+    "figure4_top",
+    "figure4_bottom",
+    "figure5_result",
+    "random_database",
+    "random_table",
+    "synthetic_grouped_table",
+    "synthetic_sales_facts",
+    "synthetic_sales_table",
+]

@@ -1,0 +1,246 @@
+"""The paper's running example: the sales data of Figure 1.
+
+Figure 1 shows four tabular databases — ``SalesInfo1`` … ``SalesInfo4`` —
+representing the same eight sales facts:
+
+    ========  ========  ======
+    Part      Region    Sold
+    ========  ========  ======
+    nuts      east      50
+    nuts      west      60
+    nuts      south     40
+    screws    west      50
+    screws    north     60
+    screws    south     50
+    bolts     east      70
+    bolts     north     40
+    ========  ========  ======
+
+Each database exists in two versions, mirroring the figure's typography:
+
+* the **bold** part — the base data only;
+* the **full** version — extended with the summary data (per-part totals,
+  per-region totals, and the grand total 420) printed in regular outline.
+
+Symbol conventions match the paper: part and region occurrences are
+*values* (even when they sit in attribute positions, as in ``SalesInfo3`` —
+"row and column names are actually data!"), while ``Part``, ``Region``,
+``Sold``, and the summary label ``Total`` are *names*.
+
+One OCR repair: the scanned ``SalesInfo3`` north row is garbled; the
+printed values are reconstructed from the base facts (north sold 60 screws
+and 40 bolts, total 100), consistent with every other row and with
+``SalesInfo1``.
+
+Figures 4 and 5 reuse this data; :func:`figure4_top`, :func:`figure4_bottom`
+and :func:`figure5_result` build their printed tables exactly.
+"""
+
+from __future__ import annotations
+
+from ..core import NULL, N, Table, TabularDatabase, V, make_table
+
+__all__ = [
+    "BASE_FACTS",
+    "PARTS",
+    "REGIONS",
+    "PART_TOTALS",
+    "REGION_TOTALS",
+    "GRAND_TOTAL",
+    "sales_info1",
+    "sales_info2",
+    "sales_info3",
+    "sales_info4",
+    "figure4_top",
+    "figure4_bottom",
+    "figure5_result",
+]
+
+#: The eight base facts (part, region, sold) exactly as printed.
+BASE_FACTS: tuple[tuple[str, str, int], ...] = (
+    ("nuts", "east", 50),
+    ("nuts", "west", 60),
+    ("nuts", "south", 40),
+    ("screws", "west", 50),
+    ("screws", "north", 60),
+    ("screws", "south", 50),
+    ("bolts", "east", 70),
+    ("bolts", "north", 40),
+)
+
+#: Parts in the figure's row order.
+PARTS: tuple[str, ...] = ("nuts", "screws", "bolts")
+
+#: Regions in the figure's column order.
+REGIONS: tuple[str, ...] = ("east", "west", "north", "south")
+
+#: Per-part totals, as printed in ``TotalPartSales``.
+PART_TOTALS: dict[str, int] = {"nuts": 150, "screws": 160, "bolts": 110}
+
+#: Per-region totals, as printed in ``TotalRegionSales``.
+REGION_TOTALS: dict[str, int] = {"east": 120, "west": 110, "north": 100, "south": 90}
+
+#: The grand total, as printed in ``GrandTotal``.
+GRAND_TOTAL: int = 420
+
+
+def _sold(part: str, region: str) -> int | None:
+    """The units sold for a (part, region) pair, or None when inapplicable."""
+    for p, r, s in BASE_FACTS:
+        if p == part and r == region:
+            return s
+    return None
+
+
+def sales_info1(with_summary: bool = False) -> TabularDatabase:
+    """``SalesInfo1`` — the relational representation.
+
+    The bold part is the single relation-style ``Sales(Part, Region, Sold)``
+    table; with ``with_summary`` the separate summary relations
+    ``TotalPartSales``, ``TotalRegionSales`` and ``GrandTotal`` are added
+    (in the relational model summary data is *forced* into separate
+    relations — the paper's motivating observation).
+    """
+    sales = make_table("Sales", ["Part", "Region", "Sold"], BASE_FACTS)
+    if not with_summary:
+        return TabularDatabase([sales])
+    part_totals = make_table(
+        "TotalPartSales", ["Part", "Total"], [(p, PART_TOTALS[p]) for p in PARTS]
+    )
+    region_totals = make_table(
+        "TotalRegionSales", ["Region", "Total"], [(r, REGION_TOTALS[r]) for r in REGIONS]
+    )
+    grand = make_table("GrandTotal", ["Total"], [(GRAND_TOTAL,)])
+    return TabularDatabase([sales, part_totals, region_totals, grand])
+
+
+def sales_info2(with_summary: bool = False) -> TabularDatabase:
+    """``SalesInfo2`` — sales organized per region.
+
+    One table whose ``Sold`` columns repeat, one per region; the ``Region``
+    data row names the region of each column.  Width is instance-dependent.
+    With ``with_summary``: an extra ``Sold``/``Total`` column and a
+    ``Total`` data row, exactly as printed.
+    """
+    regions = list(REGIONS) + (["Total"] if with_summary else [])
+    header = [N("Sales"), N("Part")] + [N("Sold")] * len(regions)
+    region_row = [N("Region"), NULL] + [
+        N(r) if r == "Total" else V(r) for r in regions
+    ]
+    grid = [header, region_row]
+    for part in PARTS:
+        row = [NULL, V(part)]
+        for region in REGIONS:
+            sold = _sold(part, region)
+            row.append(NULL if sold is None else V(sold))
+        if with_summary:
+            row.append(V(PART_TOTALS[part]))
+        grid.append(row)
+    if with_summary:
+        total_row = [N("Total"), NULL] + [V(REGION_TOTALS[r]) for r in REGIONS]
+        total_row.append(V(GRAND_TOTAL))
+        grid.append(total_row)
+    return TabularDatabase([Table(grid)])
+
+
+def sales_info3(with_summary: bool = False) -> TabularDatabase:
+    """``SalesInfo3`` — one entry per (region, part) combination.
+
+    Row and column attribute positions hold *data* (region and part
+    values).  With ``with_summary``: a ``Total`` column and ``Total`` row.
+    """
+    parts = list(PARTS)
+    header = [N("Sales")] + [V(p) for p in parts]
+    if with_summary:
+        header.append(N("Total"))
+    grid = [header]
+    for region in REGIONS:
+        row = [V(region)]
+        for part in parts:
+            sold = _sold(part, region)
+            row.append(NULL if sold is None else V(sold))
+        if with_summary:
+            row.append(V(REGION_TOTALS[region]))
+        grid.append(row)
+    if with_summary:
+        total_row = [N("Total")] + [V(PART_TOTALS[p]) for p in parts]
+        total_row.append(V(GRAND_TOTAL))
+        grid.append(total_row)
+    return TabularDatabase([Table(grid)])
+
+
+def _region_table(region: str, with_summary: bool) -> Table:
+    """One ``Sales`` table of ``SalesInfo4`` for a single region."""
+    region_sym = V(region)
+    grid = [
+        [N("Sales"), N("Part"), N("Sold")],
+        [N("Region"), region_sym, region_sym],
+    ]
+    for part, r, sold in BASE_FACTS:
+        if r == region:
+            grid.append([NULL, V(part), V(sold)])
+    if with_summary:
+        grid.append([N("Total"), NULL, V(REGION_TOTALS[region])])
+    return Table(grid)
+
+
+def _total_region_table() -> Table:
+    """The summary ``Sales`` table of ``SalesInfo4`` (region = ``Total``)."""
+    grid = [
+        [N("Sales"), N("Part"), N("Sold")],
+        [N("Region"), N("Total"), N("Total")],
+    ]
+    for part in PARTS:
+        grid.append([NULL, V(part), V(PART_TOTALS[part])])
+    grid.append([N("Total"), NULL, V(GRAND_TOTAL)])
+    return Table(grid)
+
+
+def sales_info4(with_summary: bool = False) -> TabularDatabase:
+    """``SalesInfo4`` — a separate ``Sales`` table per region.
+
+    All tables share the name ``Sales``; their number depends on the
+    instance.  With ``with_summary``: per-table ``Total`` rows plus the
+    additional summary table whose region is the literal ``Total``.
+    """
+    tables = [_region_table(region, with_summary) for region in REGIONS]
+    if with_summary:
+        tables.append(_total_region_table())
+    return TabularDatabase(tables)
+
+
+def figure4_top() -> Table:
+    """Figure 4 *top* — the relation-style ``Sales`` table (bold part of
+    ``SalesInfo1`` viewed in the tabular model)."""
+    return make_table("Sales", ["Part", "Region", "Sold"], BASE_FACTS)
+
+
+def figure4_bottom() -> Table:
+    """Figure 4 *bottom* — the printed result of
+    ``Sales ← GROUP by Region on Sold (Sales)`` on :func:`figure4_top`.
+
+    One ``Sold`` column per original data row; the original ``Region``
+    column becomes the first data row (row attribute ``Region``); each
+    original row contributes its ``Sold`` value under its own column.
+    """
+    n = len(BASE_FACTS)
+    header = [N("Sales"), N("Part")] + [N("Sold")] * n
+    region_row = [N("Region"), NULL] + [V(r) for (_, r, _) in BASE_FACTS]
+    grid = [header, region_row]
+    for i, (part, _, sold) in enumerate(BASE_FACTS):
+        row = [NULL, V(part)] + [NULL] * n
+        row[2 + i] = V(sold)
+        grid.append(row)
+    return Table(grid)
+
+
+def figure5_result() -> Table:
+    """Figure 5 — the printed result of
+    ``Sales ← MERGE on Sold by Region (Sales)`` on the bold ``Sales`` of
+    ``SalesInfo2``: twelve rows, one per (part, region), nulls included.
+    """
+    rows = []
+    for part in PARTS:
+        for region in REGIONS:
+            rows.append((part, region, _sold(part, region)))
+    return make_table("Sales", ["Part", "Region", "Sold"], rows)

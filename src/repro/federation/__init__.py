@@ -1,0 +1,13 @@
+"""Federations of tabular databases — the paper's multidatabase extension."""
+
+from .model import TabularFederation, qualified_name, split_qualified
+from .programs import federation_facts, parse_federated, run_federated
+
+__all__ = [
+    "TabularFederation",
+    "qualified_name",
+    "split_qualified",
+    "parse_federated",
+    "run_federated",
+    "federation_facts",
+]

@@ -1,0 +1,52 @@
+"""GOOD — the graph-oriented object database model and its tabular embedding."""
+
+from .compile_ta import (
+    GOOD_SCHEMAS,
+    compile_to_fw,
+    compile_to_ta,
+    pattern_to_expression,
+)
+from .embed import (
+    EDGES_SCHEMA,
+    NODES_SCHEMA,
+    decode_graph,
+    encode_graph,
+    graphs_isomorphic,
+)
+from .graph import GoodEdge, GoodNode, ObjectGraph
+from .operations import (
+    Abstraction,
+    EdgeAddition,
+    EdgeDeletion,
+    GoodOperation,
+    GoodProgram,
+    NodeAddition,
+    NodeDeletion,
+)
+from .patterns import Embedding, Pattern, PatternEdge, PatternNode
+
+__all__ = [
+    "GoodNode",
+    "GoodEdge",
+    "ObjectGraph",
+    "Pattern",
+    "PatternNode",
+    "PatternEdge",
+    "Embedding",
+    "GoodOperation",
+    "NodeAddition",
+    "EdgeAddition",
+    "NodeDeletion",
+    "EdgeDeletion",
+    "Abstraction",
+    "GoodProgram",
+    "encode_graph",
+    "decode_graph",
+    "graphs_isomorphic",
+    "NODES_SCHEMA",
+    "EDGES_SCHEMA",
+    "GOOD_SCHEMAS",
+    "compile_to_fw",
+    "compile_to_ta",
+    "pattern_to_expression",
+]

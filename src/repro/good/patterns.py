@@ -1,0 +1,112 @@
+"""Patterns and embeddings — the matching machinery of GOOD operations.
+
+Every GOOD operation is parameterized by a *pattern*: a small graph whose
+nodes are variables constrained by label (and optionally by printable
+value), and whose edges must be realized in the object base.  An
+*embedding* maps pattern variables to graph nodes respecting all
+constraints (a graph homomorphism — two variables may map to the same
+node, as in GOOD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..core import NULL, Name, SchemaError, Symbol, coerce_symbol
+from .graph import GoodEdge, GoodNode, ObjectGraph
+
+__all__ = ["PatternNode", "PatternEdge", "Pattern", "Embedding"]
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """A pattern variable: name, required label, optional required value."""
+
+    var: str
+    label: Name
+    value: Symbol = NULL
+
+    @staticmethod
+    def make(var: str, label: str, value: object = None) -> "PatternNode":
+        return PatternNode(var, Name(label), coerce_symbol(value))
+
+
+@dataclass(frozen=True)
+class PatternEdge:
+    """A required edge between two pattern variables."""
+
+    src: str
+    label: Name
+    dst: str
+
+    @staticmethod
+    def make(src: str, label: str, dst: str) -> "PatternEdge":
+        return PatternEdge(src, Name(label), dst)
+
+
+#: An embedding: pattern variable → matched node id.
+Embedding = dict[str, Symbol]
+
+
+class Pattern:
+    """A pattern graph over variables.
+
+    ``match(graph)`` yields every embedding, deterministically ordered.
+    """
+
+    def __init__(self, nodes: Iterable[PatternNode], edges: Iterable[PatternEdge] = ()):
+        self.nodes = tuple(nodes)
+        self.edges = tuple(edges)
+        seen = set()
+        for node in self.nodes:
+            if node.var in seen:
+                raise SchemaError(f"duplicate pattern variable {node.var!r}")
+            seen.add(node.var)
+        for edge in self.edges:
+            if edge.src not in seen or edge.dst not in seen:
+                raise SchemaError(f"pattern edge uses undeclared variable: {edge}")
+        if not self.nodes:
+            raise SchemaError("a pattern requires at least one node")
+
+    def variables(self) -> tuple[str, ...]:
+        return tuple(n.var for n in self.nodes)
+
+    def _candidates(self, node: PatternNode, graph: ObjectGraph) -> list[GoodNode]:
+        out = [
+            n
+            for n in graph.nodes
+            if n.label == node.label
+            and (node.value.is_null or n.value == node.value)
+        ]
+        return sorted(out, key=lambda n: n.id.sort_key())
+
+    def match(self, graph: ObjectGraph) -> Iterator[Embedding]:
+        """All embeddings of the pattern into ``graph`` (homomorphisms)."""
+        edge_set = graph.edges
+        order = sorted(
+            self.nodes, key=lambda n: -sum(1 for e in self.edges if n.var in (e.src, e.dst))
+        )
+
+        def consistent(binding: Embedding) -> bool:
+            for edge in self.edges:
+                if edge.src in binding and edge.dst in binding:
+                    if GoodEdge(binding[edge.src], edge.label, binding[edge.dst]) not in edge_set:
+                        return False
+            return True
+
+        def extend(idx: int, binding: Embedding) -> Iterator[Embedding]:
+            if idx == len(order):
+                yield dict(binding)
+                return
+            node = order[idx]
+            for candidate in self._candidates(node, graph):
+                binding[node.var] = candidate.id
+                if consistent(binding):
+                    yield from extend(idx + 1, binding)
+                del binding[node.var]
+
+        yield from extend(0, {})
+
+    def __repr__(self) -> str:
+        return f"Pattern({len(self.nodes)} vars, {len(self.edges)} edges)"

@@ -1,0 +1,6 @@
+"""The n-dimensional generalization of the tabular model."""
+
+from .bridge import cube_to_ndtable, ndtable_to_cube
+from .ndtable import NDTable
+
+__all__ = ["NDTable", "cube_to_ndtable", "ndtable_to_cube"]

@@ -1,0 +1,84 @@
+"""OLAP on the tabular model (paper, Section 4.3).
+
+n-dimensional cubes, slice/dice/roll-up/drill-down, the cube operator,
+bridges realizing every ``SalesInfo`` shape of Figure 1, summarization,
+classification, and spreadsheet-style analytics.
+"""
+
+from .aggregates import (
+    AGGREGATES,
+    agg_avg,
+    agg_count,
+    agg_max,
+    agg_min,
+    agg_sum,
+    aggregate,
+)
+from .bridge import (
+    cube_to_database,
+    cube_to_grouped_table,
+    cube_to_matrix_table,
+    cube_to_relation_table,
+    matrix_table_to_cube,
+    relation_table_to_cube,
+)
+from .classify import (
+    Hierarchy,
+    classify_column,
+    classify_dimension,
+    mapping_classifier,
+    range_classifier,
+)
+from .cube import Cube
+from .operations import TOTAL, cube_operator, drilldown
+from .spreadsheet import (
+    append_aggregate_column,
+    append_aggregate_row,
+    apply_external,
+    block,
+    block_aggregate,
+    column_arithmetic,
+    row_arithmetic,
+)
+from .summary import (
+    database_with_totals,
+    grouped_with_totals,
+    matrix_with_totals,
+    summary_relations,
+)
+
+__all__ = [
+    "Cube",
+    "TOTAL",
+    "cube_operator",
+    "drilldown",
+    "AGGREGATES",
+    "aggregate",
+    "agg_sum",
+    "agg_count",
+    "agg_min",
+    "agg_max",
+    "agg_avg",
+    "cube_to_relation_table",
+    "cube_to_grouped_table",
+    "cube_to_matrix_table",
+    "cube_to_database",
+    "relation_table_to_cube",
+    "matrix_table_to_cube",
+    "summary_relations",
+    "grouped_with_totals",
+    "matrix_with_totals",
+    "database_with_totals",
+    "mapping_classifier",
+    "range_classifier",
+    "classify_dimension",
+    "classify_column",
+    "Hierarchy",
+    "block",
+    "block_aggregate",
+    "row_arithmetic",
+    "column_arithmetic",
+    "apply_external",
+    "append_aggregate_row",
+    "append_aggregate_column",
+]

@@ -1,0 +1,94 @@
+"""Aggregation functions over symbol collections.
+
+OLAP summarization (Section 4.3; the paper's "classification and
+summarization" ongoing work) needs aggregates over table entries.  These
+operate on iterables of symbols: ⊥ entries are *inapplicable* and are
+skipped (they denote absence, exactly as in the Figure 1 summaries, where
+``nuts``' total 150 ignores the missing north cell); names are rejected
+(aggregating over schema elements is a category error); the numeric
+aggregates require numeric payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..core import EvaluationError, Name, Symbol, Value
+
+__all__ = ["AGGREGATES", "aggregate", "agg_sum", "agg_count", "agg_min", "agg_max", "agg_avg"]
+
+
+def _numeric_payloads(symbols: Iterable[Symbol], op: str) -> list:
+    payloads = []
+    for symbol in symbols:
+        if symbol.is_null:
+            continue
+        if isinstance(symbol, Name):
+            raise EvaluationError(f"{op}: cannot aggregate over the name {symbol!s}")
+        if not isinstance(symbol, Value) or not isinstance(symbol.payload, (int, float)):
+            raise EvaluationError(f"{op}: non-numeric entry {symbol!s}")
+        payloads.append(symbol.payload)
+    return payloads
+
+
+def agg_sum(symbols: Iterable[Symbol]) -> Symbol:
+    """Sum of the applicable entries (⊥ when none apply)."""
+    payloads = _numeric_payloads(symbols, "sum")
+    if not payloads:
+        from ..core import NULL
+
+        return NULL
+    return Value(sum(payloads))
+
+
+def agg_count(symbols: Iterable[Symbol]) -> Symbol:
+    """Number of applicable (non-⊥) entries."""
+    count = 0
+    for symbol in symbols:
+        if not symbol.is_null:
+            count += 1
+    return Value(count)
+
+
+def agg_min(symbols: Iterable[Symbol]) -> Symbol:
+    payloads = _numeric_payloads(symbols, "min")
+    if not payloads:
+        from ..core import NULL
+
+        return NULL
+    return Value(min(payloads))
+
+
+def agg_max(symbols: Iterable[Symbol]) -> Symbol:
+    payloads = _numeric_payloads(symbols, "max")
+    if not payloads:
+        from ..core import NULL
+
+        return NULL
+    return Value(max(payloads))
+
+
+def agg_avg(symbols: Iterable[Symbol]) -> Symbol:
+    payloads = _numeric_payloads(symbols, "avg")
+    if not payloads:
+        from ..core import NULL
+
+        return NULL
+    return Value(sum(payloads) / len(payloads))
+
+
+#: Aggregates by name, for textual interfaces.
+AGGREGATES: dict[str, Callable[[Iterable[Symbol]], Symbol]] = {
+    "sum": agg_sum,
+    "count": agg_count,
+    "min": agg_min,
+    "max": agg_max,
+    "avg": agg_avg,
+}
+
+
+def aggregate(name: str, symbols: Iterable[Symbol]) -> Symbol:
+    """Apply a named aggregate."""
+    if name not in AGGREGATES:
+        raise EvaluationError(f"unknown aggregate {name!r}")
+    return AGGREGATES[name](symbols)

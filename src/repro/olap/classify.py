@@ -1,0 +1,171 @@
+"""Classification — grouping coordinate or attribute values into classes.
+
+Classification is one of the two OLAP functionalities the paper lists as
+ongoing work ("operations corresponding to classification and
+summarization"); we implement it as the natural extension: a *classifier*
+maps values to class symbols, a dimension can be reclassified (cells
+aggregate within each class), and a relation-style table can gain a class
+column to group by.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from ..core import (
+    EvaluationError,
+    Name,
+    SchemaError,
+    Symbol,
+    Table,
+    Value,
+    coerce_symbol,
+)
+from .aggregates import agg_sum
+from .cube import Cube
+
+__all__ = [
+    "mapping_classifier",
+    "range_classifier",
+    "classify_dimension",
+    "classify_column",
+    "Hierarchy",
+]
+
+Classifier = Callable[[Symbol], Symbol]
+
+
+def mapping_classifier(classes: Mapping[object, object], default: object = None) -> Classifier:
+    """A classifier from an explicit value → class mapping.
+
+    Unmapped values fall to ``default`` (⊥ when None), so partial
+    classifications behave like the inapplicable null everywhere else.
+    """
+    table = {coerce_symbol(k): coerce_symbol(v) for k, v in classes.items()}
+    default_sym = coerce_symbol(default)
+
+    def classify(symbol: Symbol) -> Symbol:
+        return table.get(symbol, default_sym)
+
+    return classify
+
+
+def range_classifier(bounds: Sequence[float], labels: Sequence[object]) -> Classifier:
+    """A numeric binning classifier.
+
+    ``len(labels) == len(bounds) + 1``; value v falls in bin i where
+    ``bounds[i-1] <= v < bounds[i]`` (the first bin is unbounded below,
+    the last unbounded above).  Non-numeric or ⊥ inputs classify to ⊥.
+    """
+    if len(labels) != len(bounds) + 1:
+        raise SchemaError(
+            f"{len(bounds)} bounds require {len(bounds) + 1} labels, got {len(labels)}"
+        )
+    if list(bounds) != sorted(bounds):
+        raise SchemaError(f"bounds must be non-decreasing: {bounds}")
+    label_syms = [coerce_symbol(label) for label in labels]
+
+    def classify(symbol: Symbol) -> Symbol:
+        from ..core import NULL
+
+        if not isinstance(symbol, Value) or not isinstance(symbol.payload, (int, float)):
+            return NULL
+        for i, bound in enumerate(bounds):
+            if symbol.payload < bound:
+                return label_syms[i]
+        return label_syms[-1]
+
+    return classify
+
+
+def classify_dimension(
+    cube: Cube,
+    dim: str,
+    classifier: Classifier,
+    class_dim: str | None = None,
+    agg: Callable = agg_sum,
+) -> Cube:
+    """Reclassify one dimension; cells aggregate within each class.
+
+    Class coordinates appear in first-derivation order; a coordinate that
+    classifies to ⊥ drops its cells (it has no class).
+    """
+    index = cube.dim_index(dim)
+    new_dim = class_dim if class_dim is not None else dim
+    class_of: dict[Symbol, Symbol] = {}
+    class_order: list[Symbol] = []
+    for coordinate in cube.coords[dim]:
+        cls = classifier(coordinate)
+        class_of[coordinate] = cls
+        if not cls.is_null and cls not in class_order:
+            class_order.append(cls)
+    grouped: dict[tuple, list[Symbol]] = {}
+    for key, value in cube.cells.items():
+        cls = class_of[key[index]]
+        if cls.is_null:
+            continue
+        new_key = key[:index] + (cls,) + key[index + 1 :]
+        grouped.setdefault(new_key, []).append(value)
+    dims = tuple(new_dim if d == dim else d for d in cube.dims)
+    if len(set(dims)) != len(dims):
+        raise SchemaError(f"class dimension name {new_dim!r} collides")
+    coords = {
+        (new_dim if d == dim else d): (class_order if d == dim else list(cube.coords[d]))
+        for d in cube.dims
+    }
+    cells = {key: agg(values) for key, values in grouped.items()}
+    return Cube(dims, coords, cells, cube.measure)
+
+
+class Hierarchy:
+    """A dimension hierarchy: named levels of successive classification.
+
+    A hierarchy is an ordered list of ``(level_name, classifier)`` pairs,
+    each mapping the previous level's coordinates to the next (e.g.
+    region → zone → country).  ``rollup_to`` re-classifies a cube's
+    dimension up to the requested level, aggregating along the way —
+    multi-level roll-up, the standard OLAP drill path.
+    """
+
+    def __init__(self, dim: str, levels: Sequence[tuple[str, Classifier]]):
+        if not levels:
+            raise SchemaError("a hierarchy needs at least one level")
+        names = [name for (name, _c) in levels]
+        if len(set(names)) != len(names) or dim in names:
+            raise SchemaError(f"hierarchy level names must be distinct: {names}")
+        self.dim = dim
+        self.levels = tuple(levels)
+
+    def level_names(self) -> tuple[str, ...]:
+        """The level names, base-most first."""
+        return tuple(name for (name, _c) in self.levels)
+
+    def rollup_to(self, cube: Cube, level: str, agg: Callable = agg_sum) -> Cube:
+        """Roll the hierarchy's dimension up to ``level``."""
+        current_dim = self.dim
+        out = cube
+        for name, classifier in self.levels:
+            out = classify_dimension(out, current_dim, classifier, name, agg)
+            current_dim = name
+            if name == level:
+                return out
+        raise SchemaError(f"no hierarchy level named {level!r}")
+
+
+def classify_column(
+    table: Table, attr: str, classifier: Classifier, class_attr: str
+) -> Table:
+    """Append a class column computed from an existing column.
+
+    The input must have exactly one column named ``attr``; the class of
+    each row's entry lands under ``class_attr``.
+    """
+    columns = table.columns_named(Name(attr))
+    if len(columns) != 1:
+        raise EvaluationError(
+            f"classification needs exactly one column named {attr!r}, found {len(columns)}"
+        )
+    source = columns[0]
+    column: list[Symbol] = [Name(class_attr)]
+    column += [classifier(table.entry(i, source)) for i in table.data_row_indices()]
+    return table.append_columns([column])

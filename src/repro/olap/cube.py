@@ -1,0 +1,238 @@
+"""n-dimensional data cubes on the tabular model (paper, Section 4.3).
+
+"Whereas the relational model organizes data along one dimension …, the
+OLAP model allows data to be stored in the form of (n-dimensional)
+matrices."  A :class:`Cube` is such a matrix: named dimensions, each with
+an ordered coordinate list of symbols, and a partial mapping from full
+coordinate tuples to measure values (⊥ cells are inapplicable, as in the
+tables of Figure 1).
+
+The tabular model generalizes to n dimensions exactly as the paper says;
+operationally we keep the cube as the OLAP-facing structure and move in
+and out of tables via :mod:`repro.olap.bridge` — "a tabular database can
+be thought of as a three-dimensional table".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from ..core import (
+    NULL,
+    EvaluationError,
+    SchemaError,
+    Symbol,
+    coerce_symbol,
+)
+from .aggregates import agg_sum
+
+__all__ = ["Cube"]
+
+Coords = tuple[Symbol, ...]
+
+
+class Cube:
+    """An immutable n-dimensional cube of measure values.
+
+    ``dims`` names the dimensions; ``coords[dim]`` is the ordered
+    coordinate list; ``cells`` maps full coordinate tuples (one symbol per
+    dimension, in ``dims`` order) to measure values.  Missing tuples are
+    inapplicable (⊥).
+    """
+
+    __slots__ = ("dims", "coords", "cells", "measure")
+
+    def __init__(
+        self,
+        dims: Iterable[str],
+        coords: Mapping[str, Iterable[object]],
+        cells: Mapping[tuple, object],
+        measure: str = "Value",
+    ):
+        dims_tuple = tuple(dims)
+        if len(set(dims_tuple)) != len(dims_tuple) or not dims_tuple:
+            raise SchemaError(f"dimensions must be distinct and non-empty: {dims_tuple}")
+        coord_map: dict[str, tuple[Symbol, ...]] = {}
+        for dim in dims_tuple:
+            if dim not in coords:
+                raise SchemaError(f"no coordinates for dimension {dim!r}")
+            coord_map[dim] = tuple(coerce_symbol(c) for c in coords[dim])
+            if len(set(coord_map[dim])) != len(coord_map[dim]):
+                raise SchemaError(f"duplicate coordinates in dimension {dim!r}")
+        cell_map: dict[Coords, Symbol] = {}
+        for key, value in cells.items():
+            coords_key = tuple(coerce_symbol(c) for c in key)
+            if len(coords_key) != len(dims_tuple):
+                raise SchemaError(
+                    f"cell key {key} has {len(coords_key)} coordinates for "
+                    f"{len(dims_tuple)} dimensions"
+                )
+            for dim, coordinate in zip(dims_tuple, coords_key):
+                if coordinate not in coord_map[dim]:
+                    raise SchemaError(
+                        f"coordinate {coordinate!s} not declared in dimension {dim!r}"
+                    )
+            symbol = coerce_symbol(value)
+            if not symbol.is_null:
+                cell_map[coords_key] = symbol
+        object.__setattr__(self, "dims", dims_tuple)
+        object.__setattr__(self, "coords", coord_map)
+        object.__setattr__(self, "cells", cell_map)
+        object.__setattr__(self, "measure", measure)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Cube is immutable")
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        """Number of dimensions."""
+        return len(self.dims)
+
+    def dim_index(self, dim: str) -> int:
+        try:
+            return self.dims.index(dim)
+        except ValueError:
+            raise SchemaError(f"no dimension named {dim!r}") from None
+
+    def __getitem__(self, key: tuple) -> Symbol:
+        """The cell at a coordinate tuple (⊥ when inapplicable)."""
+        coords_key = tuple(coerce_symbol(c) for c in key)
+        return self.cells.get(coords_key, NULL)
+
+    def density(self) -> float:
+        """Fraction of applicable cells."""
+        total = 1
+        for dim in self.dims:
+            total *= len(self.coords[dim])
+        return len(self.cells) / total if total else 0.0
+
+    def values(self) -> list[Symbol]:
+        """All applicable cell values (deterministic order)."""
+        return [
+            self.cells[key]
+            for key in sorted(self.cells, key=lambda k: tuple(s.sort_key() for s in k))
+        ]
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Cube)
+            and other.dims == self.dims
+            and other.coords == self.coords
+            and other.cells == self.cells
+            and other.measure == self.measure
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.dims,
+                tuple(sorted((d, c) for d, c in self.coords.items())),
+                frozenset(self.cells.items()),
+                self.measure,
+            )
+        )
+
+    def __repr__(self) -> str:
+        shape = "x".join(str(len(self.coords[d])) for d in self.dims)
+        return f"Cube({', '.join(self.dims)}; shape {shape}; {len(self.cells)} cells)"
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_facts(
+        cls,
+        facts: Iterable[tuple],
+        dims: Iterable[str],
+        measure: str = "Value",
+        combine: Callable | None = None,
+    ) -> "Cube":
+        """Build a cube from (coord…, value) fact rows.
+
+        Coordinates are collected in first-appearance order.  Duplicate
+        coordinate tuples are an error unless ``combine`` (e.g.
+        :func:`repro.olap.aggregates.agg_sum`) merges them.
+        """
+        dims_tuple = tuple(dims)
+        coord_lists: dict[str, list[Symbol]] = {d: [] for d in dims_tuple}
+        collected: dict[Coords, list[Symbol]] = {}
+        for fact in facts:
+            if len(fact) != len(dims_tuple) + 1:
+                raise SchemaError(
+                    f"fact {fact} does not match {len(dims_tuple)} dimensions + measure"
+                )
+            key = tuple(coerce_symbol(c) for c in fact[:-1])
+            for dim, coordinate in zip(dims_tuple, key):
+                if coordinate not in coord_lists[dim]:
+                    coord_lists[dim].append(coordinate)
+            collected.setdefault(key, []).append(coerce_symbol(fact[-1]))
+        cells: dict[Coords, Symbol] = {}
+        for key, values in collected.items():
+            if len(values) == 1:
+                cells[key] = values[0]
+            elif combine is None:
+                raise EvaluationError(
+                    f"duplicate coordinates {tuple(str(s) for s in key)}; "
+                    "pass combine= to aggregate"
+                )
+            else:
+                cells[key] = combine(values)
+        return cls(dims_tuple, coord_lists, cells, measure)
+
+    # -- core cube operations ---------------------------------------------
+
+    def slice(self, dim: str, coordinate: object) -> "Cube":
+        """Fix one dimension at a coordinate; the result drops it."""
+        if self.arity == 1:
+            raise SchemaError("cannot slice a one-dimensional cube away entirely")
+        index = self.dim_index(dim)
+        coordinate_sym = coerce_symbol(coordinate)
+        if coordinate_sym not in self.coords[dim]:
+            raise SchemaError(f"coordinate {coordinate_sym!s} not in dimension {dim!r}")
+        rest = tuple(d for d in self.dims if d != dim)
+        cells = {
+            key[:index] + key[index + 1 :]: value
+            for key, value in self.cells.items()
+            if key[index] == coordinate_sym
+        }
+        return Cube(rest, {d: self.coords[d] for d in rest}, cells, self.measure)
+
+    def dice(self, selections: Mapping[str, Iterable[object]]) -> "Cube":
+        """Restrict dimensions to coordinate subsets (dims are kept)."""
+        keep: dict[str, tuple[Symbol, ...]] = {}
+        for dim in self.dims:
+            if dim in selections:
+                wanted = [coerce_symbol(c) for c in selections[dim]]
+                unknown = [c for c in wanted if c not in self.coords[dim]]
+                if unknown:
+                    raise SchemaError(
+                        f"unknown coordinates {[str(c) for c in unknown]} in {dim!r}"
+                    )
+                keep[dim] = tuple(c for c in self.coords[dim] if c in wanted)
+            else:
+                keep[dim] = self.coords[dim]
+        cells = {
+            key: value
+            for key, value in self.cells.items()
+            if all(c in keep[d] for d, c in zip(self.dims, key))
+        }
+        return Cube(self.dims, keep, cells, self.measure)
+
+    def rollup(
+        self, dim: str, agg: Callable = agg_sum
+    ) -> "Cube":
+        """Aggregate a dimension away (sum by default)."""
+        if self.arity == 1:
+            raise SchemaError("cannot roll up a one-dimensional cube; use total()")
+        index = self.dim_index(dim)
+        rest = tuple(d for d in self.dims if d != dim)
+        grouped: dict[Coords, list[Symbol]] = {}
+        for key, value in self.cells.items():
+            grouped.setdefault(key[:index] + key[index + 1 :], []).append(value)
+        cells = {key: agg(values) for key, values in grouped.items()}
+        return Cube(rest, {d: self.coords[d] for d in rest}, cells, self.measure)
+
+    def total(self, agg: Callable = agg_sum) -> Symbol:
+        """The grand aggregate over every applicable cell."""
+        return agg(self.cells.values())

@@ -1,0 +1,78 @@
+"""Cube-level OLAP operations: the cube operator and drill-down.
+
+The *cube operator* materializes every subtotal combination: each
+dimension gains a ``Total`` coordinate, and a cell with ``Total`` in a set
+of positions holds the aggregate over those dimensions.  This is exactly
+the summary data the paper's Figure 1 absorbs into ``SalesInfo2`` –
+``SalesInfo4`` (per-part totals, per-region totals, grand total 420).
+
+Drill-down is the inverse direction of roll-up; information lost by
+aggregation cannot be recreated, so :func:`drilldown` *validates* that a
+finer cube refines a coarser one and returns the finer view.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable
+
+from ..core import Name, SchemaError, Symbol, coerce_symbol
+from .aggregates import agg_sum
+from .cube import Cube
+
+__all__ = ["cube_operator", "drilldown", "TOTAL"]
+
+#: The canonical subtotal coordinate — a *name*, like the figure's label.
+TOTAL = Name("Total")
+
+
+def cube_operator(
+    cube: Cube,
+    agg: Callable = agg_sum,
+    total: object = TOTAL,
+) -> Cube:
+    """Extend ``cube`` with all 2^n subtotal combinations.
+
+    Every dimension's coordinate list gains ``total``; for each non-empty
+    subset S of dimensions and each coordinate assignment of the others,
+    the cell with ``total`` at the S positions holds the S-aggregate.
+    """
+    total_sym = coerce_symbol(total)
+    for dim in cube.dims:
+        if total_sym in cube.coords[dim]:
+            raise SchemaError(
+                f"dimension {dim!r} already uses the total coordinate {total_sym!s}"
+            )
+    coords = {dim: cube.coords[dim] + (total_sym,) for dim in cube.dims}
+    cells: dict[tuple, Symbol] = dict(cube.cells)
+    indices = range(len(cube.dims))
+    for size in range(1, len(cube.dims) + 1):
+        for subset in combinations(indices, size):
+            grouped: dict[tuple, list[Symbol]] = {}
+            for key, value in cube.cells.items():
+                collapsed = tuple(
+                    total_sym if i in subset else key[i] for i in indices
+                )
+                grouped.setdefault(collapsed, []).append(value)
+            for key, values in grouped.items():
+                cells[key] = agg(values)
+    return Cube(cube.dims, coords, cells, cube.measure)
+
+
+def drilldown(coarse: Cube, fine: Cube, dim: str, agg: Callable = agg_sum) -> Cube:
+    """Validated drill-down: return ``fine`` if rolling ``dim`` back up
+    reproduces ``coarse`` (raises otherwise).
+
+    Aggregation discards detail, so drill-down needs the finer cube to be
+    supplied (in a real system: fetched from storage); the validation is
+    what makes the operation meaningful rather than a cast.
+    """
+    rolled = fine.rollup(dim, agg)
+    if rolled.dims != coarse.dims:
+        raise SchemaError(
+            f"rolling up {dim!r} yields dimensions {rolled.dims}, "
+            f"expected {coarse.dims}"
+        )
+    if rolled.cells != coarse.cells:
+        raise SchemaError("the finer cube does not refine the coarse cube")
+    return fine

@@ -1,0 +1,99 @@
+"""The natural embedding of relations into the tabular model.
+
+A relation's "obvious counterpart in the tabular model" (the paper's
+phrase for Figure 4 top) is a table whose column attributes are the
+relation's attribute names, whose row attributes are all ⊥, and whose data
+rows are the tuples.  These converters realize that embedding and its
+partial inverse.
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    NULL,
+    Name,
+    SchemaError,
+    Table,
+    TabularDatabase,
+)
+from .relation import Relation, RelationalDatabase
+
+__all__ = [
+    "relation_to_table",
+    "table_to_relation",
+    "relational_to_tabular",
+    "tabular_to_relational",
+]
+
+
+def relation_to_table(relation: Relation) -> Table:
+    """The relation-style table representing ``relation``."""
+    if not relation.name:
+        raise SchemaError("only named relations embed into the tabular model")
+    header = [Name(relation.name)] + [Name(a) for a in relation.schema]
+    grid = [header]
+    for row in relation:
+        grid.append([NULL, *row])
+    return Table(grid)
+
+
+def table_to_relation(table: Table, schema: tuple[str, ...] | None = None) -> Relation:
+    """Read a relation back out of a relation-style table.
+
+    Requirements (raises :class:`~repro.core.SchemaError` otherwise): the
+    table name and every column attribute are names, attributes are
+    pairwise distinct, and every row attribute is ⊥.  Duplicate rows
+    collapse (set semantics).
+
+    Column order inside a table is semantically immaterial (the model
+    identifies tables up to column permutations), so a caller expecting a
+    specific attribute order passes ``schema`` and the columns are read in
+    that order (they must be exactly the table's attributes).
+    """
+    if not isinstance(table.name, Name):
+        raise SchemaError(f"table name {table.name!s} is not a relation name")
+    attrs = table.column_attributes
+    if not all(isinstance(a, Name) for a in attrs):
+        raise SchemaError("every column attribute must be a name")
+    texts = [a.text for a in attrs]  # type: ignore[union-attr]
+    if len(set(texts)) != len(texts):
+        raise SchemaError(f"attributes are not distinct: {texts}")
+    if any(not a.is_null for a in table.row_attributes):
+        raise SchemaError("relation-style tables have ⊥ row attributes")
+    order = list(table.data_col_indices())
+    if schema is not None:
+        if sorted(schema) != sorted(texts):
+            raise SchemaError(
+                f"requested schema {schema} does not match attributes {texts}"
+            )
+        position = {text: j for text, j in zip(texts, order)}
+        order = [position[a] for a in schema]
+        texts = list(schema)
+    return Relation(
+        table.name.text,
+        texts,
+        (
+            tuple(table.entry(i, j) for j in order)
+            for i in table.data_row_indices()
+        ),
+    )
+
+
+def relational_to_tabular(db: RelationalDatabase) -> TabularDatabase:
+    """Embed a whole relational database."""
+    return TabularDatabase(relation_to_table(r) for r in db)
+
+
+def tabular_to_relational(db: TabularDatabase) -> RelationalDatabase:
+    """Read a relational database out of relation-style tables.
+
+    Every name must carry exactly one table (relational databases have one
+    relation per name).
+    """
+    relations = []
+    for name in sorted(db.table_names(), key=lambda s: s.sort_key()):
+        tables = db.tables_named(name)
+        if len(tables) != 1:
+            raise SchemaError(f"{len(tables)} tables named {name!s}; expected one")
+        relations.append(table_to_relation(tables[0]))
+    return RelationalDatabase(relations)

@@ -1,0 +1,50 @@
+"""SchemaLog_d: syntax, data model, evaluation, and the Theorem 4.5
+embedding into the tabular algebra."""
+
+from .compile_ta import (
+    DERIVED,
+    FACTS,
+    compile_to_fw,
+    compile_to_ta,
+    rule_to_expression,
+)
+from .evaluate import derive_once, evaluate, match_atom, satisfies_builtin
+from .model import FACTS_SCHEMA, Fact, SchemaLogDatabase
+from .parser import parse_rule, parse_schemalog
+from .stratify import stratify
+from .terms import (
+    Builtin,
+    Const,
+    NegatedAtom,
+    Rule,
+    SchemaAtom,
+    SchemaLogProgram,
+    Term,
+    Var,
+)
+
+__all__ = [
+    "Var",
+    "Const",
+    "Term",
+    "SchemaAtom",
+    "NegatedAtom",
+    "Builtin",
+    "Rule",
+    "stratify",
+    "SchemaLogProgram",
+    "SchemaLogDatabase",
+    "Fact",
+    "FACTS_SCHEMA",
+    "evaluate",
+    "derive_once",
+    "match_atom",
+    "satisfies_builtin",
+    "parse_schemalog",
+    "parse_rule",
+    "compile_to_fw",
+    "compile_to_ta",
+    "rule_to_expression",
+    "DERIVED",
+    "FACTS",
+]

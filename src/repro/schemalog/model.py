@@ -1,0 +1,181 @@
+"""The SchemaLog_d data model: a store of ``rel[tid : attr → val]`` facts.
+
+"The SchemaLog data model is essentially the relational model, with the
+following differences: (i) tuple ids and relation and attribute names are
+first-class citizens …; and (ii) variable-width relations are possible."
+(Section 4.2.)  A database is therefore just a set of quadruples of
+symbols; this module provides that store plus the conversions the
+embedding theorems rely on:
+
+* relational databases and relation-style tables flatten into facts (tuple
+  ids are synthesized deterministically);
+* a fact store re-materializes into (possibly variable-width) tables, one
+  per relation name, rows keyed by tuple id and columns by attribute, with
+  ⊥ where a tuple lacks an attribute;
+* :meth:`SchemaLogDatabase.facts_table` gives the single fixed-width
+  ``Facts(Rel, Tid, Attr, Val)`` table that the Theorem 4.5 compiler
+  operates on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..core import (
+    NULL,
+    Name,
+    SchemaError,
+    Symbol,
+    Table,
+    TabularDatabase,
+    Value,
+    coerce_symbol,
+)
+from ..relational import Relation, RelationalDatabase
+
+__all__ = ["Fact", "SchemaLogDatabase", "FACTS_SCHEMA"]
+
+#: A ground fact: (rel, tid, attr, val).
+Fact = tuple[Symbol, Symbol, Symbol, Symbol]
+
+#: Schema of the flattened facts relation.
+FACTS_SCHEMA = ("Rel", "Tid", "Attr", "Val")
+
+
+def _coerce_fact(fact: Iterable[object]) -> Fact:
+    entries = tuple(coerce_symbol(x) for x in fact)
+    if len(entries) != 4:
+        raise SchemaError(f"a fact is a quadruple, got {len(entries)} components")
+    return entries  # type: ignore[return-value]
+
+
+class SchemaLogDatabase:
+    """An immutable set of SchemaLog_d facts."""
+
+    __slots__ = ("facts",)
+
+    def __init__(self, facts: Iterable[Iterable[object]] = ()):
+        object.__setattr__(self, "facts", frozenset(_coerce_fact(f) for f in facts))
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("SchemaLogDatabase is immutable")
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(
+            sorted(self.facts, key=lambda f: tuple(s.sort_key() for s in f))
+        )
+
+    def __contains__(self, fact: object) -> bool:
+        if isinstance(fact, tuple) and len(fact) == 4:
+            return _coerce_fact(fact) in self.facts
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SchemaLogDatabase) and other.facts == self.facts
+
+    def __hash__(self) -> int:
+        return hash(self.facts)
+
+    def __or__(self, other: "SchemaLogDatabase") -> "SchemaLogDatabase":
+        if not isinstance(other, SchemaLogDatabase):
+            return NotImplemented
+        return SchemaLogDatabase(self.facts | other.facts)
+
+    def add(self, facts: Iterable[Iterable[object]]) -> "SchemaLogDatabase":
+        return SchemaLogDatabase(self.facts | {_coerce_fact(f) for f in facts})
+
+    def relations(self) -> tuple[Symbol, ...]:
+        """The relation-name symbols with at least one fact."""
+        return tuple(
+            sorted({f[0] for f in self.facts}, key=lambda s: s.sort_key())
+        )
+
+    def symbols(self) -> frozenset[Symbol]:
+        return frozenset(s for f in self.facts for s in f)
+
+    def __repr__(self) -> str:
+        return f"SchemaLogDatabase({len(self.facts)} facts)"
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def tid_symbol(rel: str, index: int) -> Value:
+        """The deterministic tuple-id symbol used by the converters."""
+        return Value(f"{rel}#{index}")
+
+    @classmethod
+    def from_relational(cls, db: RelationalDatabase) -> "SchemaLogDatabase":
+        """Flatten a relational database into facts (one tid per tuple)."""
+        facts: list[Fact] = []
+        for relation in db:
+            for index, row in enumerate(relation):
+                tid = cls.tid_symbol(relation.name, index)
+                for attr, entry in zip(relation.schema, row):
+                    facts.append((Name(relation.name), tid, Name(attr), entry))
+        return cls(facts)
+
+    @classmethod
+    def from_table(cls, table: Table) -> "SchemaLogDatabase":
+        """Flatten one relation-style table (⊥ entries yield no fact —
+        SchemaLog relations are variable-width, absence is the null)."""
+        if not isinstance(table.name, Name):
+            raise SchemaError("only name-named tables flatten into SchemaLog")
+        facts: list[Fact] = []
+        for index, i in enumerate(table.data_row_indices()):
+            tid = cls.tid_symbol(table.name.text, index)
+            for j in table.data_col_indices():
+                entry = table.entry(i, j)
+                if not entry.is_null:
+                    facts.append((table.name, tid, table.entry(0, j), entry))
+        return cls(facts)
+
+    @classmethod
+    def from_tabular(cls, db: TabularDatabase) -> "SchemaLogDatabase":
+        """Flatten every table of a tabular database."""
+        out = cls()
+        for table in db.tables:
+            out = out | cls.from_table(table)
+        return out
+
+    def to_tabular(self) -> TabularDatabase:
+        """Materialize one (possibly variable-width) table per relation.
+
+        Columns are the relation's attribute symbols in sorted order, rows
+        its tuple ids in sorted order, with ⊥ for missing attributes —
+        exactly the variable-width relations of the SchemaLog data model.
+        """
+        tables = []
+        for rel in self.relations():
+            rel_facts = [f for f in self.facts if f[0] == rel]
+            attrs = sorted({f[2] for f in rel_facts}, key=lambda s: s.sort_key())
+            tids = sorted({f[1] for f in rel_facts}, key=lambda s: s.sort_key())
+            lookup = {(f[1], f[2]): f[3] for f in rel_facts}
+            grid: list[list[Symbol]] = [[rel, *attrs]]
+            for tid in tids:
+                grid.append([NULL] + [lookup.get((tid, a), NULL) for a in attrs])
+            tables.append(Table(grid))
+        return TabularDatabase(tables)
+
+    def facts_relation(self) -> Relation:
+        """The flattened ``Facts(Rel, Tid, Attr, Val)`` relation."""
+        return Relation("Facts", FACTS_SCHEMA, self.facts)
+
+    def facts_table(self) -> Table:
+        """The flattened facts as a relation-style table."""
+        from ..relational import relation_to_table
+
+        return relation_to_table(self.facts_relation())
+
+    @classmethod
+    def from_facts_relation(cls, relation: Relation) -> "SchemaLogDatabase":
+        """Rebuild a fact store from a ``Facts``-shaped relation."""
+        if relation.schema != FACTS_SCHEMA:
+            raise SchemaError(
+                f"expected schema {FACTS_SCHEMA}, got {relation.schema}"
+            )
+        return cls(relation.tuples)

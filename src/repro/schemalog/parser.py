@@ -1,0 +1,192 @@
+"""A textual syntax for SchemaLog_d programs.
+
+Grammar (EBNF)::
+
+    program = { rule } ;
+    rule    = atom [ ":-" atom { "," atom } ] "." ;
+    atom    = schema_atom | builtin ;
+    schema_atom = term "[" term ":" term "->" term "]" ;
+    builtin = term op term ;            op ∈ { =, !=, <, <=, >, >= }
+    term    = VARIABLE | NAME | STRING | NUMBER ;
+
+Conventions follow logic programming: identifiers starting with an upper
+case letter (or ``_``) are variables; lower-case identifiers are *name*
+constants; quoted strings and numbers are *value* constants.  ``%`` and
+``#`` start comments.
+
+Example — restructure per-region sales tables into one relation, in the
+multidatabase spirit SchemaLog was designed for::
+
+    sales[T: part -> P]   :- east[T: part -> P].
+    sales[T: region -> 'east'] :- east[T: part -> P].
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import Name, ParseError, Value
+from .terms import (
+    Builtin,
+    Const,
+    NegatedAtom,
+    Rule,
+    SchemaAtom,
+    SchemaLogProgram,
+    Term,
+    Var,
+)
+
+__all__ = ["parse_schemalog", "parse_rule"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>[%#][^\n]*)
+  | (?P<implies>:-)
+  | (?P<arrow>->)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<number>-?[0-9]+(?:\.[0-9]+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<sym>[\[\]:,.])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    line = 1
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line)
+        kind = match.lastgroup or ""
+        chunk = match.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, chunk, line))
+        line += chunk.count("\n")
+        pos = match.end()
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise ParseError(
+                f"expected {text or kind!r}, found {token.text or 'end of input'!r}",
+                token.line,
+            )
+        return self.advance()
+
+    def parse_term(self) -> Term:
+        token = self.peek()
+        if token.kind == "ident":
+            self.advance()
+            if token.text[0].isupper() or token.text[0] == "_":
+                return Var(token.text)
+            return Const(Name(token.text))
+        if token.kind == "string":
+            self.advance()
+            return Const(Value(token.text[1:-1]))
+        if token.kind == "number":
+            self.advance()
+            number = float(token.text) if "." in token.text else int(token.text)
+            return Const(Value(number))
+        raise ParseError(f"expected a term, found {token.text!r}", token.line)
+
+    def parse_atom(self):
+        token = self.peek()
+        if token.kind == "ident" and token.text == "not":
+            self.advance()
+            inner = self.parse_atom()
+            if not isinstance(inner, SchemaAtom):
+                raise ParseError("'not' applies to schema atoms only", token.line)
+            try:
+                return NegatedAtom(inner)
+            except ValueError as exc:
+                raise ParseError(str(exc), token.line) from exc
+        first = self.parse_term()
+        token = self.peek()
+        if token.kind == "sym" and token.text == "[":
+            self.advance()
+            tid = self.parse_term()
+            self.expect("sym", ":")
+            attr = self.parse_term()
+            self.expect("arrow")
+            value = self.parse_term()
+            self.expect("sym", "]")
+            return SchemaAtom(first, tid, attr, value)
+        if token.kind == "op":
+            op = self.advance().text
+            right = self.parse_term()
+            return Builtin(op, first, right)
+        raise ParseError(
+            f"expected '[' or a comparison after a term, found {token.text!r}",
+            token.line,
+        )
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        if not isinstance(head, SchemaAtom):
+            token = self.peek()
+            raise ParseError("a rule head must be a schema atom", token.line)
+        body: list = []
+        token = self.peek()
+        if token.kind == "implies":
+            self.advance()
+            body.append(self.parse_atom())
+            while self.peek().kind == "sym" and self.peek().text == ",":
+                self.advance()
+                body.append(self.parse_atom())
+        self.expect("sym", ".")
+        try:
+            return Rule(head, tuple(body))
+        except ValueError as exc:
+            raise ParseError(str(exc), token.line) from exc
+
+    def parse_program(self) -> SchemaLogProgram:
+        rules = []
+        while self.peek().kind != "eof":
+            rules.append(self.parse_rule())
+        return SchemaLogProgram(tuple(rules))
+
+
+def parse_schemalog(text: str) -> SchemaLogProgram:
+    """Parse a full SchemaLog_d program."""
+    return _Parser(text).parse_program()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (must consume the whole input)."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    token = parser.peek()
+    if token.kind != "eof":
+        raise ParseError(f"trailing input {token.text!r}", token.line)
+    return rule

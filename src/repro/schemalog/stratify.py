@@ -1,0 +1,97 @@
+"""Stratification of SchemaLog_d programs with negation.
+
+The classical discipline, adapted to the higher-order setting:
+
+* the dependency nodes are the *constant* relation names occurring in
+  heads or bodies;
+* a rule whose head names relation h contributes, per positive body atom
+  over b, the constraint ``stratum(b) ≤ stratum(h)``; per negated atom
+  over b, ``stratum(b) < stratum(h)``;
+* a positive body atom whose relation is a *variable* reads every
+  derivable relation, so it contributes the constraint for every head
+  name at once;
+* a rule whose *head* relation is a variable derives into data-dependent
+  relations; this is fine in a purely positive program (one stratum) but
+  makes stratification undefined in the presence of negation — rejected.
+
+``stratify`` returns the rules grouped in evaluation order and raises
+:class:`~repro.core.EvaluationError` for non-stratifiable programs.
+"""
+
+from __future__ import annotations
+
+from ..core import EvaluationError, Symbol
+from .terms import Const, NegatedAtom, Rule, SchemaAtom, SchemaLogProgram
+
+__all__ = ["stratify"]
+
+
+def _head_name(rule: Rule) -> Symbol | None:
+    if isinstance(rule.head.rel, Const):
+        return rule.head.rel.symbol
+    return None
+
+
+def stratify(program: SchemaLogProgram) -> list[tuple[Rule, ...]]:
+    """Group the proper rules into strata (facts are stratum 0 input)."""
+    rules = program.proper_rules()
+    has_negation = any(rule.negated_atoms() for rule in rules)
+    if not has_negation:
+        return [rules] if rules else []
+
+    head_names: set[Symbol] = set()
+    for rule in rules:
+        name = _head_name(rule)
+        if name is None:
+            raise EvaluationError(
+                "a rule with a variable head relation cannot be stratified "
+                "alongside negation"
+            )
+        head_names.add(name)
+
+    # collect every constant relation name as a node
+    nodes: set[Symbol] = set(head_names)
+    for rule in rules:
+        for atom in rule.body:
+            target = atom.atom if isinstance(atom, NegatedAtom) else atom
+            if isinstance(target, SchemaAtom) and isinstance(target.rel, Const):
+                nodes.add(target.rel.symbol)
+
+    stratum: dict[Symbol, int] = {node: 0 for node in nodes}
+    changed = True
+    rounds = 0
+    ceiling = len(nodes) + 1
+    while changed:
+        changed = False
+        rounds += 1
+        if rounds > ceiling * ceiling:
+            raise EvaluationError("program is not stratifiable (negative cycle)")
+        for rule in rules:
+            head = _head_name(rule)
+            assert head is not None
+            for atom in rule.positive_atoms():
+                if isinstance(atom.rel, Const):
+                    required = stratum[atom.rel.symbol]
+                else:
+                    required = max(
+                        (stratum[name] for name in head_names), default=0
+                    )
+                if stratum[head] < required:
+                    stratum[head] = required
+                    changed = True
+            for negated in rule.negated_atoms():
+                required = stratum[negated.atom.rel.symbol] + 1
+                if stratum[head] < required:
+                    if required > ceiling:
+                        raise EvaluationError(
+                            "program is not stratifiable (negative cycle)"
+                        )
+                    stratum[head] = required
+                    changed = True
+
+    grouped: dict[int, list[Rule]] = {}
+    for rule in rules:
+        head = _head_name(rule)
+        assert head is not None
+        grouped.setdefault(stratum[head], []).append(rule)
+    return [tuple(grouped[level]) for level in sorted(grouped)]

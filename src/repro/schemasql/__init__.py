@@ -1,0 +1,44 @@
+"""SchemaSQL_d — the SQL face of SchemaLog (paper reference [13]).
+
+A single-database dialect whose FROM items range over relation and
+attribute names; evaluated natively over a fact store and compilable into
+tabular algebra through the Theorem 4.1/4.5 machinery.
+"""
+
+from .ast import (
+    AttrVarDecl,
+    ColumnRef,
+    Condition,
+    Expression,
+    FromItem,
+    Literal,
+    RelVarDecl,
+    SchemaSQLQuery,
+    SelectItem,
+    TupleVarDecl,
+    VarRef,
+)
+from .compile_ta import compile_to_fw, compile_to_ta, query_to_expression
+from .evaluate import QueryInfo, evaluate_query, validate_query
+from .parser import parse_schemasql
+
+__all__ = [
+    "SchemaSQLQuery",
+    "SelectItem",
+    "RelVarDecl",
+    "TupleVarDecl",
+    "AttrVarDecl",
+    "FromItem",
+    "ColumnRef",
+    "VarRef",
+    "Literal",
+    "Expression",
+    "Condition",
+    "parse_schemasql",
+    "evaluate_query",
+    "validate_query",
+    "QueryInfo",
+    "query_to_expression",
+    "compile_to_fw",
+    "compile_to_ta",
+]

@@ -1,0 +1,146 @@
+"""SchemaSQL_d — an SQL surface for schema-transparent querying.
+
+The paper points to SchemaSQL [13] ("an extension to SQL … inspired by
+SchemaLog, for facilitating interoperability"); this package implements
+the single-database dialect matching the SchemaLog_d fragment of
+Theorem 4.5.  The distinguishing feature survives intact: FROM items may
+range over *relation names* and *attribute names*, not just tuples::
+
+    SELECT R AS region, T.part AS part, T.sold AS sold
+    INTO   sales
+    FROM   -> R, R T
+    WHERE  R <> 'summary'
+
+Declarations (``FROM``):
+
+* ``-> R``        — R ranges over the database's relation names;
+* ``east T``      — T ranges over the tuples of relation ``east``;
+* ``R T``         — T ranges over the tuples of the relation R is bound to;
+* ``east -> A``   — A ranges over the attribute names of ``east``;
+* ``R -> A``      — A ranges over the attributes of R's relation.
+
+Select/condition expressions: ``T.attr``, ``T.A`` (attribute variable),
+``R`` / ``A`` (the bound name itself, as a value of the result), and
+literals.  Conditions are ``=`` / ``<>`` conjunctions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union as TypingUnion
+
+from ..core import Symbol
+
+__all__ = [
+    "RelVarDecl",
+    "TupleVarDecl",
+    "AttrVarDecl",
+    "FromItem",
+    "ColumnRef",
+    "VarRef",
+    "Literal",
+    "Expression",
+    "Condition",
+    "SelectItem",
+    "SchemaSQLQuery",
+]
+
+
+@dataclass(frozen=True)
+class RelVarDecl:
+    """``-> R`` — a variable over relation names."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class TupleVarDecl:
+    """``rel T`` or ``R T`` — a tuple variable over a relation.
+
+    ``source`` is the literal relation name (str) or the name of a
+    relation variable (marked by ``source_is_var``).
+    """
+
+    source: str
+    var: str
+    source_is_var: bool = False
+
+
+@dataclass(frozen=True)
+class AttrVarDecl:
+    """``rel -> A`` or ``R -> A`` — a variable over attribute names."""
+
+    source: str
+    var: str
+    source_is_var: bool = False
+
+
+FromItem = TypingUnion[RelVarDecl, TupleVarDecl, AttrVarDecl]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``T.attr`` or ``T.A`` — a tuple variable's component.
+
+    ``attr`` is a literal attribute name (str) or an attribute variable's
+    name (marked by ``attr_is_var``).
+    """
+
+    tuple_var: str
+    attr: str
+    attr_is_var: bool = False
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A relation- or attribute-name variable used as a value."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value."""
+
+    symbol: Symbol
+
+
+Expression = TypingUnion[ColumnRef, VarRef, Literal]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """``left op right`` with op ∈ {=, <>}."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self):
+        if self.op not in ("=", "<>"):
+            raise ValueError(f"unsupported condition operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """``expression AS name``."""
+
+    expression: Expression
+    alias: str
+
+
+@dataclass(frozen=True)
+class SchemaSQLQuery:
+    """A full ``SELECT … INTO … FROM … [WHERE …]`` query."""
+
+    select: tuple[SelectItem, ...]
+    into: str
+    from_items: tuple[FromItem, ...]
+    where: tuple[Condition, ...] = ()
+
+    def __post_init__(self):
+        aliases = [item.alias for item in self.select]
+        if len(set(aliases)) != len(aliases):
+            raise ValueError(f"duplicate output column names {aliases}")
+        if not self.select or not self.from_items:
+            raise ValueError("SELECT and FROM must be non-empty")

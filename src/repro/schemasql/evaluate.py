@@ -1,0 +1,211 @@
+"""Native evaluation of SchemaSQL_d queries over a SchemaLog fact store.
+
+Bindings are enumerated FROM-item by FROM-item (relation-name variables
+over the store's relation names, tuple variables over a relation's tuple
+ids, attribute variables over a relation's attribute names), then every
+query expression resolves against the facts; a tuple-variable component
+that is
+absent makes the binding drop (inner-join semantics).  Results carry set
+semantics and land in a classical :class:`~repro.relational.Relation`
+named by the INTO clause.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core import EvaluationError, Name, Symbol
+from ..relational import Relation
+from ..schemalog import SchemaLogDatabase
+from .ast import (
+    AttrVarDecl,
+    ColumnRef,
+    Condition,
+    Expression,
+    Literal,
+    RelVarDecl,
+    SchemaSQLQuery,
+    TupleVarDecl,
+    VarRef,
+)
+
+__all__ = ["evaluate_query", "validate_query", "QueryInfo"]
+
+
+class QueryInfo:
+    """Validated variable classification for one query."""
+
+    def __init__(self, query: SchemaSQLQuery):
+        self.query = query
+        self.rel_vars: set[str] = set()
+        self.tuple_vars: dict[str, TupleVarDecl] = {}
+        self.attr_vars: dict[str, AttrVarDecl] = {}
+        declared: set[str] = set()
+        for item in query.from_items:
+            if isinstance(item, RelVarDecl):
+                self._declare(declared, item.var)
+                self.rel_vars.add(item.var)
+            elif isinstance(item, TupleVarDecl):
+                if item.source_is_var and item.source not in self.rel_vars:
+                    raise EvaluationError(
+                        f"tuple variable {item.var} ranges over undeclared "
+                        f"relation variable {item.source}"
+                    )
+                self._declare(declared, item.var)
+                self.tuple_vars[item.var] = item
+            elif isinstance(item, AttrVarDecl):
+                if item.source_is_var and item.source not in self.rel_vars:
+                    raise EvaluationError(
+                        f"attribute variable {item.var} ranges over undeclared "
+                        f"relation variable {item.source}"
+                    )
+                self._declare(declared, item.var)
+                self.attr_vars[item.var] = item
+        for expression in self._expressions():
+            self._check_expression(expression)
+        # every access pair (tuple var, attribute term) used anywhere
+        self.access_pairs: list[tuple[str, str, bool]] = []
+        for expression in self._expressions():
+            if isinstance(expression, ColumnRef):
+                key = (expression.tuple_var, expression.attr, expression.attr_is_var)
+                if key not in self.access_pairs:
+                    self.access_pairs.append(key)
+
+    @staticmethod
+    def _declare(declared: set[str], var: str) -> None:
+        if var in declared:
+            raise EvaluationError(f"variable {var} declared twice")
+        declared.add(var)
+
+    def _expressions(self) -> Iterator[Expression]:
+        for item in self.query.select:
+            yield item.expression
+        for condition in self.query.where:
+            yield condition.left
+            yield condition.right
+
+    def _check_expression(self, expression: Expression) -> None:
+        if isinstance(expression, Literal):
+            return
+        if isinstance(expression, VarRef):
+            if expression.var not in self.rel_vars | set(self.attr_vars):
+                raise EvaluationError(
+                    f"{expression.var} is not a relation or attribute variable"
+                )
+            return
+        if isinstance(expression, ColumnRef):
+            if expression.tuple_var not in self.tuple_vars:
+                raise EvaluationError(
+                    f"{expression.tuple_var} is not a tuple variable"
+                )
+            if expression.attr_is_var and expression.attr not in self.attr_vars:
+                raise EvaluationError(
+                    f"{expression.attr} is not an attribute variable"
+                )
+            return
+        raise EvaluationError(f"unknown expression {expression!r}")
+
+
+def validate_query(query: SchemaSQLQuery) -> QueryInfo:
+    """Validate and classify a query's variables."""
+    return QueryInfo(query)
+
+
+class _Indexes:
+    def __init__(self, db: SchemaLogDatabase):
+        self.relations = list(db.relations())
+        self.tids: dict[Symbol, list[Symbol]] = {}
+        self.attrs: dict[Symbol, list[Symbol]] = {}
+        self.values: dict[tuple[Symbol, Symbol, Symbol], list[Symbol]] = {}
+        for rel, tid, attr, val in db:
+            self.tids.setdefault(rel, [])
+            if tid not in self.tids[rel]:
+                self.tids[rel].append(tid)
+            self.attrs.setdefault(rel, [])
+            if attr not in self.attrs[rel]:
+                self.attrs[rel].append(attr)
+            self.values.setdefault((rel, tid, attr), []).append(val)
+
+
+def evaluate_query(query: SchemaSQLQuery, db: SchemaLogDatabase) -> Relation:
+    """Evaluate a query, returning the INTO relation."""
+    info = validate_query(query)
+    indexes = _Indexes(db)
+    rows: set[tuple[Symbol, ...]] = set()
+
+    def resolve_rel(item) -> Iterator[Symbol]:
+        if item.source_is_var:
+            yield binding[item.source]  # type: ignore[index]
+        else:
+            yield Name(item.source)
+
+    binding: dict[str, Symbol] = {}
+    tuple_rel: dict[str, Symbol] = {}
+
+    def enumerate_from(index: int) -> Iterator[None]:
+        if index == len(query.from_items):
+            yield None
+            return
+        item = query.from_items[index]
+        if isinstance(item, RelVarDecl):
+            for rel in indexes.relations:
+                binding[item.var] = rel
+                yield from enumerate_from(index + 1)
+                del binding[item.var]
+        elif isinstance(item, TupleVarDecl):
+            for rel in resolve_rel(item):
+                for tid in indexes.tids.get(rel, []):
+                    binding[item.var] = tid
+                    tuple_rel[item.var] = rel
+                    yield from enumerate_from(index + 1)
+                    del binding[item.var]
+                    del tuple_rel[item.var]
+        else:  # AttrVarDecl
+            for rel in resolve_rel(item):
+                for attr in indexes.attrs.get(rel, []):
+                    binding[item.var] = attr
+                    yield from enumerate_from(index + 1)
+                    del binding[item.var]
+
+    def access_values(pair: tuple[str, str, bool]) -> list[Symbol]:
+        tuple_var, attr, attr_is_var = pair
+        rel = tuple_rel[tuple_var]
+        tid = binding[tuple_var]
+        attr_sym = binding[attr] if attr_is_var else Name(attr)
+        return indexes.values.get((rel, tid, attr_sym), [])
+
+    def enumerate_access(index: int, chosen: dict) -> Iterator[dict]:
+        if index == len(info.access_pairs):
+            yield dict(chosen)
+            return
+        pair = info.access_pairs[index]
+        for value in access_values(pair):
+            chosen[pair] = value
+            yield from enumerate_access(index + 1, chosen)
+            del chosen[pair]
+
+    def expression_value(expression: Expression, access: dict) -> Symbol:
+        if isinstance(expression, Literal):
+            return expression.symbol
+        if isinstance(expression, VarRef):
+            return binding[expression.var]
+        assert isinstance(expression, ColumnRef)
+        return access[(expression.tuple_var, expression.attr, expression.attr_is_var)]
+
+    def satisfied(condition: Condition, access: dict) -> bool:
+        left = expression_value(condition.left, access)
+        right = expression_value(condition.right, access)
+        return (left == right) if condition.op == "=" else (left != right)
+
+    for _ in enumerate_from(0):
+        for access in enumerate_access(0, {}):
+            if all(satisfied(c, access) for c in query.where):
+                rows.add(
+                    tuple(
+                        expression_value(item.expression, access)
+                        for item in query.select
+                    )
+                )
+
+    schema = [item.alias for item in query.select]
+    return Relation(query.into, schema, rows)

@@ -1,0 +1,212 @@
+"""Parser for the SchemaSQL_d surface syntax.
+
+Grammar (keywords case-insensitive; identifiers follow the logic-
+programming convention — capitalized = variable, lower-case = name)::
+
+    query    = "SELECT" selitem {"," selitem}
+               "INTO" NAME
+               "FROM" fromitem {"," fromitem}
+               [ "WHERE" cond { "AND" cond } ] ;
+    selitem  = expr "AS" NAME ;
+    fromitem = "->" VAR                 (relation-name variable)
+             | NAME VAR                 (tuple variable over a relation)
+             | VAR VAR                  (tuple variable over a rel-var)
+             | NAME "->" VAR            (attribute variable)
+             | VAR "->" VAR ;
+    expr     = VAR "." NAME | VAR "." VAR | VAR | NAME? no — bare names
+               are not expressions; use quoted literals | STRING | NUMBER ;
+    cond     = expr ("=" | "<>") expr ;
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import ParseError, Value
+from .ast import (
+    AttrVarDecl,
+    ColumnRef,
+    Condition,
+    Expression,
+    FromItem,
+    Literal,
+    RelVarDecl,
+    SchemaSQLQuery,
+    SelectItem,
+    TupleVarDecl,
+    VarRef,
+)
+
+__all__ = ["parse_schemasql"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<arrow>->)
+  | (?P<neq><>)
+  | (?P<number>-?[0-9]+(?:\.[0-9]+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<sym>[,.=()])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "into", "from", "where", "as", "and"}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    line = 1
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line)
+        kind = match.lastgroup or ""
+        chunk = match.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, chunk, line))
+        line += chunk.count("\n")
+        pos = match.end()
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+def _is_var(text: str) -> bool:
+    return text[0].isupper() or text[0] == "_"
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token.kind == "ident" and token.text.lower() == word
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.at_keyword(word):
+            token = self.peek()
+            raise ParseError(
+                f"expected {word.upper()}, found {token.text or 'end of input'!r}",
+                token.line,
+            )
+        self.advance()
+
+    def expect_ident(self, variable: bool | None = None) -> str:
+        token = self.peek()
+        if token.kind != "ident" or token.text.lower() in _KEYWORDS:
+            raise ParseError(
+                f"expected an identifier, found {token.text or 'end of input'!r}",
+                token.line,
+            )
+        if variable is True and not _is_var(token.text):
+            raise ParseError(f"expected a variable, found {token.text!r}", token.line)
+        if variable is False and _is_var(token.text):
+            raise ParseError(f"expected a name, found {token.text!r}", token.line)
+        return self.advance().text
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_query(self) -> SchemaSQLQuery:
+        self.expect_keyword("select")
+        select = [self.parse_select_item()]
+        while self.peek().kind == "sym" and self.peek().text == ",":
+            self.advance()
+            select.append(self.parse_select_item())
+        self.expect_keyword("into")
+        into = self.expect_ident(variable=False)
+        self.expect_keyword("from")
+        from_items = [self.parse_from_item()]
+        while self.peek().kind == "sym" and self.peek().text == ",":
+            self.advance()
+            from_items.append(self.parse_from_item())
+        where: list[Condition] = []
+        if self.at_keyword("where"):
+            self.advance()
+            where.append(self.parse_condition())
+            while self.at_keyword("and"):
+                self.advance()
+                where.append(self.parse_condition())
+        token = self.peek()
+        if token.kind != "eof":
+            raise ParseError(f"trailing input {token.text!r}", token.line)
+        try:
+            return SchemaSQLQuery(tuple(select), into, tuple(from_items), tuple(where))
+        except ValueError as exc:
+            raise ParseError(str(exc)) from exc
+
+    def parse_select_item(self) -> SelectItem:
+        expression = self.parse_expression()
+        self.expect_keyword("as")
+        alias = self.expect_ident(variable=False)
+        return SelectItem(expression, alias)
+
+    def parse_from_item(self) -> FromItem:
+        token = self.peek()
+        if token.kind == "arrow":
+            self.advance()
+            return RelVarDecl(self.expect_ident(variable=True))
+        source = self.expect_ident()
+        source_is_var = _is_var(source)
+        if self.peek().kind == "arrow":
+            self.advance()
+            return AttrVarDecl(source, self.expect_ident(variable=True), source_is_var)
+        return TupleVarDecl(source, self.expect_ident(variable=True), source_is_var)
+
+    def parse_expression(self) -> Expression:
+        token = self.peek()
+        if token.kind == "string":
+            self.advance()
+            return Literal(Value(token.text[1:-1]))
+        if token.kind == "number":
+            self.advance()
+            number = float(token.text) if "." in token.text else int(token.text)
+            return Literal(Value(number))
+        name = self.expect_ident(variable=True)
+        if self.peek().kind == "sym" and self.peek().text == ".":
+            self.advance()
+            attr = self.expect_ident()
+            return ColumnRef(name, attr, attr_is_var=_is_var(attr))
+        return VarRef(name)
+
+    def parse_condition(self) -> Condition:
+        left = self.parse_expression()
+        token = self.peek()
+        if token.kind == "neq":
+            op = "<>"
+            self.advance()
+        elif token.kind == "sym" and token.text == "=":
+            op = "="
+            self.advance()
+        else:
+            raise ParseError(
+                f"expected = or <>, found {token.text or 'end of input'!r}", token.line
+            )
+        right = self.parse_expression()
+        return Condition(op, left, right)
+
+
+def parse_schemasql(text: str) -> SchemaSQLQuery:
+    """Parse one SchemaSQL_d query."""
+    return _Parser(text).parse_query()

@@ -1,0 +1,39 @@
+"""Transformation theory: isomorphisms, the five conditions, normal forms.
+
+Executable counterparts of Section 4.1's definitions: database
+(M-)isomorphisms and automorphism groups, checkers for genericity /
+permutation invariance / symbol growth / determinacy / constructivity, and
+the Theorem 4.4 factorization through canonical representations.
+"""
+
+from .isomorphism import (
+    apply_symbol_map,
+    are_isomorphic,
+    automorphisms,
+    find_isomorphism,
+    movable_values,
+)
+from .normal_form import lift_to_rep, normal_form, normal_form_agrees
+from .transformation import (
+    TransformationReport,
+    check_transformation,
+    sample_value_permutations,
+    shuffle_database,
+    symbols_grow,
+)
+
+__all__ = [
+    "apply_symbol_map",
+    "are_isomorphic",
+    "automorphisms",
+    "find_isomorphism",
+    "movable_values",
+    "lift_to_rep",
+    "normal_form",
+    "normal_form_agrees",
+    "TransformationReport",
+    "check_transformation",
+    "sample_value_permutations",
+    "shuffle_database",
+    "symbols_grow",
+]

@@ -1,0 +1,166 @@
+"""Database isomorphisms and automorphisms (paper, Section 4.1).
+
+Two tabular databases D, D' are *isomorphic* when some bijection
+φ : |D| → |D'| exists that (i) is the identity on names, (ii) is the
+identity on ⊥, and (iii) maps D onto D' up to permutations of the
+non-attribute rows and columns of the tables.  An *M-isomorphism*
+additionally fixes a set M of symbols pointwise, and an automorphism is an
+isomorphism from D to itself.
+
+Only value-sort symbols are movable; the search backtracks over
+signature-compatible value assignments and validates a complete candidate
+by applying it and testing permutation-equivalence.  This is exact (it is
+a small graph-isomorphism-style search) and fast on the database sizes the
+theory layer handles; a guard bounds the number of movable values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core import (
+    LimitExceededError,
+    Symbol,
+    TabularDatabase,
+    Value,
+)
+
+__all__ = [
+    "movable_values",
+    "find_isomorphism",
+    "are_isomorphic",
+    "automorphisms",
+    "apply_symbol_map",
+]
+
+#: Refuse isomorphism searches beyond this many movable values.
+DEFAULT_SEARCH_LIMIT = 12
+
+
+def movable_values(db: TabularDatabase, fixed: frozenset[Symbol]) -> list[Symbol]:
+    """The value-sort symbols of ``db`` that an isomorphism may move."""
+    return sorted(
+        (s for s in db.symbols() if isinstance(s, Value) and s not in fixed),
+        key=lambda s: s.sort_key(),
+    )
+
+
+def apply_symbol_map(db: TabularDatabase, mapping: dict[Symbol, Symbol]) -> TabularDatabase:
+    """Apply a symbol mapping to every entry of every table."""
+    return TabularDatabase(
+        table.map_entries(lambda s: mapping.get(s, s)) for table in db.tables
+    )
+
+
+def _signature(db: TabularDatabase, symbol: Symbol) -> tuple:
+    """A permutation-invariant occurrence profile used for pruning.
+
+    Counts, per table (aggregated as a sorted multiset), how often the
+    symbol occurs as the table name, as a column attribute, as a row
+    attribute, and as a data entry.
+    """
+    profile = []
+    for table in db.tables:
+        name = 1 if table.name == symbol else 0
+        col_attr = sum(1 for a in table.column_attributes if a == symbol)
+        row_attr = sum(1 for a in table.row_attributes if a == symbol)
+        data = sum(1 for row in table.data for entry in row if entry == symbol)
+        profile.append((name, col_attr, row_attr, data, table.nrows, table.ncols))
+    return tuple(sorted(profile))
+
+
+def _search(
+    left: TabularDatabase,
+    right: TabularDatabase,
+    fixed: frozenset[Symbol],
+    limit: int,
+    partial: dict[Symbol, Symbol] | None = None,
+) -> Iterator[dict[Symbol, Symbol]]:
+    movable_left = movable_values(left, fixed)
+    movable_right = movable_values(right, fixed)
+    if len(movable_left) != len(movable_right):
+        return
+    partial = partial or {}
+    if any(k not in movable_left or v not in movable_right for k, v in partial.items()):
+        return
+    if len(movable_left) > limit:
+        raise LimitExceededError(
+            f"isomorphism search over {len(movable_left)} movable values exceeds "
+            f"the limit of {limit}"
+        )
+    # Fixed symbols (and names/⊥, which never enter movable sets) must
+    # occur identically on both sides — cheap necessary condition.
+    left_sigs = {v: _signature(left, v) for v in movable_left}
+    right_sigs: dict[tuple, list[Symbol]] = {}
+    for v in movable_right:
+        right_sigs.setdefault(_signature(right, v), []).append(v)
+    if sorted(left_sigs.values()) != sorted(
+        sig for sig, vs in right_sigs.items() for _ in vs
+    ):
+        return
+
+    assignment: dict[Symbol, Symbol] = {}
+    used: set[Symbol] = set()
+
+    def assign(idx: int) -> Iterator[dict[Symbol, Symbol]]:
+        if idx == len(movable_left):
+            candidate = dict(assignment)
+            if apply_symbol_map(left, candidate).equivalent(right):
+                yield candidate
+            return
+        value = movable_left[idx]
+        candidates = right_sigs.get(left_sigs[value], [])
+        if value in partial:
+            candidates = [partial[value]] if partial[value] in candidates else []
+        for target in candidates:
+            if target in used:
+                continue
+            assignment[value] = target
+            used.add(target)
+            yield from assign(idx + 1)
+            used.discard(target)
+            del assignment[value]
+
+    yield from assign(0)
+
+
+def find_isomorphism(
+    left: TabularDatabase,
+    right: TabularDatabase,
+    fixed: frozenset[Symbol] | set[Symbol] = frozenset(),
+    limit: int = DEFAULT_SEARCH_LIMIT,
+    partial: dict[Symbol, Symbol] | None = None,
+) -> dict[Symbol, Symbol] | None:
+    """An M-isomorphism from ``left`` to ``right`` (M = ``fixed``), or None.
+
+    The returned mapping covers only the moved values; names, ⊥, and fixed
+    symbols map to themselves implicitly.  ``partial`` pre-assigns some of
+    the movable values (used by the constructivity checker to ask for an
+    automorphism *extending* a given one).
+    """
+    for mapping in _search(left, right, frozenset(fixed), limit, partial):
+        return mapping
+    return None
+
+
+def are_isomorphic(
+    left: TabularDatabase,
+    right: TabularDatabase,
+    fixed: frozenset[Symbol] | set[Symbol] = frozenset(),
+    limit: int = DEFAULT_SEARCH_LIMIT,
+) -> bool:
+    """True iff an M-isomorphism from ``left`` to ``right`` exists."""
+    return find_isomorphism(left, right, fixed, limit) is not None
+
+
+def automorphisms(
+    db: TabularDatabase,
+    fixed: frozenset[Symbol] | set[Symbol] = frozenset(),
+    limit: int = DEFAULT_SEARCH_LIMIT,
+) -> list[dict[Symbol, Symbol]]:
+    """All automorphisms of ``db`` fixing ``fixed`` (as value mappings).
+
+    The identity is always included (as an empty mapping when there are no
+    movable values).
+    """
+    return list(_search(db, db, frozenset(fixed), limit))

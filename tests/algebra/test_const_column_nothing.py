@@ -1,0 +1,64 @@
+"""Unit tests for const_column and the empty (NOTHING) parameter."""
+
+import pytest
+
+from repro.algebra import const_column, project, purge
+from repro.algebra.programs import (
+    NOTHING,
+    Assignment,
+    Binding,
+    Program,
+    assign,
+)
+from repro.core import NULL, N, V, database, make_table
+
+
+class TestConstColumn:
+    def test_appends_constant(self):
+        t = make_table("R", ["A"], [(1,), (2,)])
+        out = const_column(t, "Tag", "x")
+        assert out.column_attributes == (N("A"), N("Tag"))
+        assert out.data_column(2) == (V("x"), V("x"))
+
+    def test_null_constant(self):
+        t = make_table("R", ["A"], [(1,)])
+        out = const_column(t, "Tag", None)
+        assert out.entry(1, 2) is NULL
+
+    def test_name_constant(self):
+        t = make_table("R", ["A"], [(1,)])
+        out = const_column(t, "Tag", N("east"))
+        assert out.entry(1, 2) == N("east")
+
+    def test_empty_table(self):
+        t = make_table("R", ["A"], [])
+        assert const_column(t, "Tag", 1).width == 2
+
+    def test_through_the_interpreter(self):
+        db = database(make_table("R", ["A"], [(1,)]))
+        program = Program([assign("T", "CONSTCOLUMN", "R", attr="Tag", value=V("c"))])
+        out = program.run(db)
+        assert out.tables_named("T")[0].entry(1, 2) == V("c")
+
+
+class TestNothingParameter:
+    def test_evaluates_to_empty(self):
+        assert NOTHING.evaluate(Binding(), None) == frozenset()
+
+    def test_projection_onto_nothing(self):
+        db = database(make_table("R", ["A"], [(1,)], row_attrs=["x"]))
+        program = Program([Assignment("T", "PROJECT", ["R"], {"attrs": ()})])
+        out = program.run(db)
+        result = out.tables_named("T")[0]
+        assert result.width == 0
+        assert result.row_attributes == (N("x"),)
+
+    def test_empty_purge_key_groups_by_attribute(self):
+        # purge with empty 𝒜 merges ⊥-disjoint same-name columns
+        t = make_table("R", ["A", "A"], [(1, None), (None, 2)])
+        out = purge(t, on="A", by=())
+        assert out.width == 1
+
+    def test_direct_ops_accept_empty_sets(self):
+        t = make_table("R", ["A"], [(1,)])
+        assert project(t, ()).width == 0

@@ -1,0 +1,101 @@
+"""Unit tests for the derived operations (Sections 3.2/3.4 compositions)."""
+
+from repro.algebra import (
+    classical_union,
+    collapse_compact,
+    deduplicate,
+    deduplicate_columns,
+    drop_all_null_rows,
+    group_compact,
+    merge_compact,
+    split,
+    union,
+)
+from repro.core import NULL, N, V, make_table
+from repro.data import figure4_top, figure5_result, sales_info2
+
+
+class TestClassicalUnion:
+    def test_section_34_recipe(self):
+        left = make_table("R", ["A", "B"], [(1, 2), (3, 4)])
+        right = make_table("S", ["A", "B"], [(3, 4), (5, 6)])
+        out = classical_union(left, right)
+        assert out.column_attributes == (N("A"), N("B"))
+        assert out.height == 3
+        rows = {tuple(v.payload for v in out.data_row(i)) for i in out.data_row_indices()}
+        assert rows == {(1, 2), (3, 4), (5, 6)}
+
+    def test_idempotent(self):
+        t = make_table("R", ["A"], [(1,)])
+        assert classical_union(t, t).data == t.data
+
+    def test_name_override(self):
+        t = make_table("R", ["A"], [(1,)])
+        assert classical_union(t, t, name="U").name == N("U")
+
+
+class TestDeduplicate:
+    def test_removes_duplicate_rows(self):
+        t = make_table("R", ["A"], [(1,), (1,), (2,)])
+        assert deduplicate(t).height == 2
+
+    def test_respects_row_attributes(self):
+        t = make_table("R", ["A"], [(1,), (1,)], row_attrs=["x", "y"])
+        assert deduplicate(t).height == 2
+
+    def test_removes_duplicate_columns(self):
+        t = make_table("R", ["A", "A", "B"], [(1, 1, 2)])
+        out = deduplicate_columns(t)
+        assert out.column_attributes == (N("A"), N("B"))
+
+    def test_merges_null_disjoint_columns(self):
+        t = make_table("R", ["A", "A"], [(1, None), (None, 2)])
+        out = deduplicate_columns(t)
+        assert out.width == 1
+        assert out.data_column(1) == (V(1), V(2))
+
+    def test_keeps_conflicting_columns(self):
+        t = make_table("R", ["A", "A"], [(1, 2)])
+        assert deduplicate_columns(t).width == 2
+
+
+class TestDropAllNullRows:
+    def test_figure5_to_figure4(self):
+        out = drop_all_null_rows(figure5_result(), "Sold")
+        assert out.equivalent(figure4_top())
+
+    def test_keeps_rows_with_any_value(self):
+        t = make_table("R", ["A", "A"], [(None, None), (1, None)])
+        assert drop_all_null_rows(t, "A").height == 1
+
+    def test_noop_without_null_rows(self):
+        t = make_table("R", ["A"], [(1,)])
+        assert drop_all_null_rows(t, "A") == t
+
+
+class TestCompactPipelines:
+    def test_group_compact_and_back(self, sales_relation, sales_pivot):
+        pivot = group_compact(sales_relation, by="Region", on="Sold")
+        assert pivot.equivalent(sales_pivot)
+        assert merge_compact(pivot, on="Sold", by="Region").equivalent(sales_relation)
+
+    def test_collapse_compact_inverts_split(self, sales_relation):
+        parts = split(sales_relation, on="Region")
+        assert collapse_compact(parts, by="Region").equivalent(sales_relation)
+
+    def test_group_compact_with_multiple_rest_attributes(self):
+        t = make_table(
+            "T",
+            ["K1", "K2", "G", "X"],
+            [("a", "b", "g1", 1), ("a", "b", "g2", 2), ("c", "d", "g1", 3)],
+        )
+        out = group_compact(t, by="G", on="X")
+        # two distinct (K1, K2) groups + the G header row
+        assert out.height == 3
+        assert out.column_attributes == (N("K1"), N("K2"), N("X"), N("X"))
+
+    def test_merge_compact_multi_name(self):
+        t = make_table("R", ["G", "X", "Y"], [("g", 1, 2)])
+        grouped = group_compact(t, by="G", on=["X", "Y"])
+        back = merge_compact(grouped, on=["X", "Y"], by="G")
+        assert back.equivalent(t)

@@ -1,0 +1,79 @@
+"""Tests for dual (row/column-interchanged) forms of the operations.
+
+Section 3.3: "For each of the operations defined in the tabular algebra,
+it is now possible to express … a dual operation obtained by interchanging
+the roles of rows and columns."  These tests exercise the dual combinator
+over the restructuring and redundancy operations — the less-travelled
+half of the algebra.
+"""
+
+from repro.algebra import (
+    cleanup,
+    dual,
+    group,
+    merge,
+    project,
+    purge,
+    rename,
+    select_constant,
+    transpose,
+)
+from repro.core import NULL, N, V, Table, make_table
+
+
+def column_table() -> Table:
+    """A 'column-major relation': attributes head the rows."""
+    return make_table("R", ["A", "B", "C"], [(1, 2, 3), (4, 5, 6)]).transpose()
+
+
+class TestDualTraditional:
+    def test_dual_project_picks_rows(self):
+        t = column_table()
+        out = dual(project)(t, ["A", "C"])
+        assert out.row_attributes == (N("A"), N("C"))
+        assert out.height == 2
+
+    def test_dual_rename_renames_row_attributes(self):
+        t = column_table()
+        out = dual(rename)(t, "A", "Z")
+        assert out.row_attributes == (N("Z"), N("B"), N("C"))
+
+    def test_dual_select_constant_filters_columns(self):
+        t = make_table("R", ["A", "A"], [("x", "y")], row_attrs=["k"])
+        out = dual(select_constant)(t, "k", "x")
+        assert out.width == 1
+        assert out.entry(1, 1) == V("x")
+
+
+class TestDualRestructuring:
+    def test_dual_group_conjugates(self):
+        # the dual of GROUP equals TRANSPOSE ∘ GROUP ∘ TRANSPOSE by
+        # construction; verify it runs and produces the conjugated shape
+        base = make_table(
+            "R", ["G", "X"], [("a", 1), ("b", 2)]
+        )
+        flipped = base.transpose()
+        out = dual(group)(flipped, by="G", on="X")
+        assert out == transpose(group(base, by="G", on="X"))
+
+    def test_dual_merge_conjugates(self):
+        base = make_table("R", ["G", "X"], [("a", 1), ("b", 2)])
+        grouped = group(base, by="G", on="X")
+        out = dual(merge)(grouped.transpose(), on="X", by="G")
+        assert out == transpose(merge(grouped, on="X", by="G"))
+
+
+class TestDualRedundancy:
+    def test_dual_cleanup_is_purge(self):
+        t = make_table(
+            "R", ["X", "X"], [("k", "k"), (1, None), (None, 2)], row_attrs=["G", None, None]
+        )
+        via_dual = dual(cleanup)(t, by="G", on="X")
+        via_purge = purge(t, on="X", by="G")
+        assert via_dual == via_purge
+
+    def test_dual_purge_is_cleanup(self):
+        t = make_table("R", ["K", "X", "X"], [(1, "a", None), (1, None, "b")])
+        via_dual = dual(purge)(t, on=[None], by="K")
+        via_cleanup = cleanup(t, by="K", on=[None])
+        assert via_dual == via_cleanup

@@ -1,0 +1,169 @@
+"""Integration tests: every Figure 1–5 artifact and the paper's claim that
+the representations SalesInfo2–SalesInfo4 restructure into one another."""
+
+from repro.algebra import (
+    collapse_compact,
+    group,
+    group_compact,
+    merge,
+    merge_compact,
+    split,
+    transpose,
+    union,
+)
+from repro.core import NULL, N, V, render_table
+from repro.data import (
+    BASE_FACTS,
+    GRAND_TOTAL,
+    PART_TOTALS,
+    REGION_TOTALS,
+    figure4_bottom,
+    figure4_top,
+    figure5_result,
+    sales_info1,
+    sales_info2,
+    sales_info3,
+    sales_info4,
+)
+
+
+class TestFigure1Databases:
+    def test_salesinfo1_is_relational(self):
+        db = sales_info1()
+        sales = db.table("Sales")
+        assert sales.column_attributes == (N("Part"), N("Region"), N("Sold"))
+        assert sales.height == len(BASE_FACTS)
+        assert all(a is NULL for a in sales.row_attributes)
+
+    def test_salesinfo1_summary_needs_separate_relations(self):
+        db = sales_info1(with_summary=True)
+        assert len(db) == 4
+        assert db.table("GrandTotal").entry(1, 1) == V(GRAND_TOTAL)
+        totals = db.table("TotalPartSales")
+        assert {
+            (totals.entry(i, 1).payload, totals.entry(i, 2).payload)
+            for i in totals.data_row_indices()
+        } == set(PART_TOTALS.items())
+
+    def test_salesinfo2_width_is_instance_dependent(self):
+        bold = sales_info2().tables[0]
+        full = sales_info2(with_summary=True).tables[0]
+        assert bold.width == 5 and full.width == 6
+        assert bold.column_attributes.count(N("Sold")) == 4
+
+    def test_salesinfo2_absorbs_summary_in_table(self):
+        full = sales_info2(with_summary=True).tables[0]
+        total_rows = [i for i in full.data_row_indices() if full.entry(i, 0) == N("Total")]
+        assert len(total_rows) == 1
+        row = full.row(total_rows[0])
+        assert row[-1] == V(GRAND_TOTAL)
+        assert [s.payload for s in row[2:-1]] == [
+            REGION_TOTALS[r] for r in ("east", "west", "north", "south")
+        ]
+
+    def test_salesinfo3_attributes_are_data(self):
+        sales = sales_info3().tables[0]
+        assert sales.column_attributes == (V("nuts"), V("screws"), V("bolts"))
+        assert sales.row_attributes == (V("east"), V("west"), V("north"), V("south"))
+
+    def test_salesinfo3_totals(self):
+        full = sales_info3(with_summary=True).tables[0]
+        assert full.entry(full.nrows - 1, full.ncols - 1) == V(GRAND_TOTAL)
+
+    def test_salesinfo4_one_table_per_region(self):
+        db = sales_info4()
+        assert len(db.tables_named("Sales")) == 4
+        east = next(
+            t for t in db.tables_named("Sales") if V("east") in t.symbols()
+        )
+        assert east.row(1) == (N("Region"), V("east"), V("east"))
+
+    def test_salesinfo4_summary_adds_total_region_table(self):
+        db = sales_info4(with_summary=True)
+        assert len(db.tables_named("Sales")) == 5
+        total = next(
+            t for t in db.tables_named("Sales") if t.entry(1, 1) == N("Total")
+        )
+        assert total.entry(total.nrows - 1, 2) == V(GRAND_TOTAL)
+
+
+class TestFigure4And5:
+    def test_group_statement_exact(self):
+        assert group(figure4_top(), by="Region", on="Sold") == figure4_bottom()
+
+    def test_merge_statement_exact(self):
+        pivot = sales_info2().tables[0]
+        assert merge(pivot, on="Sold", by="Region") == figure5_result()
+
+    def test_figure4_bottom_is_uneconomical_salesinfo2(self):
+        # The grouped table holds the same facts as SalesInfo2's Sales.
+        back = merge_compact(figure4_bottom(), on="Sold", by="Region")
+        assert back.equivalent(figure4_top())
+
+
+class TestRestructurabilityClaim:
+    """'It is possible to restructure the data from any of the
+    representations SalesInfo2–SalesInfo4 to any other.'"""
+
+    def relation(self):
+        return figure4_top()
+
+    def test_info2_to_relation_and_back(self):
+        pivot = sales_info2().tables[0]
+        assert merge_compact(pivot, on="Sold", by="Region").equivalent(self.relation())
+        assert group_compact(self.relation(), by="Region", on="Sold").equivalent(pivot)
+
+    def test_info4_to_relation_and_back(self):
+        tables = sales_info4().tables
+        rebuilt = collapse_compact(tables, by="Region")
+        assert rebuilt.equivalent(self.relation())
+        parts = split(self.relation(), on="Region")
+        assert all(any(p.equivalent(t) for t in tables) for p in parts)
+
+    def test_info2_to_info4_via_relation(self):
+        pivot = sales_info2().tables[0]
+        relation = merge_compact(pivot, on="Sold", by="Region")
+        parts = split(relation, on="Region")
+        expected = sales_info4().tables
+        assert len(parts) == len(expected)
+        assert all(any(p.equivalent(t) for t in expected) for p in parts)
+
+    def test_info4_to_info2_via_relation(self):
+        relation = collapse_compact(sales_info4().tables, by="Region")
+        pivot = group_compact(relation, by="Region", on="Sold")
+        assert pivot.equivalent(sales_info2().tables[0])
+
+    def test_info3_to_relation(self):
+        # SalesInfo3's Sales is the pivot with *data* attributes: transpose
+        # so parts head the rows, then recover (region, part, sold) facts.
+        sales = sales_info3().tables[0]
+        facts = set()
+        for i in sales.data_row_indices():
+            region = sales.entry(i, 0).payload
+            for j in sales.data_col_indices():
+                part = sales.entry(0, j).payload
+                entry = sales.entry(i, j)
+                if not entry.is_null:
+                    facts.add((part, region, entry.payload))
+        assert facts == set(BASE_FACTS)
+
+    def test_relation_to_info3_shape(self):
+        # Pivot with parts as columns, regions as rows, via group + transpose.
+        pivot = group_compact(self.relation(), by="Part", on="Sold")
+        flipped = transpose(pivot)
+        # Part header values appear as a data row in the pivot; after the
+        # transpose they are a data column — SalesInfo3's column attributes
+        # hold exactly these part values.
+        si3 = sales_info3().tables[0]
+        assert set(si3.column_attributes) == {V("nuts"), V("screws"), V("bolts")}
+        assert {V(p) for p in ("nuts", "screws", "bolts")} <= set(flipped.symbols())
+
+
+class TestRenderedFigures:
+    def test_figure4_top_render_matches_paper_rows(self):
+        text = render_table(figure4_top())
+        assert "'nuts'" in text and "'east'" in text and "50" in text
+
+    def test_salesinfo2_render_shows_repeated_sold(self):
+        text = render_table(sales_info2().tables[0])
+        assert text.splitlines()[1].count("Sold") == 4

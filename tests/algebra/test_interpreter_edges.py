@@ -1,0 +1,128 @@
+"""Runtime edge cases of the statement interpreter.
+
+The paper: "In each computation, a parameter representing a single column
+attribute should have a singleton set as interpretation, otherwise the
+effect of the statement is undefined."  These tests pin that behaviour
+and other runtime subtleties (pair parameters, wildcard sharing, name
+collisions between results of one statement).
+"""
+
+import pytest
+
+from repro.algebra.programs import (
+    ANY,
+    Assignment,
+    Lit,
+    Pair,
+    ParamSet,
+    Program,
+    Star,
+    assign,
+    parse_program,
+)
+from repro.core import (
+    NULL,
+    N,
+    UndefinedOperationError,
+    V,
+    database,
+    make_table,
+)
+
+
+class TestSingletonRule:
+    def test_rename_with_two_interpretations_is_undefined(self):
+        db = database(make_table("R", ["A"], [(1,)]))
+        stmt = Assignment(
+            "T", "RENAME", ["R"], {"old": ParamSet([Lit("A"), Lit("B")]), "new": "Z"}
+        )
+        with pytest.raises(UndefinedOperationError):
+            Program([stmt]).run(db)
+
+    def test_pair_with_multiple_entries_is_undefined_for_single_params(self):
+        db = database(make_table("R", ["A", "A"], [("x", "y")]))
+        stmt = Assignment(
+            "T", "SWITCH", ["R"], {"value": Pair(ANY, Lit("A"))}
+        )
+        with pytest.raises(UndefinedOperationError):
+            Program([stmt]).run(db)
+
+    def test_pair_with_one_entry_works_for_single_params(self):
+        db = database(make_table("R", ["A", "B"], [("x", 1)]))
+        stmt = Assignment("T", "SWITCH", ["R"], {"value": Pair(ANY, Lit("A"))})
+        out = Program([stmt]).run(db)
+        # the switch fired: the old table name R moved into the grid (the
+        # assignment then renames the switched table's name slot to T)
+        result = out.tables_named("T")[0]
+        assert result.entry(1, 1) == N("R")
+
+
+class TestDataDependentParameters:
+    def test_pair_selects_per_table(self):
+        # same statement, two tables: the pair parameter evaluates against
+        # each table under consideration separately
+        t1 = make_table("R", ["K", "A"], [("x", 1)])
+        t2 = make_table("R", ["K", "B"], [("y", 2)])
+        stmt = Assignment("T", "SELECTCONST", ["R"], {"attr": "K", "value": Pair(ANY, Lit("K"))})
+        out = Program([stmt]).run(database(t1, t2))
+        results = out.tables_named("T")
+        assert len(results) == 2
+        assert all(t.height == 1 for t in results)
+
+
+class TestWildcardSharing:
+    def test_same_wildcard_in_two_argument_positions(self):
+        db = database(
+            make_table("R", ["A"], [(1,)]), make_table("S", ["A"], [(2,)])
+        )
+        # *1 PRODUCT *1: only same-name pairs, so R x R and S x S
+        stmt = Assignment("T", "PRODUCT", [Star(1), Star(1)])
+        out = Program([stmt]).run(db)
+        result = out.tables_named("T")
+        assert len(result) == 2
+        assert {t.entry(1, 1) for t in result} == {V(1), V(2)}
+
+    def test_wildcard_target_writes_back(self):
+        db = database(
+            make_table("R", ["A"], [(1,), (1,)]),
+            make_table("S", ["B"], [(2,), (2,)]),
+        )
+        out = Program([Assignment(Star(0), "DEDUP", [Star(0)])]).run(db)
+        assert all(t.height == 1 for t in out.tables)
+
+
+class TestResultCollisions:
+    def test_multiple_results_under_one_target_coexist(self):
+        db = database(
+            make_table("R", ["A"], [(1,)]), make_table("R", ["A"], [(2,)])
+        )
+        out = Program([assign("T", "TRANSPOSE", "R")]).run(db)
+        assert len(out.tables_named("T")) == 2
+
+    def test_identical_results_collapse(self):
+        db = database(
+            make_table("R", ["A"], [(1,)]), make_table("R", ["A"], [(1,), (1,)])
+        )
+        out = Program([assign("T", "DEDUP", "R")]).run(db)
+        # both dedups yield the same table -> set semantics keep one
+        assert len(out.tables_named("T")) == 1
+
+    def test_split_results_all_carry_target_name(self):
+        db = database(make_table("R", ["G", "X"], [("a", 1), ("b", 2)]))
+        out = Program([assign("T", "SPLIT", "R", on="G")]).run(db)
+        parts = out.tables_named("T")
+        assert len(parts) == 2
+
+
+class TestParsedEndToEnd:
+    def test_constant_selection_program(self):
+        db = database(make_table("R", ["A"], [("x",), ("y",)]))
+        program = parse_program("T <- SELECTCONST attr A value 'x' (R)")
+        out = program.run(db)
+        assert out.tables_named("T")[0].height == 1
+
+    def test_negative_parameter_set(self):
+        db = database(make_table("R", ["A", "B", "C"], [(1, 2, 3)]))
+        program = parse_program("T <- PROJECT attrs {A, B, C - B} (R)")
+        out = program.run(db)
+        assert set(out.tables_named("T")[0].column_attributes) == {N("A"), N("C")}

@@ -1,0 +1,109 @@
+"""Edge-case tests for derived joins, conversions, and op plumbing."""
+
+import pytest
+
+from repro.algebra import natural_join
+from repro.algebra.opshelpers import as_attr_set, as_attr_symbol
+from repro.algebra.programs import OPERATIONS
+from repro.core import (
+    NULL,
+    EvaluationError,
+    N,
+    SchemaError,
+    UndefinedOperationError,
+    V,
+    make_table,
+)
+from repro.relational import Relation, relation_to_table, table_to_relation
+
+
+class TestNaturalJoin:
+    def test_basic_join(self):
+        r = make_table("R", ["A", "B"], [(1, "x"), (2, "y")])
+        s = make_table("S", ["B", "C"], [("x", 10), ("x", 11)])
+        out = natural_join(r, s)
+        assert out.column_attributes == (N("A"), N("B"), N("C"))
+        rows = {tuple(v.payload for v in out.data_row(i)) for i in out.data_row_indices()}
+        assert rows == {(1, "x", 10), (1, "x", 11)}
+
+    def test_no_shared_attributes_is_product(self):
+        r = make_table("R", ["A"], [(1,), (2,)])
+        s = make_table("S", ["B"], [(3,)])
+        assert natural_join(r, s).height == 2
+
+    def test_empty_join(self):
+        r = make_table("R", ["A", "B"], [(1, "x")])
+        s = make_table("S", ["B"], [("z",)])
+        assert natural_join(r, s).height == 0
+
+    def test_repeated_shared_attribute_rejected(self):
+        r = make_table("R", ["B", "B"], [(1, 2)])
+        s = make_table("S", ["B"], [(1,)])
+        with pytest.raises(UndefinedOperationError):
+            natural_join(r, s)
+
+    def test_result_deduplicated(self):
+        r = make_table("R", ["A", "B"], [(1, "x"), (1, "x")])
+        s = make_table("S", ["B"], [("x",)])
+        assert natural_join(r, s).height == 1
+
+    def test_name_override(self):
+        r = make_table("R", ["A"], [(1,)])
+        assert natural_join(r, r, name="J").name == N("J")
+
+
+class TestTableRelationConversion:
+    def test_schema_reorder(self):
+        table = relation_to_table(Relation("R", ["A", "B"], [(1, 2)]))
+        reordered = table_to_relation(table, schema=("B", "A"))
+        assert reordered.schema == ("B", "A")
+        assert (V(2), V(1)) in reordered.tuples
+
+    def test_schema_mismatch_rejected(self):
+        table = relation_to_table(Relation("R", ["A", "B"], [(1, 2)]))
+        with pytest.raises(SchemaError):
+            table_to_relation(table, schema=("A", "Z"))
+        with pytest.raises(SchemaError):
+            table_to_relation(table, schema=("A",))
+
+    def test_non_name_attributes_rejected(self):
+        table = make_table("R", ["A"], [(1,)]).with_entry(0, 1, V("data"))
+        with pytest.raises(SchemaError):
+            table_to_relation(table)
+
+    def test_row_attributes_rejected(self):
+        table = make_table("R", ["A"], [(1,)], row_attrs=["tag"])
+        with pytest.raises(SchemaError):
+            table_to_relation(table)
+
+    def test_anonymous_relation_not_embeddable(self):
+        with pytest.raises(SchemaError):
+            relation_to_table(Relation("", ["A"], [(1,)]))
+
+
+class TestOpPlumbing:
+    def test_as_attr_symbol_coercions(self):
+        assert as_attr_symbol("A") == N("A")
+        assert as_attr_symbol(None) is NULL
+        assert as_attr_symbol(5) == V(5)
+        assert as_attr_symbol(V("east")) == V("east")
+
+    def test_as_attr_set_single_and_iterable(self):
+        assert as_attr_set("A") == frozenset([N("A")])
+        assert as_attr_set(["A", None]) == frozenset([N("A"), NULL])
+        assert as_attr_set(()) == frozenset()
+        assert as_attr_set(5) == frozenset([V(5)])
+
+    def test_registry_arity_enforced_at_invoke(self):
+        spec = OPERATIONS["UNION"]
+        t = make_table("R", ["A"], [(1,)])
+        with pytest.raises(EvaluationError):
+            spec.invoke([t], {}, None)
+
+    def test_every_registry_entry_is_well_formed(self):
+        for name, spec in OPERATIONS.items():
+            assert spec.name == name
+            assert callable(spec.function)
+            assert spec.arity >= 1
+            for kind in spec.params.values():
+                assert kind in ("single", "set", "entry")

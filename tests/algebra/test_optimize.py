@@ -1,0 +1,178 @@
+"""Unit tests for the tabular algebra program optimizer."""
+
+import pytest
+
+from repro.algebra.programs import (
+    Assignment,
+    Program,
+    Star,
+    While,
+    assign,
+    collapse_idempotent_pairs,
+    eliminate_dead_statements,
+    optimize,
+    parse_program,
+)
+from repro.core import N, database, make_table
+from repro.relational import (
+    Assign,
+    FWProgram,
+    Project,
+    Rel,
+    Relation,
+    RelationalDatabase,
+    compile_program,
+    relational_to_tabular,
+)
+
+
+def db():
+    return database(make_table("R", ["A", "B"], [(1, 2), (1, 2), (3, 4)]))
+
+
+class TestDeadStatementElimination:
+    def test_drops_unused_temporaries(self):
+        program = parse_program(
+            """
+            Tmp1 <- DEDUP (R)
+            Tmp2 <- TRANSPOSE (R)
+            Out  <- DEDUP (Tmp1)
+            """
+        )
+        optimized = eliminate_dead_statements(program, ["Out"])
+        assert len(optimized) == 2  # Tmp2 is dead
+
+    def test_keeps_everything_reachable(self):
+        program = parse_program(
+            """
+            Tmp <- DEDUP (R)
+            Out <- TRANSPOSE (Tmp)
+            """
+        )
+        assert len(eliminate_dead_statements(program, ["Out"])) == 2
+
+    def test_results_unchanged(self):
+        program = parse_program(
+            """
+            Tmp1 <- DEDUP (R)
+            Dead <- TRANSPOSE (Tmp1)
+            Out  <- PROJECT attrs {A} (Tmp1)
+            """
+        )
+        optimized = eliminate_dead_statements(program, ["Out"])
+        full = program.run(db()).tables_named("Out")
+        lean = optimized.run(db()).tables_named("Out")
+        assert full == lean
+
+    def test_rebinding_kills_earlier_write(self):
+        program = parse_program(
+            """
+            Out <- DEDUP (R)
+            Out <- TRANSPOSE (R)
+            """
+        )
+        optimized = eliminate_dead_statements(program, ["Out"])
+        assert len(optimized) == 1
+
+    def test_wildcards_block_elimination(self):
+        program = Program(
+            [
+                assign("Dead", "DEDUP", "R"),
+                Assignment(Star(0), "DEDUP", [Star(0)]),
+                assign("Out", "DEDUP", "R"),
+            ]
+        )
+        optimized = eliminate_dead_statements(program, ["Out"])
+        assert len(optimized) == 3  # conservative: nothing removed
+
+    def test_while_loops_kept_when_observed(self):
+        program = parse_program(
+            """
+            Work <- DEDUP (R)
+            while Work do
+                Work <- DIFFERENCE (Work, R)
+            end
+            Out <- DEDUP (Work)
+            """
+        )
+        optimized = eliminate_dead_statements(program, ["Out"])
+        assert any(isinstance(s, While) for s in optimized.statements)
+
+
+class TestChainCollapsing:
+    def test_dedup_chain(self):
+        program = parse_program(
+            """
+            T <- DEDUP (R)
+            U <- DEDUP (T)
+            """
+        )
+        collapsed = collapse_idempotent_pairs(program)
+        second = collapsed.statements[1]
+        assert isinstance(second, Assignment)
+        assert str(second.args[0]) == "R"  # reads the original source
+
+    def test_transpose_chain_becomes_copy(self):
+        program = parse_program(
+            """
+            T <- TRANSPOSE (R)
+            U <- TRANSPOSE (T)
+            """
+        )
+        collapsed = collapse_idempotent_pairs(program)
+        out = collapsed.run(db())
+        assert out.tables_named("U")[0] == db().tables[0].with_name(N("U"))
+
+    def test_self_referential_chain_untouched(self):
+        program = parse_program(
+            """
+            T <- DEDUP (T)
+            U <- DEDUP (T)
+            """
+        )
+        collapsed = collapse_idempotent_pairs(program)
+        assert str(collapsed.statements[1].args[0]) == "T"
+
+    def test_collapse_inside_while(self):
+        program = parse_program(
+            """
+            while W do
+                T <- TRANSPOSE (W)
+                U <- TRANSPOSE (T)
+                W <- DIFFERENCE (W, U)
+            end
+            """
+        )
+        collapsed = collapse_idempotent_pairs(program)
+        loop = collapsed.statements[0]
+        assert isinstance(loop, While)
+
+
+class TestOptimizePipeline:
+    def test_compiled_program_shrinks_and_agrees(self):
+        fw = FWProgram([Assign("Out", Project(Rel("E"), ["A"]))])
+        compiled = compile_program(fw, {"E": ("A", "B")})
+        optimized = optimize(compiled, ["Out"])
+        assert len(optimized) <= len(compiled)
+        reldb = RelationalDatabase([Relation("E", ["A", "B"], [(1, 2), (1, 3)])])
+        tdb = relational_to_tabular(reldb)
+        full = compiled.run(tdb).tables_named("Out")
+        lean = optimized.run(tdb).tables_named("Out")
+        assert full == lean
+
+    def test_optimize_preserves_pivot_pipeline(self):
+        from repro.data import sales_info1, sales_info2
+
+        program = parse_program(
+            """
+            Grouped <- GROUP by {Region} on {Sold} (Sales)
+            Scratch <- TRANSPOSE (Grouped)
+            Cleaned <- CLEANUP by {Part} on {null} (Grouped)
+            Pivot   <- PURGE on {Sold} by {Region} (Cleaned)
+            """
+        )
+        optimized = optimize(program, ["Pivot"])
+        assert len(optimized) == 3  # Scratch eliminated
+        out = optimized.run(sales_info1())
+        pivot = out.tables_named("Pivot")[0]
+        assert pivot.equivalent(sales_info2().tables[0].with_name(pivot.name))

@@ -1,0 +1,164 @@
+"""Unit tests for the textual tabular algebra syntax."""
+
+import pytest
+
+from repro.algebra.programs import (
+    Assignment,
+    Lit,
+    Pair,
+    ParamSet,
+    Star,
+    While,
+    parse_program,
+    parse_statement,
+)
+from repro.core import NULL, N, ParseError, V, database, make_table
+from repro.data import sales_info1, sales_info2
+
+
+class TestParsing:
+    def test_simple_assignment(self):
+        stmt = parse_statement("T <- TRANSPOSE (R)")
+        assert isinstance(stmt, Assignment)
+        assert stmt.spec.name == "TRANSPOSE"
+        assert isinstance(stmt.target, Lit) and stmt.target.symbol == N("T")
+
+    def test_keyword_parameters(self):
+        stmt = parse_statement("T <- GROUP by {Region} on {Sold} (Sales)")
+        assert isinstance(stmt, Assignment)
+        assert set(stmt.params) == {"by", "on"}
+
+    def test_bare_parameter_without_braces(self):
+        stmt = parse_statement("T <- GROUP by Region on Sold (Sales)")
+        assert isinstance(stmt, Assignment)
+
+    def test_negative_list(self):
+        stmt = parse_statement("T <- PROJECT attrs {A, B - B} (R)")
+        assert isinstance(stmt, Assignment)
+        param = stmt.params["attrs"]
+        assert isinstance(param, ParamSet)
+        assert len(param.negative) == 1
+
+    def test_null_and_values(self):
+        stmt = parse_statement("T <- CLEANUP by {Part} on {null} (R)")
+        assert isinstance(stmt, Assignment)
+        stmt2 = parse_statement("T <- SWITCH value 'east' (R)")
+        assert isinstance(stmt2, Assignment)
+        assert stmt2.params["value"].symbol == V("east")  # type: ignore[attr-defined]
+
+    def test_numeric_value(self):
+        stmt = parse_statement("T <- SELECTCONST attr A value 42 (R)")
+        assert stmt.params["value"].symbol == V(42)  # type: ignore[attr-defined]
+
+    def test_wildcards(self):
+        stmt = parse_statement("*1 <- DEDUP (*1)")
+        assert isinstance(stmt.target, Star) and stmt.target.index == 1
+
+    def test_pair_parameter(self):
+        stmt = parse_statement("T <- PROJECT attrs {(Region, any)} (R)")
+        param = stmt.params["attrs"]
+        assert isinstance(param, ParamSet)
+        assert isinstance(param.positive[0], Pair)
+
+    def test_while_block(self):
+        program = parse_program(
+            """
+            while Work do
+                Work <- DIFFERENCE (Work, Done)
+            end
+            """
+        )
+        assert len(program) == 1
+        assert isinstance(program.statements[0], While)
+
+    def test_nested_while(self):
+        program = parse_program(
+            """
+            while A do
+                while B do
+                    B <- DIFFERENCE (B, A)
+                end
+                A <- DIFFERENCE (A, B)
+            end
+            """
+        )
+        outer = program.statements[0]
+        assert isinstance(outer, While)
+        assert isinstance(outer.body.statements[0], While)
+
+    def test_comments_and_blank_lines(self):
+        program = parse_program(
+            """
+            # build the pivot
+            T <- GROUP by {Region} on {Sold} (Sales)  # trailing comment
+            """
+        )
+        assert len(program) == 1
+
+    def test_multiple_arguments(self):
+        stmt = parse_statement("T <- UNION (R, S)")
+        assert len(stmt.args) == 2  # type: ignore[union-attr]
+
+    def test_case_insensitive_operation(self):
+        assert parse_statement("T <- group by {G} on {X} (R)").spec.name == "GROUP"  # type: ignore[union-attr]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "T <- NOSUCHOP (R)",
+            "T <- GROUP by {Region} (Sales)",  # missing 'on'
+            "T <- UNION (R",  # unclosed parens
+            "while Work do T <- DEDUP (Work)",  # missing end
+            "T <- GROUP by {} on {Sold} (Sales)",  # empty set
+            "T GROUP (R)",  # missing arrow
+            "T <- UNION ()",  # no arguments
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_program(text)
+
+    def test_error_carries_location(self):
+        try:
+            parse_program("T <-\nNOSUCHOP (R)")
+        except ParseError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+class TestParsedExecution:
+    def test_pivot_program(self):
+        program = parse_program(
+            """
+            Grouped <- GROUP by {Region} on {Sold} (Sales)
+            Cleaned <- CLEANUP by {Part} on {null} (Grouped)
+            Pivot   <- PURGE on {Sold} by {Region} (Cleaned)
+            """
+        )
+        out = program.run(sales_info1())
+        pivot = out.tables_named("Pivot")[0]
+        expected = sales_info2().tables[0].with_name(N("Pivot"))
+        assert pivot.equivalent(expected)
+
+    def test_while_program(self):
+        program = parse_program(
+            """
+            while Work do
+                Work <- DIFFERENCE (Work, Done)
+            end
+            """
+        )
+        db = database(
+            make_table("Work", ["A"], [(1,), (2,)]),
+            make_table("Done", ["A"], [(1,), (2,)]),
+        )
+        out = program.run(db)
+        assert out.tables_named("Work")[0].height == 0
+
+    def test_roundtrip_repr_parse(self):
+        stmt = parse_statement("T <- GROUP by {Region} on {Sold} (Sales)")
+        reparsed = parse_statement(repr(stmt).replace("<-", "<- "))
+        assert repr(reparsed) == repr(stmt)

@@ -1,0 +1,219 @@
+"""Unit tests for the program layer: parameters, statements, interpreter."""
+
+import pytest
+
+from repro.algebra.programs import (
+    ANY,
+    Assignment,
+    Binding,
+    Interpreter,
+    Lit,
+    Pair,
+    ParamSet,
+    Program,
+    Star,
+    While,
+    assign,
+)
+from repro.core import (
+    NULL,
+    EvaluationError,
+    N,
+    NonTerminationError,
+    TaggedValue,
+    UndefinedOperationError,
+    V,
+    database,
+    make_table,
+)
+from repro.data import sales_info1, sales_info2, sales_info4
+
+
+class TestParameters:
+    def test_literal_name(self):
+        assert Lit("A").evaluate(Binding(), None) == frozenset([N("A")])
+
+    def test_literal_null_and_value(self):
+        assert Lit(None).evaluate(Binding(), None) == frozenset([NULL])
+        assert Lit(V("east")).evaluate(Binding(), None) == frozenset([V("east")])
+
+    def test_star_requires_binding(self):
+        with pytest.raises(EvaluationError):
+            Star(1).evaluate(Binding(), None)
+        binding = Binding().extended(1, N("R"))
+        assert Star(1).evaluate(binding, None) == frozenset([N("R")])
+
+    def test_binding_conflict(self):
+        binding = Binding().extended(0, N("R"))
+        with pytest.raises(EvaluationError):
+            binding.extended(0, N("S"))
+
+    def test_param_set_positive_minus_negative(self):
+        param = ParamSet([Lit("A"), Lit("B")], [Lit("B")])
+        assert param.evaluate(Binding(), None) == frozenset([N("A")])
+
+    def test_param_set_requires_positives(self):
+        with pytest.raises(EvaluationError):
+            ParamSet([])
+
+    def test_evaluate_single_enforces_singleton(self):
+        param = ParamSet([Lit("A"), Lit("B")])
+        with pytest.raises(UndefinedOperationError):
+            param.evaluate_single(Binding(), None)
+
+    def test_pair_selects_entries(self):
+        t = make_table("R", ["A", "B"], [(1, 2), (3, 4)], row_attrs=["x", "y"])
+        param = Pair(Lit("x"), Lit("B"))
+        assert param.evaluate(Binding(), t) == frozenset([V(2)])
+
+    def test_pair_with_any(self):
+        t = make_table("R", ["A", "B"], [(1, 2)])
+        param = Pair(ANY, ANY)
+        assert param.evaluate(Binding(), t) == frozenset([V(1), V(2)])
+
+    def test_pair_needs_table(self):
+        with pytest.raises(EvaluationError):
+            Pair(ANY, ANY).evaluate(Binding(), None)
+
+    def test_wildcard_collection(self):
+        param = ParamSet([Star(1), Pair(Star(2), Lit("A"))])
+        assert param.wildcards() == frozenset([1, 2])
+
+
+class TestAssignment:
+    def test_unknown_operation(self):
+        with pytest.raises(EvaluationError):
+            Assignment("T", "FROBNICATE", ["R"])
+
+    def test_wrong_arity(self):
+        with pytest.raises(EvaluationError):
+            Assignment("T", "UNION", ["R"])
+
+    def test_unknown_parameter(self):
+        with pytest.raises(EvaluationError):
+            Assignment("T", "GROUP", ["R"], {"by": "A", "on": "B", "zap": "C"})
+
+    def test_missing_parameter(self):
+        with pytest.raises(EvaluationError):
+            Assignment("T", "GROUP", ["R"], {"by": "A"})
+
+    def test_runs_once_per_matching_table(self):
+        db = sales_info4()  # four tables named Sales
+        program = Program([assign("Flipped", "TRANSPOSE", "Sales")])
+        out = program.run(db)
+        assert len(out.tables_named("Flipped")) == 4
+
+    def test_binary_all_pairs(self):
+        db = database(
+            make_table("R", ["A"], [(1,)]),
+            make_table("R", ["A"], [(2,)]),
+            make_table("S", ["B"], [(3,)]),
+        )
+        out = Program([assign("T", "PRODUCT", "R", "S")]).run(db)
+        assert len(out.tables_named("T")) == 2
+
+    def test_assignment_replaces_target(self):
+        db = database(make_table("T", ["Old"], [(0,)]), make_table("R", ["A"], [(1,)]))
+        out = Program([assign("T", "TRANSPOSE", "R")]).run(db)
+        assert len(out.tables_named("T")) == 1
+        assert N("Old") not in out.tables_named("T")[0].symbols()
+
+    def test_no_match_empties_target(self):
+        db = database(make_table("T", ["Old"], [(0,)]))
+        out = Program([assign("T", "TRANSPOSE", "Missing")]).run(db)
+        assert out.tables_named("T") == ()
+
+    def test_wildcard_argument_binds_target(self):
+        db = database(make_table("R", ["A"], [(1,)]), make_table("S", ["B"], [(2,)]))
+        out = Program([Assignment(Star(0), "DEDUP", [Star(0)])]).run(db)
+        # every table deduplicated in place
+        assert out.table_names() == db.table_names()
+
+    def test_aggregate_collapse_consumes_all_tables(self):
+        db = sales_info4()
+        out = Program(
+            [Assignment("Flat", "COLLAPSECOMPACT", ["Sales"], {"by": "Region"})]
+        ).run(db)
+        flat = out.tables_named("Flat")
+        assert len(flat) == 1
+        assert flat[0].height == 8
+
+    def test_tagging_through_interpreter_is_globally_fresh(self):
+        db = database(make_table("R", ["A"], [(1,)]))
+        program = Program(
+            [
+                assign("T1", "TUPLENEW", "R", attr="Id"),
+                assign("T2", "TUPLENEW", "R", attr="Id"),
+            ]
+        )
+        out = program.run(db)
+        tag1 = out.tables_named("T1")[0].entry(1, 2)
+        tag2 = out.tables_named("T2")[0].entry(1, 2)
+        assert isinstance(tag1, TaggedValue) and tag1 != tag2
+
+    def test_interpreter_advances_past_existing_tags(self):
+        t = make_table("R", ["A"], [(1,)]).with_entry(1, 1, TaggedValue(7))
+        out = Program([assign("T", "TUPLENEW", "R", attr="Id")]).run(database(t))
+        tag = out.tables_named("T")[0].entry(1, 2)
+        assert tag.payload > 7
+
+    def test_pair_parameter_against_argument_table(self):
+        # Project onto the attributes listed *as data* in a config row.
+        t = make_table("R", ["A", "B"], [(1, 2)], row_attrs=[None])
+        stmt = Assignment("T", "PROJECT", ["R"], {"attrs": Pair(ANY, Lit("A"))})
+        out = Program([stmt]).run(database(t))
+        # entries under column A: value 1 -> no column is named Value(1)
+        assert out.tables_named("T")[0].width == 0
+
+
+class TestWhile:
+    def test_terminates_when_empty(self):
+        work = make_table("Work", ["A"], [(1,), (2,)])
+        drain = make_table("Drain", ["A"], [(1,), (2,)])
+        loop = While("Work", [assign("Work", "DIFFERENCE", "Work", "Drain")])
+        out = Program([loop]).run(database(work, drain))
+        assert out.tables_named("Work")[0].height == 0
+
+    def test_nontermination_guard(self):
+        work = make_table("Work", ["A"], [(1,)])
+        loop = While("Work", [assign("Work", "DEDUP", "Work")])
+        with pytest.raises(NonTerminationError):
+            Program([loop]).run(database(work), max_while_iterations=25)
+
+    def test_condition_on_absent_name_is_false(self):
+        loop = While("Nothing", [assign("T", "TRANSPOSE", "Nothing")])
+        out = Program([loop]).run(database())
+        assert out.is_empty()
+
+    def test_headerless_table_counts_as_empty(self):
+        empty = make_table("Work", ["A"], [])
+        loop = While("Work", [assign("Work", "DEDUP", "Work")])
+        out = Program([loop]).run(database(empty))
+        assert out.tables_named("Work")[0] == empty
+
+
+class TestProgram:
+    def test_sequencing(self, sales_relation):
+        program = Program(
+            [
+                assign("G", "GROUP", "Sales", by="Region", on="Sold"),
+                assign("C", "CLEANUP", "G", by="Part", on=[None]),
+                assign("P", "PURGE", "C", on="Sold", by="Region"),
+            ]
+        )
+        out = program.run(sales_info1())
+        pivot = out.tables_named("P")[0]
+        assert pivot.equivalent(sales_info2().tables[0].with_name(N("P")))
+
+    def test_concatenation(self):
+        p1 = Program([assign("T", "DEDUP", "R")])
+        p2 = Program([assign("U", "DEDUP", "T")])
+        assert len(p1 + p2) == 2
+
+    def test_rejects_non_statements(self):
+        with pytest.raises(EvaluationError):
+            Program(["nope"])  # type: ignore[list-item]
+
+    def test_repr_is_informative(self):
+        stmt = assign("T", "GROUP", "Sales", by="Region", on="Sold")
+        assert "GROUP" in repr(stmt) and "Sales" in repr(stmt)

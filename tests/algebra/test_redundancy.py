@@ -1,0 +1,90 @@
+"""Unit tests for CLEAN-UP and PURGE (Section 3.4)."""
+
+from repro.algebra import cleanup, group, purge, union
+from repro.core import NULL, N, V, make_table
+from repro.data import figure4_bottom, sales_info2
+
+
+class TestCleanup:
+    def test_paper_example_groups_parts(self):
+        # CLEAN-UP by Part on ⊥ applied to Figure 4 bottom groups the
+        # information on nuts, screws and bolts into one row each.
+        cleaned = cleanup(figure4_bottom(), by="Part", on=[None])
+        # Region header row + one row per part
+        assert cleaned.height == 4
+        nuts_rows = [i for i in cleaned.data_row_indices() if cleaned.entry(i, 1) == V("nuts")]
+        assert len(nuts_rows) == 1
+        row = cleaned.row(nuts_rows[0])
+        assert sorted(s.payload for s in row[2:] if not s.is_null) == [40, 50, 60]
+
+    def test_keeps_duplicate_values_in_distinct_columns(self):
+        # screws sold 50 in two regions; both occurrences must survive.
+        cleaned = cleanup(figure4_bottom(), by="Part", on=[None])
+        screws = next(
+            i for i in cleaned.data_row_indices() if cleaned.entry(i, 1) == V("screws")
+        )
+        values = [s.payload for s in cleaned.row(screws)[2:] if not s.is_null]
+        assert sorted(values) == [50, 50, 60]
+
+    def test_rows_outside_on_set_untouched(self):
+        cleaned = cleanup(figure4_bottom(), by="Part", on=[None])
+        assert N("Region") in cleaned.row_attributes
+
+    def test_incompatible_rows_not_merged(self):
+        t = make_table("R", ["K", "X"], [(1, "a"), (1, "b")])
+        assert cleanup(t, by="K", on=[None]) == t
+
+    def test_duplicate_elimination(self):
+        t = make_table("R", ["A", "B"], [(1, 2), (1, 2), (3, 4)])
+        out = cleanup(t, by=["A", "B"], on=[None])
+        assert out.height == 2
+
+    def test_merge_takes_first_position(self):
+        t = make_table("R", ["K", "X", "X"], [(1, "a", None), (2, "q", None), (1, None, "b")])
+        out = cleanup(t, by="K", on=[None])
+        assert out.height == 2
+        assert out.row(1) == (NULL, V(1), V("a"), V("b"))
+
+    def test_row_attribute_part_of_group_key(self):
+        t = make_table("R", ["K", "X"], [(1, None), (1, 5)], row_attrs=["u", "v"])
+        out = cleanup(t, by="K", on=["u", "v"])
+        assert out.height == 2  # different row attributes never merge
+
+    def test_null_key_rows_group_together(self):
+        t = make_table("R", ["K", "X", "X"], [(None, 1, None), (None, None, 2)])
+        out = cleanup(t, by="K", on=[None])
+        assert out.height == 1
+
+
+class TestPurge:
+    def test_paper_example_yields_salesinfo2(self, sales_relation):
+        grouped = group(sales_relation, by="Region", on="Sold")
+        cleaned = cleanup(grouped, by="Part", on=[None])
+        purged = purge(cleaned, on="Sold", by="Region")
+        assert purged.equivalent(sales_info2().tables[0])
+
+    def test_purge_is_dual_of_cleanup(self):
+        t = make_table("R", ["X", "X"], [("k", "k"), (1, None), (None, 2)], row_attrs=["G", None, None])
+        out = purge(t, on="X", by="G")
+        assert out.width == 1
+        assert out.column(1) == (N("X"), V("k"), V(1), V(2))
+
+    def test_columns_outside_on_set_untouched(self):
+        t = make_table("R", ["A", "X", "X"], [(0, 1, None)])
+        out = purge(t, on="X", by=[])
+        assert N("A") in out.column_attributes
+        assert out.width == 2
+
+    def test_classical_union_pipeline(self):
+        left = make_table("R", ["A", "B"], [(1, 2)])
+        right = make_table("S", ["A", "B"], [(1, 2), (3, 4)])
+        combined = union(left, right)
+        assert combined.width == 4
+        purged = purge(combined, on=["A", "B"], by=[])
+        assert purged.width == 2
+        deduped = cleanup(purged, by=["A", "B"], on=[None])
+        assert deduped.height == 2
+
+    def test_incompatible_columns_survive(self):
+        t = make_table("R", ["X", "X"], [(1, 2)])
+        assert purge(t, on="X", by=[]) == t

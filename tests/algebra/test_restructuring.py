@@ -1,0 +1,188 @@
+"""Unit tests for GROUP, MERGE, SPLIT, COLLAPSE (Section 3.2)."""
+
+import pytest
+
+from repro.algebra import (
+    collapse,
+    collapse_compact,
+    group,
+    group_compact,
+    merge,
+    merge_compact,
+    segment_blocks,
+    split,
+    union,
+)
+from repro.core import NULL, N, UndefinedOperationError, V, make_table
+from repro.data import figure4_bottom, figure4_top, figure5_result, sales_info2, sales_info4
+
+
+class TestGroup:
+    def test_reproduces_figure4_exactly(self, sales_relation, sales_grouped):
+        assert group(sales_relation, by="Region", on="Sold") == sales_grouped
+
+    def test_block_structure(self):
+        t = make_table("R", ["K", "G", "X", "Y"], [(1, "a", 10, 11), (2, "b", 20, 21)])
+        out = group(t, by="G", on=["X", "Y"])
+        # attrs: K then (X, Y) per data row
+        assert out.column_attributes == (N("K"), N("X"), N("Y"), N("X"), N("Y"))
+        # G header row repeats the value across its block
+        assert out.row(1) == (N("G"), NULL, V("a"), V("a"), V("b"), V("b"))
+        # data rows carry their block, ⊥ elsewhere
+        assert out.row(2) == (NULL, V(1), V(10), V(11), NULL, NULL)
+        assert out.row(3) == (NULL, V(2), NULL, NULL, V(20), V(21))
+
+    def test_multiple_by_attributes_give_multiple_header_rows(self):
+        t = make_table("R", ["G", "H", "X"], [("a", "p", 1)])
+        out = group(t, by=["G", "H"], on="X")
+        assert out.row_attributes[:2] == (N("G"), N("H"))
+
+    def test_disjointness_required(self):
+        with pytest.raises(UndefinedOperationError):
+            group(figure4_top(), by="Sold", on="Sold")
+
+    def test_missing_attributes_are_undefined(self):
+        with pytest.raises(UndefinedOperationError):
+            group(figure4_top(), by="Nope", on="Sold")
+        with pytest.raises(UndefinedOperationError):
+            group(figure4_top(), by="Region", on="Nope")
+
+    def test_row_attributes_preserved(self):
+        t = make_table("R", ["G", "X"], [("a", 1)], row_attrs=["tag"])
+        out = group(t, by="G", on="X")
+        assert out.row_attributes == (N("G"), N("tag"))
+
+    def test_group_compact_reproduces_salesinfo2(self, sales_relation, sales_pivot):
+        compact = group_compact(sales_relation, by="Region", on="Sold")
+        assert compact.equivalent(sales_pivot)
+
+
+class TestSegmentBlocks:
+    def test_single_attribute_repeats_to_unit_blocks(self):
+        t = figure4_bottom()
+        on_cols = [j for j in t.data_col_indices() if t.entry(0, j) == N("Sold")]
+        blocks = segment_blocks(t, on_cols)
+        assert all(len(b) == 1 for b in blocks)
+        assert len(blocks) == 8
+
+    def test_relation_style_single_block(self):
+        t = make_table("R", ["A", "B"], [(1, 2)])
+        assert segment_blocks(t, [1, 2]) == [[1, 2]]
+
+    def test_repeating_pattern(self):
+        t = make_table("R", ["X", "Y", "X", "Y"], [(1, 2, 3, 4)])
+        assert segment_blocks(t, [1, 2, 3, 4]) == [[1, 2], [3, 4]]
+
+    def test_irregular_pattern_closes_on_repeat(self):
+        t = make_table("R", ["X", "Y", "Y"], [(1, 2, 3)])
+        assert segment_blocks(t, [1, 2, 3]) == [[1, 2], [3]]
+
+
+class TestMerge:
+    def test_reproduces_figure5_exactly(self, sales_pivot):
+        assert merge(sales_pivot, on="Sold", by="Region") == figure5_result()
+
+    def test_uneconomical_on_grouped_table(self, sales_grouped):
+        out = merge(sales_grouped, on="Sold", by="Region")
+        # 8 part rows x 8 blocks = 64 rows, "even more uneconomical"
+        assert out.height == 64
+        assert out.column_attributes == (N("Part"), N("Region"), N("Sold"))
+
+    def test_merge_then_filter_recovers_relation(self, sales_pivot, sales_relation):
+        assert merge_compact(sales_pivot, on="Sold", by="Region").equivalent(sales_relation)
+
+    def test_defined_on_tables_not_from_grouping(self):
+        t = make_table("R", ["A", "B"], [(1, 2)])
+        out = merge(t, on=["A", "B"], by="G")
+        # no G provider row: value is ⊥
+        assert out.column_attributes == (N("G"), N("A"), N("B"))
+        assert out.row(1) == (NULL, NULL, V(1), V(2))
+
+    def test_provider_rows_not_emitted(self, sales_pivot):
+        out = merge(sales_pivot, on="Sold", by="Region")
+        assert N("Region") not in out.row_attributes
+
+    def test_requires_on_columns(self):
+        with pytest.raises(UndefinedOperationError):
+            merge(make_table("R", ["A"], [(1,)]), on="Z", by="G")
+
+    def test_conflicting_providers_take_first_nonnull(self):
+        t = make_table(
+            "R",
+            ["X"],
+            [("g1",), ("g2",), (5,)],
+            row_attrs=["G", "G", None],
+        )
+        out = merge(t, on="X", by="G")
+        assert out.row(1) == (NULL, V("g1"), V(5))
+
+
+class TestSplit:
+    def test_matches_salesinfo4(self, sales_relation):
+        parts = split(sales_relation, on="Region")
+        expected = sales_info4().tables
+        assert len(parts) == len(expected) == 4
+        for part in parts:
+            assert any(part.equivalent(t) for t in expected)
+
+    def test_header_row_repeats_value_across_width(self, sales_relation):
+        part = split(sales_relation, on="Region")[0]
+        header_row = part.row(1)
+        assert header_row[0] == N("Region")
+        assert header_row[1] == header_row[2] == V("east")
+
+    def test_distinct_null_combination_forms_own_group(self):
+        t = make_table("R", ["G", "X"], [("a", 1), (None, 2)])
+        parts = split(t, on="G")
+        assert len(parts) == 2
+
+    def test_split_on_multiple_columns(self):
+        t = make_table("R", ["G", "H", "X"], [("a", "p", 1), ("a", "q", 2)])
+        parts = split(t, on=["G", "H"])
+        assert len(parts) == 2
+        assert parts[0].row_attributes[:2] == (N("G"), N("H"))
+
+    def test_requires_matching_columns(self):
+        with pytest.raises(UndefinedOperationError):
+            split(make_table("R", ["A"], [(1,)]), on="Z")
+
+    def test_result_name_override(self, sales_relation):
+        parts = split(sales_relation, on="Region", name="Chunk")
+        assert all(p.name == N("Chunk") for p in parts)
+
+
+class TestCollapse:
+    def test_collapse_compact_inverts_split(self, sales_relation):
+        parts = split(sales_relation, on="Region")
+        rebuilt = collapse_compact(parts, by="Region")
+        assert rebuilt.equivalent(sales_relation)
+
+    def test_collapse_is_uneconomical_union(self, sales_relation):
+        parts = split(sales_relation, on="Region")
+        collapsed = collapse(parts, by="Region")
+        # tabular union concatenates the four merged schemes
+        assert collapsed.width == 3 * len(parts)
+
+    def test_single_table_collapse(self):
+        t = make_table("R", ["Part", "Sold"], [("nuts", 50)]).append_rows(
+            [(N("Region"), V("east"), V("east"))]
+        )
+        out = collapse([t], by="Region")
+        assert out.column_attributes == (N("Region"), N("Part"), N("Sold"))
+        assert out.row(1) == (NULL, V("east"), V("nuts"), V(50))
+
+    def test_requires_tables(self):
+        with pytest.raises(UndefinedOperationError):
+            collapse([], by="Region")
+
+
+class TestInverseLaws:
+    def test_group_then_merge_recovers_relation(self, sales_relation):
+        grouped = group(sales_relation, by="Region", on="Sold")
+        back = merge_compact(grouped, on="Sold", by="Region")
+        assert back.equivalent(sales_relation)
+
+    def test_pivot_round_trip_via_compact_ops(self, sales_relation):
+        pivot = group_compact(sales_relation, by="Region", on="Sold")
+        back = merge_compact(pivot, on="Sold", by="Region")
+        assert back.equivalent(sales_relation)

@@ -1,0 +1,78 @@
+"""Unit tests for TUPLENEW and SETNEW (Section 3.5)."""
+
+import pytest
+
+from repro.algebra import setnew, tuplenew
+from repro.core import (
+    NULL,
+    FreshValueSource,
+    LimitExceededError,
+    N,
+    TaggedValue,
+    V,
+    make_table,
+)
+
+
+class TestTupleNew:
+    def test_adds_column_with_distinct_new_values(self):
+        t = make_table("R", ["A"], [(1,), (2,), (3,)])
+        out = tuplenew(t, "Id")
+        assert out.column_attributes == (N("A"), N("Id"))
+        tags = out.data_column(2)
+        assert len(set(tags)) == 3
+        assert all(isinstance(tag, TaggedValue) for tag in tags)
+
+    def test_shared_source_never_repeats(self):
+        source = FreshValueSource()
+        t = make_table("R", ["A"], [(1,)])
+        first = tuplenew(t, "Id", source)
+        second = tuplenew(t, "Id", source)
+        assert first.entry(1, 2) != second.entry(1, 2)
+
+    def test_empty_table(self):
+        t = make_table("R", ["A"], [])
+        out = tuplenew(t, "Id")
+        assert out.height == 0 and out.width == 2
+
+    def test_original_untouched(self):
+        t = make_table("R", ["A"], [(1,)])
+        tuplenew(t, "Id")
+        assert t.width == 1
+
+
+class TestSetNew:
+    def test_enumerates_all_nonempty_subsets(self):
+        t = make_table("R", ["A"], [(1,), (2,)])
+        out = setnew(t, "Set")
+        # subsets {1}, {2}, {1,2} -> 1 + 1 + 2 listed rows
+        assert out.height == 4
+        tags = set(out.data_column(2))
+        assert len(tags) == 3
+
+    def test_subset_members_share_their_tag(self):
+        t = make_table("R", ["A"], [(1,), (2,)])
+        out = setnew(t, "Set")
+        pair_rows = [i for i in out.data_row_indices()]
+        # last two rows form the {1,2} subset and share a tag
+        assert out.entry(pair_rows[-1], 2) == out.entry(pair_rows[-2], 2)
+        assert out.entry(pair_rows[0], 2) != out.entry(pair_rows[1], 2)
+
+    def test_exponential_guard(self):
+        t = make_table("R", ["A"], [(i,) for i in range(17)])
+        with pytest.raises(LimitExceededError):
+            setnew(t, "Set")
+
+    def test_guard_override(self):
+        t = make_table("R", ["A"], [(i,) for i in range(5)])
+        out = setnew(t, "Set", limit=5)
+        # sum over non-empty subsets of their sizes: 5 * 2^4 = 80
+        assert out.height == 80
+
+    def test_header_extended(self):
+        t = make_table("R", ["A"], [(1,)])
+        assert setnew(t, "Set").column_attributes == (N("A"), N("Set"))
+
+    def test_empty_table_yields_no_subsets(self):
+        t = make_table("R", ["A"], [])
+        assert setnew(t, "Set").height == 0

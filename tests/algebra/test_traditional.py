@@ -1,0 +1,177 @@
+"""Unit tests for the traditional operations (Section 3.1 / Figure 3)."""
+
+import pytest
+
+from repro.algebra import (
+    difference,
+    intersection,
+    product,
+    project,
+    rename,
+    select,
+    select_constant,
+    union,
+)
+from repro.core import NULL, N, V, make_table
+
+
+def r():
+    return make_table("R", ["A", "B"], [(1, 2), (3, 4)])
+
+
+def s():
+    return make_table("S", ["A", "C"], [(1, 5)])
+
+
+class TestUnion:
+    def test_scheme_concatenates(self):
+        u = union(r(), s())
+        assert u.column_attributes == (N("A"), N("B"), N("A"), N("C"))
+
+    def test_figure3_shape_laws(self):
+        u = union(r(), s())
+        assert u.width == r().width + s().width
+        assert u.height == r().height + s().height
+
+    def test_null_padding(self):
+        u = union(r(), s())
+        assert u.row(1) == (NULL, V(1), V(2), NULL, NULL)
+        assert u.row(3) == (NULL, NULL, NULL, V(1), V(5))
+
+    def test_always_defined_on_incompatible_schemes(self):
+        u = union(r(), make_table("S", ["Z"], [(9,)]))
+        assert u.height == 3
+
+    def test_name_defaults_to_left_and_can_be_set(self):
+        assert union(r(), s()).name == N("R")
+        assert union(r(), s(), name="T").name == N("T")
+
+    def test_row_attributes_preserved(self):
+        left = make_table("R", ["A"], [(1,)], row_attrs=["x"])
+        right = make_table("S", ["A"], [(2,)], row_attrs=["y"])
+        u = union(left, right)
+        assert u.row_attributes == (N("x"), N("y"))
+
+
+class TestDifference:
+    def test_removes_mutually_subsuming_rows(self):
+        left = make_table("R", ["A", "B"], [(1, 2), (3, 4)])
+        right = make_table("S", ["A", "B"], [(1, 2)])
+        assert difference(left, right).data == ((V(3), V(4)),)
+
+    def test_subsumption_is_attribute_based_not_positional(self):
+        left = make_table("R", ["A", "B"], [(1, 2)])
+        right = make_table("S", ["B", "A"], [(2, 1)])
+        assert difference(left, right).height == 0
+
+    def test_null_entries_ignored_in_matching(self):
+        left = make_table("R", ["A", "B"], [(1, None)])
+        right = make_table("S", ["A"], [(1,)])
+        assert difference(left, right).height == 0
+
+    def test_row_attribute_must_match(self):
+        left = make_table("R", ["A"], [(1,)], row_attrs=["x"])
+        right = make_table("S", ["A"], [(1,)])
+        assert difference(left, right).height == 1
+
+    def test_scheme_kept(self):
+        assert difference(r(), s()).column_attributes == r().column_attributes
+
+    def test_strict_subsumption_does_not_remove(self):
+        # right row strictly subsumes left row but is not equal to it
+        left = make_table("R", ["A", "B"], [(1, None)])
+        right = make_table("S", ["A", "B"], [(1, 2)])
+        assert difference(left, right).height == 1
+
+
+class TestIntersection:
+    def test_common_rows(self):
+        left = make_table("R", ["A"], [(1,), (2,)])
+        right = make_table("S", ["A"], [(2,), (3,)])
+        assert intersection(left, right).data == ((V(2),),)
+
+
+class TestProduct:
+    def test_shape(self):
+        p = product(r(), s())
+        assert p.width == r().width + s().width
+        assert p.height == r().height * s().height
+
+    def test_row_contents(self):
+        p = product(r(), s())
+        assert p.row(1) == (NULL, V(1), V(2), V(1), V(5))
+
+    def test_row_attribute_combination(self):
+        left = make_table("R", ["A"], [(1,)], row_attrs=["x"])
+        right = make_table("S", ["B"], [(2,)])
+        assert product(left, right).row_attributes == (N("x"),)
+        conflicting = make_table("S", ["B"], [(2,)], row_attrs=["y"])
+        assert product(left, conflicting).row_attributes == (NULL,)
+        same = make_table("S", ["B"], [(2,)], row_attrs=["x"])
+        assert product(left, same).row_attributes == (N("x"),)
+
+
+class TestRename:
+    def test_renames_all_occurrences(self):
+        t = make_table("R", ["A", "A", "B"], [(1, 2, 3)])
+        out = rename(t, "A", "Z")
+        assert out.column_attributes == (N("Z"), N("Z"), N("B"))
+
+    def test_data_positions_untouched(self):
+        t = make_table("R", ["A"], [(N("A"),)])
+        assert rename(t, "A", "Z").entry(1, 1) == N("A")
+
+    def test_rename_absent_attribute_is_noop(self):
+        assert rename(r(), "Z", "Q") == r()
+
+
+class TestProject:
+    def test_keeps_requested_columns_and_row_attrs(self):
+        t = make_table("R", ["A", "B"], [(1, 2)], row_attrs=["x"])
+        out = project(t, ["B"])
+        assert out.column_attributes == (N("B"),)
+        assert out.row_attributes == (N("x"),)
+
+    def test_keeps_all_copies_of_repeated_attribute(self):
+        t = make_table("R", ["A", "A", "B"], [(1, 2, 3)])
+        assert project(t, ["A"]).width == 2
+
+    def test_project_to_nothing(self):
+        assert project(r(), ["Z"]).width == 0
+
+    def test_single_attr_shorthand(self):
+        assert project(r(), "A").column_attributes == (N("A"),)
+
+
+class TestSelect:
+    def test_weak_equality_of_entry_sets(self):
+        t = make_table("R", ["A", "B"], [(1, 1), (1, 2), (None, None)])
+        out = select(t, "A", "B")
+        # (1,1) matches; (⊥,⊥) matches weakly; (1,2) does not
+        assert out.height == 2
+
+    def test_repeated_attributes_compare_as_sets(self):
+        t = make_table("R", ["A", "A", "B"], [(1, 2, 1)])
+        assert select(t, "A", "B").height == 0
+        t2 = make_table("R", ["A", "A", "B", "B"], [(1, 2, 2, 1)])
+        assert select(t2, "A", "B").height == 1
+
+
+class TestSelectConstant:
+    def test_matches_value(self):
+        t = make_table("R", ["A"], [("x",), ("y",)])
+        assert select_constant(t, "A", "x").height == 1
+
+    def test_null_constant_selects_all_null_rows(self):
+        t = make_table("R", ["A", "A"], [(None, None), (1, None)])
+        out = select_constant(t, "A", None)
+        assert out.height == 1
+        assert out.row(1)[1] is NULL
+
+    def test_extra_values_disqualify(self):
+        t = make_table("R", ["A", "A"], [("x", "y")])
+        assert select_constant(t, "A", "x").height == 0
+
+    def test_null_alongside_value_still_matches(self):
+        t = make_table("R", ["A", "A"], [("x", None)])
+        assert select_constant(t, "A", "x").height == 1

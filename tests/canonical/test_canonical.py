@@ -1,0 +1,177 @@
+"""Unit tests for the canonical representation (Lemmas 4.2/4.3)."""
+
+import pytest
+
+from repro.canonical import (
+    COL,
+    DATA,
+    ENTRY,
+    ID,
+    MAP,
+    ROW,
+    TBL,
+    VAL,
+    decode,
+    encode,
+    validate_rep,
+)
+from repro.core import (
+    NULL,
+    FreshValueSource,
+    N,
+    SchemaError,
+    TaggedValue,
+    Table,
+    V,
+    database,
+    make_table,
+)
+from repro.data import sales_info1, sales_info2, sales_info3, sales_info4
+
+
+class TestEncode:
+    def test_produces_the_rep_scheme(self):
+        rep = encode(sales_info1())
+        data = rep.table(DATA)
+        mapping = rep.table(MAP)
+        assert data.column_attributes == (TBL, ROW, COL, VAL)
+        assert mapping.column_attributes == (ID, ENTRY)
+
+    def test_fixed_width_despite_variable_width_input(self):
+        # SalesInfo2 has width 5; its representation still has width-4 Data.
+        rep = encode(sales_info2())
+        assert rep.table(DATA).width == 4
+        assert rep.table(MAP).width == 2
+
+    def test_one_data_tuple_per_grid_position(self):
+        t = make_table("R", ["A", "B"], [(1, 2), (3, 4)])
+        rep = encode(database(t))
+        assert rep.table(DATA).height == 4  # 2 rows x 2 cols
+
+    def test_map_covers_every_occurrence(self):
+        t = make_table("R", ["A"], [(1,)])
+        rep = encode(database(t))
+        # occurrences: table, 1 row, 1 column, 1 entry
+        assert rep.table(MAP).height == 4
+
+    def test_identifiers_are_fresh_tagged_values(self):
+        t = make_table("R", ["A"], [(TaggedValue(5),)])
+        rep = encode(database(t))
+        ids = {rep.table(MAP).entry(i, 1) for i in rep.table(MAP).data_row_indices()}
+        assert all(isinstance(i, TaggedValue) for i in ids)
+        assert TaggedValue(5) not in ids  # advanced past existing tags
+
+    def test_identifier_choice_is_immaterial(self):
+        db = sales_info1()
+        rep1 = encode(db, FreshValueSource(100))
+        rep2 = encode(db, FreshValueSource(5000))
+        assert rep1 != rep2
+        assert decode(rep1).equivalent(decode(rep2))
+
+    def test_validate_accepts_encodings(self):
+        for db in (sales_info1(), sales_info2(), sales_info3(), sales_info4()):
+            validate_rep(encode(db))
+
+
+class TestDecode:
+    @pytest.mark.parametrize(
+        "factory", [sales_info1, sales_info2, sales_info3, sales_info4]
+    )
+    def test_round_trip_all_figure1_databases(self, factory):
+        db = factory()
+        assert decode(encode(db)).equivalent(db)
+
+    @pytest.mark.parametrize(
+        "factory", [sales_info1, sales_info2, sales_info3, sales_info4]
+    )
+    def test_round_trip_with_summaries(self, factory):
+        db = factory(with_summary=True)
+        assert decode(encode(db)).equivalent(db)
+
+    def test_same_name_tables_survive(self):
+        db = sales_info4()
+        back = decode(encode(db))
+        assert len(back.tables_named("Sales")) == 4
+
+    def test_preserves_nulls_names_and_values_in_any_position(self):
+        wild = Table(
+            [
+                [N("R"), V("colval"), NULL],
+                [V("rowval"), N("namedata"), V(7)],
+                [NULL, NULL, V(8)],
+            ]
+        )
+        db = database(wild)
+        assert decode(encode(db)).equivalent(db)
+
+    def test_rejects_missing_relations(self):
+        with pytest.raises(SchemaError):
+            decode(database(make_table("Data", ["Tbl", "Row", "Col", "Val"], [])))
+
+    def test_rejects_fd_violation_in_map(self):
+        rep = database(
+            make_table("Data", ["Tbl", "Row", "Col", "Val"], []),
+            make_table("Map", ["Id", "Entry"], [(1, "a"), (1, "b")]),
+        )
+        with pytest.raises(SchemaError):
+            decode(rep)
+
+    def test_rejects_fd_violation_in_data(self):
+        rep = database(
+            make_table(
+                "Data",
+                ["Tbl", "Row", "Col", "Val"],
+                [(0, 1, 2, 3), (0, 1, 2, 4)],
+            ),
+            make_table(
+                "Map", ["Id", "Entry"], [(0, "R"), (1, None), (2, "A"), (3, "x"), (4, "y")]
+            ),
+        )
+        with pytest.raises(SchemaError):
+            decode(rep)
+
+    def test_rejects_dangling_identifier(self):
+        rep = database(
+            make_table("Data", ["Tbl", "Row", "Col", "Val"], [(0, 1, 2, 99)]),
+            make_table("Map", ["Id", "Entry"], [(0, "R"), (1, None), (2, "A")]),
+        )
+        with pytest.raises(SchemaError):
+            decode(rep)
+
+    def test_rejects_non_rectangular_table(self):
+        # two rows, two cols, but only 3 of the 4 positions present
+        rep = database(
+            make_table(
+                "Data",
+                ["Tbl", "Row", "Col", "Val"],
+                [(0, 1, 2, 10), (0, 1, 3, 11), (0, 4, 2, 12)],
+            ),
+            make_table(
+                "Map",
+                ["Id", "Entry"],
+                [(0, "R"), (1, None), (2, "A"), (3, "B"), (4, None), (10, "x"), (11, "y"), (12, "z")],
+            ),
+        )
+        with pytest.raises(SchemaError):
+            decode(rep)
+
+    def test_decode_of_handwritten_rep(self):
+        # Map entries are placed verbatim, so names must be Name symbols.
+        rep = database(
+            make_table("Data", ["Tbl", "Row", "Col", "Val"], [(0, 1, 2, 3)]),
+            make_table(
+                "Map", ["Id", "Entry"], [(0, N("T")), (1, None), (2, N("A")), (3, "x")]
+            ),
+        )
+        out = decode(rep)
+        expected = make_table("T", ["A"], [("x",)])
+        assert out.tables[0].equivalent(expected)
+
+
+class TestDegenerateTables:
+    def test_zero_data_tables_lose_shape_by_design(self):
+        # A name-only table yields no Data tuples; decode cannot see it.
+        db = database(Table([[N("R")]]))
+        rep = encode(db)
+        assert rep.table(DATA).height == 0
+        assert decode(rep).is_empty()

@@ -1,0 +1,57 @@
+"""Shared fixtures: the paper's running example in its various forms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Table, TabularDatabase, make_table
+from repro.data import (
+    figure4_bottom,
+    figure4_top,
+    figure5_result,
+    sales_info1,
+    sales_info2,
+    sales_info3,
+    sales_info4,
+)
+
+
+@pytest.fixture
+def sales_relation() -> Table:
+    """Figure 4 top: the relation-style Sales table."""
+    return figure4_top()
+
+
+@pytest.fixture
+def sales_grouped() -> Table:
+    """Figure 4 bottom: the printed result of GROUP by Region on Sold."""
+    return figure4_bottom()
+
+
+@pytest.fixture
+def sales_pivot() -> Table:
+    """The bold Sales table of SalesInfo2 (one Sold column per region)."""
+    return sales_info2().tables[0]
+
+
+@pytest.fixture
+def sales_merged() -> Table:
+    """Figure 5: the printed result of MERGE on Sold by Region."""
+    return figure5_result()
+
+
+@pytest.fixture
+def salesinfo_databases() -> dict[str, TabularDatabase]:
+    """All four Figure 1 databases, bold parts."""
+    return {
+        "SalesInfo1": sales_info1(),
+        "SalesInfo2": sales_info2(),
+        "SalesInfo3": sales_info3(),
+        "SalesInfo4": sales_info4(),
+    }
+
+
+@pytest.fixture
+def tiny_relation() -> Table:
+    """A small relation-style table for quick structural tests."""
+    return make_table("R", ["A", "B"], [(1, "x"), (2, "y"), (3, "x")])

@@ -1,0 +1,113 @@
+"""Unit tests for the builders and the ASCII renderer."""
+
+import pytest
+
+from repro.core import (
+    NULL,
+    N,
+    SchemaError,
+    V,
+    attr_symbol,
+    data_symbol,
+    grid_table,
+    make_table,
+    relation_table,
+    render_database,
+    render_table,
+)
+
+
+class TestCoercionConventions:
+    def test_attr_position_strings_become_names(self):
+        assert attr_symbol("Part") == N("Part")
+        assert attr_symbol(None) is NULL
+        assert attr_symbol(50) == V(50)
+        assert attr_symbol(V("east")) == V("east")
+
+    def test_data_position_strings_become_values(self):
+        assert data_symbol("east") == V("east")
+        assert data_symbol(None) is NULL
+        assert data_symbol(N("Total")) == N("Total")
+
+
+class TestMakeTable:
+    def test_basic(self):
+        t = make_table("Sales", ["Part", "Sold"], [("nuts", 50)])
+        assert t.name == N("Sales")
+        assert t.column_attributes == (N("Part"), N("Sold"))
+        assert t.data == ((V("nuts"), V(50)),)
+        assert t.row_attributes == (NULL,)
+
+    def test_row_attrs(self):
+        t = make_table("R", ["A"], [(1,), (2,)], row_attrs=["Total", None])
+        assert t.row_attributes == (N("Total"), NULL)
+
+    def test_row_attr_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            make_table("R", ["A"], [(1,)], row_attrs=["x", "y"])
+
+    def test_row_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            make_table("R", ["A", "B"], [(1,)])
+
+    def test_relation_table_equals_make_table(self):
+        assert relation_table("R", ["A"], [(1,)]) == make_table("R", ["A"], [(1,)])
+
+
+class TestGridTable:
+    def test_positional_coercion(self):
+        t = grid_table([["R", "A"], ["rattr", "data"]])
+        assert t.name == N("R")
+        assert t.column_attributes == (N("A"),)
+        assert t.row_attributes == (N("rattr"),)
+        assert t.entry(1, 1) == V("data")
+
+    def test_names_override_in_data_positions(self):
+        t = grid_table([["R", "A"], [None, "Region"]], names=["Region"])
+        assert t.entry(1, 1) == N("Region")
+
+    def test_values_in_attribute_positions(self):
+        # SalesInfo3 style: data as attributes
+        t = grid_table([["Sales", V("nuts")], [V("east"), 50]])
+        assert t.column_attributes == (V("nuts"),)
+        assert t.row_attributes == (V("east"),)
+
+
+class TestRender:
+    def test_render_contains_every_cell(self):
+        t = make_table("Sales", ["Part", "Sold"], [("nuts", 50)])
+        text = render_table(t)
+        for fragment in ("Sales", "Part", "Sold", "'nuts'", "50", "⊥"):
+            assert fragment in text
+
+    def test_render_box_shape(self):
+        t = make_table("R", ["A"], [(1,)])
+        lines = render_table(t).splitlines()
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines align
+
+    def test_render_title(self):
+        text = render_table(make_table("R", ["A"], [(1,)]), title="caption")
+        assert text.splitlines()[0] == "caption"
+
+    def test_render_database(self):
+        from repro.core import database
+
+        db = database(make_table("R", ["A"], [(1,)]), make_table("S", ["B"], [(2,)]))
+        text = render_database(db, title="Demo")
+        assert "=== Demo ===" in text
+        assert text.count("+--") >= 2
+
+    def test_render_empty_database(self):
+        from repro.core import database
+
+        assert "empty" in render_database(database())
+
+    def test_str_of_table_renders(self):
+        t = make_table("R", ["A"], [(1,)])
+        assert "R" in str(t)
+
+    def test_renderer_is_deterministic(self):
+        t = make_table("R", ["A", "B"], [(1, 2), (3, 4)])
+        assert render_table(t) == render_table(t)

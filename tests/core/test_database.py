@@ -1,0 +1,118 @@
+"""Unit tests for TabularDatabase: set semantics, lookup, replacement."""
+
+import pytest
+
+from repro.core import (
+    NULL,
+    N,
+    Name,
+    SchemaError,
+    TabularDatabase,
+    database,
+    make_table,
+)
+from repro.data import sales_info4
+
+
+def t(name, value):
+    return make_table(name, ["A"], [(value,)])
+
+
+class TestSetSemantics:
+    def test_duplicate_tables_collapse(self):
+        db = database(t("R", 1), t("R", 1))
+        assert len(db) == 1
+
+    def test_same_name_different_tables_coexist(self):
+        db = database(t("R", 1), t("R", 2))
+        assert len(db) == 2
+        assert len(db.tables_named("R")) == 2
+
+    def test_salesinfo4_has_four_sales_tables(self):
+        db = sales_info4()
+        assert len(db.tables_named("Sales")) == 4
+
+    def test_canonical_order_independent_of_insertion(self):
+        a, b = t("R", 1), t("S", 2)
+        assert database(a, b) == database(b, a)
+        assert hash(database(a, b)) == hash(database(b, a))
+
+    def test_rejects_non_tables(self):
+        with pytest.raises(SchemaError):
+            TabularDatabase(["not a table"])  # type: ignore[list-item]
+
+
+class TestLookup:
+    def test_table_unique(self):
+        db = database(t("R", 1), t("S", 2))
+        assert db.table("R") == t("R", 1)
+
+    def test_table_missing(self):
+        with pytest.raises(SchemaError):
+            database(t("R", 1)).table("Z")
+
+    def test_table_ambiguous(self):
+        db = database(t("R", 1), t("R", 2))
+        with pytest.raises(SchemaError):
+            db.table("R")
+
+    def test_table_names_and_scheme(self):
+        db = database(t("R", 1), t("S", 2))
+        assert db.table_names() == frozenset([N("R"), N("S")])
+        assert db.scheme() == frozenset([N("R"), N("S")])
+
+    def test_scheme_excludes_non_name_table_names(self):
+        unnamed = t("R", 1).with_name(NULL)
+        db = database(unnamed)
+        assert db.scheme() == frozenset()
+        assert NULL in db.table_names()
+
+    def test_symbols_union(self):
+        db = database(t("R", 1), t("S", 2))
+        symbols = db.symbols()
+        assert N("R") in symbols and N("S") in symbols
+        assert N("A") in symbols
+
+    def test_names_filters_to_name_sort(self):
+        db = database(t("R", 1))
+        assert all(isinstance(n, Name) for n in db.names())
+
+
+class TestConstruction:
+    def test_add_remove(self):
+        db = database(t("R", 1))
+        db2 = db.add(t("S", 2))
+        assert len(db2) == 2 and len(db) == 1
+        assert db2.remove(t("S", 2)) == db
+
+    def test_without_name(self):
+        db = database(t("R", 1), t("R", 2), t("S", 3))
+        assert db.without_name("R").table_names() == frozenset([N("S")])
+
+    def test_replace_named(self):
+        db = database(t("R", 1), t("R", 2))
+        db2 = db.replace_named("R", [t("R", 9)])
+        assert db2.tables_named("R") == (t("R", 9),)
+
+    def test_union_operator(self):
+        assert database(t("R", 1)) | database(t("S", 2)) == database(t("R", 1), t("S", 2))
+
+    def test_is_empty(self):
+        assert database().is_empty()
+        assert not database(t("R", 1)).is_empty()
+
+
+class TestEquivalence:
+    def test_equivalent_up_to_row_permutation(self):
+        a = make_table("R", ["A"], [(1,), (2,)])
+        b = make_table("R", ["A"], [(2,), (1,)])
+        assert database(a).equivalent(database(b))
+
+    def test_not_equivalent_with_extra_table(self):
+        a = make_table("R", ["A"], [(1,)])
+        assert not database(a).equivalent(database(a, t("S", 2)))
+
+    def test_equivalent_matches_tables_injectively(self):
+        a1 = make_table("R", ["A"], [(1,)])
+        a2 = make_table("R", ["A"], [(2,)])
+        assert not database(a1, a2).equivalent(database(a1, a1.with_entry(1, 1, a1.entry(1, 1))))

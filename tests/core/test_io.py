@@ -1,0 +1,82 @@
+"""Unit tests for CSV/Markdown table serialization."""
+
+import pytest
+
+from hypothesis import given, settings
+
+from repro.core import (
+    NULL,
+    N,
+    SchemaError,
+    Table,
+    TaggedValue,
+    V,
+    make_table,
+    table_from_csv,
+    table_to_csv,
+    table_to_markdown,
+)
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "properties"))
+from tabular_strategies import tables  # noqa: E402
+
+
+class TestCsvRoundTrip:
+    def test_simple(self):
+        t = make_table("Sales", ["Part", "Sold"], [("nuts", 50)])
+        assert table_from_csv(table_to_csv(t)) == t
+
+    def test_all_symbol_kinds(self):
+        t = Table(
+            [
+                [N("R"), N("A"), NULL],
+                [V("plain"), V(3), V(2.5)],
+                [TaggedValue(7), V("#tricky"), V("42")],
+            ]
+        )
+        assert table_from_csv(table_to_csv(t)) == t
+
+    def test_null_everywhere(self):
+        t = make_table("R", [None, None], [(None, None)])
+        assert table_from_csv(table_to_csv(t)) == t
+
+    def test_strings_looking_like_numbers_survive(self):
+        t = make_table("R", ["A"], [("007",)])
+        back = table_from_csv(table_to_csv(t))
+        assert back.entry(1, 1) == V("007")
+        assert back.entry(1, 1) != V(7)
+
+    def test_commas_and_quotes_survive(self):
+        t = make_table("R", ["A"], [('a,"b",c',)])
+        assert table_from_csv(table_to_csv(t)) == t
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SchemaError):
+            table_from_csv("")
+
+    def test_unserializable_payload_rejected(self):
+        t = make_table("R", ["A"], [(("tu", "ple"),)])
+        with pytest.raises(SchemaError):
+            table_to_csv(t)
+
+    @given(tables(max_width=3, max_height=3))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, t):
+        assert table_from_csv(table_to_csv(t)) == t
+
+
+class TestMarkdown:
+    def test_shape(self):
+        t = make_table("Sales", ["Part"], [("nuts",)])
+        md = table_to_markdown(t)
+        lines = md.splitlines()
+        assert lines[0].startswith("| Sales")
+        assert set(lines[1].replace("|", "").split()) == {"---"}
+        assert "'nuts'" in lines[2]
+
+    def test_null_renders(self):
+        t = make_table("R", ["A"], [(None,)])
+        assert "⊥" in table_to_markdown(t)

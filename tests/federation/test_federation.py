@@ -1,0 +1,117 @@
+"""Unit tests for the federation extension of the tabular model."""
+
+import pytest
+
+from repro.core import N, Name, SchemaError, Table, V, database, make_table
+from repro.federation import (
+    TabularFederation,
+    federation_facts,
+    parse_federated,
+    qualified_name,
+    run_federated,
+    split_qualified,
+)
+from repro.schemalog import evaluate, parse_schemalog
+
+
+@pytest.fixture
+def federation() -> TabularFederation:
+    return TabularFederation(
+        {
+            "montreal": database(
+                make_table("sales", ["part", "sold"], [("nuts", 50), ("bolts", 70)])
+            ),
+            "brussels": database(
+                make_table("sales", ["part", "sold"], [("nuts", 60)]),
+                make_table("staff", ["name"], [("marc",)]),
+            ),
+        }
+    )
+
+
+class TestModel:
+    def test_member_lookup(self, federation):
+        assert len(federation.member("brussels")) == 2
+        with pytest.raises(SchemaError):
+            federation.member("paris")
+
+    def test_names_sorted(self, federation):
+        assert federation.names() == ("brussels", "montreal")
+
+    def test_member_name_validation(self):
+        with pytest.raises(SchemaError):
+            TabularFederation({"a::b": database()})
+        with pytest.raises(SchemaError):
+            TabularFederation({"": database()})
+
+    def test_with_member(self, federation):
+        extended = federation.with_member("paris", database())
+        assert "paris" in extended and "paris" not in federation
+
+    def test_qualified_names(self):
+        assert qualified_name("db", N("t")) == N("db::t")
+        assert split_qualified(N("db::t")) == ("db", N("t"))
+        assert split_qualified(N("plain")) is None
+
+    def test_flatten_unflatten_round_trip(self, federation):
+        assert TabularFederation.unflatten(federation.flatten()) == federation
+
+    def test_flatten_separates_same_named_tables(self, federation):
+        flat = federation.flatten()
+        assert len(flat.tables_named(N("montreal::sales"))) == 1
+        assert len(flat.tables_named(N("brussels::sales"))) == 1
+
+    def test_unflatten_rejects_unqualified(self):
+        with pytest.raises(SchemaError):
+            TabularFederation.unflatten(database(make_table("plain", ["A"], [(1,)])))
+
+
+class TestPrograms:
+    def test_cross_member_union(self, federation):
+        program = parse_federated(
+            "All <- CLASSICALUNION (montreal__sales, brussels__sales)"
+        )
+        out = run_federated(program, federation)
+        result = out.member("result").table("All")
+        assert result.height == 3
+
+    def test_qualified_target_lands_in_member(self, federation):
+        program = parse_federated("montreal__copy <- DEDUP (montreal__sales)")
+        out = run_federated(program, federation)
+        assert out.member("montreal").table("copy").height == 2
+
+    def test_members_untouched_otherwise(self, federation):
+        program = parse_federated("Out <- DEDUP (brussels__staff)")
+        out = run_federated(program, federation)
+        assert out.member("brussels").table("staff").height == 1
+
+    def test_double_underscore_is_the_surface_for_qualification(self, federation):
+        program = parse_federated("X <- TRANSPOSE (brussels__staff)")
+        out = run_federated(program, federation)
+        assert out.member("result").table("X").width == 1
+
+    def test_while_over_federated_names(self, federation):
+        program = parse_federated(
+            """
+            Work <- DEDUP (montreal__sales)
+            while Work do
+                Work <- DIFFERENCE (Work, Work)
+            end
+            """
+        )
+        out = run_federated(program, federation)
+        assert out.member("result").table("Work").height == 0
+
+
+class TestSchemaLogSubsumption:
+    def test_federated_facts_use_qualified_relations(self, federation):
+        facts = federation_facts(federation)
+        rels = {str(r) for r in facts.relations()}
+        assert rels == {"montreal::sales", "brussels::sales", "brussels::staff"}
+
+    def test_higher_order_rule_spans_the_federation(self, federation):
+        facts = federation_facts(federation)
+        program = parse_schemalog("all[T: A -> V] :- R[T: A -> V].")
+        out = evaluate(program, facts)
+        copied = [f for f in out if f[0] == N("all")]
+        assert len(copied) == len(facts)

@@ -1,0 +1,226 @@
+"""Unit tests for the five GOOD operations and the tabular simulation."""
+
+import pytest
+
+from repro.core import EvaluationError, FreshValueSource, TaggedValue, V
+from repro.good import (
+    Abstraction,
+    EdgeAddition,
+    EdgeDeletion,
+    GoodEdge,
+    GoodNode,
+    GoodProgram,
+    NodeAddition,
+    NodeDeletion,
+    ObjectGraph,
+    Pattern,
+    PatternEdge,
+    PatternNode,
+    compile_to_ta,
+    decode_graph,
+    encode_graph,
+    graphs_isomorphic,
+)
+
+
+@pytest.fixture
+def family() -> ObjectGraph:
+    return ObjectGraph(
+        [
+            GoodNode.make("p1", "Person", "ann"),
+            GoodNode.make("p2", "Person", "bob"),
+            GoodNode.make("p3", "Person", "cal"),
+            GoodNode.make("p4", "Person", "dee"),
+        ],
+        [
+            GoodEdge.make("p1", "parent", "p2"),
+            GoodEdge.make("p2", "parent", "p3"),
+            GoodEdge.make("p1", "parent", "p4"),
+        ],
+    )
+
+
+def parent_pattern() -> Pattern:
+    return Pattern(
+        [PatternNode.make("P", "Person"), PatternNode.make("C", "Person")],
+        [PatternEdge.make("P", "parent", "C")],
+    )
+
+
+def grandparent_pattern() -> Pattern:
+    return Pattern(
+        [
+            PatternNode.make("X", "Person"),
+            PatternNode.make("Y", "Person"),
+            PatternNode.make("Z", "Person"),
+        ],
+        [PatternEdge.make("X", "parent", "Y"), PatternEdge.make("Y", "parent", "Z")],
+    )
+
+
+def simulate(program: GoodProgram, graph: ObjectGraph) -> ObjectGraph:
+    return decode_graph(compile_to_ta(program).run(encode_graph(graph)))
+
+
+class TestNativeOperations:
+    def test_edge_addition(self, family):
+        out = GoodProgram((EdgeAddition(grandparent_pattern(), "X", "gp", "Z"),)).run(family)
+        assert out.edges_labelled("gp") == {GoodEdge.make("p1", "gp", "p3")}
+
+    def test_edge_deletion(self, family):
+        pattern = Pattern(
+            [PatternNode.make("P", "Person", "ann"), PatternNode.make("C", "Person")],
+            [PatternEdge.make("P", "parent", "C")],
+        )
+        out = GoodProgram((EdgeDeletion(pattern, "P", "parent", "C"),)).run(family)
+        assert len(out.edges_labelled("parent")) == 1
+
+    def test_node_deletion(self, family):
+        pattern = Pattern([PatternNode.make("X", "Person", "bob")])
+        out = GoodProgram((NodeDeletion(pattern, "X"),)).run(family)
+        assert len(out) == 3
+        assert all(e.src != V("p2") and e.dst != V("p2") for e in out.edges)
+
+    def test_node_addition_one_per_witness(self, family):
+        op = NodeAddition(parent_pattern(), "Link", (("from", "P"), ("to", "C")))
+        out = GoodProgram((op,)).run(family)
+        links = out.nodes_labelled("Link")
+        assert len(links) == 3  # three parent edges
+        assert all(isinstance(n.id, TaggedValue) for n in links)
+        assert all(not n.printable for n in links)
+
+    def test_node_addition_dedups_witnesses(self, family):
+        # anchor only on the parent: ann has two children but one node
+        op = NodeAddition(parent_pattern(), "IsParent", (("who", "P"),))
+        out = GoodProgram((op,)).run(family)
+        assert len(out.nodes_labelled("IsParent")) == 2  # ann and bob
+
+    def test_node_addition_zero_anchors(self, family):
+        op = NodeAddition(parent_pattern(), "Marker", ())
+        out = GoodProgram((op,)).run(family)
+        assert len(out.nodes_labelled("Marker")) == 1
+
+    def test_abstraction_partitions_by_neighbor_set(self, family):
+        op = Abstraction(
+            Pattern([PatternNode.make("X", "Person")]), "X", "parent", "Cohort", "member"
+        )
+        out = GoodProgram((op,)).run(family)
+        # neighbor sets: p1 -> {p2,p4}; p2 -> {p3}; p3,p4 -> {} (shared class)
+        cohorts = out.nodes_labelled("Cohort")
+        assert len(cohorts) == 3
+        member_counts = sorted(
+            len(out.neighbors(c.id, "member")) for c in cohorts
+        )
+        assert member_counts == [1, 1, 2]
+
+    def test_program_determinism_up_to_ids(self, family):
+        op = NodeAddition(parent_pattern(), "Link", (("from", "P"),))
+        a = GoodProgram((op,)).run(family, FreshValueSource(100))
+        b = GoodProgram((op,)).run(family, FreshValueSource(500))
+        assert a != b
+        assert graphs_isomorphic(a, b, fixed=family.symbols())
+
+    def test_sequencing(self, family):
+        program = GoodProgram(
+            (
+                EdgeAddition(grandparent_pattern(), "X", "gp", "Z"),
+                EdgeDeletion(parent_pattern(), "P", "parent", "C"),
+            )
+        )
+        out = program.run(family)
+        assert len(out.edges_labelled("parent")) == 0
+        assert len(out.edges_labelled("gp")) == 1
+
+
+class TestEncoding:
+    def test_round_trip(self, family):
+        assert decode_graph(encode_graph(family)) == family
+
+    def test_encoding_tables(self, family):
+        db = encode_graph(family)
+        assert db.table("Nodes").height == 4
+        assert db.table("Edges").height == 3
+
+    def test_graphs_isomorphic_detects_difference(self, family):
+        other = family.remove_edges([GoodEdge.make("p1", "parent", "p2")])
+        assert not graphs_isomorphic(family, other)
+
+
+class TestTabularSimulation:
+    def test_edge_addition(self, family):
+        program = GoodProgram((EdgeAddition(grandparent_pattern(), "X", "gp", "Z"),))
+        assert simulate(program, family) == program.run(family)
+
+    def test_edge_deletion(self, family):
+        program = GoodProgram((EdgeDeletion(parent_pattern(), "P", "parent", "C"),))
+        assert simulate(program, family) == program.run(family)
+
+    def test_node_deletion(self, family):
+        program = GoodProgram(
+            (NodeDeletion(Pattern([PatternNode.make("X", "Person", "bob")]), "X"),)
+        )
+        assert simulate(program, family) == program.run(family)
+
+    def test_node_addition_isomorphic(self, family):
+        program = GoodProgram(
+            (NodeAddition(parent_pattern(), "Link", (("from", "P"), ("to", "C"))),)
+        )
+        native = program.run(family)
+        simulated = simulate(program, family)
+        assert graphs_isomorphic(simulated, native, fixed=family.symbols())
+
+    def test_self_loop_edge_addition(self):
+        graph = ObjectGraph([GoodNode.make("a", "N", 1)], [])
+        pattern = Pattern([PatternNode.make("X", "N")])
+        program = GoodProgram((EdgeAddition(pattern, "X", "self", "X"),))
+        assert simulate(program, graph) == program.run(graph)
+
+    def test_multi_operation_program(self, family):
+        program = GoodProgram(
+            (
+                EdgeAddition(grandparent_pattern(), "X", "gp", "Z"),
+                NodeDeletion(Pattern([PatternNode.make("M", "Person", "bob")]), "M"),
+            )
+        )
+        assert simulate(program, family) == program.run(family)
+
+    def test_abstraction_simulation(self, family):
+        # abstraction compiles through SETNEW (the power-set construct):
+        # one new object per neighbor-set class, the empty class shared
+        program = GoodProgram(
+            (
+                Abstraction(
+                    Pattern([PatternNode.make("X", "Person")]),
+                    "X",
+                    "parent",
+                    "Cohort",
+                    "member",
+                ),
+            )
+        )
+        native = program.run(family)
+        simulated = simulate(program, family)
+        assert graphs_isomorphic(simulated, native, fixed=family.symbols())
+        cohorts = simulated.nodes_labelled("Cohort")
+        assert len(cohorts) == 3
+        member_counts = sorted(
+            len(simulated.neighbors(c.id, "member")) for c in cohorts
+        )
+        assert member_counts == [1, 1, 2]
+
+    def test_abstraction_simulation_guarded_exponentially(self):
+        # SETNEW's guard trips when the neighbor domain is too large
+        from repro.core import LimitExceededError
+
+        nodes = [GoodNode.make(f"p{i}", "P", i) for i in range(20)]
+        edges = [GoodEdge.make("p0", "likes", f"p{i}") for i in range(1, 20)]
+        graph = ObjectGraph(nodes, edges)
+        program = GoodProgram(
+            (
+                Abstraction(
+                    Pattern([PatternNode.make("X", "P")]), "X", "likes", "C", "m"
+                ),
+            )
+        )
+        with pytest.raises(LimitExceededError):
+            compile_to_ta(program).run(encode_graph(graph))

@@ -1,0 +1,133 @@
+"""Unit tests for object graphs and pattern matching."""
+
+import pytest
+
+from repro.core import NULL, SchemaError, V
+from repro.good import (
+    GoodEdge,
+    GoodNode,
+    ObjectGraph,
+    Pattern,
+    PatternEdge,
+    PatternNode,
+)
+
+
+@pytest.fixture
+def family() -> ObjectGraph:
+    return ObjectGraph(
+        [
+            GoodNode.make("p1", "Person", "ann"),
+            GoodNode.make("p2", "Person", "bob"),
+            GoodNode.make("p3", "Person", "cal"),
+            GoodNode.make("h1", "House"),
+        ],
+        [
+            GoodEdge.make("p1", "parent", "p2"),
+            GoodEdge.make("p2", "parent", "p3"),
+            GoodEdge.make("p1", "lives", "h1"),
+        ],
+    )
+
+
+class TestObjectGraph:
+    def test_referential_integrity(self):
+        with pytest.raises(SchemaError):
+            ObjectGraph([GoodNode.make("a", "X")], [GoodEdge.make("a", "e", "missing")])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(SchemaError):
+            ObjectGraph([GoodNode.make("a", "X"), GoodNode.make("a", "Y")])
+
+    def test_printable_vs_abstract(self, family):
+        assert family.node("p1").printable
+        assert not family.node("h1").printable
+        assert family.node("h1").value is NULL
+
+    def test_lookup(self, family):
+        assert len(family.nodes_labelled("Person")) == 3
+        assert len(family.edges_labelled("parent")) == 2
+        assert family.neighbors("p1", "parent") == {V("p2")}
+        with pytest.raises(SchemaError):
+            family.node("zzz")
+
+    def test_out_edges(self, family):
+        assert len(family.out_edges("p1")) == 2
+
+    def test_remove_nodes_drops_incident_edges(self, family):
+        smaller = family.remove_nodes(["p2"])
+        assert len(smaller) == 3
+        assert len(smaller.edges_labelled("parent")) == 0
+
+    def test_remove_edges(self, family):
+        fewer = family.remove_edges([GoodEdge.make("p1", "parent", "p2")])
+        assert len(fewer.edges_labelled("parent")) == 1
+
+    def test_symbols(self, family):
+        assert V("ann") in family.symbols()
+        assert NULL not in family.symbols()
+
+    def test_equality_and_hash(self, family):
+        same = ObjectGraph(family.nodes, family.edges)
+        assert same == family and hash(same) == hash(family)
+
+
+class TestPattern:
+    def test_single_node_matches_by_label(self, family):
+        pattern = Pattern([PatternNode.make("X", "Person")])
+        assert len(list(pattern.match(family))) == 3
+
+    def test_value_constraint(self, family):
+        pattern = Pattern([PatternNode.make("X", "Person", "bob")])
+        matches = list(pattern.match(family))
+        assert len(matches) == 1 and matches[0]["X"] == V("p2")
+
+    def test_edge_constraint(self, family):
+        pattern = Pattern(
+            [PatternNode.make("X", "Person"), PatternNode.make("Y", "Person")],
+            [PatternEdge.make("X", "parent", "Y")],
+        )
+        assert len(list(pattern.match(family))) == 2
+
+    def test_path_pattern(self, family):
+        pattern = Pattern(
+            [
+                PatternNode.make("X", "Person"),
+                PatternNode.make("Y", "Person"),
+                PatternNode.make("Z", "Person"),
+            ],
+            [PatternEdge.make("X", "parent", "Y"), PatternEdge.make("Y", "parent", "Z")],
+        )
+        matches = list(pattern.match(family))
+        assert len(matches) == 1
+        assert matches[0] == {"X": V("p1"), "Y": V("p2"), "Z": V("p3")}
+
+    def test_homomorphism_allows_merging_variables(self):
+        loop = ObjectGraph(
+            [GoodNode.make("a", "N")], [GoodEdge.make("a", "e", "a")]
+        )
+        pattern = Pattern(
+            [PatternNode.make("X", "N"), PatternNode.make("Y", "N")],
+            [PatternEdge.make("X", "e", "Y")],
+        )
+        matches = list(pattern.match(loop))
+        assert len(matches) == 1
+        assert matches[0]["X"] == matches[0]["Y"]
+
+    def test_no_match(self, family):
+        pattern = Pattern([PatternNode.make("X", "Robot")])
+        assert list(pattern.match(family)) == []
+
+    def test_pattern_validation(self):
+        with pytest.raises(SchemaError):
+            Pattern([], [])
+        with pytest.raises(SchemaError):
+            Pattern([PatternNode.make("X", "N")], [PatternEdge.make("X", "e", "Y")])
+        with pytest.raises(SchemaError):
+            Pattern([PatternNode.make("X", "N"), PatternNode.make("X", "N")])
+
+    def test_matching_is_deterministic(self, family):
+        pattern = Pattern([PatternNode.make("X", "Person")])
+        first = [m["X"] for m in pattern.match(family)]
+        second = [m["X"] for m in pattern.match(family)]
+        assert first == second

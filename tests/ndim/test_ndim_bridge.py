@@ -1,0 +1,92 @@
+"""Tests for the cube ↔ n-dimensional table bridges."""
+
+import pytest
+
+from repro.core import NULL, N, SchemaError, V
+from repro.data import BASE_FACTS
+from repro.ndim import NDTable, cube_to_ndtable, ndtable_to_cube
+from repro.olap import Cube
+
+
+@pytest.fixture
+def cube2() -> Cube:
+    return Cube.from_facts(BASE_FACTS, ["Part", "Region"], measure="Sold")
+
+
+@pytest.fixture
+def cube3() -> Cube:
+    facts = [
+        ("nuts", "east", "Q1", 10),
+        ("nuts", "west", "Q2", 20),
+        ("bolts", "east", "Q2", 30),
+    ]
+    return Cube.from_facts(facts, ["Part", "Region", "Quarter"], measure="Sold")
+
+
+class TestCubeToNDTable:
+    def test_shape_and_name(self, cube2):
+        nd = cube_to_ndtable(cube2)
+        assert nd.shape == (4, 5)  # 3 parts + 1, 4 regions + 1
+        assert nd.name == N("Sold")
+
+    def test_hyperplanes_hold_coordinates(self, cube2):
+        nd = cube_to_ndtable(cube2)
+        assert nd.attributes(0) == cube2.coords["Part"]
+        assert nd.attributes(1) == cube2.coords["Region"]
+
+    def test_cells_transfer(self, cube2):
+        nd = cube_to_ndtable(cube2)
+        assert nd[(1, 1)] == V(50)  # nuts/east
+        assert nd[(2, 1)] is NULL  # screws/east inapplicable
+
+    def test_three_dimensional(self, cube3):
+        nd = cube_to_ndtable(cube3)
+        assert nd.arity == 3
+        assert nd[(1, 1, 1)] == V(10)
+
+    def test_2d_case_matches_matrix_table(self, cube2):
+        from repro.olap import cube_to_matrix_table
+
+        nd = cube_to_ndtable(cube2)
+        as_table = nd.to_table()
+        matrix = cube_to_matrix_table(cube2, "Part", "Region", "Sold")
+        # same grid contents apart from the name cell convention
+        assert as_table.column_attributes == matrix.column_attributes
+        assert as_table.data == matrix.data
+
+
+class TestNDTableToCube:
+    def test_round_trip(self, cube3):
+        nd = cube_to_ndtable(cube3)
+        back = ndtable_to_cube(nd, cube3.dims)
+        assert back == cube3
+
+    def test_default_dimension_names(self, cube2):
+        back = ndtable_to_cube(cube_to_ndtable(cube2))
+        assert back.dims == ("D0", "D1")
+        assert len(back.cells) == len(cube2.cells)
+
+    def test_dimension_count_checked(self, cube2):
+        with pytest.raises(SchemaError):
+            ndtable_to_cube(cube_to_ndtable(cube2), ("OnlyOne",))
+
+    def test_one_dimensional_degeneracy_rejected(self):
+        from repro.core import V
+
+        flat = Cube(("D",), {"D": [V("a")]}, {(V("a"),): 1}, "M")
+        with pytest.raises(SchemaError):
+            cube_to_ndtable(flat)
+        with pytest.raises(SchemaError):
+            ndtable_to_cube(NDTable((3,), {(0,): V("m")}))
+
+    def test_duplicate_hyperplane_entries_rejected(self):
+        nd = NDTable((3, 2), {(0, 0): N("M"), (1, 0): V("x"), (2, 0): V("x")})
+        with pytest.raises(SchemaError):
+            ndtable_to_cube(nd)
+
+    def test_slice_commutes_with_cube_slice(self, cube3):
+        nd = cube_to_ndtable(cube3)
+        sliced_nd = nd.slice_axis(2, 1)  # Quarter = Q1
+        sliced_cube = ndtable_to_cube(sliced_nd, ("Part", "Region"))
+        direct = cube3.slice("Quarter", "Q1")
+        assert sliced_cube.cells == direct.cells

@@ -1,0 +1,129 @@
+"""Unit tests for the n-dimensional tabular generalization."""
+
+import pytest
+
+from repro.core import NULL, N, SchemaError, V, make_table
+from repro.data import BASE_FACTS, sales_info2
+from repro.ndim import NDTable
+
+
+def cube3() -> NDTable:
+    """A 3-d sales table: part x region x quarter, with attribute
+    hyperplanes carrying the coordinate labels."""
+    parts = ["nuts", "bolts"]
+    regions = ["east", "west"]
+    quarters = ["Q1", "Q2"]
+    cells = {(0, 0, 0): N("Sales")}
+    for i, p in enumerate(parts, start=1):
+        cells[(i, 0, 0)] = V(p)
+    for j, r in enumerate(regions, start=1):
+        cells[(0, j, 0)] = V(r)
+    for k, q in enumerate(quarters, start=1):
+        cells[(0, 0, k)] = V(q)
+    value = 10
+    for i in range(1, 3):
+        for j in range(1, 3):
+            for k in range(1, 3):
+                cells[(i, j, k)] = V(value)
+                value += 1
+    return NDTable((3, 3, 3), cells)
+
+
+class TestShape:
+    def test_name_and_attributes(self):
+        t = cube3()
+        assert t.arity == 3
+        assert t.name == N("Sales")
+        assert t.attributes(0) == (V("nuts"), V("bolts"))
+        assert t.attributes(1) == (V("east"), V("west"))
+        assert t.attributes(2) == (V("Q1"), V("Q2"))
+
+    def test_default_null(self):
+        t = NDTable((2, 2), {(0, 0): N("R")})
+        assert t[(1, 1)] is NULL
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            NDTable(())
+        with pytest.raises(SchemaError):
+            NDTable((0, 2))
+        with pytest.raises(SchemaError):
+            NDTable((2, 2), {(2, 0): 1})
+        with pytest.raises(SchemaError):
+            NDTable((2, 2), {(0,): 1})
+
+    def test_data_positions(self):
+        t = cube3()
+        assert len(list(t.data_positions())) == 8
+        assert len(t.data()) == 8
+
+    def test_position_bounds_checked(self):
+        with pytest.raises(SchemaError):
+            cube3()[(3, 0, 0)]
+
+
+class TestOperations:
+    def test_permute_axes_generalizes_transpose(self):
+        t = cube3()
+        flipped = t.permute_axes((1, 0, 2))
+        assert flipped.attributes(0) == t.attributes(1)
+        assert flipped[(2, 1, 1)] == t[(1, 2, 1)]
+        assert flipped.permute_axes((1, 0, 2)) == t
+
+    def test_permute_validation(self):
+        with pytest.raises(SchemaError):
+            cube3().permute_axes((0, 0, 1))
+
+    def test_slice_axis(self):
+        t = cube3()
+        q1 = t.slice_axis(2, 1)
+        assert q1.arity == 2
+        assert q1.name == N("Sales")
+        assert q1.attributes(0) == t.attributes(0)
+        assert q1[(1, 1)] == t[(1, 1, 1)]
+
+    def test_slice_validation(self):
+        with pytest.raises(SchemaError):
+            cube3().slice_axis(2, 0)  # the hyperplane is not sliceable
+        with pytest.raises(SchemaError):
+            NDTable((2,), {(0,): N("R")}).slice_axis(0, 1)
+
+    def test_subtable(self):
+        t = cube3()
+        sub = t.subtable([[0, 1], [0, 2], [0, 1, 2]])
+        assert sub.shape == (2, 2, 3)
+        assert sub[(1, 1, 1)] == t[(1, 2, 1)]
+
+    def test_subtable_validation(self):
+        with pytest.raises(SchemaError):
+            cube3().subtable([[0], [0]])
+
+
+class TestConversions:
+    def test_two_dimensional_round_trip(self):
+        table = sales_info2().tables[0]
+        nd = NDTable.from_table(table)
+        assert nd.arity == 2
+        assert nd.to_table() == table
+
+    def test_to_table_requires_arity_two(self):
+        with pytest.raises(SchemaError):
+            cube3().to_table()
+
+    def test_three_d_as_tabular_database(self):
+        # "a tabular database can be thought of as a three-dimensional table"
+        slices = cube3().slices_to_tables(2)
+        assert len(slices) == 2
+        for table in slices:
+            assert table.name == N("Sales")
+            assert table.width == 2 and table.height == 2
+
+    def test_slices_preserve_entries(self):
+        t = cube3()
+        q2 = t.slices_to_tables(2)[1]
+        assert q2.entry(1, 1) == t[(1, 1, 2)]
+
+    def test_equality_and_hash(self):
+        assert cube3() == cube3()
+        assert hash(cube3()) == hash(cube3())
+        assert cube3() != cube3().permute_axes((1, 0, 2))

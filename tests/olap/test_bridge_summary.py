@@ -1,0 +1,151 @@
+"""OLAP bridge and summarization tests — Figure 1 end-to-end.
+
+The paper claims the tabular model subsumes OLAP matrices; these tests
+regenerate every representation of Figure 1 (bold and summary-extended)
+from one cube.
+"""
+
+import pytest
+
+from repro.core import NULL, N, SchemaError, V
+from repro.data import (
+    BASE_FACTS,
+    figure4_top,
+    sales_info1,
+    sales_info2,
+    sales_info3,
+    sales_info4,
+)
+from repro.olap import (
+    TOTAL,
+    Cube,
+    cube_operator,
+    cube_to_database,
+    cube_to_grouped_table,
+    cube_to_matrix_table,
+    cube_to_relation_table,
+    database_with_totals,
+    drilldown,
+    grouped_with_totals,
+    matrix_table_to_cube,
+    matrix_with_totals,
+    relation_table_to_cube,
+    summary_relations,
+)
+
+
+@pytest.fixture
+def cube() -> Cube:
+    return Cube.from_facts(BASE_FACTS, ["Part", "Region"], measure="Sold")
+
+
+class TestBridges:
+    def test_relation_bridge(self, cube):
+        assert cube_to_relation_table(cube, "Sales").equivalent(figure4_top())
+
+    def test_grouped_bridge_is_salesinfo2(self, cube):
+        grouped = cube_to_grouped_table(cube, "Part", "Region", "Sales")
+        assert grouped.equivalent(sales_info2().tables[0])
+
+    def test_matrix_bridge_is_salesinfo3(self, cube):
+        matrix = cube_to_matrix_table(cube, "Region", "Part", "Sales")
+        assert matrix.equivalent(sales_info3().tables[0])
+
+    def test_split_bridge_is_salesinfo4(self, cube):
+        per_region = cube_to_database(cube, "Region", "Sales")
+        expected = sales_info4().tables
+        assert len(per_region) == len(expected)
+        assert all(any(t.equivalent(x) for x in expected) for t in per_region.tables)
+
+    def test_relation_round_trip(self, cube):
+        table = cube_to_relation_table(cube, "Sales")
+        back = relation_table_to_cube(table, ["Part", "Region"], "Sold")
+        assert back == cube
+
+    def test_matrix_round_trip(self, cube):
+        matrix = cube_to_matrix_table(cube, "Region", "Part", "Sales")
+        back = matrix_table_to_cube(matrix, "Region", "Part", "Sold")
+        assert back.cells == {
+            (r, p): v for (p, r), v in cube.cells.items()
+        }
+
+    def test_matrix_bridge_dimension_check(self, cube):
+        with pytest.raises(SchemaError):
+            cube_to_matrix_table(cube, "Region", "Year")
+
+    def test_grouped_bridge_dimension_check(self, cube):
+        with pytest.raises(SchemaError):
+            cube_to_grouped_table(cube, "Region", "Year")
+
+
+class TestCubeOperator:
+    def test_subtotals_match_figure(self, cube):
+        extended = cube_operator(cube)
+        assert extended[(TOTAL, V("east"))] == V(120)
+        assert extended[(V("nuts"), TOTAL)] == V(150)
+        assert extended[(TOTAL, TOTAL)] == V(420)
+
+    def test_base_cells_preserved(self, cube):
+        extended = cube_operator(cube)
+        for key, value in cube.cells.items():
+            assert extended[key] == value
+
+    def test_total_coordinate_collision(self, cube):
+        extended = cube_operator(cube)
+        with pytest.raises(SchemaError):
+            cube_operator(extended)
+
+    def test_cell_count(self, cube):
+        extended = cube_operator(cube)
+        # 8 base + 3 part totals + 4 region totals + 1 grand total
+        assert len(extended.cells) == 16
+
+
+class TestDrilldown:
+    def test_valid_drilldown(self, cube):
+        coarse = cube.rollup("Region")
+        assert drilldown(coarse, cube, "Region") == cube
+
+    def test_inconsistent_drilldown_rejected(self, cube):
+        coarse = cube.rollup("Region")
+        tampered = Cube(
+            cube.dims,
+            cube.coords,
+            {**cube.cells, (V("nuts"), V("east")): V(999)},
+            cube.measure,
+        )
+        with pytest.raises(SchemaError):
+            drilldown(coarse, tampered, "Region")
+
+    def test_dimension_mismatch_rejected(self, cube):
+        with pytest.raises(SchemaError):
+            drilldown(cube.rollup("Region"), cube, "Part")
+
+
+class TestSummaries:
+    def test_summary_relations_match_salesinfo1(self, cube):
+        summaries = summary_relations(cube)
+        expected = sales_info1(with_summary=True)
+        for name in ("TotalPartSales", "TotalRegionSales", "GrandTotal"):
+            assert summaries.table(name).equivalent(expected.table(name)), name
+
+    def test_grouped_with_totals_matches_salesinfo2(self, cube):
+        table = grouped_with_totals(cube, "Part", "Region", "Sales")
+        assert table.equivalent(sales_info2(with_summary=True).tables[0])
+
+    def test_matrix_with_totals_matches_salesinfo3(self, cube):
+        table = matrix_with_totals(cube, "Region", "Part", "Sales")
+        assert table.equivalent(sales_info3(with_summary=True).tables[0])
+
+    def test_database_with_totals_matches_salesinfo4(self, cube):
+        db = database_with_totals(cube, "Region", "Sales")
+        expected = sales_info4(with_summary=True).tables
+        assert len(db) == len(expected) == 5
+        assert all(any(t.equivalent(x) for x in expected) for t in db.tables)
+
+    def test_summaries_only_on_2d(self):
+        cube3 = Cube.from_facts(
+            [("a", "x", 2020, 1)], ["D1", "D2", "Year"], measure="M"
+        )
+        with pytest.raises(SchemaError):
+            summary_relations(cube3)

@@ -1,0 +1,168 @@
+"""Unit tests for classification and the spreadsheet analytics layer."""
+
+import pytest
+
+from repro.core import NULL, EvaluationError, N, SchemaError, V, make_table
+from repro.data import BASE_FACTS
+from repro.olap import (
+    Cube,
+    append_aggregate_column,
+    append_aggregate_row,
+    apply_external,
+    block,
+    block_aggregate,
+    classify_column,
+    classify_dimension,
+    column_arithmetic,
+    mapping_classifier,
+    range_classifier,
+    row_arithmetic,
+)
+
+
+@pytest.fixture
+def cube() -> Cube:
+    return Cube.from_facts(BASE_FACTS, ["Part", "Region"], measure="Sold")
+
+
+class TestClassifiers:
+    def test_mapping_classifier(self):
+        classify = mapping_classifier({"east": "coastal", "west": "coastal", "north": "inland"})
+        assert classify(V("east")) == V("coastal")
+        assert classify(V("south")) is NULL  # unmapped -> default ⊥
+
+    def test_mapping_classifier_default(self):
+        classify = mapping_classifier({"east": "coastal"}, default="other")
+        assert classify(V("north")) == V("other")
+
+    def test_range_classifier(self):
+        classify = range_classifier([50, 60], ["low", "mid", "high"])
+        assert classify(V(40)) == V("low")
+        assert classify(V(50)) == V("mid")
+        assert classify(V(59)) == V("mid")
+        assert classify(V(60)) == V("high")
+
+    def test_range_classifier_non_numeric(self):
+        classify = range_classifier([10], ["low", "high"])
+        assert classify(V("text")) is NULL
+        assert classify(NULL) is NULL
+
+    def test_range_classifier_validation(self):
+        with pytest.raises(SchemaError):
+            range_classifier([1, 2], ["only", "two"])
+        with pytest.raises(SchemaError):
+            range_classifier([2, 1], ["a", "b", "c"])
+
+
+class TestClassifyDimension:
+    def test_zones(self, cube):
+        zones = mapping_classifier(
+            {"east": "coastal", "west": "coastal", "north": "inland", "south": "inland"}
+        )
+        zoned = classify_dimension(cube, "Region", zones, "Zone")
+        assert zoned.dims == ("Part", "Zone")
+        assert zoned[("nuts", "coastal")] == V(110)  # 50 + 60
+        assert zoned[("screws", "inland")] == V(110)  # 60 + 50
+
+    def test_unclassified_coordinates_drop(self, cube):
+        partial = mapping_classifier({"east": "zoneA"})
+        zoned = classify_dimension(cube, "Region", partial, "Zone")
+        assert zoned.coords["Zone"] == (V("zoneA"),)
+        assert zoned[("nuts", "zoneA")] == V(50)
+
+    def test_name_collision(self, cube):
+        with pytest.raises(SchemaError):
+            classify_dimension(cube, "Region", mapping_classifier({}), "Part")
+
+
+class TestClassifyColumn:
+    def test_adds_class_column(self):
+        t = make_table("R", ["Sold"], [(40,), (55,), (70,)])
+        out = classify_column(t, "Sold", range_classifier([50, 60], ["low", "mid", "high"]), "Band")
+        assert out.column_attributes == (N("Sold"), N("Band"))
+        assert out.data_column(2) == (V("low"), V("mid"), V("high"))
+
+    def test_requires_unique_column(self):
+        t = make_table("R", ["A", "A"], [(1, 2)])
+        with pytest.raises(EvaluationError):
+            classify_column(t, "A", mapping_classifier({}), "C")
+
+
+class TestBlocks:
+    def test_whole_data_region(self):
+        t = make_table("R", ["A", "B"], [(1, 2), (3, 4)])
+        assert block_aggregate(t, "sum") == V(10)
+
+    def test_sub_block(self):
+        t = make_table("R", ["A", "B"], [(1, 2), (3, 4)])
+        assert block_aggregate(t, "sum", rows=[1], cols=[2]) == V(2)
+        assert block(t, rows=[2]) == [V(3), V(4)]
+
+    def test_out_of_range(self):
+        t = make_table("R", ["A"], [(1,)])
+        with pytest.raises(SchemaError):
+            block(t, rows=[0])
+        with pytest.raises(SchemaError):
+            block(t, cols=[5])
+
+    def test_unknown_aggregate(self):
+        t = make_table("R", ["A"], [(1,)])
+        with pytest.raises(EvaluationError):
+            block_aggregate(t, "median")
+
+
+class TestArithmetic:
+    def test_row_arithmetic(self):
+        t = make_table("R", ["Price", "Qty"], [(10, 3), (5, None)])
+        out = row_arithmetic(
+            t, "Revenue", lambda p, q: p * q if None not in (p, q) else None, ["Price", "Qty"]
+        )
+        assert out.data_column(3) == (V(30), NULL)
+
+    def test_row_arithmetic_needs_unique_sources(self):
+        t = make_table("R", ["A", "A"], [(1, 2)])
+        with pytest.raises(EvaluationError):
+            row_arithmetic(t, "B", lambda a: a, ["A"])
+
+    def test_column_arithmetic(self):
+        t = make_table(
+            "R", ["Q1", "Q2"], [(10, 20), (1, 2)], row_attrs=["gross", "costs"]
+        )
+        out = column_arithmetic(t, "net", lambda g, c: g - c, ["gross", "costs"])
+        assert out.row(3) == (N("net"), V(9), V(18))
+
+    def test_arithmetic_rejects_names(self):
+        t = make_table("R", ["A"], [(N("Tag"),)])
+        with pytest.raises(EvaluationError):
+            row_arithmetic(t, "B", lambda a: a, ["A"])
+
+
+class TestExternalFunctions:
+    def test_apply_external(self):
+        t = make_table("R", ["Sold"], [(50,), (None,)])
+        out = apply_external(t, "Sold", lambda v: v * 2)
+        assert out.data_column(1) == (V(100), NULL)
+
+    def test_original_untouched(self):
+        t = make_table("R", ["Sold"], [(50,)])
+        apply_external(t, "Sold", lambda v: 0)
+        assert t.entry(1, 1) == V(50)
+
+
+class TestAggregateRowsColumns:
+    def test_append_aggregate_row(self):
+        t = make_table("R", ["A", "B"], [(1, 2), (3, 4)])
+        out = append_aggregate_row(t, "sum")
+        assert out.row(3) == (N("Total"), V(4), V(6))
+
+    def test_append_aggregate_row_filtered(self):
+        t = make_table("R", ["A", "B"], [(1, "x")])
+        out = append_aggregate_row(t, "sum", attrs=["A"])
+        assert out.row(2) == (N("Total"), V(1), NULL)
+
+    def test_append_aggregate_column_filtered(self):
+        t = make_table(
+            "R", ["A", "A"], [(1, 2), ("hdr", "hdr")], row_attrs=[None, "Header"]
+        )
+        out = append_aggregate_column(t, "sum", "Sum", attrs=[None])
+        assert out.data_column(3) == (V(3), NULL)

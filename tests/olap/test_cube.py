@@ -1,0 +1,130 @@
+"""Unit tests for the Cube structure and core cube operations."""
+
+import pytest
+
+from repro.core import NULL, EvaluationError, SchemaError, V
+from repro.data import BASE_FACTS
+from repro.olap import Cube, agg_avg, agg_count, agg_max, agg_min, agg_sum
+
+
+@pytest.fixture
+def sales_cube() -> Cube:
+    return Cube.from_facts(BASE_FACTS, ["Part", "Region"], measure="Sold")
+
+
+class TestConstruction:
+    def test_from_facts(self, sales_cube):
+        assert sales_cube.dims == ("Part", "Region")
+        assert len(sales_cube.cells) == 8
+        assert sales_cube[("nuts", "east")] == V(50)
+        assert sales_cube[("nuts", "north")] is NULL
+
+    def test_coordinate_order_is_first_appearance(self, sales_cube):
+        assert sales_cube.coords["Part"] == (V("nuts"), V("screws"), V("bolts"))
+        assert sales_cube.coords["Region"] == (
+            V("east"),
+            V("west"),
+            V("south"),
+            V("north"),
+        )
+
+    def test_duplicate_facts_need_combiner(self):
+        facts = [("a", "x", 1), ("a", "x", 2)]
+        with pytest.raises(EvaluationError):
+            Cube.from_facts(facts, ["D1", "D2"])
+        combined = Cube.from_facts(facts, ["D1", "D2"], combine=agg_sum)
+        assert combined[("a", "x")] == V(3)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            Cube.from_facts([("a", 1)], ["D1", "D2"])
+
+    def test_duplicate_dimensions_rejected(self):
+        with pytest.raises(SchemaError):
+            Cube(["D", "D"], {"D": ["a"]}, {})
+
+    def test_undeclared_coordinate_rejected(self):
+        with pytest.raises(SchemaError):
+            Cube(["D"], {"D": ["a"]}, {("b",): 1})
+
+    def test_null_cells_dropped(self):
+        cube = Cube(["D"], {"D": ["a", "b"]}, {("a",): 1, ("b",): None})
+        assert len(cube.cells) == 1
+
+    def test_density(self, sales_cube):
+        assert sales_cube.density() == pytest.approx(8 / 12)
+
+    def test_equality_and_hash(self, sales_cube):
+        again = Cube.from_facts(BASE_FACTS, ["Part", "Region"], measure="Sold")
+        assert again == sales_cube and hash(again) == hash(sales_cube)
+
+
+class TestOperations:
+    def test_slice(self, sales_cube):
+        east = sales_cube.slice("Region", "east")
+        assert east.dims == ("Part",)
+        assert east[("nuts",)] == V(50)
+        assert east[("screws",)] is NULL
+
+    def test_slice_unknown_coordinate(self, sales_cube):
+        with pytest.raises(SchemaError):
+            sales_cube.slice("Region", "mars")
+
+    def test_slice_to_zero_dims_forbidden(self):
+        cube = Cube(["D"], {"D": ["a"]}, {("a",): 1})
+        with pytest.raises(SchemaError):
+            cube.slice("D", "a")
+
+    def test_dice_keeps_dimensions(self, sales_cube):
+        diced = sales_cube.dice({"Region": ["east", "west"]})
+        assert diced.dims == sales_cube.dims
+        assert diced.coords["Region"] == (V("east"), V("west"))
+        assert len(diced.cells) == 4  # nuts/east, nuts/west, screws/west, bolts/east
+
+    def test_dice_unknown_coordinate(self, sales_cube):
+        with pytest.raises(SchemaError):
+            sales_cube.dice({"Region": ["mars"]})
+
+    def test_rollup_sum(self, sales_cube):
+        per_part = sales_cube.rollup("Region")
+        assert per_part[("nuts",)] == V(150)
+        assert per_part[("screws",)] == V(160)
+        assert per_part[("bolts",)] == V(110)
+
+    def test_rollup_other_aggregates(self, sales_cube):
+        per_part = sales_cube.rollup("Region", agg_max)
+        assert per_part[("nuts",)] == V(60)
+        counts = sales_cube.rollup("Region", agg_count)
+        assert counts[("screws",)] == V(3)
+
+    def test_total(self, sales_cube):
+        assert sales_cube.total() == V(420)
+        assert sales_cube.total(agg_min) == V(40)
+        assert sales_cube.total(agg_avg).payload == pytest.approx(420 / 8)
+
+    def test_rollup_then_slice_commutes_with_slice_then_total(self, sales_cube):
+        east_total = sales_cube.rollup("Part")[("east",)]
+        assert east_total == V(120)
+        assert sales_cube.slice("Region", "east").total() == V(120)
+
+
+class TestAggregates:
+    def test_sum_skips_nulls(self):
+        assert agg_sum([V(1), NULL, V(2)]) == V(3)
+
+    def test_empty_is_null(self):
+        assert agg_sum([NULL]) is NULL
+        assert agg_min([]) is NULL
+
+    def test_count_counts_applicable(self):
+        assert agg_count([V(1), NULL, V("x")]) == V(2)
+
+    def test_names_rejected(self):
+        from repro.core import N
+
+        with pytest.raises(EvaluationError):
+            agg_sum([N("Part")])
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(EvaluationError):
+            agg_sum([V("text")])

@@ -1,0 +1,73 @@
+"""Unit tests for dimension hierarchies (multi-level roll-up)."""
+
+import pytest
+
+from repro.core import SchemaError, V
+from repro.data import BASE_FACTS
+from repro.olap import Cube, Hierarchy, agg_count, mapping_classifier
+
+
+@pytest.fixture
+def cube() -> Cube:
+    return Cube.from_facts(BASE_FACTS, ["Part", "Region"], measure="Sold")
+
+
+@pytest.fixture
+def geography() -> Hierarchy:
+    return Hierarchy(
+        "Region",
+        [
+            (
+                "Zone",
+                mapping_classifier(
+                    {
+                        "east": "coastal",
+                        "west": "coastal",
+                        "north": "inland",
+                        "south": "inland",
+                    }
+                ),
+            ),
+            ("Country", mapping_classifier({"coastal": "usa", "inland": "usa"})),
+        ],
+    )
+
+
+class TestHierarchy:
+    def test_level_names(self, geography):
+        assert geography.level_names() == ("Zone", "Country")
+
+    def test_rollup_to_first_level(self, cube, geography):
+        zones = geography.rollup_to(cube, "Zone")
+        assert zones.dims == ("Part", "Zone")
+        assert zones[("nuts", "coastal")] == V(110)
+        assert zones[("screws", "inland")] == V(110)
+
+    def test_rollup_to_top_level(self, cube, geography):
+        country = geography.rollup_to(cube, "Country")
+        assert country.dims == ("Part", "Country")
+        assert country[("nuts", "usa")] == V(150)
+        assert country[("bolts", "usa")] == V(110)
+
+    def test_rollup_preserves_grand_total(self, cube, geography):
+        assert geography.rollup_to(cube, "Country").total() == cube.total()
+
+    def test_alternative_aggregate(self, cube, geography):
+        counts = geography.rollup_to(cube, "Country", agg_count)
+        # counting counts-of-counts: 2 zones per (part, country) at the top
+        assert counts[("nuts", "usa")] == V(2)
+
+    def test_unknown_level(self, cube, geography):
+        with pytest.raises(SchemaError):
+            geography.rollup_to(cube, "Planet")
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            Hierarchy("Region", [])
+        with pytest.raises(SchemaError):
+            Hierarchy("Region", [("Region", mapping_classifier({}))])
+        with pytest.raises(SchemaError):
+            Hierarchy(
+                "Region",
+                [("Z", mapping_classifier({})), ("Z", mapping_classifier({}))],
+            )

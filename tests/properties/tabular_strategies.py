@@ -1,0 +1,74 @@
+"""Hypothesis strategies for tabular model objects."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import NULL, Name, Symbol, Table, TabularDatabase, Value
+
+ATTRIBUTE_NAMES = ["A", "B", "C", "G", "X"]
+VALUE_POOL = ["u", "v", "w", 1, 2, 3]
+
+
+def symbols(allow_names: bool = True) -> st.SearchStrategy[Symbol]:
+    """Arbitrary symbols: nulls, values, and optionally names."""
+    options = [st.just(NULL), st.sampled_from([Value(v) for v in VALUE_POOL])]
+    if allow_names:
+        options.append(st.sampled_from([Name(n) for n in ATTRIBUTE_NAMES]))
+    return st.one_of(*options)
+
+
+def attributes() -> st.SearchStrategy[Symbol]:
+    """Attribute-position symbols: names or ⊥ (occasionally values)."""
+    return st.one_of(
+        st.sampled_from([Name(n) for n in ATTRIBUTE_NAMES]),
+        st.just(NULL),
+        st.sampled_from([Value(v) for v in VALUE_POOL[:2]]),
+    )
+
+
+@st.composite
+def tables(
+    draw,
+    min_width: int = 0,
+    max_width: int = 4,
+    min_height: int = 0,
+    max_height: int = 5,
+    name: str = "R",
+) -> Table:
+    """Random tables over a small symbol pool (shrinks well)."""
+    width = draw(st.integers(min_width, max_width))
+    height = draw(st.integers(min_height, max_height))
+    header = [Name(name)] + [draw(attributes()) for _ in range(width)]
+    grid = [header]
+    for _ in range(height):
+        row_attr = draw(st.one_of(st.just(NULL), st.sampled_from([Name(n) for n in ATTRIBUTE_NAMES])))
+        grid.append([row_attr] + [draw(symbols()) for _ in range(width)])
+    return Table(grid)
+
+
+@st.composite
+def relation_tables(
+    draw,
+    columns: tuple[str, ...] = ("G", "X"),
+    min_height: int = 0,
+    max_height: int = 5,
+    name: str = "R",
+) -> Table:
+    """Relation-style tables (⊥ row attributes, distinct named columns)."""
+    height = draw(st.integers(min_height, max_height))
+    header = [Name(name)] + [Name(c) for c in columns]
+    grid = [header]
+    for _ in range(height):
+        grid.append([NULL] + [draw(st.sampled_from([Value(v) for v in VALUE_POOL]))
+                              for _ in columns])
+    return Table(grid)
+
+
+@st.composite
+def databases(draw, max_tables: int = 3) -> TabularDatabase:
+    """Random small databases (names may repeat)."""
+    count = draw(st.integers(0, max_tables))
+    names = ["R", "S"]
+    tabs = [draw(tables(name=draw(st.sampled_from(names)))) for _ in range(count)]
+    return TabularDatabase(tabs)

@@ -1,0 +1,113 @@
+"""Property-based tests for the core model (weak equality, tables)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NULL,
+    Table,
+    TabularDatabase,
+    weakly_contained,
+    weakly_equal,
+)
+from tabular_strategies import databases, symbols, tables
+
+symbol_sets = st.frozensets(symbols(), max_size=4)
+
+
+class TestWeakEqualityLaws:
+    @given(symbol_sets)
+    def test_reflexive(self, a):
+        assert weakly_equal(a, a)
+
+    @given(symbol_sets, symbol_sets)
+    def test_symmetric(self, a, b):
+        assert weakly_equal(a, b) == weakly_equal(b, a)
+
+    @given(symbol_sets, symbol_sets, symbol_sets)
+    def test_transitive(self, a, b, c):
+        if weakly_equal(a, b) and weakly_equal(b, c):
+            assert weakly_equal(a, c)
+
+    @given(symbol_sets, symbol_sets)
+    def test_antisymmetry_of_containment(self, a, b):
+        if weakly_contained(a, b) and weakly_contained(b, a):
+            assert weakly_equal(a, b)
+
+    @given(symbol_sets)
+    def test_null_is_neutral(self, a):
+        assert weakly_equal(a, set(a) | {NULL})
+
+    @given(symbol_sets, symbol_sets, symbol_sets)
+    def test_union_congruence(self, a, b, c):
+        if weakly_equal(a, b):
+            assert weakly_equal(set(a) | set(c), set(b) | set(c))
+
+
+class TestTableLaws:
+    @given(tables())
+    def test_transpose_involution(self, t):
+        assert t.transpose().transpose() == t
+
+    @given(tables())
+    def test_transpose_swaps_dimensions(self, t):
+        assert (t.transpose().width, t.transpose().height) == (t.height, t.width)
+
+    @given(tables())
+    def test_equivalence_reflexive(self, t):
+        assert t.equivalent(t)
+
+    @given(tables(max_width=3, max_height=3))
+    @settings(max_examples=50)
+    def test_equivalent_under_any_row_and_column_shuffle(self, t):
+        rows = [0] + list(reversed(range(1, t.nrows)))
+        cols = [0] + list(reversed(range(1, t.ncols)))
+        shuffled = t.subtable(rows, cols)
+        assert t.equivalent(shuffled)
+        assert shuffled.equivalent(t)
+
+    @given(tables())
+    def test_symbols_cover_grid(self, t):
+        for row in t.grid:
+            for entry in row:
+                assert entry in t.symbols()
+
+    @given(tables())
+    def test_row_entry_set_never_contains_foreign_entries(self, t):
+        for i in t.data_row_indices():
+            for a in set(t.column_attributes):
+                assert t.row_entry_set(i, a) <= set(t.data_row(i))
+
+    @given(tables(min_height=1, min_width=1))
+    def test_every_row_subsumes_itself(self, t):
+        for i in t.data_row_indices():
+            assert t.row_subsumed_by(i, t, i)
+
+    @given(tables())
+    def test_sorted_canonically_is_equivalent_fixpoint(self, t):
+        canon = t.sorted_canonically()
+        assert canon.equivalent(t)
+        assert canon.sorted_canonically() == canon
+
+
+class TestDatabaseLaws:
+    @given(databases())
+    def test_order_independence(self, db):
+        assert TabularDatabase(reversed(db.tables)) == db
+
+    @given(databases(), databases())
+    def test_union_commutative(self, a, b):
+        assert (a | b) == (b | a)
+
+    @given(databases())
+    def test_replace_then_lookup(self, db):
+        names = sorted(db.table_names(), key=lambda s: s.sort_key())
+        if not names:
+            return
+        name = names[0]
+        emptied = db.replace_named(name, [])
+        assert emptied.tables_named(name) == ()
+
+    @given(databases())
+    def test_equivalence_reflexive(self, db):
+        assert db.equivalent(db)

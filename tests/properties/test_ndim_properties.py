@@ -1,0 +1,89 @@
+"""Property-based tests for the n-dimensional tabular generalization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import N, V
+from repro.ndim import NDTable, cube_to_ndtable, ndtable_to_cube
+from repro.olap import Cube
+
+
+@st.composite
+def nd_tables(draw, max_arity=3, max_extent=3):
+    arity = draw(st.integers(1, max_arity))
+    shape = tuple(draw(st.integers(1, max_extent)) for _ in range(arity))
+    cells = {(0,) * arity: N("T")}
+    n_cells = draw(st.integers(0, 6))
+    for _ in range(n_cells):
+        position = tuple(draw(st.integers(0, s - 1)) for s in shape)
+        cells[position] = V(draw(st.integers(0, 5)))
+    cells[(0,) * arity] = N("T")  # keep the name a name
+    return NDTable(shape, cells)
+
+
+@st.composite
+def cubes(draw, max_dims=3):
+    # arity >= 2: one-dimensional cubes have no faithful NDTable embedding
+    # (attribute and data positions coincide) and the bridge rejects them
+    n_dims = draw(st.integers(2, max_dims))
+    dims = tuple(f"D{k}" for k in range(n_dims))
+    coords = {
+        d: [V(f"{d}c{i}") for i in range(draw(st.integers(1, 3)))] for d in dims
+    }
+    cells = {}
+    for _ in range(draw(st.integers(0, 5))):
+        key = tuple(draw(st.sampled_from(coords[d])) for d in dims)
+        cells[key] = V(draw(st.integers(1, 99)))
+    return Cube(dims, coords, cells, "M")
+
+
+class TestPermutationLaws:
+    @given(nd_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_identity_permutation(self, t):
+        assert t.permute_axes(tuple(range(t.arity))) == t
+
+    @given(nd_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_reversal_is_involution(self, t):
+        order = tuple(reversed(range(t.arity)))
+        assert t.permute_axes(order).permute_axes(order) == t
+
+    @given(nd_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_preserves_name_and_data_count(self, t):
+        order = tuple(reversed(range(t.arity)))
+        flipped = t.permute_axes(order)
+        assert flipped.name == t.name
+        assert len(flipped.data()) == len(t.data())
+
+
+class TestTwoDimensionalEmbedding:
+    @given(nd_tables(max_arity=2))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_through_table(self, t):
+        if t.arity != 2:
+            return
+        assert NDTable.from_table(t.to_table()) == t
+
+    @given(nd_tables(max_arity=2))
+    @settings(max_examples=60, deadline=None)
+    def test_permute_is_transpose(self, t):
+        if t.arity != 2:
+            return
+        assert t.permute_axes((1, 0)).to_table() == t.to_table().transpose()
+
+
+class TestCubeBridge:
+    @given(cubes())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, cube):
+        nd = cube_to_ndtable(cube)
+        back = ndtable_to_cube(nd, cube.dims)
+        assert back == cube
+
+    @given(cubes())
+    @settings(max_examples=60, deadline=None)
+    def test_shape_matches_coordinates(self, cube):
+        nd = cube_to_ndtable(cube)
+        assert nd.shape == tuple(len(cube.coords[d]) + 1 for d in cube.dims)

@@ -1,0 +1,137 @@
+"""Unit tests for the FO + while + new interpreter."""
+
+import pytest
+
+from repro.core import (
+    FreshValueSource,
+    NonTerminationError,
+    SchemaError,
+    TaggedValue,
+)
+from repro.relational import (
+    Assign,
+    AssignNew,
+    Difference,
+    FWProgram,
+    Join,
+    Project,
+    Rel,
+    Relation,
+    RelationalDatabase,
+    RenameAttr,
+    Union,
+    WhileNotEmpty,
+)
+
+
+def graph(*edges):
+    return RelationalDatabase([Relation("E", ["A", "B"], edges)])
+
+
+def tc_program() -> FWProgram:
+    """Transitive closure — the canonical while-program."""
+    step = (
+        Join(
+            Rel("TC").rename("A", "X").rename("B", "Y"),
+            Rel("E").rename("A", "Y").rename("B", "Z"),
+        )
+        .project("X", "Z")
+        .rename("X", "A")
+        .rename("Z", "B")
+    )
+    return FWProgram(
+        [
+            Assign("TC", Rel("E")),
+            Assign("Delta", Rel("E")),
+            WhileNotEmpty(
+                "Delta",
+                [
+                    Assign("Step", step),
+                    Assign("Delta", Difference(Rel("Step"), Rel("TC"))),
+                    Assign("TC", Union(Rel("TC"), Rel("Delta"))),
+                ],
+            ),
+        ]
+    )
+
+
+class TestAssign:
+    def test_binds_result(self):
+        db = graph((1, 2))
+        out = FWProgram([Assign("Copy", Rel("E"))]).run(db)
+        assert out.relation("Copy").tuples == db.relation("E").tuples
+
+    def test_rebinding_replaces(self):
+        db = graph((1, 2))
+        prog = FWProgram(
+            [Assign("X", Rel("E")), Assign("X", Difference(Rel("E"), Rel("E")))]
+        )
+        assert len(prog.run(db).relation("X")) == 0
+
+
+class TestAssignNew:
+    def test_extends_with_fresh_ids(self):
+        db = graph((1, 2), (2, 3))
+        out = FWProgram([AssignNew("Tagged", Rel("E"), "Id")]).run(db)
+        tagged = out.relation("Tagged")
+        assert tagged.schema == ("A", "B", "Id")
+        ids = [row[2] for row in tagged]
+        assert len(set(ids)) == 2
+        assert all(isinstance(i, TaggedValue) for i in ids)
+
+    def test_ids_fresh_wrt_database(self):
+        db = RelationalDatabase([Relation("E", ["A", "B"], [(TaggedValue(9), 1)])])
+        out = FWProgram([AssignNew("T", Rel("E"), "Id")]).run(db)
+        new_id = next(iter(out.relation("T")))[2]
+        assert new_id.payload > 9
+
+    def test_id_attribute_collision(self):
+        db = graph((1, 2))
+        with pytest.raises(SchemaError):
+            FWProgram([AssignNew("T", Rel("E"), "A")]).run(db)
+
+
+class TestWhile:
+    def test_transitive_closure_chain(self):
+        out = tc_program().run(graph((1, 2), (2, 3), (3, 4)))
+        tuples = {tuple(s.payload for s in row) for row in out.relation("TC")}
+        assert tuples == {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4)}
+
+    def test_transitive_closure_cycle(self):
+        out = tc_program().run(graph((1, 2), (2, 1)))
+        tuples = {tuple(s.payload for s in row) for row in out.relation("TC")}
+        assert tuples == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_empty_graph(self):
+        out = tc_program().run(graph())
+        assert len(out.relation("TC")) == 0
+
+    def test_iteration_budget(self):
+        infinite = FWProgram(
+            [Assign("X", Rel("E")), WhileNotEmpty("X", [Assign("X", Rel("X"))])]
+        )
+        with pytest.raises(NonTerminationError):
+            infinite.run(graph((1, 2)), max_while_iterations=10)
+
+    def test_condition_on_absent_relation_is_false(self):
+        prog = FWProgram([WhileNotEmpty("Nope", [Assign("X", Rel("E"))])])
+        out = prog.run(graph((1, 2)))
+        assert out.get("X") is None
+
+
+class TestProgram:
+    def test_concatenation(self):
+        p = FWProgram([Assign("X", Rel("E"))]) + FWProgram([Assign("Y", Rel("X"))])
+        assert len(p) == 2
+
+    def test_rejects_non_statements(self):
+        with pytest.raises(Exception):
+            FWProgram(["bogus"])  # type: ignore[list-item]
+
+    def test_determinism_up_to_fresh_choice(self):
+        db = graph((1, 2))
+        prog = FWProgram([AssignNew("T", Rel("E"), "Id")])
+        a = prog.run(db, fresh=FreshValueSource(100))
+        b = prog.run(db, fresh=FreshValueSource(200))
+        assert len(a.relation("T")) == len(b.relation("T"))
+        assert a.relation("T") != b.relation("T")  # different id choices

@@ -1,0 +1,235 @@
+"""Theorem 4.1 tests: FO + while + new simulated within the tabular algebra.
+
+Every test runs a program twice — natively over relations and compiled to
+tabular algebra over the tabular embedding — and demands identical results
+for the output relations (ignoring the compiler's ``__fw`` temporaries).
+"""
+
+import pytest
+
+from repro.core import SchemaError
+from repro.data import generators
+from repro.relational import (
+    Assign,
+    AssignNew,
+    Difference,
+    FWProgram,
+    Intersection,
+    Join,
+    Product,
+    Project,
+    Rel,
+    Relation,
+    RelationalDatabase,
+    RenameAttr,
+    SelectConst,
+    SelectEq,
+    TEMP_PREFIX,
+    Union,
+    WhileNotEmpty,
+    compile_expression,
+    compile_program,
+    relational_to_tabular,
+    table_to_relation,
+)
+
+
+def run_both(program: FWProgram, db: RelationalDatabase, schemas, outputs):
+    """Run natively and via TA; return (native, simulated) per output name."""
+    native = program.run(db)
+    ta_program = compile_program(program, schemas)
+    tabular_out = ta_program.run(relational_to_tabular(db))
+    results = {}
+    for name in outputs:
+        native_rel = native.relation(name)
+        tables = tabular_out.tables_named(name)
+        assert len(tables) == 1, f"expected one table named {name}"
+        simulated = table_to_relation(tables[0]).with_name(name)
+        results[name] = (native_rel, simulated)
+    return results
+
+
+def assert_agree(program, db, schemas, outputs):
+    for name, (native, simulated) in run_both(program, db, schemas, outputs).items():
+        assert simulated.schema == native.schema, name
+        assert simulated.tuples == native.tuples, name
+
+
+GRAPH = RelationalDatabase(
+    [Relation("E", ["A", "B"], [(1, 2), (2, 3), (3, 4), (4, 2)])]
+)
+SCHEMAS = {"E": ("A", "B")}
+
+
+class TestExpressionCompilation:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            Rel("E"),
+            Union(Rel("E"), Rel("E")),
+            Difference(Rel("E"), SelectConst(Rel("E"), "A", 1)),
+            Intersection(Rel("E"), Rel("E")),
+            Project(Rel("E"), ["B"]),
+            SelectEq(Rel("E"), "A", "B"),
+            SelectConst(Rel("E"), "B", 2),
+            RenameAttr(Rel("E"), "A", "Src"),
+            Product(Rel("E"), RenameAttr(RenameAttr(Rel("E"), "A", "C"), "B", "D")),
+            Join(
+                RenameAttr(Rel("E"), "A", "Src"),
+                RenameAttr(Rel("E"), "B", "Dst"),
+            ),
+        ],
+        ids=[
+            "ref",
+            "union",
+            "difference",
+            "intersection",
+            "project",
+            "select-eq",
+            "select-const",
+            "rename",
+            "product",
+            "join",
+        ],
+    )
+    def test_expression_agrees(self, expr):
+        program = FWProgram([Assign("Out", expr)])
+        assert_agree(program, GRAPH, SCHEMAS, ["Out"])
+
+    def test_compile_expression_helper(self):
+        program = compile_expression(Project(Rel("E"), ["A"]), SCHEMAS, "Out")
+        out = program.run(relational_to_tabular(GRAPH))
+        relation = table_to_relation(out.tables_named("Out")[0])
+        assert relation.schema == ("A",)
+        assert len(relation) == 4
+
+    def test_union_with_duplicates_dedups(self):
+        db = RelationalDatabase(
+            [
+                Relation("R", ["A"], [(1,), (2,)]),
+                Relation("S", ["A"], [(2,), (3,)]),
+            ]
+        )
+        program = FWProgram([Assign("Out", Union(Rel("R"), Rel("S")))])
+        assert_agree(program, db, {"R": ("A",), "S": ("A",)}, ["Out"])
+
+
+class TestProgramCompilation:
+    def test_transitive_closure(self):
+        step = (
+            Join(
+                Rel("TC").rename("A", "X").rename("B", "Y"),
+                Rel("E").rename("A", "Y").rename("B", "Z"),
+            )
+            .project("X", "Z")
+            .rename("X", "A")
+            .rename("Z", "B")
+        )
+        program = FWProgram(
+            [
+                Assign("TC", Rel("E")),
+                Assign("Delta", Rel("E")),
+                WhileNotEmpty(
+                    "Delta",
+                    [
+                        Assign("Step", step),
+                        Assign("Delta", Difference(Rel("Step"), Rel("TC"))),
+                        Assign("TC", Union(Rel("TC"), Rel("Delta"))),
+                    ],
+                ),
+            ]
+        )
+        assert_agree(program, GRAPH, SCHEMAS, ["TC"])
+
+    def test_transitive_closure_on_random_graphs(self):
+        import random
+
+        rng = random.Random(7)
+        for trial in range(3):
+            n = 5 + trial
+            edges = {(rng.randrange(n), rng.randrange(n)) for _ in range(n + 2)}
+            db = RelationalDatabase([Relation("E", ["A", "B"], edges)])
+            step = (
+                Join(
+                    Rel("TC").rename("A", "X").rename("B", "Y"),
+                    Rel("E").rename("A", "Y").rename("B", "Z"),
+                )
+                .project("X", "Z")
+                .rename("X", "A")
+                .rename("Z", "B")
+            )
+            program = FWProgram(
+                [
+                    Assign("TC", Rel("E")),
+                    Assign("Delta", Rel("E")),
+                    WhileNotEmpty(
+                        "Delta",
+                        [
+                            Assign("Step", step),
+                            Assign("Delta", Difference(Rel("Step"), Rel("TC"))),
+                            Assign("TC", Union(Rel("TC"), Rel("Delta"))),
+                        ],
+                    ),
+                ]
+            )
+            assert_agree(program, db, SCHEMAS, ["TC"])
+
+    def test_new_construct_sizes_agree(self):
+        # Fresh ids differ between runs, so compare shapes, not values.
+        program = FWProgram([AssignNew("Tagged", Rel("E"), "Id")])
+        results = run_both(program, GRAPH, SCHEMAS, ["Tagged"])
+        native, simulated = results["Tagged"]
+        assert simulated.schema == native.schema
+        assert len(simulated) == len(native)
+        ids = {row[2] for row in simulated.tuples}
+        assert len(ids) == len(simulated)
+
+    def test_sequencing_and_rebinding(self):
+        program = FWProgram(
+            [
+                Assign("X", Rel("E")),
+                Assign("X", SelectConst(Rel("X"), "A", 2)),
+                Assign("Out", Project(Rel("X"), ["B"])),
+            ]
+        )
+        assert_agree(program, GRAPH, SCHEMAS, ["Out", "X"])
+
+    def test_temp_tables_are_reserved_names(self):
+        program = FWProgram([Assign("Out", Project(Rel("E"), ["A"]))])
+        ta_program = compile_program(program, SCHEMAS)
+        out = ta_program.run(relational_to_tabular(GRAPH))
+        temp_names = [
+            str(n) for n in out.table_names() if str(n).startswith(TEMP_PREFIX)
+        ]
+        assert temp_names  # intermediates exist and are clearly reserved
+
+    def test_schema_unstable_while_rejected(self):
+        # the body renames A away, so it cannot re-apply on the next pass
+        unstable = FWProgram(
+            [
+                Assign("X", Rel("E")),
+                WhileNotEmpty("X", [Assign("X", RenameAttr(Rel("X"), "A", "A2"))]),
+            ]
+        )
+        with pytest.raises(SchemaError):
+            compile_program(unstable, SCHEMAS)
+
+    def test_schema_stable_shrinking_while_accepted(self):
+        # projecting X onto A stabilizes after one pass and must compile
+        stable = FWProgram(
+            [
+                Assign("X", Rel("E")),
+                WhileNotEmpty(
+                    "X",
+                    [
+                        Assign("X", Project(Rel("X"), ["A"])),
+                        Assign("X", Difference(Rel("X"), Rel("X"))),
+                    ],
+                ),
+            ]
+        )
+        assert_agree(stable, GRAPH, SCHEMAS, ["X"])
+
+    def test_unknown_relation_rejected_at_compile_time(self):
+        with pytest.raises(SchemaError):
+            compile_program(FWProgram([Assign("X", Rel("Nope"))]), SCHEMAS)

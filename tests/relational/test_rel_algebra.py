@@ -1,0 +1,118 @@
+"""Unit tests for the classical relational algebra."""
+
+import pytest
+
+from repro.core import SchemaError, V
+from repro.relational import (
+    Difference,
+    Intersection,
+    Join,
+    Product,
+    Project,
+    Rel,
+    Relation,
+    RelationalDatabase,
+    RenameAttr,
+    SelectConst,
+    SelectEq,
+    Union,
+)
+
+
+@pytest.fixture
+def db():
+    return RelationalDatabase(
+        [
+            Relation("R", ["A", "B"], [(1, 2), (3, 4)]),
+            Relation("S", ["A", "B"], [(3, 4), (5, 6)]),
+            Relation("T", ["C"], [(7,), (8,)]),
+            Relation("E", ["A", "B"], [(1, 2), (2, 3)]),
+        ]
+    )
+
+
+def rows(relation):
+    return {tuple(s.payload for s in row) for row in relation.tuples}
+
+
+class TestOperations:
+    def test_union(self, db):
+        assert rows(Union(Rel("R"), Rel("S")).evaluate(db)) == {(1, 2), (3, 4), (5, 6)}
+
+    def test_union_incompatible(self, db):
+        with pytest.raises(SchemaError):
+            Union(Rel("R"), Rel("T")).evaluate(db)
+
+    def test_difference(self, db):
+        assert rows(Difference(Rel("R"), Rel("S")).evaluate(db)) == {(1, 2)}
+
+    def test_intersection(self, db):
+        assert rows(Intersection(Rel("R"), Rel("S")).evaluate(db)) == {(3, 4)}
+
+    def test_product(self, db):
+        result = Product(Rel("R"), Rel("T")).evaluate(db)
+        assert result.schema == ("A", "B", "C")
+        assert len(result) == 4
+
+    def test_product_overlap_rejected(self, db):
+        with pytest.raises(SchemaError):
+            Product(Rel("R"), Rel("S")).evaluate(db)
+
+    def test_project(self, db):
+        result = Project(Rel("R"), ["B"]).evaluate(db)
+        assert result.schema == ("B",)
+        assert rows(result) == {(2,), (4,)}
+
+    def test_project_dedups(self, db):
+        wide = RelationalDatabase([Relation("W", ["A", "B"], [(1, 2), (1, 3)])])
+        assert len(Project(Rel("W"), ["A"]).evaluate(wide)) == 1
+
+    def test_project_unknown_attribute(self, db):
+        with pytest.raises(SchemaError):
+            Project(Rel("R"), ["Z"]).evaluate(db)
+
+    def test_select_eq(self, db):
+        eq = RelationalDatabase([Relation("W", ["A", "B"], [(1, 1), (1, 2)])])
+        assert rows(SelectEq(Rel("W"), "A", "B").evaluate(eq)) == {(1, 1)}
+
+    def test_select_const(self, db):
+        assert rows(SelectConst(Rel("R"), "A", 3).evaluate(db)) == {(3, 4)}
+
+    def test_rename(self, db):
+        result = RenameAttr(Rel("R"), "A", "Z").evaluate(db)
+        assert result.schema == ("Z", "B")
+
+    def test_rename_collision_rejected(self, db):
+        with pytest.raises(SchemaError):
+            RenameAttr(Rel("R"), "A", "B").evaluate(db)
+
+    def test_join(self, db):
+        joined = Join(
+            RenameAttr(RenameAttr(Rel("E"), "B", "Mid"), "A", "Src"),
+            RenameAttr(RenameAttr(Rel("E"), "A", "Mid"), "B", "Dst"),
+        ).evaluate(db)
+        assert joined.schema == ("Src", "Mid", "Dst")
+        assert rows(joined) == {(1, 2, 3)}
+
+    def test_join_without_common_attributes_is_product(self, db):
+        joined = Join(Rel("R"), Rel("T")).evaluate(db)
+        assert len(joined) == 4
+
+    def test_operator_sugar(self, db):
+        expr = (Rel("R") | Rel("S")) - Rel("S")
+        assert rows(expr.evaluate(db)) == {(1, 2)}
+        expr2 = Rel("R").project("A").rename("A", "X")
+        assert expr2.evaluate(db).schema == ("X",)
+
+    def test_schema_static_matches_dynamic(self, db):
+        exprs = [
+            Union(Rel("R"), Rel("S")),
+            Product(Rel("R"), Rel("T")),
+            Project(Rel("R"), ["B"]),
+            SelectEq(Rel("R"), "A", "B"),
+            SelectConst(Rel("R"), "A", 1),
+            RenameAttr(Rel("R"), "A", "Z"),
+            Join(Rel("R"), Rel("S")),
+        ]
+        for expr in exprs:
+            assert expr.schema(db) == expr.evaluate(db).schema

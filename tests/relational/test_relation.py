@@ -1,0 +1,77 @@
+"""Unit tests for relations and relational databases."""
+
+import pytest
+
+from repro.core import SchemaError, TaggedValue, V
+from repro.relational import Relation, RelationalDatabase
+
+
+class TestRelation:
+    def test_set_semantics(self):
+        r = Relation("R", ["A"], [(1,), (1,), (2,)])
+        assert len(r) == 2
+
+    def test_arity_checked(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ["A", "B"], [(1,)])
+
+    def test_distinct_attributes_required(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ["A", "A"])
+
+    def test_contains(self):
+        r = Relation("R", ["A", "B"], [(1, 2)])
+        assert (V(1), V(2)) in r
+        assert (1, 2) in r
+        assert (2, 1) not in r
+
+    def test_iteration_deterministic(self):
+        r = Relation("R", ["A"], [(3,), (1,), (2,)])
+        assert [row[0].payload for row in r] == [1, 2, 3]
+
+    def test_attribute_index_and_column(self):
+        r = Relation("R", ["A", "B"], [(1, 2), (3, 2)])
+        assert r.attribute_index("B") == 1
+        assert r.column("B") == frozenset([V(2)])
+        with pytest.raises(SchemaError):
+            r.attribute_index("Z")
+
+    def test_with_name_and_tuples(self):
+        r = Relation("R", ["A"], [(1,)])
+        assert r.with_name("S").name == "S"
+        assert len(r.with_tuples([(1,), (2,)])) == 2
+
+    def test_symbols(self):
+        r = Relation("R", ["A"], [(TaggedValue(3),)])
+        assert TaggedValue(3) in r.symbols()
+
+    def test_equality(self):
+        assert Relation("R", ["A"], [(1,)]) == Relation("R", ["A"], [(1,)])
+        assert Relation("R", ["A"], [(1,)]) != Relation("S", ["A"], [(1,)])
+
+
+class TestRelationalDatabase:
+    def test_lookup(self):
+        db = RelationalDatabase([Relation("R", ["A"], [(1,)])])
+        assert db.relation("R").arity == 1
+        assert db.get("Z") is None
+        with pytest.raises(SchemaError):
+            db.relation("Z")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationalDatabase([Relation("R", ["A"]), Relation("R", ["B"])])
+
+    def test_set_replaces(self):
+        db = RelationalDatabase([Relation("R", ["A"], [(1,)])])
+        db2 = db.set(Relation("R", ["A"], [(2,)]))
+        assert (2,) in db2.relation("R")
+        assert (1,) in db.relation("R")  # original untouched
+
+    def test_drop(self):
+        db = RelationalDatabase([Relation("R", ["A"])])
+        assert "R" not in db.drop("R")
+
+    def test_names_sorted(self):
+        db = RelationalDatabase([Relation("S", ["A"]), Relation("R", ["A"])])
+        assert db.names() == ("R", "S")

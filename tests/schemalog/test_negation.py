@@ -1,0 +1,157 @@
+"""Stratified negation in SchemaLog_d: evaluation and TA compilation."""
+
+import pytest
+
+from repro.core import EvaluationError, N, ParseError, V, database
+from repro.relational import Relation, RelationalDatabase, table_to_relation
+from repro.schemalog import (
+    DERIVED,
+    NegatedAtom,
+    SchemaLogDatabase,
+    compile_to_ta,
+    evaluate,
+    parse_schemalog,
+    stratify,
+)
+
+
+@pytest.fixture
+def db() -> SchemaLogDatabase:
+    return SchemaLogDatabase.from_relational(
+        RelationalDatabase(
+            [
+                Relation("east", ["part"], [("nuts",), ("bolts",)]),
+                Relation("west", ["part"], [("nuts",), ("screws",)]),
+            ]
+        )
+    )
+
+
+def run_both(program, db):
+    native = evaluate(program, db)
+    out = compile_to_ta(program).run(database(db.facts_table()))
+    derived = table_to_relation(out.tables_named(DERIVED)[0]).with_name("Facts")
+    return native, SchemaLogDatabase.from_facts_relation(derived)
+
+
+class TestParsing:
+    def test_not_prefix(self):
+        rule = parse_schemalog(
+            "only[T: part -> P] :- east[T: part -> P], not west[U: part -> P]."
+        ).rules[0]
+        assert len(rule.negated_atoms()) == 1
+        assert isinstance(rule.body[1], NegatedAtom)
+
+    def test_negated_relation_must_be_constant(self):
+        with pytest.raises(ParseError):
+            parse_schemalog(
+                "x[T: a -> P] :- east[T: a -> P], not R[U: a -> P]."
+            )
+
+    def test_local_negation_variables_are_existential(self):
+        # variables local to the negated atom are fine (¬∃ semantics) …
+        rule = parse_schemalog(
+            "x[T: a -> P] :- east[T: a -> P], not west[U: b -> Q]."
+        ).rules[0]
+        assert len(rule.negated_atoms()) == 1
+
+    def test_head_variable_bound_only_negatively_is_unsafe(self):
+        # … but they cannot bind the head
+        with pytest.raises(ParseError):
+            parse_schemalog("x[T: a -> Q] :- east[T: a -> P], not west[U: b -> Q].")
+
+
+class TestStratification:
+    def test_positive_program_is_one_stratum(self):
+        program = parse_schemalog(
+            """
+            a[T: x -> V] :- e[T: x -> V].
+            b[T: x -> V] :- a[T: x -> V].
+            """
+        )
+        assert len(stratify(program)) == 1
+
+    def test_negation_splits_strata(self):
+        program = parse_schemalog(
+            """
+            a[T: x -> V] :- e[T: x -> V].
+            b[T: x -> V] :- e[T: x -> V], not a[T: x -> V].
+            """
+        )
+        strata = stratify(program)
+        assert len(strata) == 2
+        assert str(strata[0][0].head.rel) == "a"
+
+    def test_negative_cycle_rejected(self):
+        program = parse_schemalog(
+            """
+            a[T: x -> V] :- e[T: x -> V], not b[T: x -> V].
+            b[T: x -> V] :- e[T: x -> V], not a[T: x -> V].
+            """
+        )
+        with pytest.raises(EvaluationError):
+            stratify(program)
+
+    def test_variable_head_with_negation_rejected(self):
+        program = parse_schemalog(
+            """
+            copy[T: tgt -> R] :- e[T: tgt -> R].
+            R[T: x -> V] :- e[T: x -> V], copy[U: tgt -> R].
+            b[T: x -> V] :- e[T: x -> V], not a[T: x -> V].
+            """
+        )
+        with pytest.raises(EvaluationError):
+            stratify(program)
+
+
+class TestEvaluation:
+    def test_set_difference_by_negation(self, db):
+        program = parse_schemalog(
+            "only_east[T: part -> P] :- east[T: part -> P], not west[U: part -> P]."
+        )
+        out = evaluate(program, db)
+        derived = {str(f[3]) for f in out if f[0] == N("only_east")}
+        assert derived == {"'bolts'"}
+
+    def test_two_strata_chain(self, db):
+        program = parse_schemalog(
+            """
+            shared[T: part -> P]   :- east[T: part -> P], west[U: part -> P].
+            east_only[T: part -> P] :- east[T: part -> P], not shared[U: part -> P].
+            """
+        )
+        out = evaluate(program, db)
+        assert {str(f[3]) for f in out if f[0] == N("east_only")} == {"'bolts'"}
+
+    def test_negation_of_absent_relation(self, db):
+        program = parse_schemalog(
+            "all[T: part -> P] :- east[T: part -> P], not ghost[U: part -> P]."
+        )
+        out = evaluate(program, db)
+        assert len([f for f in out if f[0] == N("all")]) == 2
+
+
+class TestCompilation:
+    def test_negation_compiles_and_agrees(self, db):
+        program = parse_schemalog(
+            "only_east[T: part -> P] :- east[T: part -> P], not west[U: part -> P]."
+        )
+        native, simulated = run_both(program, db)
+        assert simulated == native
+
+    def test_two_strata_compile_and_agree(self, db):
+        program = parse_schemalog(
+            """
+            shared[T: part -> P]    :- east[T: part -> P], west[U: part -> P].
+            east_only[T: part -> P] :- east[T: part -> P], not shared[U: part -> P].
+            """
+        )
+        native, simulated = run_both(program, db)
+        assert simulated == native
+
+    def test_negation_with_constants_agrees(self, db):
+        program = parse_schemalog(
+            "other[T: part -> P] :- east[T: part -> P], not west[U: part -> 'nuts']."
+        )
+        native, simulated = run_both(program, db)
+        assert simulated == native

@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(*args):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(list(args))
+    return code, buffer.getvalue()
+
+
+class TestCli:
+    def test_check_passes(self):
+        code, output = run_cli("check")
+        assert code == 0
+        assert "7/7 reproductions hold" in output
+        assert "FAIL" not in output
+
+    def test_default_command_is_check(self):
+        code, _output = run_cli()
+        assert code == 0
+
+    def test_figures_prints_every_artifact(self):
+        code, output = run_cli("figures")
+        assert code == 0
+        for marker in ("SalesInfo1", "SalesInfo4", "GROUP", "MERGE"):
+            assert marker in output
+        assert output.count("exactly: True") == 2
+
+    def test_unknown_command(self):
+        code, output = run_cli("frobnicate")
+        assert code == 2
+        assert "figures" in output

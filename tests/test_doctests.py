@@ -1,0 +1,23 @@
+"""Run the doctests embedded in the library's docstrings."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _modules():
+    out = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        out.append(info.name)
+    return sorted(out)
+
+
+@pytest.mark.parametrize("module_name", _modules())
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"

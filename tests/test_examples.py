@@ -1,0 +1,33 @@
+"""Integration tests: every example script runs and verifies itself.
+
+The examples print their own checks ("matches: True", "agrees: True" …);
+running them with captured stdout and asserting no failure markers turns
+the examples into end-to-end tests of the public API.
+"""
+
+import io
+import runpy
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(script), run_name="__main__")
+    output = buffer.getvalue()
+    assert output.strip(), f"{script.name} produced no output"
+    lowered = output.lower()
+    for marker in ("false", "error", "traceback", "failed"):
+        assert marker not in lowered, f"{script.name} printed {marker!r}:\n{output}"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "sales_restructuring", "olap_report"} <= names
+    assert len(EXAMPLES) >= 3

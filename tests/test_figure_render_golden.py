@@ -1,0 +1,55 @@
+"""Golden tests: the rendered figures, pinned character for character.
+
+These protect the figure-regeneration story end to end: if any layer
+(data, symbols, renderer) drifts, the printed table stops matching the
+recorded form of the paper's figures.
+"""
+
+from repro.core import render_table
+from repro.data import figure4_top, sales_info2, sales_info3
+
+FIGURE4_TOP = """\
++-------+----------+---------+------+
+| Sales | Part     | Region  | Sold |
++-------+----------+---------+------+
+| ⊥     | 'nuts'   | 'east'  | 50   |
+| ⊥     | 'nuts'   | 'west'  | 60   |
+| ⊥     | 'nuts'   | 'south' | 40   |
+| ⊥     | 'screws' | 'west'  | 50   |
+| ⊥     | 'screws' | 'north' | 60   |
+| ⊥     | 'screws' | 'south' | 50   |
+| ⊥     | 'bolts'  | 'east'  | 70   |
+| ⊥     | 'bolts'  | 'north' | 40   |
++-------+----------+---------+------+"""
+
+SALESINFO2_BOLD = """\
++--------+----------+--------+--------+---------+---------+
+| Sales  | Part     | Sold   | Sold   | Sold    | Sold    |
++--------+----------+--------+--------+---------+---------+
+| Region | ⊥        | 'east' | 'west' | 'north' | 'south' |
+| ⊥      | 'nuts'   | 50     | 60     | ⊥       | 40      |
+| ⊥      | 'screws' | ⊥      | 50     | 60      | 50      |
+| ⊥      | 'bolts'  | 70     | ⊥      | 40      | ⊥       |
++--------+----------+--------+--------+---------+---------+"""
+
+SALESINFO3_BOLD = """\
++---------+--------+----------+---------+
+| Sales   | 'nuts' | 'screws' | 'bolts' |
++---------+--------+----------+---------+
+| 'east'  | 50     | ⊥        | 70      |
+| 'west'  | 60     | 50       | ⊥       |
+| 'north' | ⊥      | 60       | 40      |
+| 'south' | 40     | 50       | ⊥       |
++---------+--------+----------+---------+"""
+
+
+def test_figure4_top_golden():
+    assert render_table(figure4_top()) == FIGURE4_TOP
+
+
+def test_salesinfo2_golden():
+    assert render_table(sales_info2().tables[0]) == SALESINFO2_BOLD
+
+
+def test_salesinfo3_golden():
+    assert render_table(sales_info3().tables[0]) == SALESINFO3_BOLD

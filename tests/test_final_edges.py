@@ -1,0 +1,80 @@
+"""Final edge-path batch: bridge orientation, federation surface syntax,
+interpreter fresh-value discipline across layers."""
+
+import pytest
+
+from repro.core import N, SchemaError, TaggedValue, V, database, make_table
+from repro.data import BASE_FACTS
+from repro.federation import TabularFederation, parse_federated, run_federated
+from repro.olap import Cube, cube_to_grouped_table, cube_to_matrix_table
+
+
+class TestBridgeOrientation:
+    @pytest.fixture
+    def reversed_cube(self):
+        # dimensions declared in the opposite order to the bridges' call
+        facts = [(r, p, s) for (p, r, s) in BASE_FACTS]
+        return Cube.from_facts(facts, ["Region", "Part"], measure="Sold")
+
+    def test_grouped_bridge_accepts_either_dim_order(self, reversed_cube):
+        table = cube_to_grouped_table(reversed_cube, "Part", "Region", "Sales")
+        assert table.column_attributes.count(N("Sold")) == 4
+
+    def test_matrix_bridge_accepts_either_dim_order(self, reversed_cube):
+        table = cube_to_matrix_table(reversed_cube, "Part", "Region", "Sales")
+        assert table.row_attributes == reversed_cube.coords["Part"]
+        assert table.entry(1, 1) == reversed_cube[(V("east"), V("nuts"))]
+
+    def test_matrix_bridge_wrong_dims_rejected(self, reversed_cube):
+        with pytest.raises(SchemaError):
+            cube_to_matrix_table(reversed_cube, "Part", "Year")
+
+
+class TestFederatedSurfaceSyntax:
+    @pytest.fixture
+    def federation(self):
+        return TabularFederation(
+            {"db1": database(make_table("my_table", ["A"], [(1,)]))}
+        )
+
+    def test_single_underscore_names_are_not_qualified(self, federation):
+        # my_table has one underscore: stays a plain name — but then the
+        # federated lookup must use db1__my_table for the member's table
+        program = parse_federated("Out <- DEDUP (db1__my_table)")
+        out = run_federated(program, federation)
+        assert out.member("result").table("Out").height == 1
+
+    def test_leading_double_underscore_not_rewritten(self, federation):
+        program = parse_federated("__scratch <- DEDUP (db1__my_table)")
+        out = run_federated(program, federation)
+        # '__scratch' keeps its literal (unqualified) name -> result member
+        assert out.member("result").table("__scratch").height == 1
+
+    def test_unknown_member_simply_matches_nothing(self, federation):
+        program = parse_federated("Out <- DEDUP (nosuch__table)")
+        out = run_federated(program, federation)
+        assert "result" not in out or not out.member("result").tables
+
+
+class TestFreshValueDiscipline:
+    def test_interpreter_tags_never_collide_across_statements(self):
+        from repro.algebra.programs import parse_program
+
+        db = database(make_table("R", ["A"], [(1,), (2,)]))
+        program = parse_program(
+            """
+            T1 <- TUPLENEW attr Id (R)
+            T2 <- TUPLENEW attr Id (T1)
+            T3 <- SETNEW attr Set (R)
+            """
+        )
+        out = program.run(db)
+        tags = set()
+        for name in ("T1", "T2", "T3"):
+            for table in out.tables_named(name):
+                for row in table.data:
+                    for entry in row:
+                        if isinstance(entry, TaggedValue):
+                            tags.add(entry)
+        # T1 contributes 2, T2 re-tags 2 more (plus carries T1's), T3 adds 3
+        assert len(tags) == 2 + 2 + 3

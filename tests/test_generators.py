@@ -1,0 +1,70 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.core import NULL, N, Name, Value
+from repro.data import (
+    random_database,
+    random_table,
+    synthetic_grouped_table,
+    synthetic_sales_facts,
+    synthetic_sales_table,
+)
+
+
+class TestSalesFacts:
+    def test_deterministic(self):
+        assert synthetic_sales_facts(5, 3, seed=7) == synthetic_sales_facts(5, 3, seed=7)
+
+    def test_seed_changes_output(self):
+        assert synthetic_sales_facts(5, 3, seed=1) != synthetic_sales_facts(5, 3, seed=2)
+
+    def test_every_part_appears(self):
+        facts = synthetic_sales_facts(10, 4, density=0.05, seed=3)
+        assert len({p for (p, _r, _s) in facts}) == 10
+
+    def test_density_validated(self):
+        with pytest.raises(ValueError):
+            synthetic_sales_facts(3, 3, density=1.5)
+
+    def test_density_extremes(self):
+        full = synthetic_sales_facts(4, 3, density=1.0, seed=0)
+        assert len(full) == 12
+        sparse = synthetic_sales_facts(4, 3, density=0.0, seed=0)
+        assert len(sparse) == 4  # one guaranteed fact per part
+
+
+class TestTables:
+    def test_sales_table_shape(self):
+        table = synthetic_sales_table(6, 4, seed=5)
+        assert table.column_attributes == (N("Part"), N("Region"), N("Sold"))
+        assert table.height >= 6
+
+    def test_grouped_table_shape(self):
+        table = synthetic_grouped_table(6, 4, seed=5)
+        assert table.entry(1, 0) == N("Region")
+        assert all(a == N("Sold") for a in table.column_attributes[1:])
+
+    def test_grouped_matches_facts(self):
+        facts = synthetic_sales_facts(6, 4, seed=5)
+        table = synthetic_grouped_table(6, 4, seed=5)
+        total_cells = sum(
+            1
+            for i in range(2, table.nrows)
+            for j in range(2, table.ncols)
+            if not table.entry(i, j).is_null
+        )
+        assert total_cells == len(facts)
+
+    def test_random_table_is_valid(self):
+        table = random_table(height=6, width=4, seed=11)
+        assert table.nrows == 7 and table.ncols == 5
+        assert table.name == N("T")
+
+    def test_random_table_deterministic(self):
+        assert random_table(4, 3, seed=2) == random_table(4, 3, seed=2)
+
+    def test_random_database(self):
+        db = random_database(5, seed=9)
+        assert len(db) <= 5  # set semantics may deduplicate
+        assert all(t.nrows >= 1 for t in db.tables)

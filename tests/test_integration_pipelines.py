@@ -1,0 +1,167 @@
+"""Cross-layer integration: pipelines spanning several subsystems.
+
+Each test is a miniature application: data flows through three or more
+layers (SchemaLog → relations → cubes → tables; graphs → encodings →
+textual TA programs; compilers → optimizer → interpreter), ending in a
+checkable artifact.  These are the tests that catch interface drift
+between subsystems.
+"""
+
+import pytest
+
+from repro.algebra.programs import optimize, parse_program
+from repro.core import N, V, database, make_table
+from repro.data import BASE_FACTS, sales_info2
+from repro.good import (
+    GoodEdge,
+    GoodNode,
+    ObjectGraph,
+    decode_graph,
+    encode_graph,
+)
+from repro.olap import Cube, grouped_with_totals, relation_table_to_cube
+from repro.relational import (
+    Relation,
+    RelationalDatabase,
+    relation_to_table,
+    table_to_relation,
+)
+from repro.schemalog import SchemaLogDatabase, evaluate, parse_schemalog
+from repro.schemasql import evaluate_query, parse_schemasql
+
+
+class TestFederationToOlap:
+    """Heterogeneous offices -> SchemaLog unification -> cube -> summaries."""
+
+    def test_full_pipeline_reproduces_salesinfo2(self):
+        # 1. four per-region offices (region encoded in the relation name)
+        per_region: dict[str, list[tuple[str, int]]] = {}
+        for part, region, sold in BASE_FACTS:
+            per_region.setdefault(region, []).append((part, sold))
+        offices = RelationalDatabase(
+            [
+                Relation(region, ["part", "sold"], rows)
+                for region, rows in per_region.items()
+            ]
+        )
+        facts = SchemaLogDatabase.from_relational(offices)
+
+        # 2. unify with SchemaLog rules (region becomes data)
+        rules = []
+        for region in per_region:
+            rules.append(f"sales[T: part -> P] :- {region}[T: part -> P].")
+            rules.append(f"sales[T: sold -> S] :- {region}[T: sold -> S].")
+            rules.append(
+                f"sales[T: region -> '{region}'] :- {region}[T: part -> P]."
+            )
+        unified = evaluate(parse_schemalog("\n".join(rules)), facts)
+
+        # 3. materialize, read into a cube
+        sales_table = unified.to_tabular().table("sales")
+        relation = table_to_relation(
+            sales_table, schema=("part", "region", "sold")
+        )
+        cube = Cube.from_facts(
+            [(row[0], row[1], row[2]) for row in relation],
+            ["Part", "Region"],
+            measure="Sold",
+        )
+
+        # 4. the summary-extended SalesInfo2, from data that started life
+        #    scattered across four schemas
+        summary = grouped_with_totals(cube, "Part", "Region", "Sales")
+        expected = sales_info2(with_summary=True).tables[0]
+        assert summary.equivalent(expected)
+
+
+class TestSchemaSqlToCube:
+    def test_query_result_feeds_the_cube_layer(self):
+        facts = SchemaLogDatabase.from_relational(
+            RelationalDatabase(
+                [
+                    Relation("east", ["part", "sold"], [("nuts", 50), ("bolts", 70)]),
+                    Relation("west", ["part", "sold"], [("nuts", 60)]),
+                ]
+            )
+        )
+        query = parse_schemasql(
+            "SELECT T.part AS part, R AS region, T.sold AS sold "
+            "INTO sales FROM -> R, R T"
+        )
+        relation = evaluate_query(query, facts)
+        table = relation_to_table(relation)
+        cube = relation_table_to_cube(table, ["part", "region"], "sold")
+        assert cube.total() == V(180)
+        assert cube[("nuts", N("east"))] == V(50)
+
+
+class TestTextualProgramOnEncodedGraph:
+    def test_hand_written_ta_program_queries_the_encoding(self):
+        graph = ObjectGraph(
+            [
+                GoodNode.make("p1", "Person", "ann"),
+                GoodNode.make("p2", "Person", "bob"),
+                GoodNode.make("h", "House"),
+            ],
+            [GoodEdge.make("p1", "lives", "h"), GoodEdge.make("p2", "lives", "h")],
+        )
+        encoded = encode_graph(graph)
+        # textual TA over the encoding: who lives anywhere?
+        program = parse_program(
+            """
+            Residents <- SELECTCONST attr Lab value lives (Edges)
+            Residents <- PROJECT attrs {Src} (Residents)
+            Residents <- DEDUP (Residents)
+            """
+        )
+        out = program.run(encoded)
+        residents = out.tables_named("Residents")[0]
+        assert residents.height == 2
+        # the untouched encoding still decodes
+        assert decode_graph(out) == graph
+
+    def test_selectconst_on_name_valued_entries(self):
+        # 'lives' in the Lab column is a Name; the parser reads bare
+        # identifiers in value position as names — verified above; here the
+        # quoted form must NOT match (it would be a Value)
+        graph = ObjectGraph(
+            [GoodNode.make("a", "N"), GoodNode.make("b", "N")],
+            [GoodEdge.make("a", "e", "b")],
+        )
+        program = parse_program(
+            "Hit <- SELECTCONST attr Lab value 'e' (Edges)"
+        )
+        out = program.run(encode_graph(graph))
+        assert out.tables_named("Hit")[0].height == 0
+
+
+class TestCompileOptimizeRun:
+    def test_optimized_schemalog_compilation_agrees(self):
+        facts = SchemaLogDatabase.from_relational(
+            RelationalDatabase(
+                [Relation("east", ["part"], [("nuts",), ("bolts",)])]
+            )
+        )
+        program = parse_schemalog("all[T: A -> V] :- R[T: A -> V].")
+        from repro.schemalog import DERIVED, compile_to_ta
+
+        compiled = compile_to_ta(program)
+        lean = optimize(compiled, [DERIVED])
+        db = database(facts.facts_table())
+        assert compiled.run(db).tables_named(DERIVED) == lean.run(db).tables_named(
+            DERIVED
+        )
+
+    def test_pivot_program_through_all_layers(self):
+        base = make_table("Sales", ["Part", "Region", "Sold"], BASE_FACTS)
+        program = parse_program(
+            """
+            Scratch <- TRANSPOSE (Sales)
+            Pivot   <- GROUPCOMPACT by {Region} on {Sold} (Sales)
+            """
+        )
+        lean = optimize(program, ["Pivot"])
+        assert len(lean) == 1
+        out = lean.run(database(base))
+        pivot = out.tables_named("Pivot")[0]
+        assert pivot.equivalent(sales_info2().tables[0].with_name(pivot.name))

@@ -1,0 +1,78 @@
+"""Smoke tests for reprs and display strings across the library.
+
+Reprs are part of the debugging surface of a production library; these
+tests pin that every major object prints something informative (and that
+printing never raises).
+"""
+
+from repro.algebra.programs import assign, parse_program
+from repro.core import N, V, database, make_table
+from repro.data import sales_info1
+from repro.federation import TabularFederation
+from repro.good import GoodEdge, GoodNode, ObjectGraph, Pattern, PatternNode
+from repro.ndim import NDTable
+from repro.olap import Cube
+from repro.relational import Join, Project, Rel, Relation, RelationalDatabase
+from repro.schemalog import SchemaLogDatabase, parse_rule, parse_schemalog
+from repro.schemasql import parse_schemasql
+
+
+class TestReprs:
+    def test_core(self):
+        table = make_table("R", ["A"], [(1,)])
+        assert "R" in repr(table) and "2x2" in repr(table)
+        db = database(table)
+        assert "1 tables" in repr(db)
+        assert "R" in str(db)
+
+    def test_relational(self):
+        relation = Relation("R", ["A", "B"], [(1, 2)])
+        assert "R(A, B)" in repr(relation)
+        reldb = RelationalDatabase([relation])
+        assert "R/2(1)" in repr(reldb)
+        expr = Project(Join(Rel("R"), Rel("S")), ["A"])
+        assert "⋈" in repr(expr) and "π" in repr(expr)
+
+    def test_programs(self):
+        program = parse_program(
+            """
+            T <- GROUP by {Region} on {Sold} (Sales)
+            while T do
+                T <- DIFFERENCE (T, T)
+            end
+            """
+        )
+        text = repr(program)
+        assert "GROUP" in text and "while" in text
+        statement = assign("T", "PROJECT", "R", attrs=["A", "B"])
+        assert "PROJECT" in repr(statement)
+
+    def test_schemalog(self):
+        rule = parse_rule("out[T: a -> X] :- in[T: a -> X], X != 'v', not z[U: a -> X].")
+        text = str(rule)
+        assert ":-" in text and "not z[" in text and "!=" in text
+        db = SchemaLogDatabase([(N("r"), V(1), N("a"), V(2))])
+        assert "1 facts" in repr(db)
+
+    def test_schemasql(self):
+        query = parse_schemasql("SELECT T.part AS p INTO out FROM east T")
+        assert query.into == "out"  # dataclass repr exists implicitly
+        assert "ColumnRef" in repr(query.select[0].expression)
+
+    def test_good(self):
+        graph = ObjectGraph(
+            [GoodNode.make("a", "N", 1), GoodNode.make("b", "N")],
+            [GoodEdge.make("a", "e", "b")],
+        )
+        assert "2 nodes" in repr(graph)
+        assert "-e->" in str(GoodEdge.make("a", "e", "b"))
+        assert str(GoodNode.make("a", "N", 1)).endswith("=1")
+        assert "1 vars" in repr(Pattern([PatternNode.make("X", "N")]))
+
+    def test_olap_ndim_federation(self):
+        cube = Cube.from_facts([("a", "x", 1)], ["D1", "D2"], measure="M")
+        assert "shape 1x1" in repr(cube)
+        nd = NDTable((2, 2), {(0, 0): N("T")})
+        assert "2x2" in repr(nd)
+        federation = TabularFederation({"db": sales_info1()})
+        assert "db(1)" in repr(federation)

@@ -1,0 +1,119 @@
+"""Unit tests for database isomorphisms and automorphisms."""
+
+import pytest
+
+from repro.core import (
+    LimitExceededError,
+    N,
+    V,
+    database,
+    make_table,
+)
+from repro.transform import (
+    apply_symbol_map,
+    are_isomorphic,
+    automorphisms,
+    find_isomorphism,
+    movable_values,
+)
+
+
+def db_of(*rows, columns=("A",), name="R"):
+    return database(make_table(name, list(columns), rows))
+
+
+class TestIsomorphism:
+    def test_identical_databases(self):
+        assert are_isomorphic(db_of(("x",)), db_of(("x",)))
+
+    def test_value_renaming(self):
+        mapping = find_isomorphism(db_of(("x",)), db_of(("y",)))
+        assert mapping == {V("x"): V("y")}
+
+    def test_names_are_fixed(self):
+        # Table names and attributes must match exactly.
+        assert not are_isomorphic(db_of(("x",)), db_of(("x",), name="S"))
+        assert not are_isomorphic(db_of(("x",)), db_of(("x",), columns=("B",)))
+
+    def test_names_in_data_positions_are_fixed(self):
+        left = database(make_table("R", ["A"], [(N("Tag"),)]))
+        right = database(make_table("R", ["A"], [(N("Other"),)]))
+        assert not are_isomorphic(left, right)
+
+    def test_multiplicities_matter(self):
+        left = db_of(("x",), ("y",))
+        right = db_of(("x",), ("x",))
+        assert not are_isomorphic(left, right)
+
+    def test_row_order_immaterial(self):
+        assert are_isomorphic(db_of(("x",), ("y",)), db_of(("y",), ("x",)))
+
+    def test_structure_must_be_respected(self):
+        left = database(make_table("R", ["A", "B"], [("x", "x")]))
+        right = database(make_table("R", ["A", "B"], [("x", "y")]))
+        assert not are_isomorphic(left, right)
+
+    def test_fixed_symbols_pin_values(self):
+        left, right = db_of(("x",)), db_of(("y",))
+        assert are_isomorphic(left, right)
+        assert not are_isomorphic(left, right, fixed={V("x")})
+
+    def test_partial_assignment(self):
+        left = db_of(("x",), ("y",))
+        right = db_of(("p",), ("q",))
+        forced = find_isomorphism(left, right, partial={V("x"): V("q")})
+        assert forced == {V("x"): V("q"), V("y"): V("p")}
+
+    def test_partial_assignment_unsatisfiable(self):
+        left = database(make_table("R", ["A", "B"], [("x", "y")]))
+        right = database(make_table("R", ["A", "B"], [("p", "q")]))
+        assert find_isomorphism(left, right, partial={V("x"): V("q")}) is None
+
+    def test_search_limit(self):
+        rows = [(f"v{i}",) for i in range(13)]
+        with pytest.raises(LimitExceededError):
+            are_isomorphic(db_of(*rows), db_of(*rows))
+
+    def test_cross_table_consistency(self):
+        left = database(
+            make_table("R", ["A"], [("x",)]), make_table("S", ["B"], [("x",)])
+        )
+        right_consistent = database(
+            make_table("R", ["A"], [("z",)]), make_table("S", ["B"], [("z",)])
+        )
+        right_inconsistent = database(
+            make_table("R", ["A"], [("z",)]), make_table("S", ["B"], [("w",)])
+        )
+        assert are_isomorphic(left, right_consistent)
+        assert not are_isomorphic(left, right_inconsistent)
+
+
+class TestAutomorphisms:
+    def test_identity_always_present(self):
+        auts = automorphisms(db_of(("x",)))
+        assert len(auts) == 1
+        assert auts[0] == {V("x"): V("x")}
+
+    def test_interchangeable_values(self):
+        auts = automorphisms(db_of(("x",), ("y",)))
+        assert len(auts) == 2  # identity and the swap
+
+    def test_structure_breaks_symmetry(self):
+        db = database(make_table("R", ["A", "B"], [("x", "y")]))
+        auts = automorphisms(db)
+        assert len(auts) == 1  # x and y are not interchangeable across columns
+
+    def test_fixed_reduces_group(self):
+        db = db_of(("x",), ("y",))
+        assert len(automorphisms(db, fixed={V("x")})) == 1
+
+
+class TestApplySymbolMap:
+    def test_application(self):
+        db = db_of(("x",))
+        out = apply_symbol_map(db, {V("x"): V("z")})
+        assert out == db_of(("z",))
+
+    def test_movable_values_excludes_names_and_null(self):
+        db = database(make_table("R", ["A"], [(None,), ("x",)]))
+        assert movable_values(db, frozenset()) == [V("x")]

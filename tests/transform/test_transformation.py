@@ -1,0 +1,160 @@
+"""Unit tests for the transformation-condition checkers and Theorem 4.4."""
+
+import pytest
+
+from repro.algebra import group_compact, project, transpose, tuplenew, union
+from repro.core import (
+    NULL,
+    FreshValueSource,
+    N,
+    TabularDatabase,
+    V,
+    Value,
+    database,
+    make_table,
+)
+from repro.transform import (
+    check_transformation,
+    normal_form,
+    normal_form_agrees,
+    sample_value_permutations,
+    shuffle_database,
+    symbols_grow,
+)
+
+
+def sales_db():
+    return database(
+        make_table(
+            "Sales",
+            ["Part", "Region", "Sold"],
+            [("n", "e", 1), ("b", "e", 2), ("n", "w", 3)],
+        )
+    )
+
+
+def pivot(db: TabularDatabase) -> TabularDatabase:
+    return database(group_compact(db.table("Sales"), by="Region", on="Sold"))
+
+
+def flip(db: TabularDatabase) -> TabularDatabase:
+    return TabularDatabase([transpose(t) for t in db.tables])
+
+
+class TestConditionCheckers:
+    def test_pivot_is_a_transformation(self):
+        report = check_transformation(pivot, sales_db(), samples=2)
+        assert report.ok, report.failures
+
+    def test_transpose_is_a_transformation(self):
+        report = check_transformation(flip, sales_db(), samples=2)
+        assert report.ok, report.failures
+
+    def test_tagging_passes_determinacy(self):
+        def tag(db):
+            return database(tuplenew(db.table("Sales"), "Id", FreshValueSource()))
+
+        report = check_transformation(tag, sales_db(), samples=2)
+        assert report.determinate and report.generic, report.failures
+
+    def test_non_generic_function_detected(self):
+        def branded(db):
+            # branches on an individual value at a fixed position —
+            # violates genericity (a value permutation moves 'n' away
+            # from that position, but the value set itself is unchanged)
+            t = db.table("Sales")
+            if t.entry(1, 1) == V("n"):
+                return database(t.with_name(N("HasNuts")))
+            return database(t)
+
+        report = check_transformation(branded, sales_db(), samples=4)
+        assert not (report.generic and report.permutation_invariant)
+
+    def test_order_sensitive_function_detected(self):
+        def first_row_only(db):
+            t = db.table("Sales")
+            return database(t.subtable([0, 1], range(t.ncols)))
+
+        report = check_transformation(first_row_only, sales_db(), samples=4)
+        assert not report.permutation_invariant
+
+    def test_non_determinate_function_detected(self):
+        state = {"called": 0}
+
+        def flaky(db):
+            state["called"] += 1
+            t = db.table("Sales")
+            if state["called"] > 1:
+                return database(t.with_entry(1, 1, V("mutated")))
+            return database(t)
+
+        report = check_transformation(flaky, sales_db(), samples=1)
+        assert not report.determinate
+
+    def test_non_constructive_function_detected(self):
+        def collapse_symmetry(db):
+            # x and y are interchangeable in the input, but the output
+            # keeps only x — no automorphism extension can exist.
+            return database(make_table("Out", ["A"], [("x",)]))
+
+        symmetric = database(make_table("R", ["A"], [("x",), ("y",)]))
+        report = check_transformation(collapse_symmetry, symmetric, samples=1)
+        assert not report.constructive
+
+    def test_symbol_growth_check(self):
+        def dropper(db):
+            return database(project(db.table("Sales"), ["Part"]))
+
+        report = check_transformation(
+            dropper, sales_db(), samples=1, check_growth=True
+        )
+        assert not report.symbols_grow
+        # keeping the input restores growth
+        def keeper(db):
+            return db.add(project(db.table("Sales"), ["Part"], name="P"))
+
+        report2 = check_transformation(keeper, sales_db(), samples=1, check_growth=True)
+        assert report2.symbols_grow
+
+
+class TestHelpers:
+    def test_sample_value_permutations_are_permutations(self):
+        db = sales_db()
+        for perm in sample_value_permutations(db, 3):
+            assert sorted(perm.keys(), key=lambda s: s.sort_key()) == sorted(
+                perm.values(), key=lambda s: s.sort_key()
+            )
+
+    def test_shuffle_database_is_equivalent(self):
+        db = sales_db()
+        assert shuffle_database(db, seed=3).equivalent(db)
+
+    def test_symbols_grow(self):
+        small = database(make_table("R", ["A"], [(1,)]))
+        large = small.add(make_table("S", ["B"], [(2,)]))
+        assert symbols_grow(small, large)
+        assert not symbols_grow(large, small)
+
+
+class TestNormalForm:
+    def test_normal_form_agrees_for_pivot(self):
+        assert normal_form_agrees(pivot, sales_db())
+
+    def test_normal_form_agrees_for_transpose(self):
+        assert normal_form_agrees(flip, sales_db())
+
+    def test_normal_form_agrees_for_union_program(self):
+        def merge_two(db):
+            r, s = db.table("R"), db.table("S")
+            return database(union(r, s, name="T"))
+
+        db = database(
+            make_table("R", ["A"], [("x",)]), make_table("S", ["A"], [("y",)])
+        )
+        assert normal_form_agrees(merge_two, db)
+
+    def test_normal_form_output_matches_direct_content(self):
+        db = sales_db()
+        direct = pivot(db)
+        via = normal_form(pivot)(db)
+        assert via.equivalent(direct)
