@@ -4,16 +4,27 @@ Every benchmark module regenerates one paper artifact (a figure or a
 theorem's executable content) and *asserts* the reproduction before
 timing, so `pytest benchmarks/ --benchmark-only` doubles as the
 experiment harness of EXPERIMENTS.md.
+
+Observations made with :func:`report` are printed (captured with
+``-s``) and appended to ``benchmarks/BENCH_obs.json`` so experiment
+runs leave a machine-readable trail next to the human-readable one.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.data import synthetic_sales_table
+from repro.obs import OBS
 
 #: Row counts for scaling sweeps (kept laptop-friendly).
 SWEEP_SIZES = (10, 40, 160)
+
+#: Machine-readable sink for :func:`report` records (git-ignored).
+OBS_PATH = Path(__file__).resolve().parent / "BENCH_obs.json"
 
 
 @pytest.fixture(params=SWEEP_SIZES, ids=lambda n: f"rows{n}")
@@ -24,6 +35,30 @@ def sized_sales(request):
 
 
 def report(label: str, **values) -> None:
-    """Print one experiment observation (captured with ``-s``)."""
+    """Record one experiment observation.
+
+    The observation is printed for the console log and appended as a
+    structured record to ``BENCH_obs.json``.  If an observation scope
+    is active, the current metrics snapshot rides along, so benchmark
+    records carry per-operation call counts and row flow.
+    """
     rendered = "  ".join(f"{k}={v}" for k, v in values.items())
     print(f"[{label}] {rendered}")
+    record: dict = {"label": label, "values": values}
+    if OBS.active and OBS.metrics is not None and not OBS.metrics.is_empty():
+        record["metrics"] = OBS.metrics.snapshot()
+    _append_record(record)
+
+
+def _append_record(record: dict) -> None:
+    try:
+        existing = json.loads(OBS_PATH.read_text())
+        if not isinstance(existing, list):
+            existing = []
+    except (OSError, ValueError):
+        existing = []
+    existing.append(record)
+    try:
+        OBS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    except OSError:
+        pass  # read-only checkout: keep the console record

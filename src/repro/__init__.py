@@ -27,6 +27,7 @@ from . import (
     federation,
     good,
     ndim,
+    obs,
     olap,
     relational,
     schemalog,
@@ -42,6 +43,7 @@ __all__ = [
     "federation",
     "good",
     "ndim",
+    "obs",
     "olap",
     "relational",
     "schemalog",

@@ -6,7 +6,12 @@ Commands:
   the exactness checks;
 * ``check``   — a fast self-check of the headline reproductions (exit
   status 0 iff everything holds);
-* ``demo``    — the quickstart walkthrough.
+* ``demo``    — the quickstart walkthrough;
+* ``trace [example] [--json]`` — run a bundled pipeline under the tracer
+  and print its EXPLAIN report (nested span tree, per-op wall time and
+  row flow, metrics tables); ``--json`` emits the same data as JSON;
+* ``stats [--json]`` — run every bundled pipeline and print the
+  aggregated per-operation metrics.
 """
 
 from __future__ import annotations
@@ -114,9 +119,62 @@ def _demo() -> int:
     return 0
 
 
+def _trace(rest: list[str]) -> int:
+    import json
+
+    from .obs.examples import EXAMPLES, trace_example
+
+    json_out = "--json" in rest
+    names = [a for a in rest if not a.startswith("-")]
+    name = names[0] if names else "fig4-group"
+    if name not in EXAMPLES:
+        print(f"unknown example {name!r}; bundled examples:")
+        for example in EXAMPLES.values():
+            print(f"  {example.name:12}  {example.description}")
+        return 2
+    obs, _result = trace_example(name)
+    if json_out:
+        print(json.dumps(obs.to_json(), indent=2))
+    else:
+        print(f"trace of {name} — {EXAMPLES[name].description}")
+        print()
+        print(obs.explain())
+    return 0
+
+
+def _stats(rest: list[str]) -> int:
+    import json
+
+    from .core import render_table
+    from .obs import counters_table, metrics_table, observation
+    from .obs.examples import EXAMPLES, run_example
+
+    with observation(trace=False) as obs:
+        for example in EXAMPLES.values():
+            run_example(example.name)
+    if "--json" in rest:
+        print(json.dumps(obs.metrics.snapshot(), indent=2))
+        return 0
+    print(f"aggregated metrics over {len(EXAMPLES)} bundled pipelines")
+    print()
+    ops = metrics_table(obs.metrics)
+    if ops is not None:
+        print(render_table(ops, title="Operation metrics"))
+        print()
+    counters = counters_table(obs.metrics)
+    if counters is not None:
+        print(render_table(counters, title="Counters"))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     command = args[0] if args else "check"
+    rest = args[1:]
+    if command == "trace":
+        return _trace(rest)
+    if command == "stats":
+        return _stats(rest)
     commands = {"figures": _figures, "check": _check, "demo": _demo}
     if command not in commands:
         print(__doc__)

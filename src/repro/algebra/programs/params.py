@@ -74,6 +74,10 @@ class Binding:
     def bound(self, index: int) -> bool:
         return index in self._values
 
+    def snapshot(self) -> dict[int, Symbol]:
+        """A copy of the environment (subscript → symbol), for observability."""
+        return dict(self._values)
+
     def extended(self, index: int, symbol: Symbol) -> "Binding":
         if index in self._values and self._values[index] != symbol:
             raise EvaluationError(

@@ -9,10 +9,13 @@ over the whole set of matching tables (COLLAPSE).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from ...core import EvaluationError, FreshValueSource, Symbol, Table
+from ...obs import runtime as _obs
+from ...obs.trace import NULL_SPAN
 from .. import (
     classical_union,
     const_column,
@@ -76,7 +79,23 @@ class OpSpec:
         arguments: Mapping[str, object],
         fresh: FreshValueSource | None,
     ) -> tuple[Table, ...]:
-        """Run the operation; always returns a tuple of result tables."""
+        """Run the operation; always returns a tuple of result tables.
+
+        When an :func:`repro.obs.observation` scope is active, every
+        invocation is additionally timed, counted, and row/column
+        accounted — covering all registered operations without touching
+        their bodies.  The disabled path pays one attribute check.
+        """
+        if _obs.OBS.active:
+            return self._invoke_observed(tables, arguments, fresh)
+        return self._invoke_raw(tables, arguments, fresh)
+
+    def _invoke_raw(
+        self,
+        tables: Sequence[Table],
+        arguments: Mapping[str, object],
+        fresh: FreshValueSource | None,
+    ) -> tuple[Table, ...]:
         kwargs = dict(arguments)
         if self.needs_fresh:
             kwargs["source"] = fresh
@@ -91,6 +110,51 @@ class OpSpec:
         if self.multi_result:
             return tuple(result)
         return (result,)
+
+    def _invoke_observed(
+        self,
+        tables: Sequence[Table],
+        arguments: Mapping[str, object],
+        fresh: FreshValueSource | None,
+    ) -> tuple[Table, ...]:
+        obs = _obs.OBS
+        tables_in = len(tables)
+        rows_in = sum(t.height for t in tables)
+        cols_in = sum(t.width for t in tables)
+        cm = obs.tracer.span(self.name) if obs.tracer is not None else NULL_SPAN
+        started = time.perf_counter()
+        try:
+            with cm as sp:
+                sp.set(tables_in=tables_in, rows_in=rows_in, cols_in=cols_in)
+                produced = self._invoke_raw(tables, arguments, fresh)
+                sp.set(
+                    tables_out=len(produced),
+                    rows_out=sum(t.height for t in produced),
+                    cols_out=sum(t.width for t in produced),
+                )
+        except Exception:
+            if obs.metrics is not None:
+                obs.metrics.record_op(
+                    self.name,
+                    time.perf_counter() - started,
+                    tables_in=tables_in,
+                    rows_in=rows_in,
+                    cols_in=cols_in,
+                    error=True,
+                )
+            raise
+        if obs.metrics is not None:
+            obs.metrics.record_op(
+                self.name,
+                time.perf_counter() - started,
+                tables_in=tables_in,
+                tables_out=len(produced),
+                rows_in=rows_in,
+                rows_out=sum(t.height for t in produced),
+                cols_in=cols_in,
+                cols_out=sum(t.width for t in produced),
+            )
+        return produced
 
 
 def _spec(name, function, arity=1, params=None, **flags) -> tuple[str, OpSpec]:

@@ -31,6 +31,8 @@ from ...core import (
     TabularDatabase,
     Table,
 )
+from ...obs import runtime as _obs
+from ...obs.trace import NULL_SPAN
 from .params import Binding, Lit, Parameter, Star, as_parameter
 from .registry import OPERATIONS, PARAM_ENTRY, PARAM_SET, PARAM_SINGLE, OpSpec
 
@@ -145,28 +147,57 @@ class Assignment(Statement):
     # -- execution ------------------------------------------------------
 
     def execute(self, db: TabularDatabase, interp: "Interpreter") -> TabularDatabase:
-        source = (
-            self._aggregate_groups(db, interp.binding)
-            if self.spec.aggregate
-            else self._combinations(db, interp.binding)
+        obs = _obs.OBS
+        observing = obs.active
+        cm = (
+            obs.tracer.span("statement", text=repr(self))
+            if observing and obs.tracer is not None
+            else NULL_SPAN
         )
-        results: dict[Symbol, list[Table]] = {}
-        target_names: set[Symbol] = set()
-        for tables, binding in source:
-            arguments = self._evaluate_params(binding, tables[0])
-            produced = self.spec.invoke(tables, arguments, interp.fresh)
-            target = self.target.evaluate_single(binding, tables[0])
-            target_names.add(target)
-            results.setdefault(target, []).extend(
-                t.with_name(target) for t in produced
+        with cm as sp:
+            source = (
+                self._aggregate_groups(db, interp.binding)
+                if self.spec.aggregate
+                else self._combinations(db, interp.binding)
             )
-        if not target_names and isinstance(self.target, Lit):
-            # No combination matched: the target name becomes empty.
-            target_names.add(self.target.symbol)
-        new_db = db
-        for name in target_names:
-            new_db = new_db.replace_named(name, results.get(name, []))
-        return new_db
+            results: dict[Symbol, list[Table]] = {}
+            target_names: set[Symbol] = set()
+            combinations = 0
+            bindings_seen: list[str] = []
+            for tables, binding in source:
+                combinations += 1
+                if observing and binding is not interp.binding:
+                    # Snapshot the wildcard environment driving this
+                    # combination (bounded, so wide fan-outs stay readable).
+                    if len(bindings_seen) < 8:
+                        bindings_seen.append(repr(binding))
+                    elif len(bindings_seen) == 8:
+                        bindings_seen.append("…")
+                arguments = self._evaluate_params(binding, tables[0])
+                produced = self.spec.invoke(tables, arguments, interp.fresh)
+                target = self.target.evaluate_single(binding, tables[0])
+                target_names.add(target)
+                results.setdefault(target, []).extend(
+                    t.with_name(target) for t in produced
+                )
+            if not target_names and isinstance(self.target, Lit):
+                # No combination matched: the target name becomes empty.
+                target_names.add(self.target.symbol)
+            new_db = db
+            for name in target_names:
+                new_db = new_db.replace_named(name, results.get(name, []))
+            if observing:
+                sp.set(
+                    combinations=combinations,
+                    tables_in=len(db),
+                    tables_out=len(new_db),
+                )
+                if bindings_seen:
+                    sp.set(bindings=bindings_seen)
+                if obs.metrics is not None:
+                    obs.metrics.count("statements")
+                    obs.metrics.count("combinations", combinations)
+            return new_db
 
     def __repr__(self) -> str:
         params = " ".join(f"{k} {v}" for k, v in self.params.items())
@@ -190,17 +221,44 @@ class While(Statement):
         name = self.condition.evaluate_single(interp.binding, None)
         return any(t.height > 0 for t in db.tables_named(name))
 
+    def _condition_rows(self, db: TabularDatabase, interp: "Interpreter") -> int:
+        name = self.condition.evaluate_single(interp.binding, None)
+        return sum(t.height for t in db.tables_named(name))
+
     def execute(self, db: TabularDatabase, interp: "Interpreter") -> TabularDatabase:
-        iterations = 0
-        while self._holds(db, interp):
-            iterations += 1
-            if iterations > interp.max_while_iterations:
-                raise NonTerminationError(
-                    f"while loop on {self.condition} exceeded "
-                    f"{interp.max_while_iterations} iterations"
-                )
-            db = self.body.execute(db, interp)
-        return db
+        obs = _obs.OBS
+        observing = obs.active
+        cm = (
+            obs.tracer.span("while", text=str(self.condition))
+            if observing and obs.tracer is not None
+            else NULL_SPAN
+        )
+        with cm as sp:
+            iterations = 0
+            condition_rows: list[int] = []
+            while self._holds(db, interp):
+                iterations += 1
+                if iterations > interp.max_while_iterations:
+                    raise NonTerminationError(
+                        f"while loop on {self.condition} exceeded "
+                        f"{interp.max_while_iterations} iterations"
+                    )
+                if observing:
+                    # Fixpoint visibility: the condition's row count per
+                    # iteration shows how fast the loop converges.
+                    condition_rows.append(self._condition_rows(db, interp))
+                    if obs.metrics is not None:
+                        obs.metrics.count("while_iterations")
+                    if obs.tracer is not None:
+                        with obs.tracer.span("iteration", n=iterations):
+                            db = self.body.execute(db, interp)
+                        continue
+                db = self.body.execute(db, interp)
+            if observing:
+                sp.set(iterations=iterations, condition_rows=condition_rows)
+                if obs.metrics is not None:
+                    obs.metrics.count("while_loops")
+            return db
 
     def __repr__(self) -> str:
         return f"while {self.condition} do {self.body!r} end"
@@ -263,7 +321,23 @@ class Interpreter:
 
     def run(self, program: Program, db: TabularDatabase) -> TabularDatabase:
         self.fresh.advance_past(db.symbols())
-        return program.execute(db, self)
+        obs = _obs.OBS
+        if not obs.active:
+            return program.execute(db, self)
+        cm = (
+            obs.tracer.span("program", statements=len(program))
+            if obs.tracer is not None
+            else NULL_SPAN
+        )
+        with cm as sp:
+            bound = self.binding.snapshot()
+            if bound:
+                sp.set(binding={f"*{k}": str(v) for k, v in sorted(bound.items())})
+            out = program.execute(db, self)
+            sp.set(tables_in=len(db), tables_out=len(out))
+            if obs.metrics is not None:
+                obs.metrics.count("programs")
+            return out
 
 
 def assign(target: object, op: str, *args: object, **params: object) -> Assignment:

@@ -323,10 +323,14 @@ class _Emitter:
 
 def compile_to_fw(program: GoodProgram) -> FWProgram:
     """Compile a GOOD program (sans abstraction) into FO + while + new."""
-    emitter = _Emitter()
-    for operation in program:
-        emitter.compile_operation(operation)
-    return FWProgram(emitter.statements)
+    from ..obs.runtime import span as _span
+
+    with _span("compile.good", operations=len(program.operations)) as sp:
+        emitter = _Emitter()
+        for operation in program:
+            emitter.compile_operation(operation)
+        sp.set(fw_statements=len(emitter.statements))
+        return FWProgram(emitter.statements)
 
 
 def compile_to_ta(program: GoodProgram) -> Program:

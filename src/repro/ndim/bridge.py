@@ -11,6 +11,7 @@ from __future__ import annotations
 from itertools import product as iter_product
 
 from ..core import Name, SchemaError, Symbol
+from ..obs.runtime import span as _span
 from ..olap import Cube
 from .ndtable import NDTable
 
@@ -34,6 +35,11 @@ def cube_to_ndtable(cube: Cube) -> NDTable:
             "one-dimensional cubes have no faithful NDTable embedding "
             "(attribute and data positions coincide)"
         )
+    with _span("bridge.cube_to_ndtable", arity=cube.arity, cells=len(cube.cells)):
+        return _cube_to_ndtable(cube)
+
+
+def _cube_to_ndtable(cube: Cube) -> NDTable:
     shape = tuple(len(cube.coords[d]) + 1 for d in cube.dims)
     cells: dict[tuple[int, ...], Symbol] = {
         (0,) * cube.arity: Name(cube.measure)
@@ -62,6 +68,11 @@ def ndtable_to_cube(table: NDTable, dims: tuple[str, ...] | None = None) -> Cube
             "one-dimensional tables carry no separable data region "
             "(attribute and data positions coincide)"
         )
+    with _span("bridge.ndtable_to_cube", arity=table.arity):
+        return _ndtable_to_cube(table, dims)
+
+
+def _ndtable_to_cube(table: NDTable, dims: tuple[str, ...] | None = None) -> Cube:
     names = dims if dims is not None else tuple(f"D{k}" for k in range(table.arity))
     if len(names) != table.arity:
         raise SchemaError(f"{len(names)} dimension names for arity {table.arity}")

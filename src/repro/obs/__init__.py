@@ -1,0 +1,52 @@
+"""Observability: execution tracing, metrics, and EXPLAIN reports.
+
+The engine is instrumented at every layer — the algebra operation
+registry, the program interpreter, the FO+while+new interpreter, the
+SchemaLog/SchemaSQL/GOOD compilers, and the OLAP/n-dim bridges — but all
+instrumentation is a strict no-op until an :func:`observation` scope is
+entered (one attribute check on :data:`~repro.obs.runtime.OBS` guards
+every hot path).
+
+Typical use::
+
+    from repro.obs import observation
+
+    with observation() as obs:
+        result = program.run(db)
+
+    print(obs.explain())            # span tree + per-op metrics tables
+    data = obs.to_json()            # the same report as plain data
+
+The CLI exposes the same machinery: ``python -m repro trace <example>``
+and ``python -m repro stats``.
+"""
+
+from .metrics import MetricsRegistry, OpMetrics
+from .runtime import OBS, Observation, observation, span
+from .trace import NULL_SPAN, Span, Tracer
+from .explain import (
+    counters_table,
+    explain_json,
+    explain_text,
+    format_span,
+    metrics_table,
+    span_tree_text,
+)
+
+__all__ = [
+    "OBS",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "Observation",
+    "OpMetrics",
+    "Span",
+    "Tracer",
+    "counters_table",
+    "explain_json",
+    "explain_text",
+    "format_span",
+    "metrics_table",
+    "observation",
+    "span",
+    "span_tree_text",
+]

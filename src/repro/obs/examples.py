@@ -1,0 +1,171 @@
+"""Bundled traceable pipelines for ``python -m repro trace`` / ``stats``.
+
+Each example is a self-contained end-to-end pipeline over the paper's
+running data — a tabular algebra program, a compiled embedding, or an
+OLAP bridge round trip — chosen so the trace shows something meaningful:
+nested statement spans, while-loop fixpoints, compiler phases, bridge
+conversions.
+
+This module imports the engine (algebra, schemalog, relational, olap), so
+it is deliberately *not* imported from :mod:`repro.obs`'s ``__init__`` —
+the operation registry imports the observability runtime, and loading the
+engine from the package root would close that cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .runtime import Observation, observation
+
+__all__ = ["Example", "EXAMPLES", "run_example", "trace_example"]
+
+
+@dataclass(frozen=True)
+class Example:
+    """One named, runnable pipeline."""
+
+    name: str
+    description: str
+    runner: Callable[[], object]
+
+
+def _fig4_group() -> object:
+    from ..algebra.programs import parse_program
+    from ..core import database
+    from ..data import figure4_top
+
+    program = parse_program("Sales <- GROUP by {Region} on {Sold} (Sales)")
+    return program.run(database(figure4_top()))
+
+
+def _fig5_merge() -> object:
+    from ..algebra.programs import parse_program
+    from ..data import sales_info2
+
+    program = parse_program("Sales <- MERGE on {Sold} by {Region} (Sales)")
+    return program.run(sales_info2())
+
+
+def _pivot() -> object:
+    from ..algebra.programs import parse_program
+    from ..data import sales_info1
+
+    program = parse_program(
+        """
+        Grouped <- GROUP by {Region} on {Sold} (Sales)
+        Cleaned <- CLEANUP by {Part} on {null} (Grouped)
+        Pivot   <- PURGE on {Sold} by {Region} (Cleaned)
+        """
+    )
+    return program.run(sales_info1())
+
+
+def _schemalog() -> object:
+    from ..core import database
+    from ..relational import Relation, RelationalDatabase
+    from ..schemalog import SchemaLogDatabase, compile_to_ta, parse_schemalog
+
+    program = parse_schemalog(
+        """
+        sales[T: part -> P]        :- east[T: part -> P].
+        sales[T: sold -> S]        :- east[T: sold -> S].
+        sales[T: region -> 'east'] :- east[T: part -> P].
+        sales[T: part -> P]        :- west[T: part -> P].
+        sales[T: sold -> S]        :- west[T: sold -> S].
+        sales[T: region -> 'west'] :- west[T: part -> P].
+        """
+    )
+    db = SchemaLogDatabase.from_relational(
+        RelationalDatabase(
+            [
+                Relation("east", ["part", "sold"], [("nuts", 50), ("bolts", 70)]),
+                Relation("west", ["part", "sold"], [("nuts", 60), ("screws", 50)]),
+            ]
+        )
+    )
+    return compile_to_ta(program).run(database(db.facts_table()))
+
+
+def _fo_while() -> object:
+    from ..relational import (
+        Assign,
+        Difference,
+        FWProgram,
+        Join,
+        Project,
+        Rel,
+        Relation,
+        RelationalDatabase,
+        RenameAttr,
+        Union,
+        WhileNotEmpty,
+        compile_program,
+        relational_to_tabular,
+    )
+
+    # Transitive closure of a 5-node chain: the while loop iterates until
+    # the Delta relation drains, showing the fixpoint in the trace.
+    step = Project(
+        Join(RenameAttr(Rel("TC"), "Dst", "Mid"), RenameAttr(Rel("E"), "Src", "Mid")),
+        ["Src", "Dst"],
+    )
+    fw = FWProgram(
+        [
+            Assign("TC", Rel("E")),
+            Assign("Delta", Rel("E")),
+            WhileNotEmpty(
+                "Delta",
+                [
+                    Assign("New", step),
+                    Assign("Delta", Difference(Rel("New"), Rel("TC"))),
+                    Assign("TC", Union(Rel("TC"), Rel("Delta"))),
+                ],
+            ),
+        ]
+    )
+    edges = Relation("E", ["Src", "Dst"], [(i, i + 1) for i in range(1, 5)])
+    db = RelationalDatabase([edges])
+    ta_program = compile_program(fw, {"E": ("Src", "Dst")})
+    return ta_program.run(relational_to_tabular(db))
+
+
+def _olap_bridges() -> object:
+    from ..data import figure4_top
+    from ..ndim import cube_to_ndtable, ndtable_to_cube
+    from ..olap import cube_to_database, cube_to_grouped_table, relation_table_to_cube
+
+    cube = relation_table_to_cube(figure4_top(), ["Part", "Region"], "Sold")
+    grouped = cube_to_grouped_table(cube, "Part", "Region")
+    per_region = cube_to_database(cube, "Region")
+    round_trip = ndtable_to_cube(cube_to_ndtable(cube), cube.dims)
+    return (grouped, per_region, round_trip)
+
+
+#: All bundled examples, keyed by CLI name.
+EXAMPLES: dict[str, Example] = {
+    example.name: example
+    for example in (
+        Example("fig4-group", "Figure 4: GROUP by Region on Sold, as a TA program", _fig4_group),
+        Example("fig5-merge", "Figure 5: MERGE on Sold by Region, as a TA program", _fig5_merge),
+        Example("pivot", "the 3-statement compact pivot (GROUP + CLEANUP + PURGE)", _pivot),
+        Example("schemalog", "Theorem 4.5: a SchemaLog_d federation program, TA-compiled", _schemalog),
+        Example("fo-while", "Theorem 4.1: transitive closure in FO+while, TA-compiled", _fo_while),
+        Example("olap", "Section 4.3: cube ↔ table bridges (pivot, split, n-dim)", _olap_bridges),
+    )
+}
+
+
+def run_example(name: str) -> object:
+    """Run one bundled example (under whatever observation is active)."""
+    if name not in EXAMPLES:
+        raise KeyError(f"unknown example {name!r}; known: {', '.join(sorted(EXAMPLES))}")
+    return EXAMPLES[name].runner()
+
+
+def trace_example(name: str) -> tuple[Observation, object]:
+    """Run one bundled example inside a fresh observation scope."""
+    with observation() as obs:
+        result = run_example(name)
+    return obs, result

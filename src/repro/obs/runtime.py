@@ -1,0 +1,112 @@
+"""The global observation switch and the ``observation()`` scope.
+
+The engine's instrumentation points (the operation registry, the
+interpreter, the compilers, the OLAP/n-dim bridges) all consult one
+module-level singleton, :data:`OBS`.  When ``OBS.active`` is False —
+the default — every instrumented call site falls through after a single
+attribute check, and tracing/metrics code never runs; this is the
+"strict no-op" contract the zero-overhead tests pin down.
+
+:func:`observation` is the way to switch collection on::
+
+    from repro.obs import observation
+
+    with observation() as obs:
+        program.run(db)
+    print(obs.explain())        # nested span tree + per-op metrics table
+    data = obs.to_json()        # same report as plain data
+
+Entering the scope installs a fresh :class:`~repro.obs.trace.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry` (either can be switched off)
+and restores the previous state on exit, so scopes nest: an inner
+``observation()`` shadows the outer one and the outer resumes untouched.
+The scope is process-global; threads spawned *inside* it record into the
+same collectors (each with its own span stack).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import MetricsRegistry
+from .trace import NULL_SPAN, Span, Tracer
+
+__all__ = ["OBS", "Observation", "observation", "span"]
+
+
+class _ObsState:
+    """The mutable global: one attribute check guards every hot path."""
+
+    __slots__ = ("active", "tracer", "metrics")
+
+    def __init__(self):
+        self.active = False
+        self.tracer: Tracer | None = None
+        self.metrics: MetricsRegistry | None = None
+
+
+#: The process-wide observation state consulted by all instrumentation.
+OBS = _ObsState()
+
+
+class Observation:
+    """What one ``observation()`` scope collected."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, tracer: Tracer | None, metrics: MetricsRegistry | None):
+        self.tracer = tracer
+        self.metrics = metrics
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Completed top-level spans (empty when tracing was off)."""
+        return self.tracer.roots if self.tracer is not None else ()
+
+    def explain(self, timings: bool = True) -> str:
+        """The EXPLAIN report: span tree plus metrics tables.
+
+        ``timings=False`` suppresses wall-clock figures, making the text
+        deterministic (used by the golden-output tests).
+        """
+        from .explain import explain_text
+
+        return explain_text(self, timings=timings)
+
+    def to_json(self) -> dict:
+        """The same report as JSON-serializable data."""
+        from .explain import explain_json
+
+        return explain_json(self)
+
+    def __repr__(self) -> str:
+        return f"Observation({len(self.spans)} root spans, metrics={self.metrics!r})"
+
+
+@contextmanager
+def observation(trace: bool = True, metrics: bool = True) -> Iterator[Observation]:
+    """Enable collection for the duration of the ``with`` block."""
+    obs = Observation(
+        Tracer() if trace else None, MetricsRegistry() if metrics else None
+    )
+    previous = (OBS.active, OBS.tracer, OBS.metrics)
+    OBS.tracer, OBS.metrics = obs.tracer, obs.metrics
+    OBS.active = True
+    try:
+        yield obs
+    finally:
+        OBS.active, OBS.tracer, OBS.metrics = previous
+
+
+def span(name: str, **attributes):
+    """A span under the active tracer, or the shared no-op span.
+
+    The one-line guard used by the compilers and bridges::
+
+        with _span("compile.schemalog", rules=len(program)):
+            ...
+    """
+    if OBS.active and OBS.tracer is not None:
+        return OBS.tracer.span(name, **attributes)
+    return NULL_SPAN

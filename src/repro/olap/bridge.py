@@ -30,6 +30,7 @@ from ..core import (
     Table,
     TabularDatabase,
 )
+from ..obs.runtime import span as _span
 from .cube import Cube
 
 __all__ = [
@@ -44,13 +45,14 @@ __all__ = [
 
 def cube_to_relation_table(cube: Cube, name: str = "Facts") -> Table:
     """The relation-style fact table: one row per applicable cell."""
-    header: list[Symbol] = [Name(name)]
-    header += [Name(d) for d in cube.dims]
-    header.append(Name(cube.measure))
-    grid = [header]
-    for key in _ordered_keys(cube):
-        grid.append([NULL, *key, cube.cells[key]])
-    return Table(grid)
+    with _span("bridge.cube_to_relation_table", cells=len(cube.cells)):
+        header: list[Symbol] = [Name(name)]
+        header += [Name(d) for d in cube.dims]
+        header.append(Name(cube.measure))
+        grid = [header]
+        for key in _ordered_keys(cube):
+            grid.append([NULL, *key, cube.cells[key]])
+        return Table(grid)
 
 
 def _ordered_keys(cube: Cube) -> list[tuple[Symbol, ...]]:
@@ -79,8 +81,9 @@ def cube_to_grouped_table(
             f"grouped bridge needs exactly the dimensions {(row_dim, col_dim)}, "
             f"cube has {cube.dims}"
         )
-    relation = cube_to_relation_table(cube, name)
-    return group_compact(relation, by=col_dim, on=cube.measure)
+    with _span("bridge.cube_to_grouped_table", row_dim=row_dim, col_dim=col_dim):
+        relation = cube_to_relation_table(cube, name)
+        return group_compact(relation, by=col_dim, on=cube.measure)
 
 
 def cube_to_matrix_table(
@@ -113,8 +116,9 @@ def cube_to_database(
     Computed through the tabular SPLIT on the relation-style fact table —
     the paper's own route from the relational to the per-region shape.
     """
-    relation = cube_to_relation_table(cube, name)
-    return TabularDatabase(split(relation, on=split_dim))
+    with _span("bridge.cube_to_database", split_dim=split_dim):
+        relation = cube_to_relation_table(cube, name)
+        return TabularDatabase(split(relation, on=split_dim))
 
 
 def relation_table_to_cube(
@@ -124,6 +128,16 @@ def relation_table_to_cube(
     combine: Callable | None = None,
 ) -> Cube:
     """Read a cube out of a relation-style fact table."""
+    with _span("bridge.relation_table_to_cube", rows=table.height):
+        return _relation_table_to_cube(table, dims, measure, combine)
+
+
+def _relation_table_to_cube(
+    table: Table,
+    dims: Sequence[str],
+    measure: str,
+    combine: Callable | None = None,
+) -> Cube:
     dim_cols = []
     for dim in dims:
         columns = table.columns_named(Name(dim))
@@ -146,6 +160,13 @@ def matrix_table_to_cube(
     table: Table, row_dim: str, col_dim: str, measure: str = "Value"
 ) -> Cube:
     """Read a cube out of a ``SalesInfo3``-shaped matrix table."""
+    with _span("bridge.matrix_table_to_cube", rows=table.height, cols=table.width):
+        return _matrix_table_to_cube(table, row_dim, col_dim, measure)
+
+
+def _matrix_table_to_cube(
+    table: Table, row_dim: str, col_dim: str, measure: str = "Value"
+) -> Cube:
     rows = table.row_attributes
     cols = table.column_attributes
     if len(set(rows)) != len(rows) or len(set(cols)) != len(cols):

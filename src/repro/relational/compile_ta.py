@@ -255,7 +255,11 @@ def compile_program(
     ``schemas`` gives the input relations' schemas (the compile-time
     environment Theorem 4.1's simulation needs).
     """
-    compiler = _Compiler(dict(schemas))
-    for statement in program.statements:
-        compiler.compile_statement(statement)
-    return Program(compiler.statements)
+    from ..obs.runtime import span as _span
+
+    with _span("compile.fo_while", statements=len(program)) as sp:
+        compiler = _Compiler(dict(schemas))
+        for statement in program.statements:
+            compiler.compile_statement(statement)
+        sp.set(compiled_statements=len(compiler.statements))
+        return Program(compiler.statements)

@@ -26,6 +26,8 @@ from ..core import (
     NonTerminationError,
     SchemaError,
 )
+from ..obs import runtime as _obs
+from ..obs.trace import NULL_SPAN
 from .algebra import Expr
 from .relation import Relation, RelationalDatabase
 
@@ -151,10 +153,35 @@ class WhileNotEmpty(FWStatement):
         self.body = body if isinstance(body, FWProgram) else FWProgram(body)
 
     def execute(self, db, fresh, budget):
-        while self.name in db and len(db.relation(self.name)) > 0:
-            budget.tick()
-            db = self.body._execute(db, fresh, budget)
-        return db
+        obs = _obs.OBS
+        if not obs.active:
+            while self.name in db and len(db.relation(self.name)) > 0:
+                budget.tick()
+                db = self.body._execute(db, fresh, budget)
+            return db
+        cm = (
+            obs.tracer.span("fw-while", text=f"while {self.name}")
+            if obs.tracer is not None
+            else NULL_SPAN
+        )
+        with cm as sp:
+            iterations = 0
+            condition_rows: list[int] = []
+            while self.name in db and len(db.relation(self.name)) > 0:
+                budget.tick()
+                iterations += 1
+                condition_rows.append(len(db.relation(self.name)))
+                if obs.metrics is not None:
+                    obs.metrics.count("fw_while_iterations")
+                if obs.tracer is not None:
+                    with obs.tracer.span("iteration", n=iterations):
+                        db = self.body._execute(db, fresh, budget)
+                else:
+                    db = self.body._execute(db, fresh, budget)
+            sp.set(iterations=iterations, condition_rows=condition_rows)
+            if obs.metrics is not None:
+                obs.metrics.count("fw_while_loops")
+            return db
 
     def __repr__(self) -> str:
         return f"while {self.name} do {self.body!r} end"
@@ -170,8 +197,26 @@ class FWProgram:
                 raise EvaluationError(f"not an FO+while+new statement: {statement!r}")
 
     def _execute(self, db, fresh, budget) -> RelationalDatabase:
+        obs = _obs.OBS
+        if not obs.active:
+            for statement in self.statements:
+                db = statement.execute(db, fresh, budget)
+            return db
         for statement in self.statements:
-            db = statement.execute(db, fresh, budget)
+            if isinstance(statement, WhileNotEmpty):
+                db = statement.execute(db, fresh, budget)  # spans itself
+                continue
+            cm = (
+                obs.tracer.span("fw-statement", text=repr(statement))
+                if obs.tracer is not None
+                else NULL_SPAN
+            )
+            with cm as sp:
+                db = statement.execute(db, fresh, budget)
+                if isinstance(statement, (Assign, AssignNew, AssignSetNew)):
+                    sp.set(rows_out=len(db.relation(statement.name)))
+            if obs.metrics is not None:
+                obs.metrics.count("fw_statements")
         return db
 
     def run(
@@ -183,7 +228,16 @@ class FWProgram:
         """Execute against ``db`` and return the final database."""
         source = fresh if fresh is not None else FreshValueSource()
         source.advance_past(db.symbols())
-        return self._execute(db, source, _Budget(max_while_iterations))
+        obs = _obs.OBS
+        if not obs.active:
+            return self._execute(db, source, _Budget(max_while_iterations))
+        cm = (
+            obs.tracer.span("fw-program", statements=len(self.statements))
+            if obs.tracer is not None
+            else NULL_SPAN
+        )
+        with cm:
+            return self._execute(db, source, _Budget(max_while_iterations))
 
     def __len__(self) -> int:
         return len(self.statements)

@@ -204,7 +204,14 @@ def compile_to_fw(program: SchemaLogProgram) -> FWProgram:
         raise EvaluationError(
             "ground facts are not compilable; add them to the Facts relation"
         )
+    from ..obs.runtime import span as _span
+
     strata = stratify(program)
+    with _span("compile.schemalog", rules=len(program), strata=len(strata)):
+        return _compile_strata_to_fw(strata)
+
+
+def _compile_strata_to_fw(strata) -> FWProgram:
     statements = [Assign(DERIVED, Rel(FACTS))]
     for level, stratum_rules in enumerate(strata):
         union: Expr = rule_to_expression(stratum_rules[0])

@@ -221,7 +221,14 @@ def query_to_expression(query: SchemaSQLQuery) -> Expr:
 
 def compile_to_fw(query: SchemaSQLQuery) -> FWProgram:
     """The FO + while + new program binding the INTO relation."""
-    return FWProgram([Assign(query.into, query_to_expression(query))])
+    from ..obs.runtime import span as _span
+
+    with _span(
+        "compile.schemasql",
+        select_items=len(query.select),
+        conditions=len(query.where),
+    ):
+        return FWProgram([Assign(query.into, query_to_expression(query))])
 
 
 def compile_to_ta(query: SchemaSQLQuery) -> Program:

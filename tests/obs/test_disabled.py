@@ -1,0 +1,104 @@
+"""Disabled-observability guarantees: strict no-op, identical results.
+
+The acceptance bar: with no observation scope active, every instrumented
+call site must fall through after one attribute check — no spans, no
+metrics, no behavioural difference.
+"""
+
+import pytest
+
+from repro.algebra.programs import parse_program
+from repro.algebra.programs.registry import OPERATIONS
+from repro.core import database, make_table
+from repro.data import figure4_bottom, figure4_top, sales_info1
+from repro.obs import NULL_SPAN, OBS, observation, span
+
+
+class TestDisabledState:
+    def test_observation_is_off_by_default(self):
+        assert OBS.active is False
+        assert OBS.tracer is None
+        assert OBS.metrics is None
+
+    def test_span_helper_is_free_when_disabled(self):
+        # The no-op path hands back one shared singleton: nothing is
+        # allocated, nothing is recorded.
+        assert span("op") is NULL_SPAN
+        assert span("op", rows=10) is NULL_SPAN
+
+    def test_registry_invoke_records_nothing_when_disabled(self):
+        spec = OPERATIONS["GROUP"]
+        result = spec.invoke(
+            (figure4_top(),), {"by": {"Region"}, "on": {"Sold"}}, None
+        )
+        assert result == (figure4_bottom(),)
+        assert OBS.tracer is None and OBS.metrics is None
+
+    def test_program_results_identical_with_and_without_observation(self):
+        text = """
+            Grouped <- GROUP by {Region} on {Sold} (Sales)
+            Cleaned <- CLEANUP by {Part} on {null} (Grouped)
+            Pivot   <- PURGE on {Sold} by {Region} (Cleaned)
+        """
+        plain = parse_program(text).run(sales_info1())
+        with observation():
+            observed = parse_program(text).run(sales_info1())
+        assert observed == plain
+
+    def test_errors_propagate_unchanged_when_observed(self):
+        from repro.core import UndefinedOperationError
+
+        program = parse_program("T <- GROUP by {Missing} on {Sold} (Sales)")
+        with pytest.raises(UndefinedOperationError):
+            program.run(database(figure4_top()))
+        with observation() as obs:
+            with pytest.raises(UndefinedOperationError):
+                program.run(database(figure4_top()))
+        # the failing spans still closed and surfaced the error
+        assert any(s.error for root in obs.spans for s in root.walk())
+
+    def test_scope_exit_returns_to_noop(self):
+        with observation():
+            assert OBS.active
+        spec = OPERATIONS["DEDUP"]
+        table = make_table("T", ["A"], [["x"], ["x"]])
+        (out,) = spec.invoke((table,), {}, None)
+        assert out.height == 1
+        assert OBS.active is False
+
+
+class TestZeroOverheadSmoke:
+    def test_disabled_dispatch_stays_on_fast_path(self):
+        """The disabled invoke is the raw invoke behind one flag check."""
+        import repro.algebra.programs.registry as registry_module
+
+        spec = OPERATIONS["DEDUP"]
+        table = make_table("T", ["A"], [["x"], ["y"]])
+        calls = []
+        original = registry_module.OpSpec._invoke_observed
+        try:
+            registry_module.OpSpec._invoke_observed = (
+                lambda self, *a: calls.append(self.name) or original(self, *a)
+            )
+            spec.invoke((table,), {}, None)
+            assert calls == []  # observed path never entered while disabled
+            with observation():
+                spec.invoke((table,), {}, None)
+            assert calls == ["DEDUP"]  # and is entered exactly when active
+        finally:
+            registry_module.OpSpec._invoke_observed = original
+
+    def test_disabled_overhead_is_bounded(self):
+        """Timing smoke: the guarded path is within noise of the raw call.
+
+        Deliberately loose (3x) so CI timing jitter cannot flake it; the
+        real guarantee is the dispatch test above.
+        """
+        import timeit
+
+        spec = OPERATIONS["DEDUP"]
+        table = make_table("T", ["A"], [["x"], ["y"]])
+        args: dict = {}
+        raw = timeit.timeit(lambda: spec._invoke_raw((table,), args, None), number=2000)
+        guarded = timeit.timeit(lambda: spec.invoke((table,), args, None), number=2000)
+        assert guarded < raw * 3 + 0.05

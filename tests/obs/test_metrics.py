@@ -1,0 +1,83 @@
+"""MetricsRegistry unit tests: aggregation, counters, thread safety."""
+
+import threading
+
+from repro.obs import MetricsRegistry
+
+
+class TestOperationRecords:
+    def test_record_op_aggregates(self):
+        registry = MetricsRegistry()
+        registry.record_op("GROUP", 0.25, tables_in=1, tables_out=1, rows_in=8, rows_out=9, cols_in=3, cols_out=9)
+        registry.record_op("GROUP", 0.5, tables_in=1, tables_out=1, rows_in=2, rows_out=2, cols_in=3, cols_out=4)
+        record = registry.op("GROUP")
+        assert record.calls == 2
+        assert record.errors == 0
+        assert record.wall_time == 0.75
+        assert (record.rows_in, record.rows_out) == (10, 11)
+        assert (record.cols_in, record.cols_out) == (6, 13)
+        assert (record.tables_in, record.tables_out) == (2, 2)
+
+    def test_errors_count_separately(self):
+        registry = MetricsRegistry()
+        registry.record_op("SELECT", 0.1, rows_in=5, error=True)
+        record = registry.op("SELECT")
+        assert record.calls == 1
+        assert record.errors == 1
+        assert record.rows_out == 0
+
+    def test_unknown_op_is_none(self):
+        assert MetricsRegistry().op("NOPE") is None
+
+    def test_counters(self):
+        registry = MetricsRegistry()
+        registry.count("statements")
+        registry.count("statements", 4)
+        assert registry.counter("statements") == 5
+        assert registry.counter("never") == 0
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.record_op("MERGE", 0.002, tables_in=1, tables_out=1, rows_in=3, rows_out=8)
+        registry.count("while_iterations", 7)
+        snap = registry.snapshot()
+        assert set(snap) == {"operations", "counters"}
+        assert snap["operations"]["MERGE"]["calls"] == 1
+        assert snap["operations"]["MERGE"]["wall_time_ms"] == 2.0
+        assert snap["counters"] == {"while_iterations": 7}
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.record_op("UNION", 0.001)
+        json.dumps(registry.snapshot())
+
+    def test_reset_and_is_empty(self):
+        registry = MetricsRegistry()
+        assert registry.is_empty()
+        registry.record_op("UNION", 0.0)
+        registry.count("x")
+        assert not registry.is_empty()
+        registry.reset()
+        assert registry.is_empty()
+        assert registry.snapshot() == {"operations": {}, "counters": {}}
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_loses_nothing(self):
+        registry = MetricsRegistry()
+
+        def work() -> None:
+            for _ in range(500):
+                registry.record_op("OP", 0.0, rows_in=1)
+                registry.count("ticks")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.op("OP").calls == 2000
+        assert registry.op("OP").rows_in == 2000
+        assert registry.counter("ticks") == 2000

@@ -37,3 +37,59 @@ class TestCli:
         code, output = run_cli("frobnicate")
         assert code == 2
         assert "figures" in output
+
+
+class TestTrace:
+    def test_trace_default_example(self):
+        code, output = run_cli("trace")
+        assert code == 0
+        assert "trace of fig4-group" in output
+        assert "program" in output
+        assert "GROUP" in output
+        assert "rows 8→9" in output
+        assert "Operation metrics" in output
+
+    def test_trace_named_example(self):
+        code, output = run_cli("trace", "fo-while")
+        assert code == 0
+        assert "trace of fo-while" in output
+        assert "iterations=" in output
+        assert "condition_rows=" in output
+
+    def test_trace_json(self):
+        import json
+
+        code, output = run_cli("trace", "fig4-group", "--json")
+        assert code == 0
+        data = json.loads(output)
+        assert set(data) == {"spans", "metrics"}
+        assert data["spans"][0]["name"] == "program"
+        assert data["metrics"]["operations"]["GROUP"]["calls"] == 1
+
+    def test_trace_unknown_example_lists_bundled(self):
+        code, output = run_cli("trace", "frobnicate")
+        assert code == 2
+        assert "unknown example" in output
+        assert "fig4-group" in output
+        assert "fig5-merge" in output
+
+
+class TestStats:
+    def test_stats_renders_metric_tables(self):
+        code, output = run_cli("stats")
+        assert code == 0
+        assert "aggregated metrics over" in output
+        assert "Operation metrics" in output
+        assert "Counters" in output
+        assert "GROUP" in output
+        assert "Time ms" in output
+
+    def test_stats_json(self):
+        import json
+
+        code, output = run_cli("stats", "--json")
+        assert code == 0
+        data = json.loads(output)
+        assert set(data) == {"operations", "counters"}
+        assert data["operations"]["GROUP"]["calls"] >= 1
+        assert data["counters"]["programs"] >= 1
