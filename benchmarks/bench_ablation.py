@@ -16,6 +16,10 @@ from repro.algebra import cleanup, group, group_compact, purge, transpose
 from repro.core import NULL, Symbol, Table, make_table
 from repro.data import synthetic_grouped_table, synthetic_sales_table
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``ablation/<test name>`` (see conftest).
+BENCH_LABEL = "ablation"
+
 
 def fused_purge(table: Table, on, by) -> Table:
     """A hand-fused, column-wise purge (ablation baseline only).

@@ -24,6 +24,10 @@ from repro.data import (
 )
 from repro.olap import Cube, cube_to_matrix_table, matrix_table_to_cube, cube_to_relation_table
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``fig1/<test name>`` (see conftest).
+BENCH_LABEL = "fig1"
+
 
 @pytest.fixture(scope="module")
 def relation():

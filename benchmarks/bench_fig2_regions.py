@@ -11,6 +11,10 @@ import pytest
 
 from repro.data import sales_info2, synthetic_sales_table
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``fig2/<test name>`` (see conftest).
+BENCH_LABEL = "fig2"
+
 
 class TestRegionLaws:
     def test_regions_partition_the_grid(self):

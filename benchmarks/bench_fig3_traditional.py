@@ -11,6 +11,10 @@ import pytest
 from repro.algebra import classical_union, difference, product, project, select, union
 from repro.data import synthetic_sales_table
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``fig3/<test name>`` (see conftest).
+BENCH_LABEL = "fig3"
+
 
 @pytest.fixture
 def pair(sized_sales):

@@ -9,6 +9,10 @@ The sweep times GROUP (raw, as printed) and the compact pivot pipeline
 from repro.algebra import cleanup, group, group_compact, purge
 from repro.data import figure4_bottom, figure4_top, sales_info2
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``fig4/<test name>`` (see conftest).
+BENCH_LABEL = "fig4"
+
 
 class TestExactness:
     def test_group_reproduces_the_printed_table(self, benchmark):

@@ -15,6 +15,10 @@ from repro.data import (
 )
 import pytest
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``fig5/<test name>`` (see conftest).
+BENCH_LABEL = "fig5"
+
 
 class TestExactness:
     def test_merge_reproduces_the_printed_table(self, benchmark):

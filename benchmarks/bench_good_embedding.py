@@ -25,6 +25,10 @@ from repro.good import (
     graphs_isomorphic,
 )
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``good/<test name>`` (see conftest).
+BENCH_LABEL = "good"
+
 
 def random_people(n: int, seed: int) -> ObjectGraph:
     rng = random.Random(seed)

@@ -19,6 +19,10 @@ from repro.data import (
     synthetic_sales_table,
 )
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``lem42/<test name>`` (see conftest).
+BENCH_LABEL = "lem42"
+
 
 class TestRoundTrips:
     @pytest.mark.parametrize(

@@ -20,6 +20,10 @@ from repro.obs import observation
 
 from conftest import report
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``obs/<test name>`` (see conftest).
+BENCH_LABEL = "obs"
+
 PIVOT = """
     Grouped <- GROUP by {Region} on {Sold} (Sales)
     Cleaned <- CLEANUP by {Part} on {null} (Grouped)

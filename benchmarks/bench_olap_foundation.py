@@ -21,6 +21,10 @@ from repro.olap import (
 )
 from repro.data import sales_info1, sales_info2, sales_info3, sales_info4
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``olap/<test name>`` (see conftest).
+BENCH_LABEL = "olap"
+
 
 @pytest.fixture(scope="module")
 def paper_cube():

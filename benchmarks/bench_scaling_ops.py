@@ -26,6 +26,10 @@ from repro.algebra.programs import parse_program
 from repro.core import FreshValueSource
 from repro.data import sales_info1, synthetic_grouped_table
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``scale/<test name>`` (see conftest).
+BENCH_LABEL = "scale"
+
 
 class TestOperationScaling:
     def test_transpose(self, benchmark, sized_sales):

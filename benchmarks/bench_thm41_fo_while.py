@@ -26,6 +26,10 @@ from repro.relational import (
     table_to_relation,
 )
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``thm41/<test name>`` (see conftest).
+BENCH_LABEL = "thm41"
+
 SCHEMAS = {"E": ("A", "B")}
 
 

@@ -25,6 +25,10 @@ from repro.algebra import (
 from repro.core import TabularDatabase, database, make_table
 from repro.transform import check_transformation, normal_form, normal_form_agrees
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``thm44/<test name>`` (see conftest).
+BENCH_LABEL = "thm44"
+
 
 def sales_db() -> TabularDatabase:
     return database(

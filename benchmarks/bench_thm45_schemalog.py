@@ -29,6 +29,10 @@ PROGRAM = parse_schemalog(
     """
 )
 
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``thm45/<test name>`` (see conftest).
+BENCH_LABEL = "thm45"
+
 COPY_ALL = parse_schemalog("all[T: A -> V] :- R[T: A -> V].")
 
 

@@ -7,11 +7,21 @@ Commands:
 * ``check``   — a fast self-check of the headline reproductions (exit
   status 0 iff everything holds);
 * ``demo``    — the quickstart walkthrough;
-* ``trace [example] [--json]`` — run a bundled pipeline under the tracer
-  and print its EXPLAIN report (nested span tree, per-op wall time and
-  row flow, metrics tables); ``--json`` emits the same data as JSON;
+* ``trace [example] [--json] [--analyze]`` — run a bundled pipeline
+  under the tracer and print its EXPLAIN report (nested span tree,
+  per-op wall time and row flow, metrics tables); ``--analyze`` adds
+  the EXPLAIN ANALYZE comparison (estimated vs. actual rows/time with
+  mis-estimation ratios); ``--json`` emits the same data as JSON;
+* ``profile [example] [--chrome-trace PATH] [--log-json PATH]`` — run a
+  bundled pipeline under the profiler and print hotspots (top ops by
+  self time), wall-time histograms, and per-span peak memory; the flags
+  export a Chrome-trace JSON (loadable in ``chrome://tracing`` /
+  Perfetto) and a JSON-lines structured log;
 * ``stats [--json]`` — run every bundled pipeline and print the
-  aggregated per-operation metrics.
+  aggregated per-operation metrics;
+* ``bench-compare <baseline> <current> [--tolerance X]`` — diff two
+  benchmark trajectory files (``BENCH_trajectory.json``); exit 1 when a
+  shared benchmark label regressed beyond the tolerance (default 1.5x).
 """
 
 from __future__ import annotations
@@ -119,27 +129,113 @@ def _demo() -> int:
     return 0
 
 
+def _list_examples() -> None:
+    from .obs.examples import EXAMPLES
+
+    for example in EXAMPLES.values():
+        print(f"  {example.name:12}  {example.description}")
+
+
 def _trace(rest: list[str]) -> int:
     import json
 
-    from .obs.examples import EXAMPLES, trace_example
+    from .obs.examples import EXAMPLES, resolve_example, trace_example
 
     json_out = "--json" in rest
+    analyze = "--analyze" in rest
     names = [a for a in rest if not a.startswith("-")]
-    name = names[0] if names else "fig4-group"
-    if name not in EXAMPLES:
-        print(f"unknown example {name!r}; bundled examples:")
-        for example in EXAMPLES.values():
-            print(f"  {example.name:12}  {example.description}")
+    name = resolve_example(names[0] if names else "fig4-group")
+    if name is None:
+        print(f"unknown example {names[0]!r}; bundled examples:")
+        _list_examples()
         return 2
     obs, _result = trace_example(name)
     if json_out:
-        print(json.dumps(obs.to_json(), indent=2))
+        data = obs.to_json()
+        if analyze:
+            from .obs.cost import analyze_records
+
+            data["analyze"] = [
+                {
+                    k: (round(v, 6) if isinstance(v, float) else v)
+                    for k, v in record.items()
+                }
+                for record in analyze_records(obs)
+            ]
+        print(json.dumps(data, indent=2))
+        return 0
+    print(f"trace of {name} — {EXAMPLES[name].description}")
+    print()
+    if analyze:
+        from .obs.cost import explain_analyze_text
+
+        print(explain_analyze_text(obs))
     else:
-        print(f"trace of {name} — {EXAMPLES[name].description}")
-        print()
         print(obs.explain())
     return 0
+
+
+def _flag_value(rest: list[str], flag: str) -> str | None:
+    if flag in rest:
+        index = rest.index(flag)
+        if index + 1 < len(rest):
+            return rest[index + 1]
+    return None
+
+
+def _profile(rest: list[str]) -> int:
+    import json
+
+    from .obs.examples import EXAMPLES, profile_example, resolve_example
+    from .obs.export import write_chrome_trace, write_jsonl
+
+    chrome_path = _flag_value(rest, "--chrome-trace")
+    jsonl_path = _flag_value(rest, "--log-json")
+    flag_values = {v for v in (chrome_path, jsonl_path) if v is not None}
+    json_out = "--json" in rest
+    memory = "--no-memory" not in rest
+    names = [a for a in rest if not a.startswith("-") and a not in flag_values]
+    name = resolve_example(names[0] if names else "fig4-group")
+    if name is None:
+        print(f"unknown example {names[0]!r}; bundled examples:")
+        _list_examples()
+        return 2
+    prof, _result = profile_example(name, memory=memory)
+    if json_out:
+        print(json.dumps(prof.to_json(), indent=2))
+    else:
+        print(f"profile of {name} — {EXAMPLES[name].description}")
+        print()
+        print(prof.report())
+    if chrome_path:
+        written = write_chrome_trace(prof.observation, chrome_path)
+        print(f"chrome trace written to {written} (load in chrome://tracing or Perfetto)")
+    if jsonl_path:
+        written = write_jsonl(prof.observation, jsonl_path)
+        print(f"JSON-lines log written to {written}")
+    return 0
+
+
+def _bench_compare(rest: list[str]) -> int:
+    from .obs.regress import compare_trajectories, render_comparison
+
+    tolerance_text = _flag_value(rest, "--tolerance")
+    paths = [
+        a
+        for a in rest
+        if not a.startswith("-") and a != tolerance_text
+    ]
+    if len(paths) != 2:
+        print("usage: repro bench-compare <baseline.json> <current.json> [--tolerance X]")
+        return 2
+    try:
+        tolerance = float(tolerance_text) if tolerance_text else 1.5
+    except ValueError:
+        print(f"invalid tolerance {tolerance_text!r}")
+        return 2
+    comparison = compare_trajectories(paths[0], paths[1], tolerance=tolerance)
+    print(render_comparison(comparison))
+    return 0 if comparison.ok else 1
 
 
 def _stats(rest: list[str]) -> int:
@@ -173,8 +269,12 @@ def main(argv: list[str] | None = None) -> int:
     rest = args[1:]
     if command == "trace":
         return _trace(rest)
+    if command == "profile":
+        return _profile(rest)
     if command == "stats":
         return _stats(rest)
+    if command == "bench-compare":
+        return _bench_compare(rest)
     commands = {"figures": _figures, "check": _check, "demo": _demo}
     if command not in commands:
         print(__doc__)

@@ -118,19 +118,28 @@ class OpSpec:
         fresh: FreshValueSource | None,
     ) -> tuple[Table, ...]:
         obs = _obs.OBS
+        # Per-table (height, width) pairs: the cost model estimates from
+        # these, so they ride on the span next to the summed figures.
+        shapes_in = tuple((t.height, t.width) for t in tables)
         tables_in = len(tables)
-        rows_in = sum(t.height for t in tables)
-        cols_in = sum(t.width for t in tables)
+        rows_in = sum(shape[0] for shape in shapes_in)
+        cols_in = sum(shape[1] for shape in shapes_in)
         cm = obs.tracer.span(self.name) if obs.tracer is not None else NULL_SPAN
         started = time.perf_counter()
         try:
             with cm as sp:
-                sp.set(tables_in=tables_in, rows_in=rows_in, cols_in=cols_in)
+                sp.set(
+                    tables_in=tables_in,
+                    rows_in=rows_in,
+                    cols_in=cols_in,
+                    shapes_in=shapes_in,
+                )
                 produced = self._invoke_raw(tables, arguments, fresh)
                 sp.set(
                     tables_out=len(produced),
                     rows_out=sum(t.height for t in produced),
                     cols_out=sum(t.width for t in produced),
+                    shapes_out=tuple((t.height, t.width) for t in produced),
                 )
         except Exception:
             if obs.metrics is not None:

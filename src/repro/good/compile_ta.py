@@ -323,9 +323,14 @@ class _Emitter:
 
 def compile_to_fw(program: GoodProgram) -> FWProgram:
     """Compile a GOOD program (sans abstraction) into FO + while + new."""
-    from ..obs.runtime import span as _span
+    from ..obs.runtime import OBS as _OBS, span as _span
+    from ..obs.trace import NULL_SPAN as _NULL_SPAN
 
-    with _span("compile.good", operations=len(program.operations)) as sp:
+    with (
+        _span("compile.good", operations=len(program.operations))
+        if _OBS.active
+        else _NULL_SPAN
+    ) as sp:
         emitter = _Emitter()
         for operation in program:
             emitter.compile_operation(operation)

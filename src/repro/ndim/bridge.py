@@ -11,7 +11,8 @@ from __future__ import annotations
 from itertools import product as iter_product
 
 from ..core import Name, SchemaError, Symbol
-from ..obs.runtime import span as _span
+from ..obs.runtime import OBS as _OBS, span as _span
+from ..obs.trace import NULL_SPAN as _NULL_SPAN
 from ..olap import Cube
 from .ndtable import NDTable
 
@@ -35,7 +36,7 @@ def cube_to_ndtable(cube: Cube) -> NDTable:
             "one-dimensional cubes have no faithful NDTable embedding "
             "(attribute and data positions coincide)"
         )
-    with _span("bridge.cube_to_ndtable", arity=cube.arity, cells=len(cube.cells)):
+    with (_span("bridge.cube_to_ndtable", arity=cube.arity, cells=len(cube.cells)) if _OBS.active else _NULL_SPAN):
         return _cube_to_ndtable(cube)
 
 
@@ -68,7 +69,7 @@ def ndtable_to_cube(table: NDTable, dims: tuple[str, ...] | None = None) -> Cube
             "one-dimensional tables carry no separable data region "
             "(attribute and data positions coincide)"
         )
-    with _span("bridge.ndtable_to_cube", arity=table.arity):
+    with (_span("bridge.ndtable_to_cube", arity=table.arity) if _OBS.active else _NULL_SPAN):
         return _ndtable_to_cube(table, dims)
 
 

@@ -18,7 +18,9 @@ Typical use::
     data = obs.to_json()            # the same report as plain data
 
 The CLI exposes the same machinery: ``python -m repro trace <example>``
-and ``python -m repro stats``.
+(``--analyze`` for estimated-vs-actual), ``python -m repro profile
+<example>``, ``python -m repro stats``, and ``python -m repro
+bench-compare`` for the benchmark trajectory.
 """
 
 from .metrics import MetricsRegistry, OpMetrics
@@ -32,21 +34,42 @@ from .explain import (
     metrics_table,
     span_tree_text,
 )
+from .cost import (
+    CostEstimate,
+    CostModel,
+    analyze_records,
+    analyze_table,
+    explain_analyze_text,
+)
+from .export import chrome_trace, jsonl_records, write_chrome_trace, write_jsonl
+from .profile import Hotspot, Profile, profile
 
 __all__ = [
     "OBS",
     "NULL_SPAN",
+    "CostEstimate",
+    "CostModel",
+    "Hotspot",
     "MetricsRegistry",
     "Observation",
     "OpMetrics",
+    "Profile",
     "Span",
     "Tracer",
+    "analyze_records",
+    "analyze_table",
+    "chrome_trace",
     "counters_table",
+    "explain_analyze_text",
     "explain_json",
     "explain_text",
     "format_span",
+    "jsonl_records",
     "metrics_table",
     "observation",
+    "profile",
     "span",
     "span_tree_text",
+    "write_chrome_trace",
+    "write_jsonl",
 ]

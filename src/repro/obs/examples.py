@@ -17,9 +17,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from .profile import Profile, profile
 from .runtime import Observation, observation
 
-__all__ = ["Example", "EXAMPLES", "run_example", "trace_example"]
+__all__ = [
+    "Example",
+    "EXAMPLES",
+    "resolve_example",
+    "run_example",
+    "trace_example",
+    "profile_example",
+]
 
 
 @dataclass(frozen=True)
@@ -157,11 +165,24 @@ EXAMPLES: dict[str, Example] = {
 }
 
 
+def resolve_example(name: str) -> str | None:
+    """The full example name for ``name``, accepting unique prefixes.
+
+    ``fig5`` resolves to ``fig5-merge``; an ambiguous or unknown prefix
+    resolves to None (the CLI then lists the bundled examples).
+    """
+    if name in EXAMPLES:
+        return name
+    matches = [known for known in sorted(EXAMPLES) if known.startswith(name)]
+    return matches[0] if len(matches) == 1 else None
+
+
 def run_example(name: str) -> object:
     """Run one bundled example (under whatever observation is active)."""
-    if name not in EXAMPLES:
+    resolved = resolve_example(name)
+    if resolved is None:
         raise KeyError(f"unknown example {name!r}; known: {', '.join(sorted(EXAMPLES))}")
-    return EXAMPLES[name].runner()
+    return EXAMPLES[resolved].runner()
 
 
 def trace_example(name: str) -> tuple[Observation, object]:
@@ -169,3 +190,10 @@ def trace_example(name: str) -> tuple[Observation, object]:
     with observation() as obs:
         result = run_example(name)
     return obs, result
+
+
+def profile_example(name: str, memory: bool = True) -> tuple[Profile, object]:
+    """Run one bundled example inside a fresh profiling scope."""
+    with profile(memory=memory) as prof:
+        result = run_example(name)
+    return prof, result

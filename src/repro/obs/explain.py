@@ -31,7 +31,18 @@ __all__ = [
 ]
 
 #: Attributes rendered specially (not as generic ``key=value`` pairs).
-_SHAPE_KEYS = ("rows_in", "rows_out", "cols_in", "cols_out", "tables_in", "tables_out")
+#: ``shapes_in``/``shapes_out`` are the cost model's per-table inputs and
+#: merely restate the summed figures, so they are suppressed from the line.
+_SHAPE_KEYS = (
+    "rows_in",
+    "rows_out",
+    "cols_in",
+    "cols_out",
+    "tables_in",
+    "tables_out",
+    "shapes_in",
+    "shapes_out",
+)
 
 
 def format_span(span: Span, timings: bool = True) -> str:

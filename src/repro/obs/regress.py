@@ -1,0 +1,203 @@
+"""Persistent benchmark trajectory and regression comparison.
+
+The trajectory file (``BENCH_trajectory.json`` at the repository root)
+is the committed perf history of the engine: for every benchmark label
+it keeps a short list of ``{sha, median_ms, recorded}`` entries, one per
+git revision that ran the benchmarks.  ``benchmarks/conftest.py`` rolls
+each run's ``report()`` records into it; ``python -m repro bench-compare
+<baseline> <current>`` diffs two trajectory files and exits non-zero
+when any shared label regressed beyond the tolerance — the CI gate that
+stops a slow commit from merging quietly.
+
+The module is dependency-free (stdlib json only) so the benchmark
+conftest and the CLI can both import it.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+__all__ = [
+    "TRAJECTORY_FORMAT",
+    "MAX_ENTRIES_PER_LABEL",
+    "current_git_sha",
+    "load_trajectory",
+    "latest_medians",
+    "update_trajectory",
+    "compare_trajectories",
+    "Comparison",
+    "render_comparison",
+]
+
+#: Version stamp written into the trajectory file.
+TRAJECTORY_FORMAT = 1
+
+#: History kept per benchmark label (oldest entries are dropped).
+MAX_ENTRIES_PER_LABEL = 50
+
+
+def current_git_sha(cwd: str | Path | None = None) -> str:
+    """The short git SHA of ``cwd``'s checkout, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def load_trajectory(path: str | Path) -> dict:
+    """The parsed trajectory file, or an empty skeleton when unreadable."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        data = None
+    if not isinstance(data, dict) or not isinstance(data.get("benchmarks"), dict):
+        return {"format": TRAJECTORY_FORMAT, "benchmarks": {}}
+    return data
+
+
+def latest_medians(trajectory: Mapping) -> dict[str, float]:
+    """label → most recent ``median_ms`` from one trajectory object."""
+    out: dict[str, float] = {}
+    for label, entries in trajectory.get("benchmarks", {}).items():
+        if isinstance(entries, list) and entries:
+            last = entries[-1]
+            if isinstance(last, dict) and isinstance(
+                last.get("median_ms"), (int, float)
+            ):
+                out[str(label)] = float(last["median_ms"])
+    return out
+
+
+def update_trajectory(
+    path: str | Path,
+    medians: Mapping[str, float],
+    sha: str,
+    recorded: str,
+) -> dict:
+    """Fold one run's per-label medians into the trajectory file.
+
+    A label's entry for ``sha`` is replaced if it exists (re-running on
+    the same revision refreshes the measurement rather than growing the
+    history); per-label history is capped at
+    :data:`MAX_ENTRIES_PER_LABEL`.  Returns the updated object; write
+    failures (read-only checkouts) are swallowed.
+    """
+    path = Path(path)
+    trajectory = load_trajectory(path)
+    benchmarks = trajectory["benchmarks"]
+    for label, median_ms in sorted(medians.items()):
+        entries = [
+            entry
+            for entry in benchmarks.get(label, [])
+            if isinstance(entry, dict) and entry.get("sha") != sha
+        ]
+        entries.append(
+            {"sha": sha, "median_ms": round(float(median_ms), 6), "recorded": recorded}
+        )
+        benchmarks[label] = entries[-MAX_ENTRIES_PER_LABEL:]
+    trajectory["format"] = TRAJECTORY_FORMAT
+    try:
+        path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    except OSError:
+        pass
+    return trajectory
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The outcome of diffing two trajectory files."""
+
+    rows: tuple[dict, ...]  # label, baseline_ms, current_ms, ratio, regressed
+    tolerance: float
+    only_baseline: tuple[str, ...]
+    only_current: tuple[str, ...]
+
+    @property
+    def regressions(self) -> tuple[dict, ...]:
+        return tuple(row for row in self.rows if row["regressed"])
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_trajectories(
+    baseline_path: str | Path,
+    current_path: str | Path,
+    tolerance: float = 1.5,
+) -> Comparison:
+    """Diff the latest medians of two trajectory files.
+
+    A shared label regresses when ``current / baseline > tolerance``.
+    Labels present on only one side are reported but never fail the
+    comparison (new benchmarks appear, old ones retire).
+    """
+    baseline = latest_medians(load_trajectory(baseline_path))
+    current = latest_medians(load_trajectory(current_path))
+    rows = []
+    for label in sorted(set(baseline) & set(current)):
+        base_ms, cur_ms = baseline[label], current[label]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        rows.append(
+            {
+                "label": label,
+                "baseline_ms": base_ms,
+                "current_ms": cur_ms,
+                "ratio": ratio,
+                "regressed": ratio > tolerance,
+            }
+        )
+    return Comparison(
+        rows=tuple(rows),
+        tolerance=tolerance,
+        only_baseline=tuple(sorted(set(baseline) - set(current))),
+        only_current=tuple(sorted(set(current) - set(baseline))),
+    )
+
+
+def render_comparison(comparison: Comparison) -> str:
+    """The human-readable diff ``bench-compare`` prints."""
+    if not comparison.rows and not comparison.only_baseline and not comparison.only_current:
+        return "no benchmark labels to compare"
+    lines = []
+    if comparison.rows:
+        label_width = max(len(row["label"]) for row in comparison.rows)
+        lines.append(
+            f"{'benchmark':<{label_width}}  {'baseline':>10}  {'current':>10}  ratio"
+        )
+        for row in comparison.rows:
+            flag = "  REGRESSED" if row["regressed"] else ""
+            lines.append(
+                f"{row['label']:<{label_width}}  "
+                f"{row['baseline_ms']:>8.3f}ms  {row['current_ms']:>8.3f}ms  "
+                f"{row['ratio']:.2f}x{flag}"
+            )
+    for label in comparison.only_baseline:
+        lines.append(f"(baseline only: {label})")
+    for label in comparison.only_current:
+        lines.append(f"(current only: {label})")
+    regressions = comparison.regressions
+    lines.append("")
+    if regressions:
+        lines.append(
+            f"{len(regressions)} regression(s) beyond {comparison.tolerance:.2f}x "
+            f"over {len(comparison.rows)} shared label(s)"
+        )
+    else:
+        lines.append(
+            f"no regressions beyond {comparison.tolerance:.2f}x "
+            f"over {len(comparison.rows)} shared label(s)"
+        )
+    return "\n".join(lines)

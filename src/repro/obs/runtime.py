@@ -85,10 +85,18 @@ class Observation:
 
 
 @contextmanager
-def observation(trace: bool = True, metrics: bool = True) -> Iterator[Observation]:
-    """Enable collection for the duration of the ``with`` block."""
+def observation(
+    trace: bool = True, metrics: bool = True, memory: bool = False
+) -> Iterator[Observation]:
+    """Enable collection for the duration of the ``with`` block.
+
+    ``memory=True`` asks the tracer to record per-span peak allocations;
+    it only takes effect while ``tracemalloc`` is tracing (the
+    :func:`repro.obs.profile.profile` scope manages that for you).
+    """
     obs = Observation(
-        Tracer() if trace else None, MetricsRegistry() if metrics else None
+        Tracer(memory=memory) if trace else None,
+        MetricsRegistry() if metrics else None,
     )
     previous = (OBS.active, OBS.tracer, OBS.metrics)
     OBS.tracer, OBS.metrics = obs.tracer, obs.metrics

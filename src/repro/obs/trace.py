@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import threading
 import time
+import tracemalloc
 from typing import Iterator
 
 __all__ = ["Span", "Tracer", "NULL_SPAN"]
@@ -90,20 +91,34 @@ def _jsonable(value: object) -> object:
 class _ActiveSpan:
     """Context manager pairing a span with its tracer's stack discipline."""
 
-    __slots__ = ("_tracer", "span", "_is_root")
+    __slots__ = ("_tracer", "span", "_is_root", "_mem_start")
 
     def __init__(self, tracer: "Tracer", span: Span):
         self._tracer = tracer
         self.span = span
         self._is_root = False
+        self._mem_start = -1
 
     def __enter__(self) -> Span:
         self._is_root = self._tracer._push(self.span)
+        if self._tracer.memory and tracemalloc.is_tracing():
+            self._mem_start, _peak = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
         self.span.start = time.perf_counter()
         return self.span
 
     def __exit__(self, exc_type, exc, _tb) -> bool:
         self.span.end = time.perf_counter()
+        if self._mem_start >= 0 and tracemalloc.is_tracing():
+            # Peak allocation above the level at span entry.  The peak
+            # counter is process-global and reset at every span entry, so
+            # a parent whose child reset it under-reports its own peak;
+            # leaf spans (the operation calls the profiler attributes
+            # hotspots to) are exact.
+            _current, peak = tracemalloc.get_traced_memory()
+            self.span.attributes["mem_peak_kb"] = round(
+                max(0, peak - self._mem_start) / 1024.0, 3
+            )
         if exc is not None:
             self.span.error = repr(exc)
         self._tracer._pop(self.span, self._is_root)
@@ -130,14 +145,21 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Collects span trees, one open-span stack per thread."""
+    """Collects span trees, one open-span stack per thread.
 
-    __slots__ = ("_local", "_lock", "_roots")
+    ``memory=True`` additionally records each span's peak ``tracemalloc``
+    allocation (as a ``mem_peak_kb`` attribute) — the caller is
+    responsible for having ``tracemalloc`` tracing switched on (see
+    :func:`repro.obs.profile.profile`, which manages that lifecycle).
+    """
 
-    def __init__(self):
+    __slots__ = ("_local", "_lock", "_roots", "memory")
+
+    def __init__(self, memory: bool = False):
         self._local = threading.local()
         self._lock = threading.Lock()
         self._roots: list[Span] = []
+        self.memory = memory
 
     # -- stack discipline ----------------------------------------------
 

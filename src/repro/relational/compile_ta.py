@@ -255,9 +255,14 @@ def compile_program(
     ``schemas`` gives the input relations' schemas (the compile-time
     environment Theorem 4.1's simulation needs).
     """
-    from ..obs.runtime import span as _span
+    from ..obs.runtime import OBS as _OBS, span as _span
+    from ..obs.trace import NULL_SPAN as _NULL_SPAN
 
-    with _span("compile.fo_while", statements=len(program)) as sp:
+    with (
+        _span("compile.fo_while", statements=len(program))
+        if _OBS.active
+        else _NULL_SPAN
+    ) as sp:
         compiler = _Compiler(dict(schemas))
         for statement in program.statements:
             compiler.compile_statement(statement)

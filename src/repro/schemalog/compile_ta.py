@@ -204,10 +204,15 @@ def compile_to_fw(program: SchemaLogProgram) -> FWProgram:
         raise EvaluationError(
             "ground facts are not compilable; add them to the Facts relation"
         )
-    from ..obs.runtime import span as _span
+    from ..obs.runtime import OBS as _OBS, span as _span
+    from ..obs.trace import NULL_SPAN as _NULL_SPAN
 
     strata = stratify(program)
-    with _span("compile.schemalog", rules=len(program), strata=len(strata)):
+    with (
+        _span("compile.schemalog", rules=len(program), strata=len(strata))
+        if _OBS.active
+        else _NULL_SPAN
+    ):
         return _compile_strata_to_fw(strata)
 
 

@@ -221,12 +221,17 @@ def query_to_expression(query: SchemaSQLQuery) -> Expr:
 
 def compile_to_fw(query: SchemaSQLQuery) -> FWProgram:
     """The FO + while + new program binding the INTO relation."""
-    from ..obs.runtime import span as _span
+    from ..obs.runtime import OBS as _OBS, span as _span
+    from ..obs.trace import NULL_SPAN as _NULL_SPAN
 
-    with _span(
-        "compile.schemasql",
-        select_items=len(query.select),
-        conditions=len(query.where),
+    with (
+        _span(
+            "compile.schemasql",
+            select_items=len(query.select),
+            conditions=len(query.where),
+        )
+        if _OBS.active
+        else _NULL_SPAN
     ):
         return FWProgram([Assign(query.into, query_to_expression(query))])
 

@@ -1,0 +1,98 @@
+"""Tracer and MetricsRegistry under thread pools: no lost records."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.algebra.programs import parse_program
+from repro.data import sales_info1
+from repro.obs import MetricsRegistry, Tracer, observation
+
+PIVOT = """
+    Grouped <- GROUP by {Region} on {Sold} (Sales)
+    Cleaned <- CLEANUP by {Part} on {null} (Grouped)
+    Pivot   <- PURGE on {Sold} by {Region} (Cleaned)
+"""
+
+WORKERS = 8
+RUNS = 24
+
+
+class TestConcurrentObservation:
+    def test_no_lost_spans_across_threads(self):
+        with observation() as obs:
+            with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+                futures = [
+                    pool.submit(parse_program(PIVOT).run, sales_info1())
+                    for _ in range(RUNS)
+                ]
+                results = [f.result() for f in futures]
+        assert len(results) == RUNS
+        # One root span tree per run, each with its full statement chain.
+        assert len(obs.spans) == RUNS
+        for root in obs.spans:
+            assert root.name == "program"
+            assert [s.name for s in root.children] == ["statement"] * 3
+
+    def test_no_corrupted_counters_across_threads(self):
+        with observation() as obs:
+            with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+                list(
+                    pool.map(
+                        lambda _: parse_program(PIVOT).run(sales_info1()),
+                        range(RUNS),
+                    )
+                )
+        metrics = obs.metrics
+        assert metrics.op("GROUP").calls == RUNS
+        assert metrics.op("CLEANUP").calls == RUNS
+        assert metrics.op("PURGE").calls == RUNS
+        assert metrics.counter("statements") == 3 * RUNS
+        assert metrics.counter("programs") == RUNS
+
+    def test_span_trees_do_not_interleave(self):
+        """Each thread's tree only contains spans from its own thread."""
+        with observation() as obs:
+            with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+                list(
+                    pool.map(
+                        lambda _: parse_program(PIVOT).run(sales_info1()),
+                        range(RUNS),
+                    )
+                )
+        for root in obs.spans:
+            thread_ids = {span.thread_id for span in root.walk()}
+            assert thread_ids == {root.thread_id}
+
+
+class TestRegistryPrimitives:
+    def test_counter_increments_are_exact_under_contention(self):
+        registry = MetricsRegistry()
+        increments_per_worker = 1_000
+
+        def hammer(_):
+            for _ in range(increments_per_worker):
+                registry.count("hits")
+                registry.record_op("OP", 0.000001, rows_in=1, rows_out=2)
+
+        with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+            list(pool.map(hammer, range(WORKERS)))
+        total = WORKERS * increments_per_worker
+        assert registry.counter("hits") == total
+        record = registry.op("OP")
+        assert record.calls == total
+        assert record.rows_in == total
+        assert record.rows_out == 2 * total
+
+    def test_tracer_roots_are_complete_under_contention(self):
+        tracer = Tracer()
+        spans_per_worker = 200
+
+        def open_close(worker):
+            for index in range(spans_per_worker):
+                with tracer.span(f"w{worker}", n=index):
+                    pass
+
+        with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+            list(pool.map(open_close, range(WORKERS)))
+        assert len(tracer.roots) == WORKERS * spans_per_worker
+        names = {root.name for root in tracer.roots}
+        assert names == {f"w{w}" for w in range(WORKERS)}

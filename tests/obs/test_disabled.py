@@ -88,6 +88,69 @@ class TestZeroOverheadSmoke:
         finally:
             registry_module.OpSpec._invoke_observed = original
 
+    def test_disabled_run_allocates_nothing_in_obs_modules(self):
+        """tracemalloc audit: the off switch means *zero* obs allocations.
+
+        Runs the pivot pipeline with observation disabled and asserts
+        that not a single object was allocated by any ``repro.obs``
+        module — no Span, no OpMetrics, no attribute dicts.  (The
+        engine itself allocates plenty; the filter scopes the check to
+        the obs package's source files.)
+        """
+        import os
+        import tracemalloc
+
+        import repro.obs
+
+        obs_dir = os.path.dirname(repro.obs.__file__)
+        program = parse_program(
+            """
+            Grouped <- GROUP by {Region} on {Sold} (Sales)
+            Cleaned <- CLEANUP by {Part} on {null} (Grouped)
+            Pivot   <- PURGE on {Sold} by {Region} (Cleaned)
+            """
+        )
+        db = sales_info1()
+        program.run(db)  # warm caches outside the measurement
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            program.run(db)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        obs_filter = tracemalloc.Filter(True, os.path.join(obs_dir, "*"))
+        stats = after.filter_traces([obs_filter]).compare_to(
+            before.filter_traces([obs_filter]), "filename"
+        )
+        leaked = [(s.traceback, s.size_diff) for s in stats if s.size_diff > 0]
+        assert leaked == []
+
+    def test_bridge_call_sites_skip_kwargs_when_disabled(self):
+        """The bridge/compiler guards must not even build span kwargs."""
+        from repro.data import figure4_top
+        from repro.olap import relation_table_to_cube
+
+        calls = []
+        import repro.obs.runtime as runtime_module
+
+        original = runtime_module.span
+        try:
+            runtime_module.span = lambda *a, **k: calls.append(a) or NULL_SPAN
+            # olap.bridge binds `span` at import time under its own name,
+            # so patch that binding too.
+            import repro.olap.bridge as bridge_module
+
+            bridge_original = bridge_module._span
+            bridge_module._span = runtime_module.span
+            try:
+                relation_table_to_cube(figure4_top(), ["Part", "Region"], "Sold")
+            finally:
+                bridge_module._span = bridge_original
+        finally:
+            runtime_module.span = original
+        assert calls == []  # the OBS.active guard short-circuited the call
+
     def test_disabled_overhead_is_bounded(self):
         """Timing smoke: the guarded path is within noise of the raw call.
 

@@ -1,0 +1,132 @@
+"""Exporters: Chrome-trace golden schema, JSON-lines structure."""
+
+import json
+
+from repro.algebra.programs import parse_program
+from repro.data import sales_info1
+from repro.obs import (
+    chrome_trace,
+    jsonl_records,
+    observation,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+PIVOT = """
+    Grouped <- GROUP by {Region} on {Sold} (Sales)
+    Cleaned <- CLEANUP by {Part} on {null} (Grouped)
+    Pivot   <- PURGE on {Sold} by {Region} (Cleaned)
+"""
+
+#: The golden schema every exported Chrome-trace event must satisfy:
+#: required keys with their types, and the legal phase values.  This is
+#: the contract ``chrome://tracing``/Perfetto loading depends on.
+EVENT_REQUIRED = {
+    "ph": str,
+    "pid": int,
+    "tid": int,
+    "name": str,
+    "args": dict,
+}
+COMPLETE_EVENT_REQUIRED = {
+    **EVENT_REQUIRED,
+    "cat": str,
+    "ts": (int, float),
+    "dur": (int, float),
+}
+LEGAL_PHASES = {"X", "M"}
+
+
+def observed_pivot():
+    with observation() as obs:
+        parse_program(PIVOT).run(sales_info1())
+    return obs
+
+
+class TestChromeTraceGoldenSchema:
+    def test_top_level_shape(self):
+        trace = chrome_trace(observed_pivot())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        assert trace["displayTimeUnit"] == "ms"
+        assert isinstance(trace["traceEvents"], list)
+
+    def test_every_event_satisfies_the_schema(self):
+        trace = chrome_trace(observed_pivot())
+        for event in trace["traceEvents"]:
+            assert event["ph"] in LEGAL_PHASES
+            required = (
+                COMPLETE_EVENT_REQUIRED if event["ph"] == "X" else EVENT_REQUIRED
+            )
+            for key, types in required.items():
+                assert key in event, f"{event['ph']} event missing {key}"
+                assert isinstance(event[key], types), (key, event[key])
+
+    def test_complete_events_cover_every_span(self):
+        obs = observed_pivot()
+        span_names = [s.name for root in obs.spans for s in root.walk()]
+        events = [e for e in chrome_trace(obs)["traceEvents"] if e["ph"] == "X"]
+        assert sorted(e["name"] for e in events) == sorted(span_names)
+
+    def test_timestamps_start_at_zero_and_durations_are_positive(self):
+        events = [
+            e for e in chrome_trace(observed_pivot())["traceEvents"] if e["ph"] == "X"
+        ]
+        assert min(e["ts"] for e in events) == 0.0
+        assert all(e["dur"] > 0 for e in events)
+
+    def test_metadata_event_names_the_process(self):
+        trace = chrome_trace(observed_pivot(), process_name="bench")
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["name"] == "process_name"
+        assert meta[0]["args"] == {"name": "bench"}
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(observed_pivot(), tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        assert data["traceEvents"]
+
+
+class TestJsonLines:
+    def test_records_are_spans_then_metrics(self):
+        records = list(jsonl_records(observed_pivot()))
+        assert records[-1]["type"] == "metrics"
+        spans = records[:-1]
+        assert all(record["type"] == "span" for record in spans)
+        assert [r["name"] for r in spans if r["depth"] == 0] == ["program"]
+
+    def test_parent_ids_reconstruct_the_tree(self):
+        records = [r for r in jsonl_records(observed_pivot()) if r["type"] == "span"]
+        by_id = {r["span_id"]: r for r in records}
+        for record in records:
+            if record["parent_id"] is None:
+                assert record["depth"] == 0
+            else:
+                assert by_id[record["parent_id"]]["depth"] == record["depth"] - 1
+
+    def test_operation_spans_carry_shapes_for_the_cost_model(self):
+        records = [r for r in jsonl_records(observed_pivot()) if r["type"] == "span"]
+        group = next(r for r in records if r["name"] == "GROUP")
+        assert group["attributes"]["shapes_in"] == [[8, 3]]
+        assert group["attributes"]["rows_out"] == 9
+
+    def test_written_file_is_one_json_object_per_line(self, tmp_path):
+        path = write_jsonl(observed_pivot(), tmp_path / "log.jsonl")
+        lines = path.read_text().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert len(parsed) >= 7  # program + 3 statements + 3 ops + metrics
+        assert parsed[-1]["type"] == "metrics"
+        assert parsed[-1]["operations"]["GROUP"]["calls"] == 1
+
+    def test_error_spans_are_flagged(self):
+        from repro.core import UndefinedOperationError, database
+        from repro.data import figure4_top
+
+        with observation() as obs:
+            try:
+                parse_program("T <- GROUP by {Missing} on {Sold} (Sales)").run(
+                    database(figure4_top())
+                )
+            except UndefinedOperationError:
+                pass
+        records = list(jsonl_records(obs))
+        assert any("error" in record for record in records if record["type"] == "span")

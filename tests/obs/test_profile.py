@@ -1,0 +1,128 @@
+"""The profiler: hotspots, histograms, per-span peak memory."""
+
+import tracemalloc
+
+from repro.algebra.programs import parse_program
+from repro.data import sales_info1
+from repro.obs import Span, Tracer, profile
+from repro.obs.profile import HISTOGRAM_EDGES_MS, Profile, _self_seconds
+
+PIVOT = """
+    Grouped <- GROUP by {Region} on {Sold} (Sales)
+    Cleaned <- CLEANUP by {Part} on {null} (Grouped)
+    Pivot   <- PURGE on {Sold} by {Region} (Cleaned)
+"""
+
+
+def run_pivot():
+    return parse_program(PIVOT).run(sales_info1())
+
+
+class TestProfileScope:
+    def test_profile_collects_spans_and_metrics(self):
+        with profile() as prof:
+            run_pivot()
+        assert len(prof.observation.spans) == 1
+        assert prof.observation.metrics.op("GROUP").calls == 1
+
+    def test_profile_manages_tracemalloc_lifecycle(self):
+        assert not tracemalloc.is_tracing()
+        with profile() as prof:
+            assert tracemalloc.is_tracing()
+            run_pivot()
+        assert not tracemalloc.is_tracing()
+        del prof
+
+    def test_profile_leaves_foreign_tracemalloc_running(self):
+        tracemalloc.start()
+        try:
+            with profile():
+                run_pivot()
+            assert tracemalloc.is_tracing()  # we did not start it, we must not stop it
+        finally:
+            tracemalloc.stop()
+
+    def test_spans_carry_peak_memory(self):
+        with profile() as prof:
+            run_pivot()
+        spans = [s for root in prof.observation.spans for s in root.walk()]
+        assert all("mem_peak_kb" in s.attributes for s in spans)
+        assert any(s.attributes["mem_peak_kb"] > 0 for s in spans)
+
+    def test_memory_off_leaves_spans_clean(self):
+        with profile(memory=False) as prof:
+            run_pivot()
+        spans = [s for root in prof.observation.spans for s in root.walk()]
+        assert not any("mem_peak_kb" in s.attributes for s in spans)
+
+
+class TestAggregation:
+    def synthetic_profile(self):
+        """A hand-built span tree with known durations (ms: 10, 3, 2)."""
+        tracer = Tracer()
+        root = Span("program")
+        root.start, root.end = 0.0, 0.010
+        child_a = Span("GROUP")
+        child_a.start, child_a.end = 0.001, 0.004
+        child_b = Span("MERGE")
+        child_b.start, child_b.end = 0.004, 0.006
+        root.children = [child_a, child_b]
+        tracer._roots.append(root)
+
+        class Obs:
+            spans = (root,)
+            metrics = None
+
+        return Profile(Obs())
+
+    def test_self_time_subtracts_children(self):
+        prof = self.synthetic_profile()
+        root = prof.observation.spans[0]
+        assert _self_seconds(root) == 0.010 - 0.003 - 0.002
+
+    def test_hotspots_rank_by_self_time(self):
+        spots = self.synthetic_profile().hotspots()
+        assert [s.name for s in spots] == ["program", "GROUP", "MERGE"]
+        assert spots[0].self_ms == 5.0
+        assert spots[0].total_ms == 10.0
+
+    def test_hotspots_k_limits_the_list(self):
+        assert len(self.synthetic_profile().hotspots(k=1)) == 1
+
+    def test_histogram_buckets_by_duration(self):
+        histogram = self.synthetic_profile().histogram()
+        assert sum(histogram["GROUP"]) == 1
+        assert len(histogram["GROUP"]) == len(HISTOGRAM_EDGES_MS) + 1
+        # 3ms lands in the ≤3.0 bucket
+        assert histogram["GROUP"][HISTOGRAM_EDGES_MS.index(3.0)] == 1
+
+    def test_total_ms_sums_roots(self):
+        assert self.synthetic_profile().total_ms() == 10.0
+
+
+class TestReport:
+    def test_report_names_hotspots_and_histogram(self):
+        with profile() as prof:
+            run_pivot()
+        text = prof.report()
+        assert "by self time" in text
+        assert "GROUP" in text
+        assert "wall-time histogram" in text
+        assert "total traced wall time" in text
+        assert "peak_mem=" in text
+
+    def test_empty_profile_reports_nothing(self):
+        with profile() as prof:
+            pass
+        assert prof.report() == "(nothing profiled)"
+
+    def test_to_json_round_trips(self):
+        import json
+
+        with profile() as prof:
+            run_pivot()
+        data = json.loads(json.dumps(prof.to_json()))
+        assert data["total_ms"] > 0
+        names = {spot["name"] for spot in data["hotspots"]}
+        assert {"program", "statement", "GROUP"} <= names
+        assert data["histogram_edges_ms"] == list(HISTOGRAM_EDGES_MS)

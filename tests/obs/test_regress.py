@@ -1,0 +1,110 @@
+"""Benchmark trajectory persistence and regression comparison."""
+
+from repro.obs.regress import (
+    MAX_ENTRIES_PER_LABEL,
+    Comparison,
+    compare_trajectories,
+    current_git_sha,
+    latest_medians,
+    load_trajectory,
+    render_comparison,
+    update_trajectory,
+)
+
+
+def write_trajectory(path, medians, sha="abc1234"):
+    update_trajectory(path, medians, sha=sha, recorded="2026-08-06T00:00:00+00:00")
+
+
+class TestTrajectoryFile:
+    def test_update_creates_and_round_trips(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        write_trajectory(path, {"fig4/group": 0.5, "fig5/merge": 1.25})
+        data = load_trajectory(path)
+        assert data["format"] == 1
+        assert latest_medians(data) == {"fig4/group": 0.5, "fig5/merge": 1.25}
+
+    def test_same_sha_replaces_instead_of_appending(self, tmp_path):
+        path = tmp_path / "t.json"
+        write_trajectory(path, {"fig4/group": 0.5}, sha="aaa")
+        write_trajectory(path, {"fig4/group": 0.7}, sha="aaa")
+        entries = load_trajectory(path)["benchmarks"]["fig4/group"]
+        assert len(entries) == 1
+        assert entries[0]["median_ms"] == 0.7
+
+    def test_new_sha_appends_history(self, tmp_path):
+        path = tmp_path / "t.json"
+        write_trajectory(path, {"fig4/group": 0.5}, sha="aaa")
+        write_trajectory(path, {"fig4/group": 0.6}, sha="bbb")
+        entries = load_trajectory(path)["benchmarks"]["fig4/group"]
+        assert [e["sha"] for e in entries] == ["aaa", "bbb"]
+        assert latest_medians(load_trajectory(path)) == {"fig4/group": 0.6}
+
+    def test_history_is_capped(self, tmp_path):
+        path = tmp_path / "t.json"
+        for index in range(MAX_ENTRIES_PER_LABEL + 10):
+            write_trajectory(path, {"label": float(index)}, sha=f"sha{index}")
+        entries = load_trajectory(path)["benchmarks"]["label"]
+        assert len(entries) == MAX_ENTRIES_PER_LABEL
+        assert entries[-1]["sha"] == f"sha{MAX_ENTRIES_PER_LABEL + 9}"
+
+    def test_unreadable_file_loads_as_empty(self, tmp_path):
+        missing = load_trajectory(tmp_path / "nope.json")
+        assert missing == {"format": 1, "benchmarks": {}}
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert load_trajectory(garbage)["benchmarks"] == {}
+
+    def test_current_git_sha_of_this_checkout(self):
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        sha = current_git_sha(repo_root)
+        assert sha == "unknown" or (len(sha) >= 6 and sha.isalnum())
+
+
+class TestCompare:
+    def make_pair(self, tmp_path, baseline, current):
+        base_path = tmp_path / "base.json"
+        cur_path = tmp_path / "cur.json"
+        write_trajectory(base_path, baseline, sha="base")
+        write_trajectory(cur_path, current, sha="cur")
+        return base_path, cur_path
+
+    def test_within_tolerance_passes(self, tmp_path):
+        base, cur = self.make_pair(
+            tmp_path, {"a": 1.0, "b": 2.0}, {"a": 1.2, "b": 2.5}
+        )
+        comparison = compare_trajectories(base, cur, tolerance=1.5)
+        assert comparison.ok
+        assert [row["label"] for row in comparison.rows] == ["a", "b"]
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        base, cur = self.make_pair(tmp_path, {"a": 1.0}, {"a": 2.0})
+        comparison = compare_trajectories(base, cur, tolerance=1.5)
+        assert not comparison.ok
+        assert comparison.regressions[0]["label"] == "a"
+        assert comparison.regressions[0]["ratio"] == 2.0
+
+    def test_speedups_never_fail(self, tmp_path):
+        base, cur = self.make_pair(tmp_path, {"a": 10.0}, {"a": 0.1})
+        assert compare_trajectories(base, cur, tolerance=1.5).ok
+
+    def test_one_sided_labels_are_reported_not_failed(self, tmp_path):
+        base, cur = self.make_pair(tmp_path, {"old": 1.0}, {"new": 1.0})
+        comparison = compare_trajectories(base, cur)
+        assert comparison.ok
+        assert comparison.only_baseline == ("old",)
+        assert comparison.only_current == ("new",)
+
+    def test_render_flags_regressions(self, tmp_path):
+        base, cur = self.make_pair(tmp_path, {"a": 1.0, "b": 1.0}, {"a": 3.0, "b": 1.0})
+        text = render_comparison(compare_trajectories(base, cur, tolerance=1.5))
+        assert "REGRESSED" in text
+        assert "1 regression(s) beyond 1.50x" in text
+
+    def test_render_empty_comparison(self):
+        text = render_comparison(
+            Comparison(rows=(), tolerance=1.5, only_baseline=(), only_current=())
+        )
+        assert "no benchmark labels" in text

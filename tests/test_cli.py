@@ -73,6 +73,105 @@ class TestTrace:
         assert "fig4-group" in output
         assert "fig5-merge" in output
 
+    def test_trace_accepts_unique_prefixes(self):
+        code, output = run_cli("trace", "fig5")
+        assert code == 0
+        assert "trace of fig5-merge" in output
+
+    def test_trace_analyze_prints_estimated_vs_actual(self):
+        code, output = run_cli("trace", "fig5", "--analyze")
+        assert code == 0
+        assert "EXPLAIN ANALYZE" in output
+        assert "Est rows" in output
+        assert "Act rows" in output
+        assert "Row ratio" in output
+        assert "Time ratio" in output
+        assert "MERGE" in output
+
+    def test_trace_analyze_json_carries_records(self):
+        import json
+
+        code, output = run_cli("trace", "pivot", "--json", "--analyze")
+        assert code == 0
+        data = json.loads(output)
+        assert [r["op"] for r in data["analyze"]] == ["GROUP", "CLEANUP", "PURGE"]
+        assert all("row_ratio" in r and "time_ratio" in r for r in data["analyze"])
+
+
+class TestProfile:
+    def test_profile_prints_hotspots(self):
+        code, output = run_cli("profile", "fig5")
+        assert code == 0
+        assert "profile of fig5-merge" in output
+        assert "by self time" in output
+        assert "MERGE" in output
+        assert "wall-time histogram" in output
+
+    def test_profile_json(self):
+        import json
+
+        code, output = run_cli("profile", "fig4", "--json", "--no-memory")
+        assert code == 0
+        data = json.loads(output)
+        assert data["total_ms"] > 0
+        assert any(spot["name"] == "GROUP" for spot in data["hotspots"])
+
+    def test_profile_exports_chrome_trace_and_jsonl(self, tmp_path):
+        import json
+
+        chrome = tmp_path / "trace.json"
+        log = tmp_path / "log.jsonl"
+        code, output = run_cli(
+            "profile", "fig5", "--chrome-trace", str(chrome), "--log-json", str(log)
+        )
+        assert code == 0
+        assert "chrome trace written" in output
+        assert "JSON-lines log written" in output
+        trace = json.loads(chrome.read_text())
+        assert all(e["ph"] in {"X", "M"} for e in trace["traceEvents"])
+        records = [json.loads(line) for line in log.read_text().splitlines()]
+        assert records[-1]["type"] == "metrics"
+
+    def test_profile_unknown_example(self):
+        code, output = run_cli("profile", "frobnicate")
+        assert code == 2
+        assert "unknown example" in output
+
+
+class TestBenchCompare:
+    def write(self, path, medians, sha="abc"):
+        from repro.obs.regress import update_trajectory
+
+        update_trajectory(path, medians, sha=sha, recorded="2026-01-01T00:00:00+00:00")
+
+    def test_pass_exits_zero(self, tmp_path):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        self.write(base, {"fig4/group": 1.0})
+        self.write(cur, {"fig4/group": 1.1})
+        code, output = run_cli("bench-compare", str(base), str(cur))
+        assert code == 0
+        assert "no regressions" in output
+
+    def test_regression_exits_one(self, tmp_path):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        self.write(base, {"fig4/group": 1.0})
+        self.write(cur, {"fig4/group": 2.0})
+        code, output = run_cli("bench-compare", str(base), str(cur), "--tolerance", "1.5")
+        assert code == 1
+        assert "REGRESSED" in output
+
+    def test_usage_error(self):
+        code, output = run_cli("bench-compare", "only-one.json")
+        assert code == 2
+        assert "usage" in output
+
+    def test_bad_tolerance(self, tmp_path):
+        code, output = run_cli(
+            "bench-compare", "a.json", "b.json", "--tolerance", "fast"
+        )
+        assert code == 2
+        assert "invalid tolerance" in output
+
 
 class TestStats:
     def test_stats_renders_metric_tables(self):
