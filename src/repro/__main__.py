@@ -17,6 +17,15 @@ Commands:
   self time), wall-time histograms, and per-span peak memory; the flags
   export a Chrome-trace JSON (loadable in ``chrome://tracing`` /
   Perfetto) and a JSON-lines structured log;
+* ``lineage [example] [--cell T[r,c]] [--audit] [--dot PATH]
+  [--graph-json PATH]`` — run a bundled pipeline with cell-level
+  provenance on and answer a why-provenance query: which input cells
+  produced output cell ``T[r,c]``?  Prints the witness set, the
+  witness-replay verdict (re-executing on just the witness rows must
+  regenerate the cell), and a provenance-annotated EXPLAIN.
+  ``--audit`` replays *every* output cell (all lineage-capable examples
+  when no example is named); ``--dot``/``--graph-json`` export the
+  input-cell → output-cell provenance graph;
 * ``stats [--json]`` — run every bundled pipeline and print the
   aggregated per-operation metrics;
 * ``bench-compare <baseline> <current> [--tolerance X]`` — diff two
@@ -136,18 +145,34 @@ def _list_examples() -> None:
         print(f"  {example.name:12}  {example.description}")
 
 
+def _resolve_or_fail(raw: str) -> str | None:
+    """Resolve an example name; on failure print the diagnosis and listing.
+
+    The diagnosis distinguishes unknown names (with "did you mean"
+    suggestions) from ambiguous prefixes (listing every match); callers
+    turn None into exit status 2.
+    """
+    from .obs.examples import ExampleLookupError, resolve_example_strict
+
+    try:
+        return resolve_example_strict(raw)
+    except ExampleLookupError as err:
+        print(f"error: {err.args[0]}")
+        print("bundled examples:")
+        _list_examples()
+        return None
+
+
 def _trace(rest: list[str]) -> int:
     import json
 
-    from .obs.examples import EXAMPLES, resolve_example, trace_example
+    from .obs.examples import EXAMPLES, trace_example
 
     json_out = "--json" in rest
     analyze = "--analyze" in rest
     names = [a for a in rest if not a.startswith("-")]
-    name = resolve_example(names[0] if names else "fig4-group")
+    name = _resolve_or_fail(names[0] if names else "fig4-group")
     if name is None:
-        print(f"unknown example {names[0]!r}; bundled examples:")
-        _list_examples()
         return 2
     obs, _result = trace_example(name)
     if json_out:
@@ -186,7 +211,7 @@ def _flag_value(rest: list[str], flag: str) -> str | None:
 def _profile(rest: list[str]) -> int:
     import json
 
-    from .obs.examples import EXAMPLES, profile_example, resolve_example
+    from .obs.examples import EXAMPLES, profile_example
     from .obs.export import write_chrome_trace, write_jsonl
 
     chrome_path = _flag_value(rest, "--chrome-trace")
@@ -195,10 +220,8 @@ def _profile(rest: list[str]) -> int:
     json_out = "--json" in rest
     memory = "--no-memory" not in rest
     names = [a for a in rest if not a.startswith("-") and a not in flag_values]
-    name = resolve_example(names[0] if names else "fig4-group")
+    name = _resolve_or_fail(names[0] if names else "fig4-group")
     if name is None:
-        print(f"unknown example {names[0]!r}; bundled examples:")
-        _list_examples()
         return 2
     prof, _result = profile_example(name, memory=memory)
     if json_out:
@@ -214,6 +237,184 @@ def _profile(rest: list[str]) -> int:
         written = write_jsonl(prof.observation, jsonl_path)
         print(f"JSON-lines log written to {written}")
     return 0
+
+
+def _parse_cell(text: str) -> tuple[str, int, int] | None:
+    """Parse ``T[r,c]`` (table label, row, column); None when malformed."""
+    import re
+
+    match = re.fullmatch(r"\s*(.+?)\s*\[\s*(\d+)\s*,\s*(\d+)\s*\]\s*", text)
+    if match is None:
+        return None
+    return match.group(1), int(match.group(2)), int(match.group(3))
+
+
+def _lineage_capable(audit_all: bool = True):
+    from .obs.examples import EXAMPLES
+
+    return {name: ex for name, ex in EXAMPLES.items() if ex.setup is not None}
+
+
+def _lineage_graph(name: str) -> dict:
+    """One example's provenance graph (its own lineage run)."""
+    from .obs.examples import EXAMPLES
+    from .obs.lineage import lineage as lineage_scope, provenance_graph
+
+    db, run = EXAMPLES[name].setup()
+    with lineage_scope() as lin:
+        tagged = lin.tag_database(db)
+        out = run(tagged)
+        return provenance_graph(lin, out, name=name)
+
+
+def _lineage(rest: list[str]) -> int:
+    from .obs import observation
+    from .obs.examples import EXAMPLES
+    from .obs.export import write_provenance_dot, write_provenance_json
+    from .obs.lineage import audit_run, lineage as lineage_scope, provenance_graph
+
+    cell_text = _flag_value(rest, "--cell")
+    dot_path = _flag_value(rest, "--dot")
+    graph_json_path = _flag_value(rest, "--graph-json")
+    audit = "--audit" in rest
+    flag_values = {v for v in (cell_text, dot_path, graph_json_path) if v is not None}
+    names = [a for a in rest if not a.startswith("-") and a not in flag_values]
+
+    capable = _lineage_capable()
+    if audit and not names:
+        # Audit (and optionally graph-export) every lineage-capable example.
+        failures = 0
+        graphs = []
+        for name in capable:
+            db, run = capable[name].setup()
+            result = audit_run(run, db, name=name)
+            verdict = "ok  " if result.ok else "FAIL"
+            print(
+                f"{verdict}  {name:12} {result.queried} cells queried, "
+                f"{result.regenerated} regenerated "
+                f"({result.constants} constants, {result.replays} replays)"
+            )
+            if not result.ok:
+                failures += 1
+                for label, row, col in result.failures[:5]:
+                    print(f"        not regenerated: {label}[{row},{col}]")
+            if dot_path or graph_json_path:
+                graphs.append(_lineage_graph(name))
+        print()
+        print(f"{len(capable) - failures}/{len(capable)} examples fully constructive")
+        if dot_path:
+            print(f"provenance graph written to {write_provenance_dot(graphs, dot_path)}")
+        if graph_json_path:
+            print(
+                "provenance graph JSON written to "
+                f"{write_provenance_json(graphs, graph_json_path)}"
+            )
+        return 1 if failures else 0
+
+    name = _resolve_or_fail(names[0] if names else "fig4-group")
+    if name is None:
+        return 2
+    example = EXAMPLES[name]
+    if example.setup is None:
+        print(
+            f"error: example {name!r} is not lineage-capable "
+            "(its pipeline is not a TA program over a tabular database)"
+        )
+        others = ", ".join(capable)
+        print(f"lineage-capable examples: {others}")
+        return 2
+
+    if audit:
+        db, run = example.setup()
+        result = audit_run(run, db, name=name)
+        print(
+            f"audit of {name}: {result.queried} cells queried, "
+            f"{result.regenerated} regenerated "
+            f"({result.constants} constants, {result.replays} replays)"
+        )
+        for label, row, col in result.failures:
+            print(f"  not regenerated: {label}[{row},{col}]")
+        if dot_path:
+            print(
+                "provenance graph written to "
+                f"{write_provenance_dot(_lineage_graph(name), dot_path)}"
+            )
+        if graph_json_path:
+            print(
+                "provenance graph JSON written to "
+                f"{write_provenance_json(_lineage_graph(name), graph_json_path)}"
+            )
+        return 0 if result.ok else 1
+
+    db, run = example.setup()
+    with observation() as obs, lineage_scope() as lin:
+        tagged = lin.tag_database(db)
+        out = run(tagged)
+
+    # Label output tables the way tag_database labels inputs (Name#k on
+    # name collisions) so --cell can address any of them.
+    out_names = [str(t.name) for t in out.tables]
+    seen: dict[str, int] = {}
+    labels = []
+    for table_name in out_names:
+        if out_names.count(table_name) > 1:
+            labels.append(f"{table_name}#{seen.get(table_name, 0)}")
+            seen[table_name] = seen.get(table_name, 0) + 1
+        else:
+            labels.append(table_name)
+    by_label = dict(zip(labels, out.tables))
+
+    if cell_text is not None:
+        parsed = _parse_cell(cell_text)
+        if parsed is None:
+            print(f"error: malformed --cell {cell_text!r}; expected T[r,c], e.g. Sales[2,3]")
+            return 2
+        label, row, col = parsed
+        table = by_label.get(label)
+        if table is None:
+            print(f"error: no output table {label!r}; output tables: {', '.join(labels)}")
+            return 2
+        if not (0 <= row < table.nrows and 0 <= col < table.ncols):
+            print(
+                f"error: cell [{row},{col}] outside {label!r} "
+                f"({table.nrows} rows x {table.ncols} cols)"
+            )
+            return 2
+    else:
+        # Default: the first output cell that carries provenance,
+        # preferring data cells over attribute cells.
+        label, table, row, col = labels[0], out.tables[0], 0, 0
+        found = False
+        for lbl, t in by_label.items():
+            for i in list(t.data_row_indices()) + [0]:
+                for j in range(t.ncols):
+                    if t.entry(i, j).prov:
+                        label, table, row, col = lbl, t, i, j
+                        found = True
+                        break
+                if found:
+                    break
+            if found:
+                break
+
+    witness = lin.witness(table, row, col, label=label)
+    print(f"lineage of {name} — {example.description}")
+    print()
+    print(lin.describe_witness(witness))
+    check = lin.replay_check(run, witness)
+    print()
+    if witness.origins:
+        verdict = "regenerated" if check.regenerated else "NOT regenerated"
+        print(
+            f"witness replay: {verdict} "
+            f"({check.matches} matching cell(s) from {witness.cells} witness rows)"
+        )
+    else:
+        print("witness replay: trivial (constant cell, no input dependency)")
+    print()
+    print("provenance-annotated EXPLAIN:")
+    print(obs.explain())
+    return 0 if check.regenerated else 1
 
 
 def _bench_compare(rest: list[str]) -> int:
@@ -271,6 +472,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace(rest)
     if command == "profile":
         return _profile(rest)
+    if command == "lineage":
+        return _lineage(rest)
     if command == "stats":
         return _stats(rest)
     if command == "bench-compare":

@@ -19,6 +19,12 @@ the paper itself describes:
 * :func:`collapse_compact` — COLLAPSE followed by redundancy removal;
 * :func:`drop_all_null_rows` — "selecting out the tuples with Sold entry
   ⊥", the difference-based simulation the paper sketches.
+
+Provenance contract: derived operations inherit lineage behaviour from
+the primitives they compose; nothing here needs its own hook.  The one
+symbol-*creating* site, :func:`const_column`, deliberately emits cells
+with empty lineage — a constant genuinely derives from no input cell,
+and the witness-replay audit treats it as vacuously constructive.
 """
 
 from __future__ import annotations

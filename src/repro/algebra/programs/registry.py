@@ -141,6 +141,13 @@ class OpSpec:
                     cols_out=sum(t.width for t in produced),
                     shapes_out=tuple((t.height, t.width) for t in produced),
                 )
+                if obs.lineage is not None:
+                    from ...obs.lineage import count_prov_cells
+
+                    sp.set(
+                        prov_cells_in=count_prov_cells(tables),
+                        prov_cells_out=count_prov_cells(produced),
+                    )
         except Exception:
             if obs.metrics is not None:
                 obs.metrics.record_op(

@@ -194,6 +194,14 @@ class Assignment(Statement):
                 )
                 if bindings_seen:
                     sp.set(bindings=bindings_seen)
+                if obs.lineage is not None:
+                    from ...obs.lineage import count_prov_cells
+
+                    sp.set(
+                        prov_cells=count_prov_cells(
+                            t for tables in results.values() for t in tables
+                        )
+                    )
                 if obs.metrics is not None:
                     obs.metrics.count("statements")
                     obs.metrics.count("combinations", combinations)
@@ -236,6 +244,8 @@ class While(Statement):
         with cm as sp:
             iterations = 0
             condition_rows: list[int] = []
+            prov_frontier: list[int] = []
+            lineage_on = observing and obs.lineage is not None
             while self._holds(db, interp):
                 iterations += 1
                 if iterations > interp.max_while_iterations:
@@ -247,6 +257,13 @@ class While(Statement):
                     # Fixpoint visibility: the condition's row count per
                     # iteration shows how fast the loop converges.
                     condition_rows.append(self._condition_rows(db, interp))
+                    if lineage_on:
+                        # Provenance unions across iterations: the size of
+                        # the cumulative origin set over the whole database
+                        # grows monotonically toward the fixpoint.
+                        from ...obs.lineage import table_origins
+
+                        prov_frontier.append(len(table_origins(db)))
                     if obs.metrics is not None:
                         obs.metrics.count("while_iterations")
                     if obs.tracer is not None:
@@ -256,6 +273,11 @@ class While(Statement):
                 db = self.body.execute(db, interp)
             if observing:
                 sp.set(iterations=iterations, condition_rows=condition_rows)
+                if lineage_on:
+                    from ...obs.lineage import table_origins
+
+                    prov_frontier.append(len(table_origins(db)))
+                    sp.set(prov_frontier=prov_frontier)
                 if obs.metrics is not None:
                     obs.metrics.count("while_loops")
             return db

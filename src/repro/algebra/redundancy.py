@@ -20,6 +20,8 @@ decision forced by the figures — see DESIGN.md, Section 3, decision 9.
 from __future__ import annotations
 
 from ..core import NULL, Symbol, Table
+from ..obs import runtime as _obs
+from ..obs.lineage import derived_from
 from .opshelpers import as_attr_set, as_attr_symbol, columns_with_attr_in
 from .transposition import transpose
 
@@ -38,7 +40,12 @@ def _merge_rows(table: Table, rows: list[int]) -> list[Symbol] | None:
     Compatible means: at every grid column (including column 0, the row
     attribute) the group's non-⊥ entries are all equal.  The merged row
     takes each column's unique non-⊥ entry, or ⊥.
+
+    Under an active lineage scope each merged cell derives from *all* of
+    the group's entries in that column (⊥ entries included), so
+    duplicate elimination unions rather than drops provenance.
     """
+    lin = _obs.OBS.lineage
     merged: list[Symbol] = []
     for j in range(table.ncols):
         candidate: Symbol = NULL
@@ -50,6 +57,8 @@ def _merge_rows(table: Table, rows: list[int]) -> list[Symbol] | None:
                 candidate = entry
             elif candidate != entry:
                 return None
+        if lin is not None:
+            candidate = derived_from(candidate, (table.entry(i, j) for i in rows))
         merged.append(candidate)
     return merged
 

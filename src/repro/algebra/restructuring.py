@@ -20,6 +20,14 @@ Summary of the reconstruction:
   combination value repeated across the width.
 * ``COLLAPSE by 𝒜 (R)``: merges every table named R on *all* its scheme
   attributes by 𝒜, then folds the results with tabular union.
+
+Provenance contract: all four operations build their outputs purely by
+*copying* input symbol objects into new positions (the pivoted header
+rows of GROUP replicate attribute and value cells; MERGE reads its
+𝒜-values from provider rows; padding uses the un-tagged ⊥ constant), so
+cell lineage (:mod:`repro.obs.lineage`) flows through them without any
+explicit hook — except COLLAPSE's final clean-up, which unions lineage
+at its merge sites like every redundancy removal.
 """
 
 from __future__ import annotations

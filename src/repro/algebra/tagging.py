@@ -15,6 +15,8 @@ freshness is global (see DESIGN.md decision 14).
 from __future__ import annotations
 
 from ..core import FreshValueSource, LimitExceededError, Symbol, Table
+from ..obs import runtime as _obs
+from ..obs.lineage import derived_from
 from .opshelpers import as_attr_symbol
 
 __all__ = ["tuplenew", "setnew", "DEFAULT_SETNEW_LIMIT"]
@@ -36,10 +38,18 @@ def tuplenew(
     name: object | None = None,
 ) -> Table:
     """``T ← TUPLENEW_A(R)``: a new ``A``-column holding a distinct new
-    value for each data row (tuple identifiers)."""
+    value for each data row (tuple identifiers).
+
+    Under an active lineage scope each fresh tag derives from the row it
+    identifies (the tag is "about" that tuple).
+    """
+    lin = _obs.OBS.lineage
     src = source if source is not None else FreshValueSource()
     column: list[Symbol] = [as_attr_symbol(attr)]
-    column += [src.fresh() for _ in table.data_row_indices()]
+    if lin is None:
+        column += [src.fresh() for _ in table.data_row_indices()]
+    else:
+        column += [derived_from(src.fresh(), table.row(i)) for i in table.data_row_indices()]
     return _named(table.append_columns([column]), name)
 
 
@@ -57,6 +67,9 @@ def setnew(
     subset's own distinct new value.  Subsets are enumerated in increasing
     bitmask order (deterministic); the operation is exponential by design
     and guarded by ``limit``.
+
+    Under an active lineage scope each subset's fresh tag derives from
+    every row of the subset it identifies.
     """
     m = table.height
     if m > limit:
@@ -64,13 +77,18 @@ def setnew(
             f"SETNEW on {m} data rows would enumerate 2^{m} - 1 subsets; "
             f"limit is {limit} rows (pass a higher limit explicitly to override)"
         )
+    lin = _obs.OBS.lineage
     src = source if source is not None else FreshValueSource()
     header = list(table.row(0)) + [as_attr_symbol(attr)]
     grid: list[list[Symbol]] = [header]
     data_rows = list(table.data_row_indices())
     for mask in range(1, 1 << m):
         tag = src.fresh()
-        for position, i in enumerate(data_rows):
-            if mask & (1 << position):
-                grid.append(list(table.row(i)) + [tag])
+        members = [i for position, i in enumerate(data_rows) if mask & (1 << position)]
+        if lin is not None:
+            tag = derived_from(
+                tag, (symbol for i in members for symbol in table.row(i))
+            )
+        for i in members:
+            grid.append(list(table.row(i)) + [tag])
     return _named(Table(grid), name)

@@ -19,6 +19,8 @@ of an assignment statement); by default the left operand's name is kept.
 from __future__ import annotations
 
 from ..core import NULL, Symbol, Table
+from ..obs import runtime as _obs
+from ..obs.lineage import derived_from
 from .opshelpers import (
     as_attr_set,
     as_attr_symbol,
@@ -92,26 +94,47 @@ def product(rho: Table, sigma: Table, name: object | None = None) -> Table:
     One output data row per pair of data rows; schemes concatenate; the
     single row-attribute slot combines the two input row attributes
     (equal → kept, one ⊥ → the other, conflict → ⊥).
+
+    Under an active lineage scope the combined row attribute accumulates
+    the provenance of *both* argument rows: column 0 can never be
+    projected away, so join ancestry survives any later PROJECT/SELECT —
+    this is what makes multi-hop witnesses (e.g. transitive closure)
+    cite their intermediate edges.
     """
+    lin = _obs.OBS.lineage
     grid = [rho.row(0) + sigma.column_attributes]
-    for i in rho.data_row_indices():
-        left = rho.row(i)
-        for k in sigma.data_row_indices():
-            right = sigma.row(k)
-            attr = combine_row_attributes(left[0], right[0])
-            grid.append((attr,) + left[1:] + right[1:])
+    if lin is None:
+        for i in rho.data_row_indices():
+            left = rho.row(i)
+            for k in sigma.data_row_indices():
+                right = sigma.row(k)
+                attr = combine_row_attributes(left[0], right[0])
+                grid.append((attr,) + left[1:] + right[1:])
+    else:
+        for i in rho.data_row_indices():
+            left = rho.row(i)
+            for k in sigma.data_row_indices():
+                right = sigma.row(k)
+                attr = combine_row_attributes(left[0], right[0])
+                attr = derived_from(attr, left + right)
+                grid.append((attr,) + left[1:] + right[1:])
     return _named(Table(grid), name)
 
 
 def rename(table: Table, old: object, new: object, name: object | None = None) -> Table:
     """``T ← RENAME_{B←A}(R)``: replace attribute ``A`` by ``B`` in the
-    attribute row (every occurrence)."""
+    attribute row (every occurrence).
+
+    Under an active lineage scope each substituted attribute derives
+    from the attribute cell it replaces.
+    """
+    lin = _obs.OBS.lineage
     old_sym = as_attr_symbol(old)
     new_sym = as_attr_symbol(new)
     header = list(table.row(0))
     for j in range(1, len(header)):
         if header[j] == old_sym:
-            header[j] = new_sym
+            header[j] = new_sym if lin is None else derived_from(new_sym, (header[j],))
     grid = [tuple(header)] + [table.row(i) for i in table.data_row_indices()]
     return _named(Table(grid), name)
 

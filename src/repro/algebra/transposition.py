@@ -7,6 +7,10 @@ operation an expressible *dual* (rows and columns interchanged), provided
 here as the :func:`dual` combinator; constant selection is derivable this
 way (the library also ships it directly in
 :func:`repro.algebra.traditional.select_constant`).
+
+Provenance contract: both operations are pure permutations of the grid —
+every output cell *is* an input symbol object — so cell lineage
+(:mod:`repro.obs.lineage`) flows through them untouched.
 """
 
 from __future__ import annotations

@@ -55,6 +55,15 @@ class Symbol:
     #: Rank used for the (arbitrary but total) cross-sort ordering.
     _sort_rank = 99
 
+    #: Why-provenance of the cell this symbol occupies: a frozenset of
+    #: input-cell ids, or None when the symbol carries no lineage.  Plain
+    #: symbols share this class-level None; the provenance layer
+    #: (:mod:`repro.obs.lineage`) substitutes per-cell *copies* that shadow
+    #: it with an instance slot.  Provenance never participates in
+    #: equality, hashing, or ordering — a tagged copy is indistinguishable
+    #: from its original to every operation of the algebra.
+    prov = None
+
     @property
     def is_null(self) -> bool:
         """True iff this symbol is the inapplicable null ``⊥``."""

@@ -19,13 +19,30 @@ Typical use::
 
 The CLI exposes the same machinery: ``python -m repro trace <example>``
 (``--analyze`` for estimated-vs-actual), ``python -m repro profile
-<example>``, ``python -m repro stats``, and ``python -m repro
-bench-compare`` for the benchmark trajectory.
+<example>``, ``python -m repro stats``, ``python -m repro lineage`` for
+cell-level why-provenance queries and the witness-replay audit, and
+``python -m repro bench-compare`` for the benchmark trajectory.
 """
 
 from .metrics import MetricsRegistry, OpMetrics
 from .runtime import OBS, Observation, observation, span
 from .trace import NULL_SPAN, Span, Tracer
+from .lineage import (
+    AuditResult,
+    CellRef,
+    Lineage,
+    ReplayCheck,
+    Witness,
+    audit_run,
+    count_prov_cells,
+    derived_from,
+    graph_to_dot,
+    lineage,
+    provenance,
+    provenance_graph,
+    table_origins,
+    with_prov,
+)
 from .explain import (
     counters_table,
     explain_json,
@@ -41,35 +58,58 @@ from .cost import (
     analyze_table,
     explain_analyze_text,
 )
-from .export import chrome_trace, jsonl_records, write_chrome_trace, write_jsonl
+from .export import (
+    chrome_trace,
+    jsonl_records,
+    write_chrome_trace,
+    write_jsonl,
+    write_provenance_dot,
+    write_provenance_json,
+)
 from .profile import Hotspot, Profile, profile
 
 __all__ = [
     "OBS",
     "NULL_SPAN",
+    "AuditResult",
+    "CellRef",
     "CostEstimate",
     "CostModel",
     "Hotspot",
+    "Lineage",
     "MetricsRegistry",
     "Observation",
     "OpMetrics",
     "Profile",
+    "ReplayCheck",
     "Span",
     "Tracer",
+    "Witness",
     "analyze_records",
     "analyze_table",
+    "audit_run",
     "chrome_trace",
+    "count_prov_cells",
     "counters_table",
+    "derived_from",
     "explain_analyze_text",
     "explain_json",
     "explain_text",
     "format_span",
+    "graph_to_dot",
     "jsonl_records",
+    "lineage",
     "metrics_table",
     "observation",
     "profile",
+    "provenance",
+    "provenance_graph",
     "span",
     "span_tree_text",
+    "table_origins",
+    "with_prov",
     "write_chrome_trace",
     "write_jsonl",
+    "write_provenance_dot",
+    "write_provenance_json",
 ]

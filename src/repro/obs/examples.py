@@ -6,6 +6,13 @@ OLAP bridge round trip — chosen so the trace shows something meaningful:
 nested statement spans, while-loop fixpoints, compiler phases, bridge
 conversions.
 
+Examples whose pipeline is "a TA program over a tabular database" also
+expose a ``setup`` hook returning ``(db, run)`` separately, so the
+lineage CLI can tag the input cells before running — that is what makes
+``python -m repro lineage <example>`` and the witness-replay audit work.
+The OLAP example stays lineage-incapable: its bridges build cube objects
+rather than running a TA program.
+
 This module imports the engine (algebra, schemalog, relational, olap), so
 it is deliberately *not* imported from :mod:`repro.obs`'s ``__init__`` —
 the operation registry imports the observability runtime, and loading the
@@ -14,6 +21,7 @@ engine from the package root would close that cycle.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
 from typing import Callable
 
@@ -23,40 +31,67 @@ from .runtime import Observation, observation
 __all__ = [
     "Example",
     "EXAMPLES",
+    "ExampleLookupError",
     "resolve_example",
+    "resolve_example_strict",
     "run_example",
     "trace_example",
     "profile_example",
 ]
 
 
+class ExampleLookupError(KeyError):
+    """An example name that resolves to nothing (or to several things).
+
+    Subclasses :class:`KeyError` for backward compatibility; the
+    human-readable diagnosis is ``args[0]`` (``str()`` of a KeyError
+    wraps it in quotes).
+    """
+
+
 @dataclass(frozen=True)
 class Example:
-    """One named, runnable pipeline."""
+    """One named, runnable pipeline.
+
+    ``setup``, when present, returns ``(db, run)`` — the input
+    :class:`~repro.core.database.TabularDatabase` and a callable mapping
+    a database to the output database — so callers (the lineage layer)
+    can interpose on the input before running.  ``runner`` remains the
+    one-shot entry point used by trace/profile.
+    """
 
     name: str
     description: str
     runner: Callable[[], object]
+    setup: Callable[[], tuple[object, Callable]] | None = None
 
 
-def _fig4_group() -> object:
+def _run_setup(setup: Callable[[], tuple[object, Callable]]) -> Callable[[], object]:
+    def runner() -> object:
+        db, run = setup()
+        return run(db)
+
+    return runner
+
+
+def _fig4_setup() -> tuple[object, Callable]:
     from ..algebra.programs import parse_program
     from ..core import database
     from ..data import figure4_top
 
     program = parse_program("Sales <- GROUP by {Region} on {Sold} (Sales)")
-    return program.run(database(figure4_top()))
+    return database(figure4_top()), program.run
 
 
-def _fig5_merge() -> object:
+def _fig5_setup() -> tuple[object, Callable]:
     from ..algebra.programs import parse_program
     from ..data import sales_info2
 
     program = parse_program("Sales <- MERGE on {Sold} by {Region} (Sales)")
-    return program.run(sales_info2())
+    return sales_info2(), program.run
 
 
-def _pivot() -> object:
+def _pivot_setup() -> tuple[object, Callable]:
     from ..algebra.programs import parse_program
     from ..data import sales_info1
 
@@ -67,13 +102,27 @@ def _pivot() -> object:
         Pivot   <- PURGE on {Sold} by {Region} (Cleaned)
         """
     )
-    return program.run(sales_info1())
+    return sales_info1(), program.run
 
 
-def _schemalog() -> object:
-    from ..core import database
+def _federation_facts() -> object:
+    """The two-source federation the SchemaLog/SchemaSQL examples query."""
     from ..relational import Relation, RelationalDatabase
-    from ..schemalog import SchemaLogDatabase, compile_to_ta, parse_schemalog
+    from ..schemalog import SchemaLogDatabase
+
+    return SchemaLogDatabase.from_relational(
+        RelationalDatabase(
+            [
+                Relation("east", ["part", "sold"], [("nuts", 50), ("bolts", 70)]),
+                Relation("west", ["part", "sold"], [("nuts", 60), ("screws", 50)]),
+            ]
+        )
+    )
+
+
+def _schemalog_setup() -> tuple[object, Callable]:
+    from ..core import database
+    from ..schemalog import compile_to_ta, parse_schemalog
 
     program = parse_schemalog(
         """
@@ -85,18 +134,60 @@ def _schemalog() -> object:
         sales[T: region -> 'west'] :- west[T: part -> P].
         """
     )
-    db = SchemaLogDatabase.from_relational(
-        RelationalDatabase(
-            [
-                Relation("east", ["part", "sold"], [("nuts", 50), ("bolts", 70)]),
-                Relation("west", ["part", "sold"], [("nuts", 60), ("screws", 50)]),
-            ]
-        )
+    return database(_federation_facts().facts_table()), compile_to_ta(program).run
+
+
+def _schemasql_setup() -> tuple[object, Callable]:
+    from ..core import database
+    from ..schemasql import compile_to_ta, parse_schemasql
+
+    # The relation-name wildcard ``-> R`` ranges over the federation's
+    # source relations — restructuring data *and* metadata in one query.
+    query = parse_schemasql(
+        "SELECT T.part AS part, R AS region, T.sold AS sold "
+        "INTO sales FROM -> R, R T"
     )
-    return compile_to_ta(program).run(database(db.facts_table()))
+    return database(_federation_facts().facts_table()), compile_to_ta(query).run
 
 
-def _fo_while() -> object:
+def _good_setup() -> tuple[object, Callable]:
+    from ..good import (
+        EdgeAddition,
+        GoodEdge,
+        GoodNode,
+        GoodProgram,
+        ObjectGraph,
+        Pattern,
+        PatternEdge,
+        PatternNode,
+        compile_to_ta,
+        encode_graph,
+    )
+
+    graph = ObjectGraph(
+        [
+            GoodNode.make("p1", "Person", "ann"),
+            GoodNode.make("p2", "Person", "bob"),
+            GoodNode.make("p3", "Person", "cal"),
+        ],
+        [
+            GoodEdge.make("p1", "parent", "p2"),
+            GoodEdge.make("p2", "parent", "p3"),
+        ],
+    )
+    grandparent = Pattern(
+        [
+            PatternNode.make("X", "Person"),
+            PatternNode.make("Y", "Person"),
+            PatternNode.make("Z", "Person"),
+        ],
+        [PatternEdge.make("X", "parent", "Y"), PatternEdge.make("Y", "parent", "Z")],
+    )
+    program = GoodProgram((EdgeAddition(grandparent, "X", "gp", "Z"),))
+    return encode_graph(graph), compile_to_ta(program).run
+
+
+def _fo_while_setup() -> tuple[object, Callable]:
     from ..relational import (
         Assign,
         Difference,
@@ -136,7 +227,7 @@ def _fo_while() -> object:
     edges = Relation("E", ["Src", "Dst"], [(i, i + 1) for i in range(1, 5)])
     db = RelationalDatabase([edges])
     ta_program = compile_program(fw, {"E": ("Src", "Dst")})
-    return ta_program.run(relational_to_tabular(db))
+    return relational_to_tabular(db), ta_program.run
 
 
 def _olap_bridges() -> object:
@@ -151,15 +242,21 @@ def _olap_bridges() -> object:
     return (grouped, per_region, round_trip)
 
 
+def _example(name: str, description: str, setup) -> Example:
+    return Example(name, description, _run_setup(setup), setup)
+
+
 #: All bundled examples, keyed by CLI name.
 EXAMPLES: dict[str, Example] = {
     example.name: example
     for example in (
-        Example("fig4-group", "Figure 4: GROUP by Region on Sold, as a TA program", _fig4_group),
-        Example("fig5-merge", "Figure 5: MERGE on Sold by Region, as a TA program", _fig5_merge),
-        Example("pivot", "the 3-statement compact pivot (GROUP + CLEANUP + PURGE)", _pivot),
-        Example("schemalog", "Theorem 4.5: a SchemaLog_d federation program, TA-compiled", _schemalog),
-        Example("fo-while", "Theorem 4.1: transitive closure in FO+while, TA-compiled", _fo_while),
+        _example("fig4-group", "Figure 4: GROUP by Region on Sold, as a TA program", _fig4_setup),
+        _example("fig5-merge", "Figure 5: MERGE on Sold by Region, as a TA program", _fig5_setup),
+        _example("pivot", "the 3-statement compact pivot (GROUP + CLEANUP + PURGE)", _pivot_setup),
+        _example("schemalog", "Theorem 4.5: a SchemaLog_d federation program, TA-compiled", _schemalog_setup),
+        _example("schemasql", "Section 4.2: a SchemaSQL federation query, TA-compiled", _schemasql_setup),
+        _example("good", "Section 4.4: a GOOD edge-addition program on an encoded graph", _good_setup),
+        _example("fo-while", "Theorem 4.1: transitive closure in FO+while, TA-compiled", _fo_while_setup),
         Example("olap", "Section 4.3: cube ↔ table bridges (pivot, split, n-dim)", _olap_bridges),
     )
 }
@@ -169,7 +266,8 @@ def resolve_example(name: str) -> str | None:
     """The full example name for ``name``, accepting unique prefixes.
 
     ``fig5`` resolves to ``fig5-merge``; an ambiguous or unknown prefix
-    resolves to None (the CLI then lists the bundled examples).
+    resolves to None (use :func:`resolve_example_strict` for the
+    diagnosis).
     """
     if name in EXAMPLES:
         return name
@@ -177,12 +275,30 @@ def resolve_example(name: str) -> str | None:
     return matches[0] if len(matches) == 1 else None
 
 
+def resolve_example_strict(name: str) -> str:
+    """Like :func:`resolve_example`, but failures raise with a diagnosis.
+
+    An ambiguous prefix lists every match; an unknown name lists the
+    closest known names ("did you mean").  The CLI turns the raised
+    :class:`ExampleLookupError` into a clean non-zero exit.
+    """
+    if name in EXAMPLES:
+        return name
+    matches = [known for known in sorted(EXAMPLES) if known.startswith(name)]
+    if len(matches) == 1:
+        return matches[0]
+    if matches:
+        raise ExampleLookupError(
+            f"ambiguous example name {name!r}: matches " + ", ".join(matches)
+        )
+    close = difflib.get_close_matches(name, sorted(EXAMPLES), n=3, cutoff=0.4)
+    hint = ("; did you mean: " + ", ".join(close)) if close else ""
+    raise ExampleLookupError(f"unknown example {name!r}{hint}")
+
+
 def run_example(name: str) -> object:
     """Run one bundled example (under whatever observation is active)."""
-    resolved = resolve_example(name)
-    if resolved is None:
-        raise KeyError(f"unknown example {name!r}; known: {', '.join(sorted(EXAMPLES))}")
-    return EXAMPLES[resolved].runner()
+    return EXAMPLES[resolve_example_strict(name)].runner()
 
 
 def trace_example(name: str) -> tuple[Observation, object]:

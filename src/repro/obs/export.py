@@ -12,6 +12,13 @@
 Both are pure functions over an :class:`~repro.obs.runtime.Observation`;
 ``write_chrome_trace``/``write_jsonl`` add the file plumbing used by
 ``python -m repro profile --chrome-trace/--log-json``.
+
+The provenance-graph writers live here too:
+:func:`write_provenance_dot`/:func:`write_provenance_json` serialize the
+bipartite input-cell → output-cell graphs built by
+:func:`repro.obs.lineage.provenance_graph` (one graph, or several
+bundled into a single DOT digraph / JSON document, as ``python -m repro
+lineage --dot/--graph-json`` does for its audits).
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ __all__ = [
     "jsonl_records",
     "write_chrome_trace",
     "write_jsonl",
+    "write_provenance_dot",
+    "write_provenance_json",
 ]
 
 
@@ -119,4 +128,36 @@ def write_jsonl(obs: Observation, path: str | Path) -> Path:
     with path.open("w") as handle:
         for record in jsonl_records(obs):
             handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def write_provenance_dot(graphs, path: str | Path) -> Path:
+    """Write provenance graph(s) as Graphviz DOT; returns the path.
+
+    ``graphs`` is one graph dict (from
+    :func:`repro.obs.lineage.provenance_graph`) or a sequence of them;
+    several graphs render as clustered subgraphs of one digraph.
+    """
+    from .lineage import graph_to_dot
+
+    path = Path(path)
+    if isinstance(graphs, dict):
+        path.write_text(graph_to_dot(graphs) + "\n")
+        return path
+    graphs = list(graphs)
+    if len(graphs) == 1:
+        path.write_text(graph_to_dot(graphs[0]) + "\n")
+        return path
+    lines = ['digraph "provenance" {', "  rankdir=LR;", "  node [shape=box, fontsize=10];"]
+    lines += [graph_to_dot(graph, subgraph=True) for graph in graphs]
+    lines.append("}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_provenance_json(graphs, path: str | Path) -> Path:
+    """Write provenance graph(s) as a JSON document; returns the path."""
+    path = Path(path)
+    payload = graphs if isinstance(graphs, dict) else {"graphs": list(graphs)}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
     return path

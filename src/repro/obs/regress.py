@@ -27,6 +27,7 @@ __all__ = [
     "current_git_sha",
     "load_trajectory",
     "latest_medians",
+    "dedupe_trajectory",
     "update_trajectory",
     "compare_trajectories",
     "Comparison",
@@ -80,6 +81,32 @@ def latest_medians(trajectory: Mapping) -> dict[str, float]:
     return out
 
 
+def dedupe_trajectory(trajectory: dict) -> dict:
+    """Collapse same-SHA duplicates in-place, per label (keep the last).
+
+    Trajectory files written before the same-SHA replacement existed (or
+    merged from parallel runs) can hold several entries for one revision
+    of one label; only the most recent measurement is meaningful.  Order
+    is otherwise preserved.  Returns the trajectory for chaining.
+    """
+    for label, entries in trajectory.get("benchmarks", {}).items():
+        if not isinstance(entries, list):
+            continue
+        kept: list = []
+        seen_shas: dict[str, int] = {}
+        for entry in entries:
+            sha = entry.get("sha") if isinstance(entry, dict) else None
+            if sha is not None and sha in seen_shas:
+                kept[seen_shas[sha]] = entry
+                continue
+            if sha is not None:
+                seen_shas[sha] = len(kept)
+            kept.append(entry)
+        if len(kept) != len(entries):
+            trajectory["benchmarks"][label] = kept
+    return trajectory
+
+
 def update_trajectory(
     path: str | Path,
     medians: Mapping[str, float],
@@ -91,11 +118,14 @@ def update_trajectory(
     A label's entry for ``sha`` is replaced if it exists (re-running on
     the same revision refreshes the measurement rather than growing the
     history); per-label history is capped at
-    :data:`MAX_ENTRIES_PER_LABEL`.  Returns the updated object; write
-    failures (read-only checkouts) are swallowed.
+    :data:`MAX_ENTRIES_PER_LABEL`.  The whole file is also passed
+    through :func:`dedupe_trajectory` on every write, so duplicates that
+    predate the replacement rule heal themselves even on labels this run
+    did not touch.  Returns the updated object; write failures
+    (read-only checkouts) are swallowed.
     """
     path = Path(path)
-    trajectory = load_trajectory(path)
+    trajectory = dedupe_trajectory(load_trajectory(path))
     benchmarks = trajectory["benchmarks"]
     for label, median_ms in sorted(medians.items()):
         entries = [

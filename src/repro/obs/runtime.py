@@ -38,12 +38,16 @@ __all__ = ["OBS", "Observation", "observation", "span"]
 class _ObsState:
     """The mutable global: one attribute check guards every hot path."""
 
-    __slots__ = ("active", "tracer", "metrics")
+    __slots__ = ("active", "tracer", "metrics", "lineage")
 
     def __init__(self):
         self.active = False
         self.tracer: Tracer | None = None
         self.metrics: MetricsRegistry | None = None
+        #: The active :class:`repro.obs.lineage.Lineage` scope, or None.
+        #: Independent of ``active`` — provenance can run without tracing
+        #: and vice versa; both default off.
+        self.lineage = None
 
 
 #: The process-wide observation state consulted by all instrumentation.

@@ -1,0 +1,140 @@
+"""One golden witness set per compiled frontend.
+
+Each frontend (relational algebra + while, SchemaLog, SchemaSQL, GOOD)
+compiles to TA programs through the shared registry, so lineage comes
+for free — these tests pin one concrete witness per frontend so a
+compiler change that breaks provenance threading fails loudly, with the
+expected input cells spelled out rather than recomputed.
+
+Rows are located by value, not index, wherever the frontend does not
+guarantee output order.
+"""
+
+import pytest
+
+from repro.core import Name, Value
+from repro.obs.examples import EXAMPLES
+from repro.obs.lineage import lineage
+
+
+def tagged_run(name):
+    db, run = EXAMPLES[name].setup()
+    with lineage() as lin:
+        tagged = lin.tag_database(db)
+        out = run(tagged)
+    return lin, run, out
+
+
+def find_row(table, col, value):
+    """First data row whose ``col``-cell equals ``value``."""
+    for i in table.data_row_indices():
+        if table.entry(i, col) == value:
+            return i
+    raise AssertionError(f"no row with [{col}]={value!r} in {table.name}")
+
+
+def source_labels(lin):
+    return [lin.label(k) for k in range(len(list(lin.sources)))]
+
+
+class TestRelationalWhileFrontend:
+    """Transitive closure: multi-hop facts cite every edge on the chain."""
+
+    def test_golden_witness(self):
+        lin, run, out = tagged_run("fo-while")
+        assert source_labels(lin) == ["E"]
+        tc = out.tables_named(Name("TC"))[0]
+        row = next(
+            i
+            for i in tc.data_row_indices()
+            if tc.entry(i, 1) == Value(1) and tc.entry(i, 2) == Value(4)
+        )
+        witness = lin.witness(tc, row, 1)
+        # TC(1,4) exists because of edges (1,2), (2,3), (3,4) — the source
+        # rows 1..3 of E — accumulated across three while iterations.
+        assert witness.rows == ((0, (1, 2, 3)),)
+        origins = {lin.describe_ref(ref) for ref in witness.origins}
+        assert "E[1,1]=1" in origins
+        assert lin.replay_check(run, witness).regenerated
+
+
+class TestSchemaSQLFrontend:
+    """Schema-restructuring SQL over the two-region federation."""
+
+    def test_golden_witness(self):
+        lin, run, out = tagged_run("schemasql")
+        assert source_labels(lin) == ["Facts"]
+        sales = out.tables_named(Name("sales"))[0]
+        assert [str(s) for s in sales.row(0)] == ["sales", "region", "part", "sold"]
+        # the (west, screws, 50) tuple's sold-cell comes from the west
+        # relation's screws facts — Facts rows 7 (part) and 8 (sold)
+        row = find_row(sales, 2, Value("screws"))
+        assert sales.entry(row, 1) == Name("west")
+        witness = lin.witness(sales, row, 3)
+        origins = {lin.describe_ref(ref) for ref in witness.origins}
+        assert "Facts[8,4]=50" in origins
+        assert witness.rows == ((0, (7, 8)),)
+        assert lin.replay_check(run, witness).regenerated
+
+
+class TestSchemaLogFrontend:
+    """SchemaLog rule over the same federation, via the Derived relation."""
+
+    def test_golden_witness(self):
+        lin, run, out = tagged_run("schemalog")
+        assert source_labels(lin) == ["Facts"]
+        derived = out.tables_named(Name("Derived"))[0]
+        # find the derived tuple (sales, _, region, east): the SchemaLog
+        # rule reifies the east relation's *name* into a region value
+        row = next(
+            i
+            for i in derived.data_row_indices()
+            if derived.entry(i, 1) == Name("sales")
+            and derived.entry(i, 3) == Name("region")
+            and derived.entry(i, 4) == Value("east")
+        )
+        witness = lin.witness(derived, row, 4)
+        # the value itself is minted by the rule head (no cell origins),
+        # but its existence is witnessed by an east fact — Facts row 1
+        assert witness.origins == ()
+        assert witness.rows == ((0, (1,)),)
+        assert lin.replay_check(run, witness).regenerated
+
+
+class TestGoodFrontend:
+    """GOOD edge-addition: grandparent edges cite the two parent hops."""
+
+    def test_golden_witness(self):
+        lin, run, out = tagged_run("good")
+        assert sorted(source_labels(lin)) == ["Edges", "Nodes"]
+        edges = out.tables_named(Name("Edges"))[0]
+        row = next(
+            i
+            for i in edges.data_row_indices()
+            if edges.entry(i, 2) == Name("gp")
+        )
+        witness = lin.witness(edges, row, 1)
+        rows = dict(witness.rows)
+        ordinal = {lin.label(k): k for k in range(len(list(lin.sources)))}
+        # ann -gp-> cal exists because of both parent edges
+        assert rows[ordinal["Edges"]] == (1, 2)
+        assert lin.replay_check(run, witness).regenerated
+
+
+class TestOlapBridge:
+    def test_olap_is_not_lineage_capable(self):
+        # the OLAP bridge renders a report rather than returning a
+        # TabularDatabase, so it deliberately has no lineage setup
+        assert EXAMPLES["olap"].setup is None
+
+
+@pytest.mark.parametrize(
+    "name", ["fo-while", "schemasql", "schemalog", "good"]
+)
+def test_frontend_results_unchanged_by_tagging(name):
+    db, run = EXAMPLES[name].setup()
+    plain = run(db)
+    db2, run2 = EXAMPLES[name].setup()
+    with lineage() as lin:
+        traced = run2(lin.tag_database(db2))
+    assert traced == plain

@@ -108,3 +108,60 @@ class TestCompare:
             Comparison(rows=(), tolerance=1.5, only_baseline=(), only_current=())
         )
         assert "no benchmark labels" in text
+
+
+class TestDedupe:
+    def entry(self, sha, ms):
+        return {"sha": sha, "median_ms": ms, "recorded": "2026-08-06T00:00:00+00:00"}
+
+    def test_collapses_same_sha_keeping_the_last_measurement(self):
+        from repro.obs.regress import dedupe_trajectory
+
+        trajectory = {
+            "format": 1,
+            "benchmarks": {
+                "lbl": [self.entry("aaa", 1.0), self.entry("bbb", 2.0), self.entry("aaa", 3.0)]
+            },
+        }
+        deduped = dedupe_trajectory(trajectory)
+        entries = deduped["benchmarks"]["lbl"]
+        # the later same-sha measurement wins, at the first-seen position
+        assert [(e["sha"], e["median_ms"]) for e in entries] == [("aaa", 3.0), ("bbb", 2.0)]
+
+    def test_preserves_order_and_non_dict_entries(self):
+        from repro.obs.regress import dedupe_trajectory
+
+        trajectory = {
+            "format": 1,
+            "benchmarks": {"lbl": ["junk", self.entry("aaa", 1.0), self.entry("aaa", 2.0)]},
+        }
+        entries = dedupe_trajectory(trajectory)["benchmarks"]["lbl"]
+        assert entries == ["junk", self.entry("aaa", 2.0)]
+
+    def test_update_self_heals_labels_the_run_did_not_touch(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.json"
+        dirty = {
+            "format": 1,
+            "benchmarks": {
+                "stale/label": [self.entry("old", 1.0), self.entry("old", 1.5)]
+            },
+        }
+        path.write_text(json.dumps(dirty))
+        update_trajectory(path, {"fresh/label": 0.3}, sha="new", recorded="2026-08-06")
+        healed = load_trajectory(path)["benchmarks"]
+        assert len(healed["stale/label"]) == 1  # deduped without being written to
+        assert healed["stale/label"][0]["median_ms"] == 1.5
+        assert [e["sha"] for e in healed["fresh/label"]] == ["new"]
+
+    def test_committed_trajectory_file_is_duplicate_free(self):
+        import pathlib
+
+        from repro.obs.regress import dedupe_trajectory
+
+        path = pathlib.Path(__file__).resolve().parents[2] / "BENCH_trajectory.json"
+        trajectory = load_trajectory(path)
+        import copy
+
+        assert dedupe_trajectory(copy.deepcopy(trajectory)) == trajectory

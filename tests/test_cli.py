@@ -192,3 +192,75 @@ class TestStats:
         assert set(data) == {"operations", "counters"}
         assert data["operations"]["GROUP"]["calls"] >= 1
         assert data["counters"]["programs"] >= 1
+
+
+class TestLineageCli:
+    def test_default_example_prints_witness_and_explain(self):
+        code, output = run_cli("lineage")
+        assert code == 0
+        assert "lineage of fig4-group" in output
+        assert "witness replay: regenerated" in output
+        assert "provenance-annotated EXPLAIN" in output
+        assert "prov_cells" in output
+
+    def test_cell_query_names_the_origin(self):
+        code, output = run_cli("lineage", "fig4", "--cell", "Sales[2,2]")
+        assert code == 0
+        assert "Sales[1,3]" in output  # the un-pivoted Sold cell
+        assert "witness replay: regenerated" in output
+
+    def test_malformed_cell(self):
+        code, output = run_cli("lineage", "fig4", "--cell", "Sales[2;2]")
+        assert code == 2
+        assert "malformed --cell" in output
+
+    def test_unknown_output_table(self):
+        code, output = run_cli("lineage", "fig4", "--cell", "Nope[1,1]")
+        assert code == 2
+        assert "no output table 'Nope'" in output
+        assert "Sales" in output  # the valid labels are listed
+
+    def test_cell_out_of_range(self):
+        code, output = run_cli("lineage", "fig4", "--cell", "Sales[99,1]")
+        assert code == 2
+        assert "outside" in output
+
+    def test_olap_is_not_lineage_capable(self):
+        code, output = run_cli("lineage", "olap")
+        assert code == 2
+        assert "not lineage-capable" in output
+        assert "fig4-group" in output  # capable alternatives are listed
+
+    def test_single_example_audit(self):
+        code, output = run_cli("lineage", "fig4", "--audit")
+        assert code == 0
+        assert "audit of fig4-group" in output
+        assert "regenerated" in output
+
+    def test_full_audit_with_graph_exports(self, tmp_path):
+        import json
+
+        dot = tmp_path / "prov.dot"
+        graph = tmp_path / "prov.json"
+        code, output = run_cli(
+            "lineage", "--audit", "--dot", str(dot), "--graph-json", str(graph)
+        )
+        assert code == 0
+        assert "examples fully constructive" in output
+        assert "FAIL" not in output
+        assert dot.read_text().startswith("digraph")
+        data = json.loads(graph.read_text())
+        assert {g["name"] for g in data["graphs"]} >= {"fig4-group", "fo-while"}
+
+    def test_unknown_example_suggests_close_names(self):
+        code, output = run_cli("lineage", "figg5")
+        assert code == 2
+        assert "unknown example" in output
+        assert "did you mean" in output
+        assert "fig5-merge" in output
+
+    def test_ambiguous_prefix_lists_matches(self):
+        code, output = run_cli("lineage", "fig")
+        assert code == 2
+        assert "ambiguous example name" in output
+        assert "fig4-group" in output and "fig5-merge" in output
