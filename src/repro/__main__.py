@@ -30,7 +30,18 @@ Commands:
   aggregated per-operation metrics;
 * ``bench-compare <baseline> <current> [--tolerance X]`` — diff two
   benchmark trajectory files (``BENCH_trajectory.json``); exit 1 when a
-  shared benchmark label regressed beyond the tolerance (default 1.5x).
+  shared benchmark label regressed beyond the tolerance (default 1.5x);
+* ``run [workload] [--deadline MS] [--max-rows N] [--max-rows-per-op N]
+  [--max-cells-per-op N] [--max-while N] [--checkpoint PATH] [--resume]
+  [--retry N] [--verify] [--json]`` — run a workload (``tc:N`` for the
+  synthetic transitive-closure fixpoint, or any bundled TA example)
+  under the resource governor with checkpoint/resume; ``--retry``
+  auto-resumes a budget-killed run from its checkpoint, ``--verify``
+  compares the final database against an ungoverned run;
+* ``chaos [example...] [--kinds raise,delay,corrupt] [--seed N]
+  [--json]`` — run the fault-injection matrix over the bundled
+  pipelines; every injection point must surface as a typed error with
+  no partial mutation (exit 1 otherwise).
 """
 
 from __future__ import annotations
@@ -417,6 +428,212 @@ def _lineage(rest: list[str]) -> int:
     return 0 if check.regenerated else 1
 
 
+def _int_flag(rest: list[str], flag: str) -> tuple[int | None, str | None]:
+    """``(value, error)`` for an integer-valued flag."""
+    text = _flag_value(rest, flag)
+    if text is None:
+        return None, None
+    try:
+        return int(text), None
+    except ValueError:
+        return None, f"invalid {flag} {text!r}; expected an integer"
+
+
+def _run(rest: list[str]) -> int:
+    import json
+
+    from .core.errors import BudgetExceededError, CancelledError, ReproError
+    from .runtime import Limits, ResourceGovernor, run_hardened
+    from .runtime.workloads import parse_workload
+
+    flag_values = set()
+    deadline_ms, err = _int_flag(rest, "--deadline")
+    errors = [err]
+    for flag in ("--max-rows", "--max-rows-per-op", "--max-cells-per-op",
+                 "--max-while", "--retry"):
+        _value, err = _int_flag(rest, flag)
+        errors.append(err)
+    for message in errors:
+        if message is not None:
+            print(f"error: {message}")
+            return 2
+    max_rows, _ = _int_flag(rest, "--max-rows")
+    max_rows_per_op, _ = _int_flag(rest, "--max-rows-per-op")
+    max_cells_per_op, _ = _int_flag(rest, "--max-cells-per-op")
+    max_while, _ = _int_flag(rest, "--max-while")
+    retry, _ = _int_flag(rest, "--retry")
+    checkpoint = _flag_value(rest, "--checkpoint")
+    for flag in ("--deadline", "--max-rows", "--max-rows-per-op",
+                 "--max-cells-per-op", "--max-while", "--retry", "--checkpoint"):
+        value = _flag_value(rest, flag)
+        if value is not None:
+            flag_values.add(value)
+    resume = "--resume" in rest
+    verify = "--verify" in rest
+    json_out = "--json" in rest
+
+    names = [a for a in rest if not a.startswith("-") and a not in flag_values]
+    spec = names[0] if names else "tc"
+    try:
+        workload = parse_workload(spec)
+    except ReproError as err:
+        print(f"error: {err}")
+        return 2
+    if workload is not None:
+        label, program, db = workload
+    else:
+        name = _resolve_or_fail(spec)
+        if name is None:
+            return 2
+        from .obs.examples import EXAMPLES
+
+        example = EXAMPLES[name]
+        if example.setup is None:
+            print(
+                f"error: example {name!r} is not a TA program over a tabular "
+                "database; it cannot run under the hardened runtime"
+            )
+            return 2
+        db, bound_run = example.setup()
+        program = getattr(bound_run, "__self__", None)
+        if program is None or not hasattr(program, "statements"):
+            print(f"error: example {name!r} does not expose a TA program")
+            return 2
+        label = name
+
+    limits = Limits(
+        deadline_s=deadline_ms / 1000.0 if deadline_ms is not None else None,
+        max_total_rows=max_rows,
+        max_rows_per_op=max_rows_per_op,
+        max_cells_per_op=max_cells_per_op,
+        max_while_iterations=max_while,
+    )
+    if resume and checkpoint is None:
+        print("error: --resume requires --checkpoint PATH")
+        return 2
+    if retry and checkpoint is None:
+        print("error: --retry requires --checkpoint PATH (resume needs a file)")
+        return 2
+
+    kills: list[str] = []
+    attempts = 0
+    result = None
+    governor = None
+    while True:
+        attempts += 1
+        governor = ResourceGovernor(limits)
+        try:
+            result = run_hardened(
+                program,
+                db,
+                governor=governor,
+                checkpoint_path=checkpoint,
+                resume=resume or attempts > 1,
+            )
+            break
+        except (BudgetExceededError, CancelledError) as err:
+            kills.append(str(err))
+            if not json_out:
+                print(f"killed (attempt {attempts}): {err}")
+            if retry is not None and attempts <= retry and checkpoint is not None:
+                continue
+            if json_out:
+                print(json.dumps(
+                    {"workload": label, "attempts": attempts, "kills": kills,
+                     "finished": False}, indent=2))
+            return 1
+
+    identical = None
+    if verify:
+        identical = result == program.run(db)
+    summary = {
+        "workload": label,
+        "attempts": attempts,
+        "kills": kills,
+        "finished": True,
+        "tables": len(result.tables),
+        "governor": governor.snapshot(),
+    }
+    if identical is not None:
+        summary["identical_to_ungoverned_run"] = identical
+    if json_out:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"{label}: finished after {attempts} attempt(s) "
+            f"({len(kills)} budget kill(s)); {summary['tables']} output table(s)"
+        )
+        gov = summary["governor"]
+        print(
+            f"governor (final attempt): "
+            f"{gov['ops_dispatched']} ops, {gov['rows_emitted']} rows, "
+            f"{gov['cells_emitted']} cells in {gov['elapsed_s'] * 1000:.0f}ms"
+        )
+        if identical is not None:
+            print(
+                "verify: identical to ungoverned run"
+                if identical
+                else "verify: MISMATCH against ungoverned run"
+            )
+    return 0 if identical in (None, True) else 1
+
+
+def _chaos(rest: list[str]) -> int:
+    import json
+
+    from .core.errors import ReproError
+    from .obs.examples import ExampleLookupError
+    from .runtime.chaos import run_chaos_matrix, render_chaos_report
+
+    seed, err = _int_flag(rest, "--seed")
+    if err is not None:
+        print(f"error: {err}")
+        return 2
+    kinds_text = _flag_value(rest, "--kinds")
+    kinds = None
+    if kinds_text is not None:
+        kinds = tuple(k.strip() for k in kinds_text.split(",") if k.strip())
+        unknown = [k for k in kinds if k not in ("raise", "delay", "corrupt")]
+        if unknown:
+            print(f"error: unknown fault kind(s) {unknown}; expected raise/delay/corrupt")
+            return 2
+    json_out = "--json" in rest
+    flag_values = {v for v in (_flag_value(rest, "--seed"), kinds_text) if v is not None}
+    names = [a for a in rest if not a.startswith("-") and a not in flag_values]
+    try:
+        report = run_chaos_matrix(
+            names or None, kinds=kinds, seed=seed if seed is not None else 0
+        )
+    except (ExampleLookupError, ReproError) as err:
+        print(f"error: {err.args[0] if err.args else err}")
+        _list_examples()
+        return 2
+    if json_out:
+        print(json.dumps(
+            {
+                "seed": report.seed,
+                "ok": report.ok,
+                "points": [
+                    {
+                        "example": p.example,
+                        "op": p.op,
+                        "kind": p.kind,
+                        "error_type": p.error_type,
+                        "typed": p.typed,
+                        "context_ok": p.context_ok,
+                        "atomic": p.atomic,
+                        "ok": p.ok,
+                    }
+                    for p in report.points
+                ],
+            },
+            indent=2,
+        ))
+    else:
+        print(render_chaos_report(report))
+    return 0 if report.ok else 1
+
+
 def _bench_compare(rest: list[str]) -> int:
     from .obs.regress import compare_trajectories, render_comparison
 
@@ -478,6 +695,10 @@ def main(argv: list[str] | None = None) -> int:
         return _stats(rest)
     if command == "bench-compare":
         return _bench_compare(rest)
+    if command == "run":
+        return _run(rest)
+    if command == "chaos":
+        return _chaos(rest)
     commands = {"figures": _figures, "check": _check, "demo": _demo}
     if command not in commands:
         print(__doc__)

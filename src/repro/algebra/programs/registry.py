@@ -16,6 +16,7 @@ from typing import Callable, Mapping, Sequence
 from ...core import EvaluationError, FreshValueSource, Symbol, Table
 from ...obs import runtime as _obs
 from ...obs.trace import NULL_SPAN
+from ...runtime import governor as _gv
 from .. import (
     classical_union,
     const_column,
@@ -84,8 +85,13 @@ class OpSpec:
         When an :func:`repro.obs.observation` scope is active, every
         invocation is additionally timed, counted, and row/column
         accounted — covering all registered operations without touching
-        their bodies.  The disabled path pays one attribute check.
+        their bodies.  When a :func:`repro.runtime.governor.governed`
+        scope is active, every invocation is additionally budget-checked
+        and fault-injected at this same boundary.  The disabled path
+        pays one attribute check per layer.
         """
+        if _gv.GOV.active:
+            return self._invoke_governed(tables, arguments, fresh)
         if _obs.OBS.active:
             return self._invoke_observed(tables, arguments, fresh)
         return self._invoke_raw(tables, arguments, fresh)
@@ -110,6 +116,45 @@ class OpSpec:
         if self.multi_result:
             return tuple(result)
         return (result,)
+
+    def _invoke_governed(
+        self,
+        tables: Sequence[Table],
+        arguments: Mapping[str, object],
+        fresh: FreshValueSource | None,
+    ) -> tuple[Table, ...]:
+        """The hardened dispatch: budgets before, faults around, rows after.
+
+        The governor's ``before_op``/``account`` pair brackets the op;
+        the fault plan's ``before``/``after`` pair fires raise/delay
+        faults pre-dispatch and corrupt faults on the output.  Either
+        layer may be absent (governing without chaos and vice versa).
+        Observation, when also active, nests inside so failed ops still
+        close their spans with the error recorded.
+        """
+        gov = _gv.GOV
+        governor = gov.governor
+        faults = gov.faults
+        if governor is not None:
+            governor.before_op(self.name)
+        if faults is not None:
+            faults.before(self.name)
+        if _obs.OBS.active:
+            produced = self._invoke_observed(tables, arguments, fresh)
+        else:
+            produced = self._invoke_raw(tables, arguments, fresh)
+        if faults is not None:
+            produced = faults.after(self.name, produced)
+        if governor is not None:
+            governor.account(
+                self.name,
+                sum(t.height for t in produced),
+                sum(t.nrows * t.ncols for t in produced),
+            )
+            obs = _obs.OBS
+            if obs.active and obs.metrics is not None:
+                obs.metrics.count("governor_checks")
+        return produced
 
     def _invoke_observed(
         self,

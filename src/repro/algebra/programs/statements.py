@@ -33,6 +33,7 @@ from ...core import (
 )
 from ...obs import runtime as _obs
 from ...obs.trace import NULL_SPAN
+from ...runtime import governor as _gv
 from .params import Binding, Lit, Parameter, Star, as_parameter
 from .registry import OPERATIONS, PARAM_ENTRY, PARAM_SET, PARAM_SINGLE, OpSpec
 
@@ -147,6 +148,11 @@ class Assignment(Statement):
     # -- execution ------------------------------------------------------
 
     def execute(self, db: TabularDatabase, interp: "Interpreter") -> TabularDatabase:
+        gov = _gv.GOV
+        if gov.active and gov.governor is not None:
+            # Statement-entry check: deadline/cancellation trip even when
+            # no combination matches and no op is ever dispatched.
+            gov.governor.check(op=self.spec.name)
         obs = _obs.OBS
         observing = obs.active
         cm = (
@@ -246,12 +252,22 @@ class While(Statement):
             condition_rows: list[int] = []
             prov_frontier: list[int] = []
             lineage_on = observing and obs.lineage is not None
+            gov = _gv.GOV
             while self._holds(db, interp):
                 iterations += 1
+                if gov.active and gov.governor is not None:
+                    # Deadline/cancellation/governor iteration cap, once
+                    # per tick — the same chokepoint the FO+while budget
+                    # delegates to, so both languages share one governor.
+                    gov.governor.while_tick(str(self.condition), iterations)
                 if iterations > interp.max_while_iterations:
                     raise NonTerminationError(
                         f"while loop on {self.condition} exceeded "
-                        f"{interp.max_while_iterations} iterations"
+                        f"{interp.max_while_iterations} iterations",
+                        kind="iterations",
+                        condition=str(self.condition),
+                        iteration=iterations,
+                        limit=interp.max_while_iterations,
                     )
                 if observing:
                     # Fixpoint visibility: the condition's row count per
@@ -296,8 +312,32 @@ class Program:
                 raise EvaluationError(f"not a statement: {statement!r}")
 
     def execute(self, db: TabularDatabase, interp: "Interpreter") -> TabularDatabase:
+        if _gv.GOV.active:
+            return self._execute_hardened(db, interp)
         for statement in self.statements:
             db = statement.execute(db, interp)
+        return db
+
+    def _execute_hardened(
+        self, db: TabularDatabase, interp: "Interpreter"
+    ) -> TabularDatabase:
+        """Snapshot-and-commit statement semantics under the governor.
+
+        The database is immutable, so the only interpreter state a
+        failing statement can leave behind is the fresh-value source it
+        advanced while building partial results.  Rolling the source
+        back to its pre-statement tag makes every statement atomic: the
+        environment after a caught fault equals the environment before
+        the failing statement, and a checkpointed resume re-mints the
+        identical tags.
+        """
+        for statement in self.statements:
+            mark = interp.fresh.next_tag
+            try:
+                db = statement.execute(db, interp)
+            except BaseException:
+                interp.fresh.reset_to(mark)
+                raise
         return db
 
     def run(

@@ -75,7 +75,11 @@ def setnew(
     if m > limit:
         raise LimitExceededError(
             f"SETNEW on {m} data rows would enumerate 2^{m} - 1 subsets; "
-            f"limit is {limit} rows (pass a higher limit explicitly to override)"
+            f"limit is {limit} rows (pass a higher limit explicitly to override)",
+            kind="rows",
+            op="SETNEW",
+            used=m,
+            limit=limit,
         )
     lin = _obs.OBS.lineage
     src = source if source is not None else FreshValueSource()

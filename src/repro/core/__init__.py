@@ -8,7 +8,13 @@ matrix with its four regions and subsumption relations, the
 from .builders import N, V, attr_symbol, data_symbol, database, grid_table, make_table, relation_table
 from .database import TabularDatabase
 from .errors import (
+    BudgetExceededError,
+    CancelledError,
+    CheckpointError,
+    ContextualError,
     EvaluationError,
+    ExternalToolError,
+    FaultInjectedError,
     LimitExceededError,
     NonTerminationError,
     ParseError,
@@ -64,8 +70,14 @@ __all__ = [
     "weakly_contained",
     "weakly_equal",
     "ReproError",
+    "ContextualError",
     "SchemaError",
     "UndefinedOperationError",
+    "BudgetExceededError",
+    "CancelledError",
+    "CheckpointError",
+    "ExternalToolError",
+    "FaultInjectedError",
     "LimitExceededError",
     "NonTerminationError",
     "ParseError",

@@ -12,6 +12,33 @@ class ReproError(Exception):
     """Base class for every error raised by the :mod:`repro` library."""
 
 
+class ContextualError(ReproError):
+    """A :class:`ReproError` carrying structured execution context.
+
+    ``context`` holds the machine-readable fields handlers branch on —
+    op name, statement index, while-loop iteration, rows produced so
+    far, the tripped limit.  The rendered message appends them as
+    ``key=value`` pairs so logs stay greppable while programmatic
+    callers read the attributes directly (``err.op``, ``err.iteration``,
+    …).  Fields that are ``None`` are dropped, so bare raises
+    (``NonTerminationError("msg")``) keep working unchanged.
+    """
+
+    def __init__(self, message: str, **context):
+        self.context = {k: v for k, v in context.items() if v is not None}
+        suffix = ""
+        if self.context:
+            rendered = ", ".join(f"{k}={v}" for k, v in self.context.items())
+            suffix = f" [{rendered}]"
+        super().__init__(message + suffix)
+
+    def __getattr__(self, name: str):
+        try:
+            return self.__dict__["context"][name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
 class SchemaError(ReproError):
     """A table, database, or relation violates a structural requirement.
 
@@ -31,7 +58,29 @@ class UndefinedOperationError(ReproError):
     """
 
 
-class LimitExceededError(ReproError):
+class BudgetExceededError(ContextualError):
+    """A hardened-runtime resource budget tripped.
+
+    The :class:`repro.runtime.governor.ResourceGovernor` raises this for
+    wall-clock deadlines (``kind="deadline"``), per-op and per-program
+    row/cell budgets (``"rows"``/``"cells"``/``"total_rows"``), memory
+    high-water marks (``"memory"``), and governor-level while-iteration
+    caps (``"iterations"``).  The context carries the op name, statement
+    index, iteration, the limit, and the amount used when it tripped.
+    """
+
+
+class CancelledError(ContextualError):
+    """Execution was cooperatively cancelled via the resource governor.
+
+    :meth:`repro.runtime.governor.ResourceGovernor.cancel` sets a flag
+    (safe to call from another thread or a signal handler); the next
+    chokepoint check — op dispatch, statement entry, while tick — raises
+    this instead of starting more work.
+    """
+
+
+class LimitExceededError(BudgetExceededError):
     """A resource guard tripped (e.g. SETNEW on too many data rows).
 
     ``SETNEW`` enumerates all non-empty subsets of the data rows and is
@@ -41,11 +90,38 @@ class LimitExceededError(ReproError):
     """
 
 
-class NonTerminationError(ReproError):
+class NonTerminationError(BudgetExceededError):
     """A ``while`` program exceeded its iteration budget.
 
     Tabular algebra with iteration is Turing-complete, so the interpreter
     enforces a caller-configurable bound on loop iterations.
+    """
+
+
+class FaultInjectedError(ContextualError):
+    """A chaos-engineering fault plan fired a ``raise`` fault.
+
+    Raised at an op boundary by :class:`repro.runtime.faults.FaultPlan`;
+    the context names the op, the matching rule's occurrence, and the
+    plan's seed, so chaos-test failures reproduce deterministically.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file could not be written, read, or applied.
+
+    Covers unreadable/corrupt files, format-version mismatches, and a
+    checkpoint taken from a *different* program than the one resuming
+    (the program fingerprint is verified before any state is restored).
+    """
+
+
+class ExternalToolError(ContextualError):
+    """An external tool invocation (e.g. the git SHA probe) failed.
+
+    Used by the benchmark-trajectory machinery to surface subprocess
+    timeouts and failures as a typed error instead of an unhandled
+    exception killing ``bench-compare``.
     """
 
 

@@ -281,6 +281,19 @@ class FreshValueSource:
         """The tag the next call to :meth:`fresh` will use."""
         return self._next
 
+    def reset_to(self, tag: int) -> None:
+        """Rewind (or fast-forward) the source so the next tag is ``tag``.
+
+        Only safe when every tagged value handed out at or after ``tag``
+        has been discarded — the snapshot-and-commit statement semantics
+        of the hardened runtime and checkpoint restore, where a failed
+        statement's partial results (and the tags minted for them) are
+        thrown away wholesale.
+        """
+        if not isinstance(tag, int) or tag < 0:
+            raise ValueError(f"reset_to requires a non-negative int tag, got {tag!r}")
+        self._next = tag
+
 
 def coerce_symbol(obj: object) -> Symbol:
     """Coerce a Python object into a :class:`Symbol`.

@@ -325,7 +325,10 @@ def compile_to_fw(program: GoodProgram) -> FWProgram:
     """Compile a GOOD program (sans abstraction) into FO + while + new."""
     from ..obs.runtime import OBS as _OBS, span as _span
     from ..obs.trace import NULL_SPAN as _NULL_SPAN
+    from ..runtime.governor import GOV as _GOV
 
+    if _GOV.active and _GOV.governor is not None:
+        _GOV.governor.check(op="compile.good")
     with (
         _span("compile.good", operations=len(program.operations))
         if _OBS.active

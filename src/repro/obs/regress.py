@@ -9,8 +9,12 @@ each run's ``report()`` records into it; ``python -m repro bench-compare
 when any shared label regressed beyond the tolerance — the CI gate that
 stops a slow commit from merging quietly.
 
-The module is dependency-free (stdlib json only) so the benchmark
-conftest and the CLI can both import it.
+The module has no third-party dependencies (stdlib json/subprocess plus
+the library's own error taxonomy) so the benchmark conftest and the CLI
+can both import it.  External-tool failures — a hung ``git`` in
+particular — surface as the typed
+:class:`~repro.core.errors.ExternalToolError` in strict mode and degrade
+to ``"unknown"`` otherwise, so they can never kill ``bench-compare``.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from typing import Mapping
 __all__ = [
     "TRAJECTORY_FORMAT",
     "MAX_ENTRIES_PER_LABEL",
+    "GIT_PROBE_TIMEOUT_S",
     "current_git_sha",
     "load_trajectory",
     "latest_medians",
@@ -41,17 +46,42 @@ TRAJECTORY_FORMAT = 1
 MAX_ENTRIES_PER_LABEL = 50
 
 
-def current_git_sha(cwd: str | Path | None = None) -> str:
-    """The short git SHA of ``cwd``'s checkout, or ``"unknown"``."""
+#: Wall-clock budget for the git SHA probe.
+GIT_PROBE_TIMEOUT_S = 10
+
+
+def current_git_sha(cwd: str | Path | None = None, strict: bool = False) -> str:
+    """The short git SHA of ``cwd``'s checkout, or ``"unknown"``.
+
+    A hung or missing ``git`` must never take ``bench-compare`` or the
+    benchmark teardown down with it: the probe's timeout and failures
+    are caught here.  ``strict=True`` surfaces them instead as a typed
+    :class:`~repro.core.errors.ExternalToolError` (with the tool name
+    and timeout in the context) for callers that need the diagnosis.
+    """
+    from ..core.errors import ExternalToolError
+
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             cwd=str(cwd) if cwd is not None else None,
             capture_output=True,
             text=True,
-            timeout=10,
+            timeout=GIT_PROBE_TIMEOUT_S,
         )
-    except (OSError, subprocess.SubprocessError):
+    except subprocess.TimeoutExpired as err:
+        if strict:
+            raise ExternalToolError(
+                "git SHA probe timed out",
+                tool="git rev-parse",
+                timeout_s=GIT_PROBE_TIMEOUT_S,
+            ) from err
+        return "unknown"
+    except (OSError, subprocess.SubprocessError) as err:
+        if strict:
+            raise ExternalToolError(
+                f"git SHA probe failed: {err}", tool="git rev-parse"
+            ) from err
         return "unknown"
     sha = out.stdout.strip()
     return sha if out.returncode == 0 and sha else "unknown"

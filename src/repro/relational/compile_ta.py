@@ -257,7 +257,10 @@ def compile_program(
     """
     from ..obs.runtime import OBS as _OBS, span as _span
     from ..obs.trace import NULL_SPAN as _NULL_SPAN
+    from ..runtime.governor import GOV as _GOV
 
+    if _GOV.active and _GOV.governor is not None:
+        _GOV.governor.check(op="compile.fo_while")
     with (
         _span("compile.fo_while", statements=len(program))
         if _OBS.active

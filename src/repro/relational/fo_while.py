@@ -23,11 +23,11 @@ from typing import Iterable, Sequence
 from ..core import (
     EvaluationError,
     FreshValueSource,
-    NonTerminationError,
     SchemaError,
 )
 from ..obs import runtime as _obs
 from ..obs.trace import NULL_SPAN
+from ..runtime.governor import GOV as _GOV, IterationBudget
 from .algebra import Expr
 from .relation import Relation, RelationalDatabase
 
@@ -50,16 +50,18 @@ class FWStatement:
         raise NotImplementedError
 
 
-class _Budget:
-    """Shared while-iteration budget for one program run."""
+class _Budget(IterationBudget):
+    """Shared while-iteration budget for one program run.
+
+    A thin veneer over :class:`repro.runtime.governor.IterationBudget`:
+    exhaustion raises :class:`~repro.core.errors.NonTerminationError`
+    with structured fields, and every tick is forwarded to the installed
+    resource governor — one ``governed()`` scope bounds TA and FO+while
+    programs alike.
+    """
 
     def __init__(self, limit: int):
-        self.remaining = limit
-
-    def tick(self) -> None:
-        self.remaining -= 1
-        if self.remaining < 0:
-            raise NonTerminationError("FO+while+new iteration budget exhausted")
+        super().__init__(limit, label="FO+while+new")
 
 
 class Assign(FWStatement):
@@ -130,7 +132,11 @@ class AssignSetNew(FWStatement):
         if len(rows) > self.limit:
             raise LimitExceededError(
                 f"setnew over {len(rows)} tuples would enumerate 2^{len(rows)} - 1 "
-                f"subsets; limit is {self.limit}"
+                f"subsets; limit is {self.limit}",
+                kind="rows",
+                op="setnew",
+                used=len(rows),
+                limit=self.limit,
             )
         out = []
         for mask in range(1, 1 << len(rows)):
@@ -156,7 +162,7 @@ class WhileNotEmpty(FWStatement):
         obs = _obs.OBS
         if not obs.active:
             while self.name in db and len(db.relation(self.name)) > 0:
-                budget.tick()
+                budget.tick(self.name)
                 db = self.body._execute(db, fresh, budget)
             return db
         cm = (
@@ -168,7 +174,7 @@ class WhileNotEmpty(FWStatement):
             iterations = 0
             condition_rows: list[int] = []
             while self.name in db and len(db.relation(self.name)) > 0:
-                budget.tick()
+                budget.tick(self.name)
                 iterations += 1
                 condition_rows.append(len(db.relation(self.name)))
                 if obs.metrics is not None:
@@ -197,6 +203,12 @@ class FWProgram:
                 raise EvaluationError(f"not an FO+while+new statement: {statement!r}")
 
     def _execute(self, db, fresh, budget) -> RelationalDatabase:
+        gov = _GOV
+        if gov.active and gov.governor is not None:
+            # FO+while expressions evaluate outside the op registry, so
+            # the per-statement check is this language's only chokepoint
+            # for deadlines and cancellation between while ticks.
+            gov.governor.check()
         obs = _obs.OBS
         if not obs.active:
             for statement in self.statements:

@@ -1,0 +1,66 @@
+"""Hardened execution runtime: governor, fault injection, checkpoint/resume.
+
+The paper's TA programs are Turing-complete transformations (the
+FO+while+new embedding of Theorem 4.1), so non-termination and resource
+blowup are intrinsic to the language, not edge cases.  This package is
+the production safety net around the engine:
+
+* :mod:`repro.runtime.governor` — the :data:`~repro.runtime.governor.GOV`
+  singleton and :class:`~repro.runtime.governor.ResourceGovernor`:
+  wall-clock deadlines, per-op and per-program row/cell budgets, memory
+  high-water checks, and cooperative cancellation, enforced at the same
+  chokepoints the observability stack instruments and zero-cost when
+  disabled;
+* :mod:`repro.runtime.faults` — deterministic, seeded fault injection
+  (``raise`` / ``delay`` / ``corrupt``) at op boundaries;
+* :mod:`repro.runtime.checkpoint` — environment serialization at
+  statement boundaries and :func:`~repro.runtime.checkpoint.run_hardened`,
+  the deterministic kill-and-resume driver;
+* :mod:`repro.runtime.chaos` — the injection-matrix harness behind
+  ``python -m repro chaos`` (imported lazily: it loads the engine).
+
+Everything raises inside the :class:`~repro.core.errors.ReproError`
+taxonomy: :class:`~repro.core.errors.BudgetExceededError`,
+:class:`~repro.core.errors.CancelledError`,
+:class:`~repro.core.errors.FaultInjectedError`,
+:class:`~repro.core.errors.CheckpointError`.
+"""
+
+from .faults import FAULT_KINDS, FaultPlan, FaultRule
+from .governor import GOV, IterationBudget, Limits, ResourceGovernor, governed
+
+__all__ = [
+    "GOV",
+    "Limits",
+    "ResourceGovernor",
+    "IterationBudget",
+    "governed",
+    "FaultPlan",
+    "FaultRule",
+    "FAULT_KINDS",
+    # lazily re-exported from .checkpoint (see __getattr__):
+    "Checkpoint",
+    "run_hardened",
+    "save_checkpoint",
+    "load_checkpoint",
+    "program_fingerprint",
+]
+
+_CHECKPOINT_EXPORTS = {
+    "Checkpoint",
+    "run_hardened",
+    "save_checkpoint",
+    "load_checkpoint",
+    "program_fingerprint",
+}
+
+
+def __getattr__(name: str):
+    # checkpoint imports the interpreter, which imports the op registry,
+    # which imports this package — loading it lazily keeps the import
+    # graph acyclic (same pattern as repro.obs deferring examples).
+    if name in _CHECKPOINT_EXPORTS:
+        from . import checkpoint
+
+        return getattr(checkpoint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

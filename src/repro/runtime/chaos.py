@@ -1,0 +1,196 @@
+"""The chaos harness: a fault-injection matrix over bundled pipelines.
+
+For each target pipeline the harness first runs a *probe* pass (a
+rule-less :class:`~repro.runtime.faults.FaultPlan` simply counts op
+dispatches) to discover the injection points, then replays the pipeline
+once per ``(op, fault kind)`` matrix point with a single-rule plan
+installed.  Each point must:
+
+* surface as a typed :class:`~repro.core.errors.ReproError` subclass
+  (never a bare ``Exception``, never silent success);
+* carry op context (``raise`` faults name the op and occurrence);
+* leave no partial mutation behind — the pipeline re-runs cleanly
+  afterwards and reproduces the reference result exactly.
+
+``python -m repro chaos`` drives this over the bundled examples (the CI
+chaos-smoke job's first half); the report renders as a matrix table with
+one verdict per point.
+
+This module imports the engine via :mod:`repro.obs.examples`, so — like
+that module — it must only be imported lazily (from the CLI or tests),
+never from :mod:`repro.runtime`'s ``__init__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import (
+    BudgetExceededError,
+    FaultInjectedError,
+    ReproError,
+    SchemaError,
+)
+from .faults import FaultPlan, FaultRule
+from .governor import Limits, governed
+
+__all__ = ["ChaosPoint", "ChaosReport", "run_chaos_matrix", "render_chaos_report"]
+
+#: Deadline/delay pairing for ``delay`` faults: the injected sleep must
+#: overshoot the governed deadline by a comfortable CI-safe margin.
+DELAY_DEADLINE_S = 0.05
+DELAY_SLEEP_S = 0.25
+
+#: Expected error taxonomy per fault kind.
+EXPECTED_ERRORS = {
+    "raise": FaultInjectedError,
+    "delay": BudgetExceededError,
+    "corrupt": SchemaError,
+}
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """One matrix point's verdict."""
+
+    example: str
+    op: str
+    kind: str
+    error_type: str | None  # the raised ReproError subclass, or None
+    typed: bool  # raised and isinstance of the expected type
+    context_ok: bool  # structured context present where promised
+    atomic: bool  # clean re-run still reproduces the reference
+
+    @property
+    def ok(self) -> bool:
+        return self.typed and self.context_ok and self.atomic
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    points: tuple[ChaosPoint, ...]
+    seed: int
+
+    @property
+    def failures(self) -> tuple[ChaosPoint, ...]:
+        return tuple(p for p in self.points if not p.ok)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _chaos_targets(names=None) -> dict:
+    """The setup-capable bundled examples (db + run separable)."""
+    from ..obs.examples import EXAMPLES, resolve_example_strict
+
+    if names:
+        resolved = [resolve_example_strict(n) for n in names]
+    else:
+        resolved = [n for n, ex in EXAMPLES.items() if ex.setup is not None]
+    out = {}
+    for name in resolved:
+        example = EXAMPLES[name]
+        if example.setup is None:
+            raise ReproError(
+                f"example {name!r} is not chaos-capable (no setup hook)"
+            )
+        out[name] = example
+    return out
+
+
+def _probe(example) -> tuple[dict[str, int], object]:
+    """Dispatch counts and the reference result of one clean run."""
+    probe_plan = FaultPlan()
+    db, run = example.setup()
+    with governed(faults=probe_plan):
+        reference = run(db)
+    return probe_plan.dispatch_counts(), reference
+
+
+def _run_point(example, rule: FaultRule, seed: int):
+    """One injected run; returns the raised error (or None)."""
+    plan = FaultPlan([rule], seed=seed)
+    limits = Limits(deadline_s=DELAY_DEADLINE_S) if rule.kind == "delay" else None
+    db, run = example.setup()
+    try:
+        with governed(limits, faults=plan):
+            run(db)
+    except ReproError as err:
+        return err
+    return None
+
+
+def run_chaos_matrix(names=None, kinds=None, seed: int = 0) -> ChaosReport:
+    """Run the full injection matrix; see the module docstring."""
+    kinds = tuple(kinds) if kinds else ("raise", "delay", "corrupt")
+    points: list[ChaosPoint] = []
+    for name, example in _chaos_targets(names).items():
+        counts, reference = _probe(example)
+        for op in sorted(counts):
+            for kind in kinds:
+                rule = FaultRule(
+                    op=op, kind=kind, occurrence=1, delay_s=DELAY_SLEEP_S
+                )
+                err = _run_point(example, rule, seed)
+                expected = EXPECTED_ERRORS[kind]
+                typed = isinstance(err, expected)
+                context_ok = True
+                if kind == "raise":
+                    context_ok = (
+                        typed
+                        and getattr(err, "op", None) == op
+                        and getattr(err, "occurrence", None) == 1
+                    )
+                elif kind == "delay":
+                    context_ok = typed and getattr(err, "kind", None) == "deadline"
+                # Atomicity at the process level: nothing the fault touched
+                # may leak into a later run — the clean pipeline must still
+                # reproduce the reference exactly.
+                db, run = example.setup()
+                atomic = run(db) == reference
+                points.append(
+                    ChaosPoint(
+                        example=name,
+                        op=op,
+                        kind=kind,
+                        error_type=type(err).__name__ if err is not None else None,
+                        typed=typed,
+                        context_ok=context_ok,
+                        atomic=atomic,
+                    )
+                )
+    return ChaosReport(points=tuple(points), seed=seed)
+
+
+def render_chaos_report(report: ChaosReport) -> str:
+    """The matrix table ``python -m repro chaos`` prints."""
+    lines = []
+    width_example = max([len(p.example) for p in report.points] or [7])
+    width_op = max([len(p.op) for p in report.points] or [2])
+    lines.append(
+        f"{'':4}  {'example':<{width_example}}  {'op':<{width_op}}  "
+        f"{'fault':<7}  surfaced as"
+    )
+    for point in report.points:
+        verdict = "ok  " if point.ok else "FAIL"
+        detail = point.error_type or "no error raised"
+        notes = []
+        if point.error_type and not point.typed:
+            notes.append("wrong type")
+        if point.typed and not point.context_ok:
+            notes.append("missing context")
+        if not point.atomic:
+            notes.append("not atomic")
+        suffix = f"  ({', '.join(notes)})" if notes else ""
+        lines.append(
+            f"{verdict}  {point.example:<{width_example}}  "
+            f"{point.op:<{width_op}}  {point.kind:<7}  {detail}{suffix}"
+        )
+    lines.append("")
+    lines.append(
+        f"{len(report.points) - len(report.failures)}/{len(report.points)} "
+        f"injection points surfaced as typed errors with no partial mutation "
+        f"(seed={report.seed})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Synthetic long-running workloads for the hardened runtime.
+
+The bundled examples in :mod:`repro.obs.examples` are sized to finish in
+milliseconds — perfect for traces, useless for demonstrating deadlines
+and checkpoint/resume.  This module builds *parameterized* workloads
+whose runtime scales with one knob, without bloating the example
+registry (and the lineage audit that walks it).
+
+The flagship is the paper's own fixpoint: transitive closure of an
+``n``-node chain in FO+while, compiled to the tabular algebra by the
+Theorem 4.1 compiler.  An ``n`` around 12 runs for ~0.5 s — long enough
+that a 50 ms deadline reliably kills it mid-fixpoint, short enough that
+CI converges quickly even when every resume attempt re-applies the same
+50 ms deadline.
+
+``python -m repro run tc:12 ...`` resolves here via :func:`parse_workload`.
+
+Like :mod:`repro.runtime.chaos`, this module imports the engine, so it
+must only be imported lazily — never from ``repro.runtime``'s
+``__init__``.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ReproError
+
+__all__ = [
+    "DEFAULT_TC_NODES",
+    "transitive_closure_workload",
+    "parse_workload",
+]
+
+#: Chain length used when ``tc`` is requested without a size.
+DEFAULT_TC_NODES = 12
+
+
+def transitive_closure_workload(nodes: int = DEFAULT_TC_NODES):
+    """``(program, db)`` computing the transitive closure of a chain.
+
+    The FO+while source is the same Delta-driven fixpoint as the
+    ``fo-while`` bundled example; ``nodes`` is the chain length, so the
+    loop runs ``nodes - 2`` iterations and the closure holds
+    ``nodes * (nodes - 1) / 2`` edges.
+    """
+    from ..relational import (
+        Assign,
+        Difference,
+        FWProgram,
+        Join,
+        Project,
+        Rel,
+        Relation,
+        RelationalDatabase,
+        RenameAttr,
+        Union,
+        WhileNotEmpty,
+        compile_program,
+        relational_to_tabular,
+    )
+
+    if nodes < 2:
+        raise ReproError(f"transitive-closure workload needs >= 2 nodes, got {nodes}")
+    step = Project(
+        Join(RenameAttr(Rel("TC"), "Dst", "Mid"), RenameAttr(Rel("E"), "Src", "Mid")),
+        ["Src", "Dst"],
+    )
+    fw = FWProgram(
+        [
+            Assign("TC", Rel("E")),
+            Assign("Delta", Rel("E")),
+            WhileNotEmpty(
+                "Delta",
+                [
+                    Assign("New", step),
+                    Assign("Delta", Difference(Rel("New"), Rel("TC"))),
+                    Assign("TC", Union(Rel("TC"), Rel("Delta"))),
+                ],
+            ),
+        ]
+    )
+    program = compile_program(fw, {"E": ("Src", "Dst")})
+    edges = Relation("E", ["Src", "Dst"], [(i, i + 1) for i in range(1, nodes)])
+    db = relational_to_tabular(RelationalDatabase([edges]))
+    return program, db
+
+
+def parse_workload(spec: str):
+    """Resolve a workload spec to ``(label, program, db)``, or None.
+
+    Recognized specs: ``tc`` and ``tc:N`` (transitive closure of an
+    N-node chain).  Anything else returns None so the caller can fall
+    back to the bundled-example registry.  A recognized-but-malformed
+    size raises :class:`~repro.core.errors.ReproError`.
+    """
+    name, _, size = spec.partition(":")
+    if name != "tc":
+        return None
+    if not size:
+        nodes = DEFAULT_TC_NODES
+    else:
+        try:
+            nodes = int(size)
+        except ValueError:
+            raise ReproError(f"malformed workload size in {spec!r}; expected tc:N") from None
+    program, db = transitive_closure_workload(nodes)
+    return f"tc:{nodes}", program, db

@@ -206,7 +206,10 @@ def compile_to_fw(program: SchemaLogProgram) -> FWProgram:
         )
     from ..obs.runtime import OBS as _OBS, span as _span
     from ..obs.trace import NULL_SPAN as _NULL_SPAN
+    from ..runtime.governor import GOV as _GOV
 
+    if _GOV.active and _GOV.governor is not None:
+        _GOV.governor.check(op="compile.schemalog")
     strata = stratify(program)
     with (
         _span("compile.schemalog", rules=len(program), strata=len(strata))

@@ -223,7 +223,10 @@ def compile_to_fw(query: SchemaSQLQuery) -> FWProgram:
     """The FO + while + new program binding the INTO relation."""
     from ..obs.runtime import OBS as _OBS, span as _span
     from ..obs.trace import NULL_SPAN as _NULL_SPAN
+    from ..runtime.governor import GOV as _GOV
 
+    if _GOV.active and _GOV.governor is not None:
+        _GOV.governor.check(op="compile.schemasql")
     with (
         _span(
             "compile.schemasql",

@@ -86,7 +86,11 @@ def _search(
     if len(movable_left) > limit:
         raise LimitExceededError(
             f"isomorphism search over {len(movable_left)} movable values exceeds "
-            f"the limit of {limit}"
+            f"the limit of {limit}",
+            kind="rows",
+            op="isomorphism",
+            used=len(movable_left),
+            limit=limit,
         )
     # Fixed symbols (and names/⊥, which never enter movable sets) must
     # occur identically on both sides — cheap necessary condition.

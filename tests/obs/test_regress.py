@@ -62,6 +62,50 @@ class TestTrajectoryFile:
         sha = current_git_sha(repo_root)
         assert sha == "unknown" or (len(sha) >= 6 and sha.isalnum())
 
+    def test_git_probe_timeout_degrades_to_unknown(self, monkeypatch):
+        import subprocess
+
+        from repro.obs import regress
+
+        def hang(*_args, **_kwargs):
+            raise subprocess.TimeoutExpired(cmd="git rev-parse", timeout=10)
+
+        monkeypatch.setattr(regress.subprocess, "run", hang)
+        assert current_git_sha() == "unknown"
+
+    def test_git_probe_timeout_is_typed_in_strict_mode(self, monkeypatch):
+        import subprocess
+
+        import pytest
+
+        from repro.core.errors import ExternalToolError, ReproError
+        from repro.obs import regress
+
+        def hang(*_args, **_kwargs):
+            raise subprocess.TimeoutExpired(cmd="git rev-parse", timeout=10)
+
+        monkeypatch.setattr(regress.subprocess, "run", hang)
+        with pytest.raises(ExternalToolError) as excinfo:
+            current_git_sha(strict=True)
+        err = excinfo.value
+        assert isinstance(err, ReproError)
+        assert err.tool == "git rev-parse"
+        assert err.timeout_s == regress.GIT_PROBE_TIMEOUT_S
+
+    def test_git_probe_failure_is_typed_in_strict_mode(self, monkeypatch):
+        import pytest
+
+        from repro.core.errors import ExternalToolError
+        from repro.obs import regress
+
+        def missing(*_args, **_kwargs):
+            raise OSError("no git binary")
+
+        monkeypatch.setattr(regress.subprocess, "run", missing)
+        assert current_git_sha() == "unknown"
+        with pytest.raises(ExternalToolError):
+            current_git_sha(strict=True)
+
 
 class TestCompare:
     def make_pair(self, tmp_path, baseline, current):

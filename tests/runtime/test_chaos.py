@@ -1,0 +1,34 @@
+"""The chaos harness: the acceptance matrix must be all-green.
+
+The ISSUE acceptance bar: a matrix of at least 20 injection points
+(pipeline × op × fault kind), every one surfacing as a typed
+``ReproError`` subclass with op context and no partial mutation.
+The ``fo-while`` fixpoint alone has 7 injection ops × 3 kinds = 21
+points; the full CI job widens this to every bundled example.
+"""
+
+from repro.runtime.chaos import (
+    EXPECTED_ERRORS,
+    render_chaos_report,
+    run_chaos_matrix,
+)
+
+
+class TestChaosMatrix:
+    def test_fixpoint_matrix_is_all_green_and_big_enough(self):
+        report = run_chaos_matrix(["fo-while"], seed=0)
+        assert len(report.points) >= 20
+        assert report.ok, render_chaos_report(report)
+        # every fault kind is represented and typed as promised
+        kinds = {p.kind for p in report.points}
+        assert kinds == set(EXPECTED_ERRORS)
+        for point in report.points:
+            assert point.error_type == EXPECTED_ERRORS[point.kind].__name__
+
+    def test_report_renders_verdicts(self):
+        report = run_chaos_matrix(["fig4-group"], kinds=["raise"], seed=1)
+        text = render_chaos_report(report)
+        assert "ok  " in text
+        assert "FaultInjectedError" in text
+        assert "seed=1" in text
+        assert f"{len(report.points)}/{len(report.points)}" in text

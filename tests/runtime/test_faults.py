@@ -1,0 +1,169 @@
+"""Fault injection: deterministic rules, typed surfacing, atomicity."""
+
+import pytest
+
+from repro.algebra.programs import parse_program
+from repro.core import SchemaError, make_table
+from repro.core.errors import (
+    BudgetExceededError,
+    EvaluationError,
+    FaultInjectedError,
+)
+from repro.data import sales_info1
+from repro.runtime import FAULT_KINDS, FaultPlan, FaultRule, Limits, governed
+
+PIVOT = """
+    Grouped <- GROUP by {Region} on {Sold} (Sales)
+    Cleaned <- CLEANUP by {Part} on {null} (Grouped)
+    Pivot   <- PURGE on {Sold} by {Region} (Cleaned)
+"""
+
+
+class TestFaultRule:
+    def test_kinds_are_validated(self):
+        with pytest.raises(EvaluationError):
+            FaultRule(op="GROUP", kind="explode")
+
+    def test_occurrence_is_one_based(self):
+        with pytest.raises(EvaluationError):
+            FaultRule(op="GROUP", kind="raise", occurrence=0)
+
+    def test_op_is_uppercased(self):
+        assert FaultRule(op="group", kind="raise").op == "GROUP"
+
+    def test_known_kinds(self):
+        assert FAULT_KINDS == ("raise", "delay", "corrupt")
+
+
+class TestFaultPlan:
+    def test_probe_mode_counts_dispatches(self):
+        plan = FaultPlan()
+        with governed(faults=plan):
+            parse_program(PIVOT).run(sales_info1())
+        assert plan.dispatch_counts() == {"GROUP": 1, "CLEANUP": 1, "PURGE": 1}
+        assert plan.fired == []
+
+    def test_raise_fires_at_the_named_occurrence(self):
+        plan = FaultPlan([FaultRule(op="CLEANUP", kind="raise")], seed=3)
+        with governed(faults=plan):
+            with pytest.raises(FaultInjectedError) as excinfo:
+                parse_program(PIVOT).run(sales_info1())
+        err = excinfo.value
+        assert err.op == "CLEANUP"
+        assert err.kind == "raise"
+        assert err.occurrence == 1
+        assert err.seed == 3
+        assert plan.fired == [{"op": "CLEANUP", "kind": "raise", "occurrence": 1}]
+
+    def test_wildcard_rule_hits_the_first_op(self):
+        plan = FaultPlan([FaultRule(op="*", kind="raise")])
+        with governed(faults=plan):
+            with pytest.raises(FaultInjectedError) as excinfo:
+                parse_program(PIVOT).run(sales_info1())
+        assert excinfo.value.op == "GROUP"
+
+    def test_later_occurrence_lets_earlier_dispatches_through(self):
+        program = parse_program("A <- DEDUP (T)\nB <- DEDUP (A)\nC <- DEDUP (B)")
+        from repro.core import database
+
+        db = database(make_table("T", ["X"], [["u"], ["u"]]))
+        plan = FaultPlan([FaultRule(op="DEDUP", kind="raise", occurrence=3)])
+        with governed(faults=plan):
+            with pytest.raises(FaultInjectedError) as excinfo:
+                program.run(db)
+        assert excinfo.value.occurrence == 3
+
+    def test_corrupt_surfaces_as_schema_error(self):
+        plan = FaultPlan([FaultRule(op="GROUP", kind="corrupt")], seed=11)
+        with governed(faults=plan):
+            with pytest.raises(SchemaError):
+                parse_program(PIVOT).run(sales_info1())
+        assert plan.fired[0]["kind"] == "corrupt"
+
+    def test_delay_trips_a_governed_deadline(self):
+        plan = FaultPlan([FaultRule(op="CLEANUP", kind="delay", delay_s=0.2)])
+        with governed(Limits(deadline_s=0.05), faults=plan):
+            with pytest.raises(BudgetExceededError) as excinfo:
+                parse_program(PIVOT).run(sales_info1())
+        err = excinfo.value
+        assert err.kind == "deadline"
+        assert err.op == "CLEANUP"
+
+    def test_delay_without_deadline_is_harmless(self):
+        plan = FaultPlan([FaultRule(op="GROUP", kind="delay", delay_s=0.01)])
+        with governed(faults=plan):
+            result = parse_program(PIVOT).run(sales_info1())
+        plain = parse_program(PIVOT).run(sales_info1())
+        assert result == plain
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan([FaultRule(op="GROUP", kind="corrupt")], seed=5)
+        with governed(faults=plan):
+            with pytest.raises(SchemaError) as first:
+                parse_program(PIVOT).run(sales_info1())
+        first_fired = list(plan.fired)
+        plan.reset()
+        assert plan.fired == [] and plan.dispatch_counts() == {}
+        with governed(faults=plan):
+            with pytest.raises(SchemaError) as second:
+                parse_program(PIVOT).run(sales_info1())
+        assert plan.fired == first_fired
+        assert str(first.value) == str(second.value)  # same torn cell
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultRule(op="GROUP", kind="raise", occurrence=2),
+                FaultRule(op="*", kind="delay", delay_s=0.25),
+            ],
+            seed=42,
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored.rules == plan.rules
+        assert restored.seed == 42
+
+    def test_from_json_rejects_malformed(self):
+        with pytest.raises(EvaluationError):
+            FaultPlan.from_json({"rules": "nope"})
+        with pytest.raises(EvaluationError):
+            FaultPlan.from_json({"rules": [{"op": "GROUP"}]})
+
+
+class TestAtomicity:
+    def test_failed_statement_leaves_no_partial_mutation(self):
+        """A mid-program fault never leaks its statement's effects."""
+        db = sales_info1()
+        program = parse_program(PIVOT)
+        reference = program.run(db)
+        plan = FaultPlan([FaultRule(op="PURGE", kind="raise")])
+        with governed(faults=plan):
+            with pytest.raises(FaultInjectedError):
+                program.run(db)
+        # the input database object is immutable and a clean re-run
+        # still reproduces the reference result exactly
+        assert program.run(db) == reference
+
+    def test_fresh_tags_roll_back_on_fault(self):
+        """Snapshot-and-commit: tags minted by a failed statement are reused.
+
+        A corrupt fault fires *after* TUPLENEW has already minted its
+        fresh tags; the statement's failure must rewind the fresh-value
+        source, so a clean re-run from the same interpreter mints the
+        very same tags a pristine run would.
+        """
+        from repro.algebra.programs import Assignment
+        from repro.algebra.programs.statements import Interpreter, Program
+        from repro.core import database
+
+        db = database(make_table("E", ["A"], [["x"], ["y"]]))
+        program = Program([Assignment("T", "TUPLENEW", ["E"], {"attr": "Id"})])
+        interp = Interpreter()
+        interp.fresh.advance_past(db.symbols())
+        base = interp.fresh.next_tag
+        plan = FaultPlan([FaultRule(op="TUPLENEW", kind="corrupt")])
+        with governed(faults=plan):
+            with pytest.raises(SchemaError):
+                interp.run(program, db)
+        assert interp.fresh.next_tag == base  # minted tags were rolled back
+        replay = interp.run(program, db)
+        assert replay == program.run(db)  # same tags as a pristine run

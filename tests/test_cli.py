@@ -264,3 +264,90 @@ class TestLineageCli:
         assert code == 2
         assert "ambiguous example name" in output
         assert "fig4-group" in output and "fig5-merge" in output
+
+
+class TestRun:
+    def test_run_workload_to_completion(self):
+        code, output = run_cli("run", "tc:5")
+        assert code == 0
+        assert "tc:5: finished after 1 attempt(s)" in output
+        assert "governor" in output
+
+    def test_run_bundled_example(self):
+        code, output = run_cli("run", "fig4-group", "--verify")
+        assert code == 0
+        assert "identical to ungoverned run" in output
+
+    def test_run_budget_kill_exits_nonzero(self):
+        code, output = run_cli("run", "tc:6", "--max-rows", "10")
+        assert code == 1
+        assert "killed" in output
+        assert "kind=total_rows" in output
+
+    def test_run_deadline_retry_verify(self, tmp_path):
+        """The headline robustness scenario, end to end through the CLI:
+        a 50ms deadline kills the fixpoint; checkpointed retries resume
+        it; the final database matches the ungoverned run."""
+        ck = tmp_path / "ck.json"
+        code, output = run_cli(
+            "run", "tc:8", "--deadline", "50",
+            "--checkpoint", str(ck), "--retry", "100", "--verify",
+        )
+        assert code == 0
+        assert "killed (attempt 1)" in output
+        assert "verify: identical to ungoverned run" in output
+
+    def test_run_json_output(self):
+        import json
+
+        code, output = run_cli("run", "tc:4", "--json")
+        assert code == 0
+        data = json.loads(output)
+        assert data["workload"] == "tc:4"
+        assert data["finished"] is True
+        assert data["governor"]["ops_dispatched"] > 0
+
+    def test_run_usage_errors(self):
+        code, output = run_cli("run", "tc:notanumber")
+        assert code == 2
+        code, output = run_cli("run", "tc:4", "--resume")
+        assert code == 2
+        assert "--resume requires --checkpoint" in output
+        code, output = run_cli("run", "tc:4", "--deadline", "fast")
+        assert code == 2
+        assert "expected an integer" in output
+
+    def test_run_rejects_non_program_examples(self):
+        code, output = run_cli("run", "olap")
+        assert code == 2
+        assert "cannot run under the hardened runtime" in output
+
+
+class TestChaos:
+    def test_chaos_single_example_matrix(self):
+        code, output = run_cli("chaos", "fig4-group", "--seed", "3")
+        assert code == 0
+        assert "GROUP" in output
+        assert "raise" in output and "delay" in output and "corrupt" in output
+        assert "injection points surfaced as typed errors" in output
+        assert "seed=3" in output
+        assert "FAIL" not in output
+
+    def test_chaos_kind_filter_and_json(self):
+        import json
+
+        code, output = run_cli("chaos", "fig4-group", "--kinds", "raise", "--json")
+        assert code == 0
+        data = json.loads(output)
+        assert data["ok"] is True
+        assert all(p["kind"] == "raise" for p in data["points"])
+        assert all(p["typed"] and p["atomic"] for p in data["points"])
+
+    def test_chaos_unknown_kind(self):
+        code, output = run_cli("chaos", "--kinds", "meteor")
+        assert code == 2
+        assert "unknown fault kind" in output
+
+    def test_chaos_unknown_example(self):
+        code, output = run_cli("chaos", "not-an-example")
+        assert code == 2
