@@ -31,13 +31,15 @@ Commands:
 * ``bench-compare <baseline> <current> [--tolerance X]`` — diff two
   benchmark trajectory files (``BENCH_trajectory.json``); exit 1 when a
   shared benchmark label regressed beyond the tolerance (default 1.5x);
-* ``run [workload] [--deadline MS] [--max-rows N] [--max-rows-per-op N]
-  [--max-cells-per-op N] [--max-while N] [--checkpoint PATH] [--resume]
-  [--retry N] [--verify] [--json]`` — run a workload (``tc:N`` for the
-  synthetic transitive-closure fixpoint, or any bundled TA example)
-  under the resource governor with checkpoint/resume; ``--retry``
-  auto-resumes a budget-killed run from its checkpoint, ``--verify``
-  compares the final database against an ungoverned run;
+* ``run [workload] [--engine naive|vector] [--deadline MS] [--max-rows N]
+  [--max-rows-per-op N] [--max-cells-per-op N] [--max-while N]
+  [--checkpoint PATH] [--resume] [--retry N] [--verify] [--json]`` — run
+  a workload (``tc:N`` for the synthetic transitive-closure fixpoint, or
+  any bundled TA example) under the resource governor with
+  checkpoint/resume; ``--engine vector`` routes execution through the
+  vectorized backend (docs/ENGINE.md), ``--retry`` auto-resumes a
+  budget-killed run from its checkpoint, ``--verify`` compares the final
+  database against an ungoverned naive run;
 * ``chaos [example...] [--kinds raise,delay,corrupt] [--seed N]
   [--json]`` — run the fault-injection matrix over the bundled
   pipelines; every injection point must surface as a typed error with
@@ -463,8 +465,13 @@ def _run(rest: list[str]) -> int:
     max_while, _ = _int_flag(rest, "--max-while")
     retry, _ = _int_flag(rest, "--retry")
     checkpoint = _flag_value(rest, "--checkpoint")
+    engine = _flag_value(rest, "--engine") or "naive"
+    if engine not in ("naive", "vector"):
+        print(f"error: invalid --engine {engine!r}; expected naive or vector")
+        return 2
     for flag in ("--deadline", "--max-rows", "--max-rows-per-op",
-                 "--max-cells-per-op", "--max-while", "--retry", "--checkpoint"):
+                 "--max-cells-per-op", "--max-while", "--retry", "--checkpoint",
+                 "--engine"):
         value = _flag_value(rest, flag)
         if value is not None:
             flag_values.add(value)
@@ -529,6 +536,7 @@ def _run(rest: list[str]) -> int:
                 governor=governor,
                 checkpoint_path=checkpoint,
                 resume=resume or attempts > 1,
+                engine=engine,
             )
             break
         except (BudgetExceededError, CancelledError) as err:
@@ -548,6 +556,7 @@ def _run(rest: list[str]) -> int:
         identical = result == program.run(db)
     summary = {
         "workload": label,
+        "engine": engine,
         "attempts": attempts,
         "kills": kills,
         "finished": True,

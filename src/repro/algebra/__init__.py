@@ -15,6 +15,7 @@ from .derived import (
     group_compact,
     merge_compact,
     natural_join,
+    product_select,
 )
 from .redundancy import cleanup, purge
 from .restructuring import collapse, group, merge, segment_blocks, split
@@ -62,4 +63,5 @@ __all__ = [
     "merge_compact",
     "collapse_compact",
     "natural_join",
+    "product_select",
 ]

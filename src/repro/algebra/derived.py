@@ -35,7 +35,7 @@ from ..core import NULL, Symbol, Table
 from .opshelpers import as_attr_set, as_attr_symbol
 from .redundancy import cleanup, purge
 from .restructuring import collapse, group, merge
-from .traditional import difference, product, project, select_constant, union
+from .traditional import difference, product, project, select, select_constant, union
 
 __all__ = [
     "classical_union",
@@ -47,6 +47,7 @@ __all__ = [
     "merge_compact",
     "collapse_compact",
     "natural_join",
+    "product_select",
 ]
 
 
@@ -93,6 +94,22 @@ def classical_union(rho: Table, sigma: Table, name: object | None = None) -> Tab
     """
     combined = union(rho, sigma)
     return _named(deduplicate(deduplicate_columns(combined)), name)
+
+
+def product_select(
+    rho: Table, sigma: Table, left: object, right: object, name: object | None = None
+) -> Table:
+    """``σ_{left ≈ right}(ρ × σ)`` as one operation.
+
+    Semantically nothing but the composition — this definition *is* the
+    reference the vectorized backend is differentially tested against.
+    The planner rewrites adjacent ``T ← PRODUCT; T ← SELECT (T)`` pairs
+    into this operation so the vector kernel can push the selection
+    below the product (hash join / pre-filter) instead of materializing
+    ``|ρ|·|σ|`` rows first; on the naive engine the fused statement
+    costs the same as the pair it replaces.
+    """
+    return _named(select(product(rho, sigma), left, right), name)
 
 
 def const_column(

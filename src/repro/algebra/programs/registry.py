@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from ...core import EvaluationError, FreshValueSource, Symbol, Table
+from ...engine import runtime as _engine
 from ...obs import runtime as _obs
 from ...obs.trace import NULL_SPAN
 from ...runtime import governor as _gv
@@ -34,6 +35,7 @@ from .. import (
     merge_compact,
     natural_join,
     product,
+    product_select,
     project,
     purge,
     rename,
@@ -112,6 +114,19 @@ class OpSpec:
                 raise EvaluationError(
                     f"{self.name} expects {self.arity} argument table(s), got {len(tables)}"
                 )
+            eng = _engine.ENGINE
+            if (
+                eng.active
+                and eng.backend is not None
+                and not self.needs_fresh
+                and not self.multi_result
+            ):
+                # Vectorized backend: a kernel may take the invocation;
+                # None means "no kernel / declined" and falls through to
+                # the naive operation below (per-invocation fallback).
+                produced = eng.backend.dispatch(self.name, tables, kwargs)
+                if produced is not None:
+                    return (produced,)
             result = self.function(*tables, **kwargs)
         if self.multi_result:
             return tuple(result)
@@ -253,6 +268,12 @@ OPERATIONS: dict[str, OpSpec] = dict(
         _spec("TUPLENEW", tuplenew, params={"attr": PARAM_SINGLE}, needs_fresh=True),
         _spec("SETNEW", setnew, params={"attr": PARAM_SINGLE}, needs_fresh=True),
         # Derived operations (Sections 3.2/3.4 compositions)
+        _spec(
+            "PRODUCTSELECT",
+            product_select,
+            arity=2,
+            params={"left": PARAM_SINGLE, "right": PARAM_SINGLE},
+        ),
         _spec("CLASSICALUNION", classical_union, arity=2),
         _spec("NATURALJOIN", natural_join, arity=2),
         _spec("DEDUP", deduplicate),

@@ -345,8 +345,24 @@ class Program:
         db: TabularDatabase,
         fresh: FreshValueSource | None = None,
         max_while_iterations: int = 10_000,
+        engine: str | None = None,
     ) -> TabularDatabase:
-        """Convenience: run on ``db`` with a fresh interpreter."""
+        """Convenience: run on ``db`` with a fresh interpreter.
+
+        ``engine="vector"`` routes execution through the vectorized
+        backend (:mod:`repro.engine`); ``None``/``"naive"`` is the plain
+        interpreter.
+        """
+        if engine not in (None, "naive"):
+            from ...engine import run_program
+
+            return run_program(
+                self,
+                db,
+                engine=engine,
+                fresh=fresh,
+                max_while_iterations=max_while_iterations,
+            )
         return Interpreter(
             fresh=fresh, max_while_iterations=max_while_iterations
         ).run(self, db)

@@ -63,11 +63,12 @@ class Table:
     attribute column, and position (0, 0) holds the table name.
     """
 
-    __slots__ = ("_grid", "_hash")
+    __slots__ = ("_grid", "_hash", "_sort_key", "__weakref__")
 
     def __init__(self, grid: Iterable[Iterable[Symbol]]):
         object.__setattr__(self, "_grid", _freeze_grid(grid))
         object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_sort_key", None)
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("Table is immutable")
@@ -321,8 +322,19 @@ class Table:
         return self._hash
 
     def sort_key(self) -> tuple:
-        """A key totally ordering tables (used for canonical database order)."""
-        return tuple(tuple(s.sort_key() for s in row) for row in self._grid)
+        """A key totally ordering tables (used for canonical database order).
+
+        Cached: the grid is immutable, and :class:`TabularDatabase` re-sorts
+        its tables after every program statement, so without the cache this
+        key dominates interpreter time on multi-statement programs.
+        """
+        if self._sort_key is None:
+            object.__setattr__(
+                self,
+                "_sort_key",
+                tuple(tuple(s.sort_key() for s in row) for row in self._grid),
+            )
+        return self._sort_key
 
     def equivalent(self, other: "Table") -> bool:
         """Equality up to permutations of data rows and of data columns.

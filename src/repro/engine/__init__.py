@@ -1,0 +1,47 @@
+"""The vectorized execution backend (docs/ENGINE.md).
+
+Layout:
+
+* :mod:`repro.engine.runtime` — the global ``ENGINE`` switch, the
+  ``VectorEngine`` backend object, and the ``engine_scope()`` context
+  manager consulted by the operation registry;
+* :mod:`repro.engine.interning` — symbol ↔ integer-id interning and the
+  :class:`IdTable` id-column table representation;
+* :mod:`repro.engine.kernels` — the hash-based kernel catalogue;
+* :mod:`repro.engine.planner` — product/select fusion;
+* :mod:`repro.engine.run` — ``run_program(..., engine="vector")``.
+
+Only :mod:`~repro.engine.runtime` is imported eagerly: the operation
+registry imports this package while the algebra package is still
+initialising, so everything that depends on the algebra (planner, run)
+is exposed lazily via module ``__getattr__``.
+"""
+
+from .runtime import ENGINE, VectorEngine, engine_scope
+
+__all__ = [
+    "ENGINE",
+    "ENGINES",
+    "VectorEngine",
+    "engine_scope",
+    "plan_program",
+    "count_fusions",
+    "run_program",
+]
+
+_LAZY = {
+    "run_program": ("repro.engine.run", "run_program"),
+    "ENGINES": ("repro.engine.run", "ENGINES"),
+    "plan_program": ("repro.engine.planner", "plan_program"),
+    "count_fusions": ("repro.engine.planner", "count_fusions"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

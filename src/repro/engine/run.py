@@ -1,0 +1,53 @@
+"""The backend switch: run a program on the naive or vectorized engine.
+
+``run_program(program, db, engine="vector")`` is the one entry point
+the rest of the system goes through (``Program.run(engine=...)``, the
+CLI ``--engine`` flag, and ``run_hardened`` all delegate here).  The
+vector path plans the program (product/select fusion), then executes it
+inside an :func:`~repro.engine.runtime.engine_scope`, so the operation
+registry routes each invocation through the kernel catalogue with
+per-invocation fallback to the naive operations.
+"""
+
+from __future__ import annotations
+
+from ..core import EvaluationError, FreshValueSource, TabularDatabase
+from .planner import plan_program
+from .runtime import VectorEngine, engine_scope
+
+__all__ = ["ENGINES", "run_program"]
+
+#: The recognised values of the ``engine=`` switch.
+ENGINES = ("naive", "vector")
+
+
+def run_program(
+    program,
+    db: TabularDatabase,
+    *,
+    engine: str | None = "naive",
+    fresh: FreshValueSource | None = None,
+    max_while_iterations: int = 10_000,
+    backend: VectorEngine | None = None,
+) -> TabularDatabase:
+    """Run ``program`` on ``db`` under the selected backend.
+
+    ``engine=None`` or ``"naive"`` is the plain interpreter,
+    ``"vector"`` plans the program and dispatches through the kernels.
+    Pass a ``backend`` to inspect its ``stats`` afterwards (a fresh one
+    is created per run otherwise, keeping the interner's id space
+    bounded to the run).
+    """
+    if engine in (None, "naive"):
+        return program.run(
+            db, fresh=fresh, max_while_iterations=max_while_iterations
+        )
+    if engine != "vector":
+        raise EvaluationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    planned = plan_program(program)
+    with engine_scope(backend):
+        return planned.run(
+            db, fresh=fresh, max_while_iterations=max_while_iterations
+        )

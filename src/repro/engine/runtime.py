@@ -1,0 +1,105 @@
+"""The global engine switch and the ``engine_scope()`` scope.
+
+Mirrors :mod:`repro.obs.runtime`: one module-level singleton,
+:data:`ENGINE`, is consulted by the operation registry's raw dispatch.
+When ``ENGINE.active`` is False — the default — every invocation falls
+through to the naive operation after a single attribute check, so the
+vectorized backend costs nothing unless switched on::
+
+    from repro.engine.runtime import VectorEngine, engine_scope
+
+    with engine_scope(VectorEngine()) as backend:
+        out = program.run(db)
+    print(backend.stats)        # kernel hits / fallbacks per operation
+
+Scopes nest and restore the previous state on exit, exactly like
+``observation()`` and ``governed()``.  The backend holds the symbol
+interner, so tables interned by one kernel stay interned for the next —
+entering a fresh scope per program run keeps the id space bounded.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Sequence
+
+from ..obs import runtime as _obs
+
+__all__ = ["ENGINE", "VectorEngine", "engine_scope"]
+
+
+class _EngineState:
+    """The mutable global: one attribute check guards the raw dispatch."""
+
+    __slots__ = ("active", "backend")
+
+    def __init__(self):
+        self.active = False
+        self.backend: VectorEngine | None = None
+
+
+#: The process-wide engine state consulted by ``OpSpec._invoke_raw``.
+ENGINE = _EngineState()
+
+
+class VectorEngine:
+    """The vectorized backend: an interner plus a kernel catalogue.
+
+    ``dispatch`` is the single entry point: given a registered operation
+    name, the argument tables, and the already-evaluated keyword
+    arguments, it either returns the result table computed by a
+    hash-based kernel over interned integer ids, or ``None`` to signal
+    that the naive operation must run instead (no kernel, an active
+    lineage scope, or a kernel that declines the inputs).
+
+    The decision is *per invocation*, so a single program can mix
+    vectorized SELECTs with naive GROUPs statement by statement; the
+    ``stats`` counters record the split for EXPLAIN-style reporting.
+    """
+
+    __slots__ = ("interner", "kernels", "stats")
+
+    def __init__(self):
+        from .interning import SymbolInterner
+        from .kernels import KERNELS
+
+        self.interner = SymbolInterner()
+        self.kernels = KERNELS
+        self.stats: dict[str, int] = {"kernel_calls": 0, "fallbacks": 0}
+
+    def dispatch(self, name: str, tables: Sequence, arguments: Mapping[str, object]):
+        """A result :class:`~repro.core.table.Table`, or None to fall back.
+
+        Lineage-active runs always fall back: the kernels rebuild rows
+        from interned ids, which cannot thread per-cell provenance the
+        way the naive operations do.
+        """
+        kernel = self.kernels.get(name)
+        if kernel is None or _obs.OBS.lineage is not None:
+            self.stats["fallbacks"] += 1
+            self.stats[f"fallback:{name}"] = self.stats.get(f"fallback:{name}", 0) + 1
+            return None
+        result = kernel(self.interner, tables, arguments)
+        if result is None:
+            self.stats["fallbacks"] += 1
+            self.stats[f"fallback:{name}"] = self.stats.get(f"fallback:{name}", 0) + 1
+            return None
+        self.stats["kernel_calls"] += 1
+        self.stats[f"kernel:{name}"] = self.stats.get(f"kernel:{name}", 0) + 1
+        obs = _obs.OBS
+        if obs.active and obs.metrics is not None:
+            obs.metrics.count("vector_kernel_hits")
+        return result
+
+
+@contextmanager
+def engine_scope(backend: VectorEngine | None = None) -> Iterator[VectorEngine]:
+    """Route registry dispatch through ``backend`` inside the block."""
+    if backend is None:
+        backend = VectorEngine()
+    previous = (ENGINE.active, ENGINE.backend)
+    ENGINE.active, ENGINE.backend = True, backend
+    try:
+        yield backend
+    finally:
+        ENGINE.active, ENGINE.backend = previous

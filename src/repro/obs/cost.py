@@ -147,6 +147,15 @@ def _product(shapes: Sequence[Shape]) -> tuple:
     return (1, rows, cols, _cells(shapes) + rows * cols)
 
 
+def _product_select(shapes: Sequence[Shape]) -> tuple:
+    # Fused σ(ρ × σ): the pair scan still bounds the cost, but only the
+    # selected rows (1/3, matching the SELECT selectivity guess) are
+    # materialized.
+    (r1, c1), (r2, c2) = _first(shapes), _second(shapes)
+    rows, cols = max(1, (r1 * r2) // 3), c1 + c2
+    return (1, rows, cols, _cells(shapes) + r1 * r2 + rows * cols)
+
+
 def _natural_join(shapes: Sequence[Shape]) -> tuple:
     (r1, c1), (r2, c2) = _first(shapes), _second(shapes)
     rows = max(r1, r2)
@@ -243,6 +252,7 @@ ESTIMATORS: dict[str, _Est] = {
     "TUPLENEW": _linear(cols_delta=1),
     "SETNEW": _setnew,
     # Derived operations.
+    "PRODUCTSELECT": _product_select,
     "CLASSICALUNION": _union,
     "NATURALJOIN": _natural_join,
     "DEDUP": _linear(rows_factor=0.75),

@@ -160,8 +160,15 @@ class _Compiler:
             return self.emit(self.fresh_temp(), "DEDUP", [projected])
         if isinstance(expr, SelectEq):
             inner = self.compile_expr(expr.inner)
+            # Selecting a compiler temporary overwrites it in place: the
+            # temp has exactly one reader (this select), and emitting
+            # ``T <- SELECT (T)`` right after ``T <- PRODUCT`` gives the
+            # vector engine's planner the adjacent same-target pair it
+            # fuses into a PRODUCTSELECT hash join (expand_join produces
+            # precisely this shape for every join condition).
+            target = inner if inner.startswith(TEMP_PREFIX) else self.fresh_temp()
             return self.emit(
-                self.fresh_temp(), "SELECT", [inner], {"left": expr.left, "right": expr.right}
+                target, "SELECT", [inner], {"left": expr.left, "right": expr.right}
             )
         if isinstance(expr, SelectConst):
             inner = self.compile_expr(expr.inner)

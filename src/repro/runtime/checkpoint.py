@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import weakref
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -101,9 +103,41 @@ def symbol_from_data(data: list) -> Symbol:
     raise CheckpointError(f"unknown symbol sort in {data!r}")
 
 
+#: Encoded-grid memo, keyed by table object identity and validated (and
+#: evicted) through weak references.  Checkpoints are written after
+#: *every* statement, but a statement replaces only the tables carrying
+#: its target name — the rest of the database is the same objects, and a
+#: while-fixpoint re-serializing its whole database each body statement
+#: would otherwise redo that encoding work quadratically.  The cap is a
+#: backstop only; dead tables evict themselves.
+_TABLE_DATA_CACHE: dict[int, tuple[weakref.ref, list]] = {}
+_TABLE_DATA_CACHE_CAP = 8192
+
+
 def table_to_data(table: Table) -> list:
-    """One table as its encoded grid (row-major)."""
-    return [[symbol_to_data(entry) for entry in row] for row in table.grid]
+    """One table as its encoded grid (row-major), memoized per object.
+
+    Tables are immutable and hash-caching, so the encoding of a given
+    object never changes; callers must treat the returned structure as
+    read-only (``json.dumps`` does).
+    """
+    key = id(table)
+    hit = _TABLE_DATA_CACHE.get(key)
+    if hit is not None and hit[0]() is table:
+        return hit[1]
+    data = [[symbol_to_data(entry) for entry in row] for row in table.grid]
+    if len(_TABLE_DATA_CACHE) >= _TABLE_DATA_CACHE_CAP:
+        _TABLE_DATA_CACHE.clear()
+    cache = _TABLE_DATA_CACHE
+
+    def _evict(_ref, _key=key, _cache=cache):
+        _cache.pop(_key, None)
+
+    try:
+        cache[key] = (weakref.ref(table, _evict), data)
+    except TypeError:  # pragma: no cover - Table is weak-referenceable
+        pass
+    return data
 
 
 def table_from_data(data: list) -> Table:
@@ -231,6 +265,7 @@ def run_hardened(
     checkpoint_path: str | Path | None = None,
     resume: bool = False,
     max_while_iterations: int = 10_000,
+    engine: str | None = None,
 ) -> TabularDatabase:
     """Run a TA program under the governor with checkpoint/resume.
 
@@ -248,12 +283,27 @@ def run_hardened(
       this way yields the identical final database;
     * a statement that raises rolls the fresh-value source back to its
       pre-statement tag (snapshot-and-commit), so the checkpointed
-      environment is never partially mutated.
+      environment is never partially mutated;
+    * ``engine="vector"`` plans the program (product/select fusion) and
+      routes operation dispatch through the vectorized kernels; the
+      checkpoint fingerprint covers the *planned* program, so a resume
+      must use the same engine the original run did.
     """
     from ..algebra.programs.statements import Interpreter, Program, While
 
     if not isinstance(program, Program):
         raise CheckpointError(f"run_hardened drives TA Programs, got {program!r}")
+
+    if engine in (None, "naive"):
+        scope = nullcontext()
+    elif engine == "vector":
+        from ..engine import plan_program
+        from ..engine.runtime import engine_scope
+
+        program = plan_program(program)
+        scope = engine_scope()
+    else:
+        raise CheckpointError(f"unknown engine {engine!r}; expected naive or vector")
 
     interp = Interpreter(fresh=fresh, max_while_iterations=max_while_iterations)
     fingerprint = program_fingerprint(program)
@@ -300,7 +350,7 @@ def run_hardened(
             interp.fresh.reset_to(mark)
             raise
 
-    with governed(limits, faults=faults, governor=governor) as gov:
+    with scope, governed(limits, faults=faults, governor=governor) as gov:
         # Boundary zero: resume works even if killed before any progress.
         write(start_index, body_index=start_body, iteration=start_iteration)
         for index in range(start_index, len(program.statements)):

@@ -1,0 +1,114 @@
+"""Planner fusion safety: fuse exactly the provable product/select pairs."""
+
+from diffgen import check_case
+
+from repro.algebra.programs.params import Star
+from repro.algebra.programs.statements import Assignment, Program, While, assign
+from repro.core import TabularDatabase
+from repro.data.generators import random_database
+from repro.engine import count_fusions, plan_program
+
+
+def _pair(target="T", select_target=None, select_arg=None, left="A", right="B"):
+    return [
+        assign(target, "PRODUCT", "R", "S"),
+        assign(select_target or target, "SELECT", select_arg or target,
+               left=left, right=right),
+    ]
+
+
+def test_fuses_the_canonical_pair():
+    program = Program(_pair())
+    planned = plan_program(program)
+    assert count_fusions(program) == 1
+    assert len(planned.statements) == 1
+    statement = planned.statements[0]
+    assert statement.spec.name == "PRODUCTSELECT"
+    assert [str(a) for a in statement.args] == ["R", "S"]
+
+
+def test_fused_program_is_equivalent_on_both_backends():
+    program = Program(_pair())
+    for seed in range(10):
+        db = random_database(3, seed=seed)
+        assert check_case(program, db) is None
+        assert plan_program(program).run(db) == program.run(db)
+
+
+def test_wildcard_product_args_still_fuse():
+    program = Program(
+        [
+            Assignment("T", "PRODUCT", [Star(1), "S"]),
+            assign("T", "SELECT", "T", left="A", right="B"),
+        ]
+    )
+    assert count_fusions(program) == 1
+    for seed in range(5):
+        db = random_database(3, seed=seed)
+        assert check_case(program, db) is None
+
+
+def test_no_fusion_when_select_has_wildcard_params():
+    program = Program(
+        [
+            Assignment("T", "PRODUCT", [Star(1), "S"]),
+            Assignment("T", "SELECT", ["T"], {"left": Star(1), "right": "B"}),
+        ]
+    )
+    assert count_fusions(program) == 0
+
+
+def test_no_fusion_when_targets_differ():
+    assert count_fusions(Program(_pair(select_target="U"))) == 0
+    assert count_fusions(Program(_pair(select_arg="U"))) == 0
+
+
+def test_no_fusion_when_not_adjacent():
+    first, second = _pair()
+    program = Program([first, assign("X", "DEDUP", "R"), second])
+    assert count_fusions(program) == 0
+
+
+def test_no_fusion_for_wildcard_target():
+    program = Program(
+        [
+            Assignment(Star(1), "PRODUCT", [Star(1), "S"]),
+            Assignment(Star(1), "SELECT", [Star(1)], {"left": "A", "right": "B"}),
+        ]
+    )
+    assert count_fusions(program) == 0
+
+
+def test_fusion_inside_while_bodies():
+    program = Program([While("R", Program(_pair()))])
+    planned = plan_program(program)
+    assert count_fusions(program) == 1
+    body = planned.statements[0].body.statements
+    assert len(body) == 1 and body[0].spec.name == "PRODUCTSELECT"
+
+
+def test_plan_is_identity_without_fusable_pairs():
+    program = Program([assign("X", "DEDUP", "R")])
+    assert plan_program(program) is program
+
+
+def test_empty_input_name_behaves_identically():
+    # No table named Q: the product target becomes empty either way.
+    program = Program(
+        [
+            assign("T", "PRODUCT", "Q", "S"),
+            assign("T", "SELECT", "T", left="A", right="B"),
+        ]
+    )
+    db = random_database(2, seed=7)
+    assert check_case(program, db) is None
+    assert plan_program(program).run(db) == program.run(db)
+
+
+def test_compiled_joins_expose_fusable_pairs():
+    """The FO+while compiler emits selects into their product's temp."""
+    from repro.runtime.workloads import parse_workload
+
+    _label, program, db = parse_workload("tc:8")
+    assert count_fusions(program) >= 1
+    assert check_case(program, db) is None

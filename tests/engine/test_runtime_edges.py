@@ -1,0 +1,76 @@
+"""Edge paths of the engine runtime: lazy exports, bad engine names,
+kernel-declined dispatch, metrics counting, and interner cache bounds."""
+
+import pytest
+
+import repro.engine as engine_pkg
+from repro.core import NULL, Name, Table, TabularDatabase, Value
+from repro.core.errors import EvaluationError
+from repro.engine import run_program
+from repro.engine.interning import IdTable, SymbolInterner
+from repro.engine.runtime import VectorEngine
+from repro.obs import observation
+
+
+def _table(name="R"):
+    return Table([[Name(name), Name("A")], [NULL, Value("x")], [NULL, Value("x")]])
+
+
+def test_lazy_exports_reject_unknown_attributes():
+    assert engine_pkg.ENGINES == ("naive", "vector")
+    with pytest.raises(AttributeError):
+        engine_pkg.no_such_symbol
+
+
+def test_run_program_rejects_unknown_engine():
+    from repro.algebra.programs.statements import Program, assign
+
+    program = Program([assign("D", "DEDUP", "R")])
+    db = TabularDatabase([_table()])
+    with pytest.raises(EvaluationError, match="unknown engine"):
+        run_program(program, db, engine="turbo")
+
+
+def test_dispatch_counts_a_kernel_that_declines():
+    backend = VectorEngine()
+    backend.kernels = dict(backend.kernels)
+    backend.kernels["DEDUP"] = lambda interner, tables, arguments: None
+    assert backend.dispatch("DEDUP", [_table()], {}) is None
+    assert backend.stats["fallback:DEDUP"] == 1
+
+
+def test_dispatch_counts_vector_kernel_hits_metric():
+    backend = VectorEngine()
+    with observation(trace=False, metrics=True) as obs:
+        assert backend.dispatch("DEDUP", [_table()], {}) is not None
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["vector_kernel_hits"] == 1
+
+
+def test_interner_symbol_round_trip_and_intern_all():
+    interner = SymbolInterner()
+    ids = interner.intern_all([Value("x"), Name("A"), NULL])
+    assert 0 in ids  # NULL is always id 0
+    for i in ids:
+        assert interner.intern(interner.symbol(i)) == i
+
+
+def test_interner_cache_clears_at_capacity(monkeypatch):
+    monkeypatch.setattr(SymbolInterner, "CACHE_CAP", 1)
+    interner = SymbolInterner()
+    a, b = _table("R"), _table("S")
+    interner.intern_table(a)
+    interner.intern_table(b)  # trips the cap-clear branch
+    assert len(interner._cache) == 1
+    assert interner.intern_table(b) is interner.intern_table(b)
+
+
+def test_idtable_from_empty_rows_and_transpose():
+    empty = IdTable(1, (2, 3), (), rows=())
+    assert empty.height == 0 and empty.width == 2
+    assert empty.rows == ()
+
+    idt = IdTable(1, (2,), (0, 0), rows=((5,), (6,)))
+    flipped = idt.transposed()
+    assert flipped.height == idt.width and flipped.width == idt.height
+    assert flipped.transposed().rows == idt.rows

@@ -1,0 +1,78 @@
+"""Regressions for the while-fixpoint hot path.
+
+Two pins:
+
+* the ``tc:N`` transitive-closure workload converges in exactly
+  ``N - 1`` while iterations (the longest path in the seeded chain
+  graph), identically on the naive and vectorized engines — a planner
+  or kernel bug that perturbed the fixpoint would show up here first;
+* checkpoint writes no longer re-encode unchanged tables: a
+  while-fixpoint re-serializes its whole database after every body
+  statement, and :func:`repro.runtime.checkpoint.table_to_data` must
+  memoize per table object so only *replaced* tables pay encoding.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import observation
+from repro.runtime import checkpoint as ck
+from repro.runtime import run_hardened
+from repro.runtime.workloads import parse_workload
+
+
+@pytest.mark.parametrize("nodes", [4, 6, 9])
+@pytest.mark.parametrize("engine", ["naive", "vector"])
+def test_tc_fixpoint_iteration_count_is_pinned(nodes, engine):
+    _label, program, db = parse_workload(f"tc:{nodes}")
+    with observation() as obs:
+        program.run(db, engine=engine)
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["while_loops"] == 1
+    assert counters["while_iterations"] == nodes - 1
+
+
+@pytest.mark.parametrize("engine", ["naive", "vector"])
+def test_tc_results_agree_between_engines(engine):
+    _label, program, db = parse_workload("tc:7")
+    assert program.run(db, engine=engine) == program.run(db)
+
+
+def test_table_to_data_is_memoized_per_object():
+    _label, _program, db = parse_workload("tc:5")
+    table = db.tables[0]
+    first = ck.table_to_data(table)
+    assert ck.table_to_data(table) is first
+
+    # An equal-but-distinct object encodes to equal data, fresh list.
+    clone = type(table)(table.grid)
+    other = ck.table_to_data(clone)
+    assert other == first and other is not first
+
+
+def test_checkpoint_writes_skip_reencoding_unchanged_tables(tmp_path, monkeypatch):
+    """After warming the memo, serializing the same database again must
+    not call symbol_to_data at all."""
+    _label, _program, db = parse_workload("tc:5")
+    first = ck.database_to_data(db)
+
+    def boom(symbol):  # pragma: no cover - failure path
+        raise AssertionError("unchanged table was re-encoded")
+
+    monkeypatch.setattr(ck, "symbol_to_data", boom)
+    assert ck.database_to_data(db) == first
+
+
+def test_hardened_fixpoint_checkpoints_stay_consistent(tmp_path):
+    """End to end: checkpointed hardened runs equal plain runs on both
+    engines, and the final checkpoint round-trips the database."""
+    _label, program, db = parse_workload("tc:6")
+    expected = program.run(db)
+    for engine in ("naive", "vector"):
+        path = tmp_path / f"tc-{engine}.json"
+        result = run_hardened(program, db, checkpoint_path=path, engine=engine)
+        assert result == expected
+        data = json.loads(path.read_text())
+        assert data["done"] is True
+        assert ck.database_from_data(data["database"]) == expected
