@@ -1,15 +1,19 @@
-"""Experiment ``obs`` — tracing/metrics overhead on the algebra engine.
+"""Experiment ``obs`` — tracing/metrics/event-bus overhead on the engine.
 
-Two guarantees are measured:
+Three guarantees are measured:
 
 * **disabled** — with no observation scope active, the instrumented
   engine must be indistinguishable from the raw one (the guard is a
   single attribute check per call site);
 * **enabled** — a full trace + metrics observation of the Figure 4
-  pivot pipeline stays within a small constant factor of the raw run.
+  pivot pipeline stays within a small constant factor of the raw run;
+* **event bus** — the same bar for the live event feed: with no
+  ``event_stream`` active the bus costs one ``EVT.active`` check, and
+  with the feed on (one bounded ring subscriber) the run stays within
+  the 1.5x overhead gate.
 
-The exactness of the traced run is asserted against the untraced one,
-so observability provably does not change results.
+The exactness of the traced/evented runs is asserted against the plain
+one, so observability provably does not change results.
 """
 
 import time
@@ -17,6 +21,7 @@ import time
 from repro.algebra.programs import parse_program
 from repro.data import sales_info1
 from repro.obs import observation
+from repro.obs.events import event_stream
 
 from conftest import report
 
@@ -80,3 +85,55 @@ class TestOverhead:
             )
         # generous bound: instrumentation is bookkeeping, not work
         assert instrumented < raw * 10 + 0.05
+
+
+class TestEventBusOverhead:
+    def test_events_disabled_runs_raw(self, benchmark):
+        """The disabled path: no bus, one attribute check per chokepoint."""
+        result = benchmark(run_pivot)
+        assert "Pivot" in {str(n) for n in result.table_names()}
+
+    def test_events_enabled_runs_published(self, benchmark):
+        def evented():
+            with event_stream() as bus:
+                ring = bus.ring(capacity=512)
+                db = run_pivot()
+            return db, bus, ring
+
+        db, bus, ring = benchmark(evented)
+        assert db == run_pivot()  # events never change results
+        assert bus.published >= 6  # 3 span_start + 3 span_finish
+        assert ring.received == bus.published
+
+    def test_report_event_bus_overhead_ratio(self):
+        """One-shot on/off/disabled ratios, recorded to the trajectory.
+
+        The 1.5x gate: with one ring subscriber attached, the pivot
+        pipeline must stay under 1.5x its plain wall-clock (padded by a
+        small absolute constant so sub-millisecond noise cannot flake
+        the gate on a loaded CI box).
+        """
+
+        def clock(fn, repeats=20):
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        disabled = clock(run_pivot)
+
+        def evented():
+            with event_stream() as bus:
+                bus.ring(capacity=512)
+                run_pivot()
+
+        enabled = clock(evented)
+        report(
+            "event-bus-overhead",
+            disabled_ms=round(disabled * 1e3, 3),
+            enabled_ms=round(enabled * 1e3, 3),
+            ratio=round(enabled / disabled, 2),
+        )
+        assert enabled < disabled * 1.5 + 0.005

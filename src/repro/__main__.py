@@ -28,18 +28,39 @@ Commands:
   input-cell → output-cell provenance graph;
 * ``stats [--json]`` — run every bundled pipeline and print the
   aggregated per-operation metrics;
+* ``metrics [--prom]`` — the same aggregated metrics as a JSON snapshot
+  or (``--prom``) in the Prometheus text exposition format (per-op
+  counters and wall-time histograms, ready to scrape);
+* ``prom-lint [FILE]`` — validate a Prometheus text payload (stdin when
+  no file): name grammars, TYPE declarations, histogram cumulativity;
+  exit 1 on format problems;
+* ``engine-report [workload...] [--json]`` — run a corpus (default:
+  every TA-program example plus ``tc:8``) under the vector engine and
+  print kernel/fallback attribution: every naive fallback tagged with a
+  machine-readable reason (``no_kernel``, ``lineage_active``,
+  ``kernel_declined``, ``needs_fresh``, ``multi_result``,
+  ``aggregate``); exit 1 unless 100% of fallbacks are attributed;
 * ``bench-compare <baseline> <current> [--tolerance X]`` — diff two
   benchmark trajectory files (``BENCH_trajectory.json``); exit 1 when a
-  shared benchmark label regressed beyond the tolerance (default 1.5x);
+  shared benchmark label regressed beyond the tolerance (default 1.5x),
+  exit 3 when either trajectory file is missing, unreadable, or not a
+  valid trajectory (so CI can tell a failed gate from one that never
+  ran);
 * ``run [workload] [--engine naive|vector] [--deadline MS] [--max-rows N]
   [--max-rows-per-op N] [--max-cells-per-op N] [--max-while N]
-  [--checkpoint PATH] [--resume] [--retry N] [--verify] [--json]`` — run
-  a workload (``tc:N`` for the synthetic transitive-closure fixpoint, or
-  any bundled TA example) under the resource governor with
+  [--checkpoint PATH] [--resume] [--retry N] [--verify] [--json]
+  [--progress] [--events PATH] [--flight-dir DIR]`` — run a workload
+  (``tc:N`` for the synthetic transitive-closure fixpoint, or any
+  bundled TA example) under the resource governor with
   checkpoint/resume; ``--engine vector`` routes execution through the
   vectorized backend (docs/ENGINE.md), ``--retry`` auto-resumes a
   budget-killed run from its checkpoint, ``--verify`` compares the final
-  database against an ungoverned naive run;
+  database against an ungoverned naive run; ``--progress`` streams live
+  while-iteration/budget lines from the event bus, ``--events PATH``
+  streams every event as JSON lines, and ``--flight-dir DIR`` arms the
+  flight recorder — a run that dies on a budget kill dumps a postmortem
+  bundle (event tail, metrics, checkpoint pointer) into DIR
+  (docs/OBSERVABILITY.md);
 * ``chaos [example...] [--kinds raise,delay,corrupt] [--seed N]
   [--json]`` — run the fault-injection matrix over the bundled
   pipelines; every injection point must surface as a typed error with
@@ -443,6 +464,7 @@ def _int_flag(rest: list[str], flag: str) -> tuple[int | None, str | None]:
 
 def _run(rest: list[str]) -> int:
     import json
+    from contextlib import ExitStack
 
     from .core.errors import BudgetExceededError, CancelledError, ReproError
     from .runtime import Limits, ResourceGovernor, run_hardened
@@ -466,18 +488,21 @@ def _run(rest: list[str]) -> int:
     retry, _ = _int_flag(rest, "--retry")
     checkpoint = _flag_value(rest, "--checkpoint")
     engine = _flag_value(rest, "--engine") or "naive"
+    events_path = _flag_value(rest, "--events")
+    flight_dir = _flag_value(rest, "--flight-dir")
     if engine not in ("naive", "vector"):
         print(f"error: invalid --engine {engine!r}; expected naive or vector")
         return 2
     for flag in ("--deadline", "--max-rows", "--max-rows-per-op",
                  "--max-cells-per-op", "--max-while", "--retry", "--checkpoint",
-                 "--engine"):
+                 "--engine", "--events", "--flight-dir"):
         value = _flag_value(rest, flag)
         if value is not None:
             flag_values.add(value)
     resume = "--resume" in rest
     verify = "--verify" in rest
     json_out = "--json" in rest
+    progress = "--progress" in rest
 
     names = [a for a in rest if not a.startswith("-") and a not in flag_values]
     spec = names[0] if names else "tc"
@@ -526,30 +551,64 @@ def _run(rest: list[str]) -> int:
     attempts = 0
     result = None
     governor = None
-    while True:
-        attempts += 1
-        governor = ResourceGovernor(limits)
-        try:
-            result = run_hardened(
-                program,
-                db,
-                governor=governor,
-                checkpoint_path=checkpoint,
-                resume=resume or attempts > 1,
-                engine=engine,
-            )
-            break
-        except (BudgetExceededError, CancelledError) as err:
-            kills.append(str(err))
-            if not json_out:
-                print(f"killed (attempt {attempts}): {err}")
-            if retry is not None and attempts <= retry and checkpoint is not None:
-                continue
-            if json_out:
-                print(json.dumps(
-                    {"workload": label, "attempts": attempts, "kills": kills,
-                     "finished": False}, indent=2))
-            return 1
+    bundle_path = None
+    with ExitStack() as stack:
+        # The event feed is on whenever anything consumes it: the live
+        # ticker, the JSONL stream, or the flight recorder's postmortem
+        # ring.  With none of the three, `run` keeps the zero-overhead
+        # disabled path.
+        recorder = None
+        if progress or events_path is not None or flight_dir is not None:
+            from .obs.events import JsonlEventWriter, event_stream
+            from .obs.flight import FlightRecorder
+            from .obs.progress import ProgressTicker
+
+            bus = stack.enter_context(event_stream())
+            if progress:
+                bus.attach(ProgressTicker())
+            if events_path is not None:
+                writer = JsonlEventWriter(events_path)
+                bus.attach(writer)
+                stack.callback(writer.close)
+            if flight_dir is not None:
+                recorder = FlightRecorder(bus, directory=flight_dir)
+                recorder.note_program(repr(program))
+        while True:
+            attempts += 1
+            governor = ResourceGovernor(limits)
+            try:
+                result = run_hardened(
+                    program,
+                    db,
+                    governor=governor,
+                    checkpoint_path=checkpoint,
+                    resume=resume or attempts > 1,
+                    engine=engine,
+                )
+                break
+            except (BudgetExceededError, CancelledError) as err:
+                kills.append(str(err))
+                if not json_out:
+                    print(f"killed (attempt {attempts}): {err}")
+                if retry is not None and attempts <= retry and checkpoint is not None:
+                    continue
+                if recorder is not None:
+                    # The run is over and it died contextually: dump the
+                    # postmortem bundle (event tail, metrics, checkpoint
+                    # pointer) before reporting the failure.
+                    try:
+                        bundle_path = str(recorder.dump(error=err))
+                    except OSError:
+                        bundle_path = None
+                    if bundle_path is not None and not json_out:
+                        print(f"postmortem bundle written to {bundle_path}")
+                if json_out:
+                    summary = {"workload": label, "attempts": attempts,
+                               "kills": kills, "finished": False}
+                    if bundle_path is not None:
+                        summary["postmortem"] = bundle_path
+                    print(json.dumps(summary, indent=2))
+                return 1
 
     identical = None
     if verify:
@@ -644,6 +703,9 @@ def _chaos(rest: list[str]) -> int:
 
 
 def _bench_compare(rest: list[str]) -> int:
+    import json
+    from pathlib import Path
+
     from .obs.regress import compare_trajectories, render_comparison
 
     tolerance_text = _flag_value(rest, "--tolerance")
@@ -660,6 +722,25 @@ def _bench_compare(rest: list[str]) -> int:
     except ValueError:
         print(f"invalid tolerance {tolerance_text!r}")
         return 2
+    # A missing or unparseable trajectory must not silently compare as
+    # empty (the gate would pass with nothing checked): exit status 3,
+    # distinct from 1 (regression found) and 2 (usage error), so CI can
+    # tell "the perf gate failed" from "the perf gate never ran".
+    for role, path in zip(("baseline", "current"), paths):
+        try:
+            data = json.loads(Path(path).read_text())
+        except OSError as err:
+            print(f"error: cannot read {role} trajectory {path}: {err}")
+            return 3
+        except ValueError as err:
+            print(f"error: {role} trajectory {path} is not valid JSON: {err}")
+            return 3
+        if not isinstance(data, dict) or not isinstance(data.get("benchmarks"), dict):
+            print(
+                f"error: {role} trajectory {path} is malformed "
+                '(expected {"format": ..., "benchmarks": {...}})'
+            )
+            return 3
     comparison = compare_trajectories(paths[0], paths[1], tolerance=tolerance)
     print(render_comparison(comparison))
     return 0 if comparison.ok else 1
@@ -690,6 +771,116 @@ def _stats(rest: list[str]) -> int:
     return 0
 
 
+def _metrics(rest: list[str]) -> int:
+    import json
+
+    from .obs import observation, prometheus_text
+
+    with observation(trace=False) as obs:
+        from .obs.examples import EXAMPLES, run_example
+
+        for example in EXAMPLES.values():
+            run_example(example.name)
+    if "--prom" in rest:
+        sys.stdout.write(prometheus_text(obs.metrics))
+        return 0
+    print(json.dumps(obs.metrics.snapshot(), indent=2))
+    return 0
+
+
+def _prom_lint(rest: list[str]) -> int:
+    from pathlib import Path
+
+    from .obs import lint_prometheus_text
+
+    paths = [a for a in rest if not a.startswith("-")]
+    if paths:
+        try:
+            text = Path(paths[0]).read_text()
+        except OSError as err:
+            print(f"error: cannot read {paths[0]}: {err}")
+            return 2
+    else:
+        text = sys.stdin.read()
+    errors = lint_prometheus_text(text)
+    if errors:
+        for message in errors:
+            print(f"prom-lint: {message}")
+        print(f"{len(errors)} problem(s) in the exposition payload")
+        return 1
+    samples = sum(
+        1 for line in text.splitlines() if line.strip() and not line.startswith("#")
+    )
+    print(f"ok: {samples} sample(s), no format problems")
+    return 0
+
+
+def _engine_report(rest: list[str]) -> int:
+    import json
+
+    from .core.errors import ReproError
+    from .engine.report import fallback_report, report_text
+    from .engine.runtime import VectorEngine, engine_scope
+    from .obs.examples import EXAMPLES
+    from .runtime.workloads import parse_workload
+
+    json_out = "--json" in rest
+    specs = [a for a in rest if not a.startswith("-")] or None
+
+    backend = VectorEngine()
+    corpus: list[str] = []
+    if specs is None:
+        # Default corpus: every TA-program example plus the synthetic
+        # transitive-closure fixpoint (while loop + kernel-heavy body).
+        for name, example in EXAMPLES.items():
+            if example.setup is None:
+                continue
+            db, run = example.setup()
+            with engine_scope(backend):
+                run(db)
+            corpus.append(name)
+        _label, program, db = parse_workload("tc:8")
+        with engine_scope(backend):
+            program.run(db)
+        corpus.append("tc:8")
+    else:
+        for spec in specs:
+            try:
+                workload = parse_workload(spec)
+            except ReproError as err:
+                print(f"error: {err}")
+                return 2
+            if workload is not None:
+                label, program, db = workload
+                with engine_scope(backend):
+                    program.run(db)
+                corpus.append(label)
+                continue
+            name = _resolve_or_fail(spec)
+            if name is None:
+                return 2
+            example = EXAMPLES[name]
+            if example.setup is None:
+                print(f"error: example {name!r} is not a TA program; cannot report")
+                return 2
+            db, run = example.setup()
+            with engine_scope(backend):
+                run(db)
+            corpus.append(name)
+
+    report = fallback_report(backend.stats)
+    report["corpus"] = corpus
+    if json_out:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"corpus: {', '.join(corpus)}")
+        print()
+        print(report_text(report))
+    # Full attribution is the contract: every naive fallback must carry a
+    # machine-readable reason.
+    return 0 if report["coverage"] == 1.0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     command = args[0] if args else "check"
@@ -702,6 +893,12 @@ def main(argv: list[str] | None = None) -> int:
         return _lineage(rest)
     if command == "stats":
         return _stats(rest)
+    if command == "metrics":
+        return _metrics(rest)
+    if command == "prom-lint":
+        return _prom_lint(rest)
+    if command == "engine-report":
+        return _engine_report(rest)
     if command == "bench-compare":
         return _bench_compare(rest)
     if command == "run":

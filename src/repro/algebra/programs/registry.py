@@ -15,6 +15,7 @@ from typing import Callable, Mapping, Sequence
 
 from ...core import EvaluationError, FreshValueSource, Symbol, Table
 from ...engine import runtime as _engine
+from ...obs import events as _ev
 from ...obs import runtime as _obs
 from ...obs.trace import NULL_SPAN
 from ...runtime import governor as _gv
@@ -89,14 +90,62 @@ class OpSpec:
         accounted — covering all registered operations without touching
         their bodies.  When a :func:`repro.runtime.governor.governed`
         scope is active, every invocation is additionally budget-checked
-        and fault-injected at this same boundary.  The disabled path
-        pays one attribute check per layer.
+        and fault-injected at this same boundary.  When an
+        :func:`repro.obs.events.event_stream` is active, the invocation
+        additionally publishes ``span_start``/``span_finish`` (and
+        ``error``) events around whichever of those layers applies.  The
+        disabled path pays one attribute check per layer.
         """
+        if _ev.EVT.active:
+            return self._invoke_evented(tables, arguments, fresh)
         if _gv.GOV.active:
             return self._invoke_governed(tables, arguments, fresh)
         if _obs.OBS.active:
             return self._invoke_observed(tables, arguments, fresh)
         return self._invoke_raw(tables, arguments, fresh)
+
+    def _invoke_evented(
+        self,
+        tables: Sequence[Table],
+        arguments: Mapping[str, object],
+        fresh: FreshValueSource | None,
+    ) -> tuple[Table, ...]:
+        """Publish dispatch events around the governed/observed/raw chain."""
+        _ev.emit(
+            "span_start",
+            op=self.name,
+            tables_in=len(tables),
+            rows_in=sum(t.height for t in tables),
+        )
+        started = time.perf_counter()
+        try:
+            if _gv.GOV.active:
+                produced = self._invoke_governed(tables, arguments, fresh)
+            elif _obs.OBS.active:
+                produced = self._invoke_observed(tables, arguments, fresh)
+            else:
+                produced = self._invoke_raw(tables, arguments, fresh)
+        except Exception as err:
+            duration_ms = round((time.perf_counter() - started) * 1e3, 3)
+            _ev.emit(
+                "error",
+                op=self.name,
+                error=str(err),
+                error_type=type(err).__name__,
+            )
+            _ev.emit(
+                "span_finish", op=self.name, ok=False, duration_ms=duration_ms
+            )
+            raise
+        _ev.emit(
+            "span_finish",
+            op=self.name,
+            ok=True,
+            duration_ms=round((time.perf_counter() - started) * 1e3, 3),
+            tables_out=len(produced),
+            rows_out=sum(t.height for t in produced),
+        )
+        return produced
 
     def _invoke_raw(
         self,
@@ -108,6 +157,9 @@ class OpSpec:
         if self.needs_fresh:
             kwargs["source"] = fresh
         if self.aggregate:
+            eng = _engine.ENGINE
+            if eng.active and eng.backend is not None:
+                eng.backend.note_fallback(self.name, "aggregate")
             result = self.function(list(tables), **kwargs)
         else:
             if len(tables) != self.arity:
@@ -115,18 +167,19 @@ class OpSpec:
                     f"{self.name} expects {self.arity} argument table(s), got {len(tables)}"
                 )
             eng = _engine.ENGINE
-            if (
-                eng.active
-                and eng.backend is not None
-                and not self.needs_fresh
-                and not self.multi_result
-            ):
-                # Vectorized backend: a kernel may take the invocation;
-                # None means "no kernel / declined" and falls through to
-                # the naive operation below (per-invocation fallback).
-                produced = eng.backend.dispatch(self.name, tables, kwargs)
-                if produced is not None:
-                    return (produced,)
+            if eng.active and eng.backend is not None:
+                if self.needs_fresh:
+                    eng.backend.note_fallback(self.name, "needs_fresh")
+                elif self.multi_result:
+                    eng.backend.note_fallback(self.name, "multi_result")
+                else:
+                    # Vectorized backend: a kernel may take the invocation;
+                    # None means "no kernel / declined" and falls through
+                    # to the naive operation below (per-invocation
+                    # fallback, attributed by the backend).
+                    produced = eng.backend.dispatch(self.name, tables, kwargs)
+                    if produced is not None:
+                        return (produced,)
             result = self.function(*tables, **kwargs)
         if self.multi_result:
             return tuple(result)

@@ -31,6 +31,7 @@ from ...core import (
     TabularDatabase,
     Table,
 )
+from ...obs import events as _ev
 from ...obs import runtime as _obs
 from ...obs.trace import NULL_SPAN
 from ...runtime import governor as _gv
@@ -253,6 +254,10 @@ class While(Statement):
             prov_frontier: list[int] = []
             lineage_on = observing and obs.lineage is not None
             gov = _gv.GOV
+            prev_rows = prev_cells = 0
+            if _ev.EVT.active:
+                prev_rows = sum(t.height for t in db.tables)
+                prev_cells = sum(t.nrows * t.ncols for t in db.tables)
             while self._holds(db, interp):
                 iterations += 1
                 if gov.active and gov.governor is not None:
@@ -260,6 +265,22 @@ class While(Statement):
                     # per tick — the same chokepoint the FO+while budget
                     # delegates to, so both languages share one governor.
                     gov.governor.while_tick(str(self.condition), iterations)
+                if _ev.EVT.active:
+                    # Fixpoint frontier, live: condition rows plus the
+                    # database's row/cell growth since the previous tick.
+                    total_rows = sum(t.height for t in db.tables)
+                    total_cells = sum(t.nrows * t.ncols for t in db.tables)
+                    _ev.emit(
+                        "while_iteration",
+                        condition=str(self.condition),
+                        iteration=iterations,
+                        frontier_rows=self._condition_rows(db, interp),
+                        total_rows=total_rows,
+                        total_cells=total_cells,
+                        delta_rows=total_rows - prev_rows,
+                        delta_cells=total_cells - prev_cells,
+                    )
+                    prev_rows, prev_cells = total_rows, total_cells
                 if iterations > interp.max_while_iterations:
                     raise NonTerminationError(
                         f"while loop on {self.condition} exceeded "

@@ -9,7 +9,8 @@ Layout:
   :class:`IdTable` id-column table representation;
 * :mod:`repro.engine.kernels` — the hash-based kernel catalogue;
 * :mod:`repro.engine.planner` — product/select fusion;
-* :mod:`repro.engine.run` — ``run_program(..., engine="vector")``.
+* :mod:`repro.engine.run` — ``run_program(..., engine="vector")``;
+* :mod:`repro.engine.report` — kernel/fallback attribution reporting.
 
 Only :mod:`~repro.engine.runtime` is imported eagerly: the operation
 registry imports this package while the algebra package is still
@@ -17,16 +18,19 @@ initialising, so everything that depends on the algebra (planner, run)
 is exposed lazily via module ``__getattr__``.
 """
 
-from .runtime import ENGINE, VectorEngine, engine_scope
+from .runtime import ENGINE, FALLBACK_REASONS, VectorEngine, engine_scope
 
 __all__ = [
     "ENGINE",
     "ENGINES",
+    "FALLBACK_REASONS",
     "VectorEngine",
     "engine_scope",
     "plan_program",
     "count_fusions",
     "run_program",
+    "fallback_report",
+    "report_text",
 ]
 
 _LAZY = {
@@ -34,6 +38,8 @@ _LAZY = {
     "ENGINES": ("repro.engine.run", "ENGINES"),
     "plan_program": ("repro.engine.planner", "plan_program"),
     "count_fusions": ("repro.engine.planner", "count_fusions"),
+    "fallback_report": ("repro.engine.report", "fallback_report"),
+    "report_text": ("repro.engine.report", "report_text"),
 }
 
 

@@ -23,9 +23,31 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Mapping, Sequence
 
+from ..obs import events as _ev
 from ..obs import runtime as _obs
 
-__all__ = ["ENGINE", "VectorEngine", "engine_scope"]
+__all__ = ["ENGINE", "VectorEngine", "engine_scope", "FALLBACK_REASONS"]
+
+#: The machine-readable vocabulary of fallback reasons.  Every naive
+#: fallback under an engine scope is tagged with exactly one of these
+#: (``repro engine-report`` attributes 100% of fallbacks to a reason):
+#:
+#: * ``no_kernel``       — no vectorized kernel is registered for the op;
+#: * ``lineage_active``  — a lineage scope is live and kernels cannot
+#:   thread per-cell provenance;
+#: * ``kernel_declined`` — the kernel inspected the inputs and declined;
+#: * ``needs_fresh``     — tagging ops mint fresh values, naive-only;
+#: * ``multi_result``    — the op returns several tables, naive-only;
+#: * ``aggregate``       — COLLAPSE-style ops consume all tables of a
+#:   name at once, naive-only.
+FALLBACK_REASONS = (
+    "no_kernel",
+    "lineage_active",
+    "kernel_declined",
+    "needs_fresh",
+    "multi_result",
+    "aggregate",
+)
 
 
 class _EngineState:
@@ -67,6 +89,22 @@ class VectorEngine:
         self.kernels = KERNELS
         self.stats: dict[str, int] = {"kernel_calls": 0, "fallbacks": 0}
 
+    def note_fallback(self, name: str, reason: str) -> None:
+        """Count one naive fallback, attributed to a machine-readable reason.
+
+        Called by :meth:`dispatch` for its own declines and by the op
+        registry for the invocations it never offers to the backend
+        (tagging, multi-result, and aggregate ops), so ``stats`` accounts
+        for *every* naive execution under the scope — the engine report
+        can attribute 100% of fallbacks, not just the dispatched ones.
+        """
+        self.stats["fallbacks"] += 1
+        self.stats[f"fallback:{name}"] = self.stats.get(f"fallback:{name}", 0) + 1
+        key = f"reason:{name}:{reason}"
+        self.stats[key] = self.stats.get(key, 0) + 1
+        if _ev.EVT.active:
+            _ev.emit("engine_fallback", op=name, reason=reason)
+
     def dispatch(self, name: str, tables: Sequence, arguments: Mapping[str, object]):
         """A result :class:`~repro.core.table.Table`, or None to fall back.
 
@@ -75,17 +113,20 @@ class VectorEngine:
         way the naive operations do.
         """
         kernel = self.kernels.get(name)
-        if kernel is None or _obs.OBS.lineage is not None:
-            self.stats["fallbacks"] += 1
-            self.stats[f"fallback:{name}"] = self.stats.get(f"fallback:{name}", 0) + 1
+        if kernel is None:
+            self.note_fallback(name, "no_kernel")
+            return None
+        if _obs.OBS.lineage is not None:
+            self.note_fallback(name, "lineage_active")
             return None
         result = kernel(self.interner, tables, arguments)
         if result is None:
-            self.stats["fallbacks"] += 1
-            self.stats[f"fallback:{name}"] = self.stats.get(f"fallback:{name}", 0) + 1
+            self.note_fallback(name, "kernel_declined")
             return None
         self.stats["kernel_calls"] += 1
         self.stats[f"kernel:{name}"] = self.stats.get(f"kernel:{name}", 0) + 1
+        if _ev.EVT.active:
+            _ev.emit("engine_dispatch", op=name, rows_in=sum(t.height for t in tables))
         obs = _obs.OBS
         if obs.active and obs.metrics is not None:
             obs.metrics.count("vector_kernel_hits")

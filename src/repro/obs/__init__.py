@@ -27,6 +27,20 @@ cell-level why-provenance queries and the witness-replay audit, and
 from .metrics import MetricsRegistry, OpMetrics
 from .runtime import OBS, Observation, observation, span
 from .trace import NULL_SPAN, Span, Tracer
+from .events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    EVT,
+    Event,
+    EventBus,
+    JsonlEventWriter,
+    RingSubscriber,
+    emit,
+    event_stream,
+)
+from .flight import FlightRecorder, flight_recorder
+from .progress import ProgressTicker
+from .prom import lint_prometheus_text, prometheus_text
 from .lineage import (
     AuditResult,
     CellRef,
@@ -70,18 +84,27 @@ from .profile import Hotspot, Profile, profile
 
 __all__ = [
     "OBS",
+    "EVT",
     "NULL_SPAN",
+    "EVENT_KINDS",
+    "EVENT_SCHEMA_VERSION",
     "AuditResult",
     "CellRef",
     "CostEstimate",
     "CostModel",
+    "Event",
+    "EventBus",
+    "FlightRecorder",
     "Hotspot",
+    "JsonlEventWriter",
     "Lineage",
     "MetricsRegistry",
     "Observation",
     "OpMetrics",
     "Profile",
+    "ProgressTicker",
     "ReplayCheck",
+    "RingSubscriber",
     "Span",
     "Tracer",
     "Witness",
@@ -92,16 +115,21 @@ __all__ = [
     "count_prov_cells",
     "counters_table",
     "derived_from",
+    "emit",
+    "event_stream",
     "explain_analyze_text",
     "explain_json",
     "explain_text",
+    "flight_recorder",
     "format_span",
     "graph_to_dot",
     "jsonl_records",
     "lineage",
+    "lint_prometheus_text",
     "metrics_table",
     "observation",
     "profile",
+    "prometheus_text",
     "provenance",
     "provenance_graph",
     "span",

@@ -19,7 +19,12 @@ from __future__ import annotations
 
 import threading
 
-__all__ = ["OpMetrics", "MetricsRegistry"]
+__all__ = ["HIST_BUCKETS_S", "OpMetrics", "MetricsRegistry"]
+
+#: Per-call wall-time histogram bucket upper bounds, in seconds.  The
+#: last implicit bucket is +Inf; counts are kept per bucket (not
+#: cumulative) and rendered cumulatively by the Prometheus exporter.
+HIST_BUCKETS_S = (0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
 
 
 class OpMetrics:
@@ -36,6 +41,7 @@ class OpMetrics:
         "rows_out",
         "cols_in",
         "cols_out",
+        "hist",
     )
 
     def __init__(self, name: str):
@@ -49,6 +55,17 @@ class OpMetrics:
         self.rows_out = 0
         self.cols_in = 0
         self.cols_out = 0
+        #: Per-bucket call counts; index i counts calls with
+        #: ``seconds <= HIST_BUCKETS_S[i]``, the last slot is overflow.
+        self.hist = [0] * (len(HIST_BUCKETS_S) + 1)
+
+    def observe(self, seconds: float) -> None:
+        """Fold one call's wall time into the histogram."""
+        for index, bound in enumerate(HIST_BUCKETS_S):
+            if seconds <= bound:
+                self.hist[index] += 1
+                return
+        self.hist[-1] += 1
 
     def as_dict(self) -> dict:
         """A JSON-serializable snapshot of this record."""
@@ -62,6 +79,7 @@ class OpMetrics:
             "rows_out": self.rows_out,
             "cols_in": self.cols_in,
             "cols_out": self.cols_out,
+            "hist": list(self.hist),
         }
 
     def __repr__(self) -> str:
@@ -102,6 +120,7 @@ class MetricsRegistry:
                 record = self._ops[name] = OpMetrics(name)
             record.calls += 1
             record.wall_time += seconds
+            record.observe(seconds)
             record.tables_in += tables_in
             record.tables_out += tables_out
             record.rows_in += rows_in

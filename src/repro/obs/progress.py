@@ -1,0 +1,140 @@
+"""Live progress ticker: human-readable lines from the event feed.
+
+``python -m repro run --progress`` attaches a :class:`ProgressTicker`
+as a callback subscriber on the event bus.  The ticker renders the
+events a human watching a long while-fixpoint cares about:
+
+* **while iterations** — iteration number, the condition's frontier row
+  count, and the run's total row delta since the previous tick;
+* **budget headroom** — the governor's remaining wall-clock and row
+  budget, folded into the same line so a run visibly approaching a kill
+  reads as one;
+* **checkpoints, faults, kills** — each gets its own line the moment it
+  happens;
+* **run start/finish** — framing with the final governor counters.
+
+The ticker is throttled (``min_interval_s``) so a tight fixpoint cannot
+flood a terminal, but kills/faults/finish lines always print.  It holds
+no references into the engine: everything rendered comes from event
+payloads, which is exactly the property that lets the same feed drive a
+WebSocket client instead (see :class:`~repro.obs.events.JsonlEventWriter`).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+from .events import Event
+
+__all__ = ["ProgressTicker"]
+
+
+class ProgressTicker:
+    """Callback subscriber rendering progress lines to a stream."""
+
+    __slots__ = ("_stream", "min_interval_s", "_last_line_at", "_budget", "lines")
+
+    def __init__(self, stream: TextIO | None = None, min_interval_s: float = 0.0):
+        self._stream = stream if stream is not None else sys.stdout
+        self.min_interval_s = min_interval_s
+        self._last_line_at = 0.0
+        #: The latest ``governor_budget`` payload, folded into tick lines.
+        self._budget: dict | None = None
+        #: Lines emitted (throttled ticks excluded), for tests/summaries.
+        self.lines = 0
+
+    # -- rendering helpers ---------------------------------------------
+
+    def _write(self, text: str) -> None:
+        self._stream.write(text + "\n")
+        flush = getattr(self._stream, "flush", None)
+        if flush is not None:
+            flush()
+        self.lines += 1
+        self._last_line_at = time.monotonic()
+
+    def _headroom(self) -> str:
+        budget = self._budget
+        if not budget:
+            return ""
+        parts = []
+        deadline = budget.get("deadline_s")
+        elapsed = budget.get("elapsed_s")
+        if deadline is not None and elapsed is not None:
+            remaining = max(0.0, float(deadline) - float(elapsed))
+            parts.append(f"deadline {remaining * 1e3:.0f}ms left")
+        cap = budget.get("max_total_rows")
+        rows = budget.get("rows_emitted")
+        if cap is not None and rows is not None:
+            parts.append(f"rows {rows}/{cap}")
+        iteration_cap = budget.get("max_while_iterations")
+        iteration = budget.get("iteration")
+        if iteration_cap is not None and iteration is not None:
+            parts.append(f"iter {iteration}/{iteration_cap}")
+        return f"  [budget: {', '.join(parts)}]" if parts else ""
+
+    # -- the subscriber ------------------------------------------------
+
+    def __call__(self, event: Event) -> None:
+        kind = event.kind
+        data = event.data
+        if kind == "governor_budget":
+            # Folded into the next tick line rather than printed alone.
+            self._budget = data
+            return
+        if kind == "while_iteration":
+            if (
+                self.min_interval_s > 0.0
+                and time.monotonic() - self._last_line_at < self.min_interval_s
+            ):
+                return
+            delta = data.get("delta_rows")
+            delta_text = f"  {'+' if delta >= 0 else ''}{delta} rows" if isinstance(delta, int) else ""
+            self._write(
+                f"iter {data.get('iteration')}: frontier {data.get('condition')} "
+                f"= {data.get('frontier_rows')} row(s), total {data.get('total_rows')}"
+                f"{delta_text}{self._headroom()}"
+            )
+            return
+        if kind == "governor_kill":
+            self._write(
+                f"KILLED: {data.get('kind')} budget tripped "
+                f"(limit={data.get('limit')}, used={data.get('used')})"
+            )
+            return
+        if kind == "fault_injected":
+            self._write(
+                f"fault: {data.get('fault')} injected at {data.get('op')} "
+                f"(occurrence {data.get('occurrence')})"
+            )
+            return
+        if kind == "checkpoint_write":
+            # Quiet unless it marks completion: per-statement checkpoints
+            # are too chatty for a terminal feed.
+            if data.get("done"):
+                self._write(f"checkpoint: done, written to {data.get('path')}")
+            return
+        if kind == "checkpoint_restore":
+            self._write(
+                f"resumed from {data.get('path')} at statement "
+                f"{data.get('statement_index')}, iteration {data.get('iteration')}"
+            )
+            return
+        if kind == "run_start":
+            self._write(
+                f"run: {data.get('workload', 'program')} "
+                f"({data.get('statements')} top-level statement(s))"
+            )
+            return
+        if kind == "run_finish":
+            governor = data.get("governor") or {}
+            self._write(
+                f"finished: {governor.get('ops_dispatched')} ops, "
+                f"{governor.get('rows_emitted')} rows in "
+                f"{float(governor.get('elapsed_s') or 0.0) * 1e3:.0f}ms"
+            )
+            return
+        # span_start/span_finish/engine_* are too fine-grained for a
+        # terminal ticker; the JSONL stream carries them for machines.

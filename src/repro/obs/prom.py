@@ -1,0 +1,234 @@
+"""Prometheus text-format export of the :class:`MetricsRegistry`.
+
+:func:`prometheus_text` renders one metrics snapshot as the Prometheus
+text exposition format (version 0.0.4 — the ``# HELP``/``# TYPE`` +
+sample-lines format every Prometheus scraper and ``promtool`` accept):
+
+* per-op **counters** — calls, errors, rows in/out — labelled by op;
+* per-op **histograms** — wall-clock seconds per call over the fixed
+  buckets of :data:`~repro.obs.metrics.HIST_BUCKETS_S`, with the
+  cumulative ``_bucket``/``_sum``/``_count`` series Prometheus expects;
+* the interpreter's free **counters** (statements, while iterations,
+  kernel hits, …) labelled by counter name.
+
+``python -m repro metrics --prom`` runs the bundled pipelines under an
+observation scope and prints this — point a scrape config at a tiny
+HTTP wrapper around it (the planned query service exposes exactly this
+text on ``/metrics``) and the engine shows up in Grafana.
+
+:func:`lint_prometheus_text` is the matching format checker: a small,
+dependency-free validator (CI runs it as ``python -m repro prom-lint``)
+that catches the mistakes scrapers reject — bad metric/label names,
+``TYPE``-less samples, non-cumulative or ``+Inf``-less histograms.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .metrics import HIST_BUCKETS_S, MetricsRegistry
+
+__all__ = ["prometheus_text", "lint_prometheus_text"]
+
+#: Prometheus metric- and label-name grammars (the scrape-time rules).
+_METRIC_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    """A float rendered without exponent noise; integers stay integral."""
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(round(float(value), 9))
+
+
+class _Writer:
+    def __init__(self, namespace: str):
+        self.namespace = namespace
+        self.lines: list[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> str:
+        full = f"{self.namespace}_{name}"
+        self.lines.append(f"# HELP {full} {help_text}")
+        self.lines.append(f"# TYPE {full} {kind}")
+        return full
+
+    def sample(self, name: str, labels: dict, value: float) -> None:
+        if labels:
+            rendered = ",".join(
+                f'{key}="{_escape(str(val))}"' for key, val in labels.items()
+            )
+            self.lines.append(f"{name}{{{rendered}}} {_fmt(value)}")
+        else:
+            self.lines.append(f"{name} {_fmt(value)}")
+
+
+def prometheus_text(metrics: MetricsRegistry, namespace: str = "repro") -> str:
+    """One snapshot as the Prometheus text exposition format."""
+    operations = metrics.operations
+    counters = metrics.counters
+    out = _Writer(namespace)
+
+    per_op_counters = (
+        ("op_calls_total", "calls", "Operation invocations."),
+        ("op_errors_total", "errors", "Operation invocations that raised."),
+        ("op_rows_in_total", "rows_in", "Data rows consumed by the operation."),
+        ("op_rows_out_total", "rows_out", "Data rows produced by the operation."),
+    )
+    for family, attribute, help_text in per_op_counters:
+        name = out.family(family, "counter", help_text)
+        for op in sorted(operations):
+            out.sample(name, {"op": op}, getattr(operations[op], attribute))
+
+    name = out.family(
+        "op_duration_seconds",
+        "histogram",
+        "Per-call wall-clock time of the operation.",
+    )
+    for op in sorted(operations):
+        record = operations[op]
+        cumulative = 0
+        for bound, count in zip(HIST_BUCKETS_S, record.hist):
+            cumulative += count
+            out.sample(
+                f"{name}_bucket", {"op": op, "le": _fmt(bound)}, cumulative
+            )
+        cumulative += record.hist[-1]
+        out.sample(f"{name}_bucket", {"op": op, "le": "+Inf"}, cumulative)
+        out.sample(f"{name}_sum", {"op": op}, round(record.wall_time, 9))
+        out.sample(f"{name}_count", {"op": op}, record.calls)
+
+    name = out.family(
+        "events_total",
+        "counter",
+        "Interpreter event counters (statements, while iterations, ...).",
+    )
+    for counter in sorted(counters):
+        out.sample(name, {"counter": counter}, counters[counter])
+
+    return "\n".join(out.lines) + "\n"
+
+
+def lint_prometheus_text(text: str) -> list[str]:
+    """Format problems in one exposition payload (empty = clean).
+
+    Checks the rules scrapers actually enforce: metric and label name
+    grammars, every sample preceded by a ``# TYPE`` for its family,
+    parseable sample values, and — for histograms — bucket counts that
+    are cumulative, monotone, and terminated by an ``+Inf`` bucket whose
+    count equals ``_count``.
+    """
+    errors: list[str] = []
+    typed: dict[str, str] = {}
+    buckets: dict[tuple[str, tuple], list[tuple[float, float]]] = {}
+    counts: dict[tuple[str, tuple], float] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            if not _METRIC_RE.fullmatch(parts[2]):
+                errors.append(f"line {lineno}: bad metric name {parts[2]!r}")
+                continue
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for pair in _split_labels(match.group("labels")):
+                pair_match = _LABEL_PAIR_RE.match(pair.strip())
+                if pair_match is None or not _LABEL_RE.fullmatch(pair_match.group(1)):
+                    errors.append(f"line {lineno}: bad label pair {pair!r}")
+                    break
+                labels[pair_match.group(1)] = pair_match.group(2)
+        raw_value = match.group("value")
+        try:
+            value = float("inf") if raw_value == "+Inf" else float(raw_value)
+        except ValueError:
+            errors.append(f"line {lineno}: bad sample value {raw_value!r}")
+            continue
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+                break
+        if family not in typed:
+            errors.append(f"line {lineno}: sample {name!r} has no TYPE declaration")
+            continue
+        if typed[family] == "histogram" and name.endswith("_bucket"):
+            le = labels.get("le")
+            if le is None:
+                errors.append(f"line {lineno}: histogram bucket without le label")
+                continue
+            bound = float("inf") if le == "+Inf" else float(le)
+            key = (family, tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
+            buckets.setdefault(key, []).append((bound, value))
+        if typed[family] == "histogram" and name.endswith("_count"):
+            key = (family, tuple(sorted(labels.items())))
+            counts[key] = value
+
+    for (family, labels), series in sorted(buckets.items()):
+        ordered = sorted(series)
+        if not ordered or ordered[-1][0] != float("inf"):
+            errors.append(f"{family}{dict(labels)}: histogram missing +Inf bucket")
+            continue
+        values = [count for _bound, count in ordered]
+        if any(b < a for a, b in zip(values, values[1:])):
+            errors.append(f"{family}{dict(labels)}: bucket counts not cumulative")
+        total = counts.get((family, labels))
+        if total is not None and values[-1] != total:
+            errors.append(
+                f"{family}{dict(labels)}: +Inf bucket {values[-1]} != _count {total}"
+            )
+    return errors
+
+
+def _split_labels(body: str) -> list[str]:
+    """Split a label body on commas outside quoted values."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [part for part in parts if part.strip()]

@@ -42,6 +42,7 @@ from ..core.database import TabularDatabase
 from ..core.errors import CheckpointError
 from ..core.symbols import NULL, FreshValueSource, Name, Symbol, TaggedValue, Value
 from ..core.table import Table
+from ..obs import events as _ev
 from .faults import FaultPlan
 from .governor import Limits, ResourceGovernor, governed
 
@@ -320,6 +321,15 @@ def run_hardened(
         start_body = checkpoint.body_index
         start_iteration = checkpoint.iterations
         interp.fresh.reset_to(checkpoint.next_tag)
+        if _ev.EVT.active:
+            _ev.emit(
+                "checkpoint_restore",
+                path=str(checkpoint_path),
+                statement_index=start_index,
+                body_index=start_body,
+                iteration=start_iteration,
+                done=checkpoint.done,
+            )
         if checkpoint.done:
             return db
 
@@ -340,6 +350,15 @@ def run_hardened(
                     done=done,
                 ),
             )
+            if _ev.EVT.active:
+                _ev.emit(
+                    "checkpoint_write",
+                    path=str(checkpoint_path),
+                    statement_index=index,
+                    body_index=body_index,
+                    iteration=iteration,
+                    done=done,
+                )
 
     def committed(statement, database: TabularDatabase) -> TabularDatabase:
         """Execute one statement with fresh-source snapshot-and-commit."""
@@ -351,6 +370,14 @@ def run_hardened(
             raise
 
     with scope, governed(limits, faults=faults, governor=governor) as gov:
+        if _ev.EVT.active:
+            _ev.emit(
+                "run_start",
+                statements=len(program.statements),
+                resume=resume,
+                engine=engine or "naive",
+                start_index=start_index,
+            )
         # Boundary zero: resume works even if killed before any progress.
         write(start_index, body_index=start_body, iteration=start_iteration)
         for index in range(start_index, len(program.statements)):
@@ -368,6 +395,10 @@ def run_hardened(
                         iteration, body_pos = start_iteration, start_body
                     else:
                         iteration, body_pos = 0, 0
+                    prev_rows = prev_cells = 0
+                    if _ev.EVT.active:
+                        prev_rows = sum(t.height for t in db.tables)
+                        prev_cells = sum(t.nrows * t.ncols for t in db.tables)
                     while True:
                         if body_pos == 0:
                             if not statement._holds(db, interp):
@@ -378,6 +409,27 @@ def run_hardened(
                             gov.while_tick(
                                 str(statement.condition), iteration, statement=index
                             )
+                            if _ev.EVT.active:
+                                # Same fixpoint-frontier event While.execute
+                                # publishes: the hardened driver steps the
+                                # loop itself, so it reports the ticks too.
+                                total_rows = sum(t.height for t in db.tables)
+                                total_cells = sum(
+                                    t.nrows * t.ncols for t in db.tables
+                                )
+                                _ev.emit(
+                                    "while_iteration",
+                                    condition=str(statement.condition),
+                                    iteration=iteration,
+                                    frontier_rows=statement._condition_rows(
+                                        db, interp
+                                    ),
+                                    total_rows=total_rows,
+                                    total_cells=total_cells,
+                                    delta_rows=total_rows - prev_rows,
+                                    delta_cells=total_cells - prev_cells,
+                                )
+                                prev_rows, prev_cells = total_rows, total_cells
                         for position in range(body_pos, len(body)):
                             db = committed(body[position], db)
                             write(
@@ -393,6 +445,8 @@ def run_hardened(
             finally:
                 gov.statement = previous_statement
         write(len(program.statements), done=True)
+        if _ev.EVT.active:
+            _ev.emit("run_finish", governor=gov.snapshot())
     return db
 
 

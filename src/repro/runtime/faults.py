@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..core.errors import EvaluationError, FaultInjectedError
+from ..obs import events as _ev
 from ..obs import runtime as _obs
 
 __all__ = ["FaultRule", "FaultPlan", "FAULT_KINDS"]
@@ -143,6 +144,10 @@ class FaultPlan:
 
     def _record(self, op: str, kind: str, count: int) -> None:
         self.fired.append({"op": op, "kind": kind, "occurrence": count})
+        if _ev.EVT.active:
+            _ev.emit(
+                "fault_injected", op=op, fault=kind, occurrence=count, seed=self.seed
+            )
         obs = _obs.OBS
         if obs.active and obs.tracer is not None:
             with obs.tracer.span("fault", op=op, kind=kind, occurrence=count):

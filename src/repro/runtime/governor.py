@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ..core.errors import BudgetExceededError, CancelledError, NonTerminationError
+from ..obs import events as _ev
 from ..obs import runtime as _obs
 
 __all__ = [
@@ -143,9 +144,30 @@ class ResourceGovernor:
 
     # -- chokepoint checks ---------------------------------------------
 
+    def _kill_event(
+        self,
+        kind: str,
+        limit,
+        used,
+        op: str | None = None,
+        iteration: int | None = None,
+    ) -> None:
+        """Publish a ``governor_kill`` event just before the budget raise."""
+        if _ev.EVT.active:
+            _ev.emit(
+                "governor_kill",
+                kind=kind,
+                limit=limit,
+                used=used,
+                op=op,
+                statement=self.statement,
+                iteration=iteration,
+            )
+
     def check(self, op: str | None = None, iteration: int | None = None) -> None:
         """Deadline + cancellation + memory check (the cheap, common one)."""
         if self.cancelled:
+            self._kill_event("cancelled", None, None, op=op, iteration=iteration)
             raise CancelledError(
                 self.cancel_reason or "execution cancelled",
                 op=op,
@@ -153,11 +175,15 @@ class ResourceGovernor:
                 iteration=iteration,
             )
         if self.deadline_at is not None and time.perf_counter() > self.deadline_at:
+            elapsed = round(time.perf_counter() - self.started, 4)
+            self._kill_event(
+                "deadline", self.limits.deadline_s, elapsed, op=op, iteration=iteration
+            )
             raise BudgetExceededError(
                 "wall-clock deadline exceeded",
                 kind="deadline",
                 limit=self.limits.deadline_s,
-                elapsed=round(time.perf_counter() - self.started, 4),
+                elapsed=elapsed,
                 op=op,
                 statement=self.statement,
                 iteration=iteration,
@@ -166,6 +192,7 @@ class ResourceGovernor:
         if cap is not None and tracemalloc.is_tracing():
             current, _peak = tracemalloc.get_traced_memory()
             if current > cap:
+                self._kill_event("memory", cap, current, op=op, iteration=iteration)
                 raise BudgetExceededError(
                     "memory high-water mark exceeded",
                     kind="memory",
@@ -187,6 +214,7 @@ class ResourceGovernor:
         self.cells_emitted += cells
         limits = self.limits
         if limits.max_rows_per_op is not None and rows > limits.max_rows_per_op:
+            self._kill_event("rows", limits.max_rows_per_op, rows, op=op)
             raise BudgetExceededError(
                 f"{op} produced too many rows in one invocation",
                 kind="rows",
@@ -196,6 +224,7 @@ class ResourceGovernor:
                 statement=self.statement,
             )
         if limits.max_cells_per_op is not None and cells > limits.max_cells_per_op:
+            self._kill_event("cells", limits.max_cells_per_op, cells, op=op)
             raise BudgetExceededError(
                 f"{op} produced too many cells in one invocation",
                 kind="cells",
@@ -208,6 +237,9 @@ class ResourceGovernor:
             limits.max_total_rows is not None
             and self.rows_emitted > limits.max_total_rows
         ):
+            self._kill_event(
+                "total_rows", limits.max_total_rows, self.rows_emitted, op=op
+            )
             raise BudgetExceededError(
                 "cumulative row budget exhausted",
                 kind="total_rows",
@@ -224,9 +256,23 @@ class ResourceGovernor:
         self, condition: str, iteration: int, statement: int | None = None
     ) -> None:
         """Called once per while-loop iteration by both interpreters."""
+        if _ev.EVT.active:
+            # Budget headroom, once per tick: the progress feed's view of
+            # how close the loop is to a deadline / row-cap kill.
+            _ev.emit(
+                "governor_budget",
+                condition=condition,
+                iteration=iteration,
+                elapsed_s=round(time.perf_counter() - self.started, 6),
+                deadline_s=self.limits.deadline_s,
+                rows_emitted=self.rows_emitted,
+                max_total_rows=self.limits.max_total_rows,
+                max_while_iterations=self.limits.max_while_iterations,
+            )
         self.check(op=None, iteration=iteration)
         cap = self.limits.max_while_iterations
         if cap is not None and iteration > cap:
+            self._kill_event("iterations", cap, iteration, iteration=iteration)
             raise NonTerminationError(
                 f"while loop on {condition} exceeded the governor's iteration budget",
                 kind="iterations",

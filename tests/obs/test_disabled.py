@@ -88,6 +88,27 @@ class TestZeroOverheadSmoke:
         finally:
             registry_module.OpSpec._invoke_observed = original
 
+    def test_disabled_dispatch_skips_the_evented_path(self):
+        """The event bus is gated identically: one EVT.active check."""
+        import repro.algebra.programs.registry as registry_module
+        from repro.obs.events import event_stream
+
+        spec = OPERATIONS["DEDUP"]
+        table = make_table("T", ["A"], [["x"], ["y"]])
+        calls = []
+        original = registry_module.OpSpec._invoke_evented
+        try:
+            registry_module.OpSpec._invoke_evented = (
+                lambda self, *a: calls.append(self.name) or original(self, *a)
+            )
+            spec.invoke((table,), {}, None)
+            assert calls == []  # no active bus: evented path never entered
+            with event_stream():
+                spec.invoke((table,), {}, None)
+            assert calls == ["DEDUP"]
+        finally:
+            registry_module.OpSpec._invoke_evented = original
+
     def test_disabled_run_allocates_nothing_in_obs_modules(self):
         """tracemalloc audit: the off switch means *zero* obs allocations.
 

@@ -85,6 +85,44 @@ class TestChromeTraceGoldenSchema:
         data = json.loads(path.read_text())
         assert data["traceEvents"]
 
+    def test_timestamps_are_microseconds(self):
+        """``ts``/``dur`` are µs: each X event matches its span's wall time."""
+        obs = observed_pivot()
+        durations = sorted(
+            span.duration * 1e6 for root in obs.spans for span in root.walk()
+        )
+        events = sorted(
+            e["dur"]
+            for e in chrome_trace(obs)["traceEvents"]
+            if e["ph"] == "X"
+        )
+        assert len(events) == len(durations)
+        for exported, wall_us in zip(events, durations):
+            # Exported value is the µs duration rounded (clamped at 0.1µs).
+            assert exported == max(0.1, round(wall_us, 3))
+        # Relative ts values span the run: earliest is zero, the rest
+        # stay within the root span's µs extent.
+        root_extent = max(durations)
+        ts = [
+            e["ts"] for e in chrome_trace(obs)["traceEvents"] if e["ph"] == "X"
+        ]
+        assert min(ts) == 0.0
+        assert max(ts) <= root_extent
+
+    def test_pid_and_tid_land_on_tracks(self):
+        obs = observed_pivot()
+        events = chrome_trace(obs)["traceEvents"]
+        assert {e["pid"] for e in events} == {0}
+        span_tids = {span.thread_id for root in obs.spans for span in root.walk()}
+        x_tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert x_tids == span_tids
+
+    def test_golden_round_trip(self, tmp_path):
+        """The file on disk deserializes back to the in-memory trace."""
+        obs = observed_pivot()
+        path = write_chrome_trace(obs, tmp_path / "trace.json")
+        assert json.loads(path.read_text()) == chrome_trace(obs)
+
 
 class TestJsonLines:
     def test_records_are_spans_then_metrics(self):

@@ -172,6 +172,32 @@ class TestBenchCompare:
         assert code == 2
         assert "invalid tolerance" in output
 
+    def test_missing_trajectory_exits_three(self, tmp_path):
+        """Exit 3 = the gate never ran, distinct from 1 (regression)."""
+        base = tmp_path / "base.json"
+        self.write(base, {"fig4/group": 1.0})
+        code, output = run_cli(
+            "bench-compare", str(base), str(tmp_path / "nope.json")
+        )
+        assert code == 3
+        assert "cannot read current trajectory" in output
+
+    def test_unparseable_trajectory_exits_three(self, tmp_path):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        self.write(base, {"fig4/group": 1.0})
+        cur.write_text("{ this is not json")
+        code, output = run_cli("bench-compare", str(base), str(cur))
+        assert code == 3
+        assert "not valid JSON" in output
+
+    def test_malformed_trajectory_exits_three(self, tmp_path):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        self.write(base, {"fig4/group": 1.0})
+        cur.write_text('{"format": 1}')  # no "benchmarks" mapping
+        code, output = run_cli("bench-compare", str(base), str(cur))
+        assert code == 3
+        assert "malformed" in output
+
 
 class TestStats:
     def test_stats_renders_metric_tables(self):
@@ -321,6 +347,149 @@ class TestRun:
         code, output = run_cli("run", "olap")
         assert code == 2
         assert "cannot run under the hardened runtime" in output
+
+
+class TestRunEventFlags:
+    def test_progress_streams_ticker_lines(self):
+        code, output = run_cli("run", "tc:6", "--max-rows", "60", "--progress")
+        assert code == 1
+        assert "run: " in output
+        assert "iter 1" in output and "frontier" in output
+        assert "rows" in output and "/60]" in output
+        assert "KILLED: total_rows" in output
+
+    def test_events_flag_streams_jsonl(self, tmp_path):
+        import json
+
+        events = tmp_path / "events.jsonl"
+        code, _output = run_cli("run", "tc:4", "--events", str(events))
+        assert code == 0
+        decoded = [json.loads(line) for line in events.read_text().splitlines()]
+        assert decoded[0]["kind"] == "run_start"
+        assert decoded[-1]["kind"] == "run_finish"
+        kinds = {record["kind"] for record in decoded}
+        assert {"span_start", "span_finish", "while_iteration"} <= kinds
+
+    def test_flight_dir_dumps_postmortem_on_kill(self, tmp_path):
+        import json
+
+        flight = tmp_path / "flight"
+        code, output = run_cli(
+            "run", "tc:6", "--max-rows", "60",
+            "--checkpoint", str(tmp_path / "ck.json"),
+            "--flight-dir", str(flight),
+        )
+        assert code == 1
+        assert "postmortem bundle written to" in output
+        bundles = sorted(flight.iterdir())
+        assert len(bundles) == 1
+        manifest = json.loads((bundles[0] / "MANIFEST.json").read_text())
+        assert manifest["error"]["type"] == "BudgetExceededError"
+        assert manifest["checkpoint"] == str(tmp_path / "ck.json")
+        assert (bundles[0] / "events.jsonl").exists()
+        assert "while" in (bundles[0] / "plan.txt").read_text()
+
+    def test_flight_dir_json_summary_carries_the_bundle(self, tmp_path):
+        import json
+
+        flight = tmp_path / "flight"
+        code, output = run_cli(
+            "run", "tc:6", "--max-rows", "60",
+            "--flight-dir", str(flight), "--json",
+        )
+        assert code == 1
+        data = json.loads(output)
+        assert data["finished"] is False
+        assert data["postmortem"].startswith(str(flight))
+
+    def test_clean_run_with_flight_dir_writes_nothing(self, tmp_path):
+        flight = tmp_path / "flight"
+        code, _output = run_cli("run", "tc:4", "--flight-dir", str(flight))
+        assert code == 0
+        assert not flight.exists()
+
+    def test_retried_run_only_dumps_after_the_last_attempt(self, tmp_path):
+        flight = tmp_path / "flight"
+        code, output = run_cli(
+            "run", "tc:8", "--deadline", "50",
+            "--checkpoint", str(tmp_path / "ck.json"), "--retry", "100",
+            "--flight-dir", str(flight),
+        )
+        assert code == 0
+        assert "finished after" in output
+        assert not flight.exists()  # the run recovered: no postmortem
+
+
+class TestMetrics:
+    def test_metrics_json_snapshot(self):
+        import json
+
+        code, output = run_cli("metrics")
+        assert code == 0
+        data = json.loads(output)
+        assert data["operations"]["GROUP"]["calls"] >= 1
+        assert "hist" in data["operations"]["GROUP"]
+
+    def test_metrics_prom_is_lintable_text(self):
+        from repro.obs import lint_prometheus_text
+
+        code, output = run_cli("metrics", "--prom")
+        assert code == 0
+        assert "# TYPE repro_op_calls_total counter" in output
+        assert "# TYPE repro_op_duration_seconds histogram" in output
+        assert 'le="+Inf"' in output
+        assert lint_prometheus_text(output) == []
+
+
+class TestPromLint:
+    def test_clean_payload_exits_zero(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        path.write_text("# TYPE x counter\nx 1\n")
+        code, output = run_cli("prom-lint", str(path))
+        assert code == 0
+        assert "ok: 1 sample(s)" in output
+
+    def test_broken_payload_exits_one(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        path.write_text("orphan_sample 5\n")
+        code, output = run_cli("prom-lint", str(path))
+        assert code == 1
+        assert "prom-lint:" in output and "no TYPE declaration" in output
+
+    def test_unreadable_file_exits_two(self, tmp_path):
+        code, output = run_cli("prom-lint", str(tmp_path / "missing.prom"))
+        assert code == 2
+        assert "cannot read" in output
+
+
+class TestEngineReport:
+    def test_default_corpus_fully_attributed(self):
+        code, output = run_cli("engine-report")
+        assert code == 0
+        assert "ENGINE REPORT" in output
+        assert "corpus:" in output and "tc:8" in output
+        assert "(100%)" in output
+
+    def test_json_report(self):
+        import json
+
+        code, output = run_cli("engine-report", "tc:6", "--json")
+        assert code == 0
+        data = json.loads(output)
+        assert data["coverage"] == 1.0
+        assert data["attributed"] == data["fallbacks"]
+        assert data["corpus"] == ["tc:6"]
+        assert data["kernel_calls"] > 0
+
+    def test_explicit_example_spec(self):
+        code, output = run_cli("engine-report", "fig4-group")
+        assert code == 0
+        assert "no_kernel" in output  # GROUP has no vector kernel
+
+    def test_non_program_example_rejected(self):
+        code, output = run_cli("engine-report", "olap")
+        assert code == 2
+        assert "cannot report" in output
 
 
 class TestChaos:
