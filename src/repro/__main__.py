@@ -7,11 +7,15 @@ Commands:
 * ``check``   — a fast self-check of the headline reproductions (exit
   status 0 iff everything holds);
 * ``demo``    — the quickstart walkthrough;
-* ``trace [example] [--json] [--analyze]`` — run a bundled pipeline
-  under the tracer and print its EXPLAIN report (nested span tree,
-  per-op wall time and row flow, metrics tables); ``--analyze`` adds
-  the EXPLAIN ANALYZE comparison (estimated vs. actual rows/time with
-  mis-estimation ratios); ``--json`` emits the same data as JSON;
+* ``trace [example] [--json] [--analyze] [--stats PATH]`` — run a
+  bundled pipeline under the tracer and print its EXPLAIN report
+  (nested span tree, per-op wall time and row flow, metrics tables);
+  ``--analyze`` adds the EXPLAIN ANALYZE comparison (estimated vs.
+  actual rows/time with mis-estimation ratios); ``--stats PATH``
+  installs a persisted ANALYZE snapshot so the plan's ``est_rows``
+  come from measured statistics instead of shape heuristics (the
+  ANALYZE report then carries a ``Src`` column attributing each
+  estimate); ``--json`` emits the same data as JSON;
 * ``profile [example] [--chrome-trace PATH] [--log-json PATH]`` — run a
   bundled pipeline under the profiler and print hotspots (top ops by
   self time), wall-time histograms, and per-span peak memory; the flags
@@ -28,9 +32,28 @@ Commands:
   input-cell → output-cell provenance graph;
 * ``stats [--json]`` — run every bundled pipeline and print the
   aggregated per-operation metrics;
-* ``metrics [--prom]`` — the same aggregated metrics as a JSON snapshot
-  or (``--prom``) in the Prometheus text exposition format (per-op
-  counters and wall-time histograms, ready to scrape);
+* ``analyze [workload|example] [--engine naive|vector] [--top-k N]
+  [--out PATH] [--json]`` — the ANALYZE pass: compute per-table row
+  counts and per-column NDV / min / max / null fractions / top-K
+  frequency sketches for a workload's database (``tc:N`` or any
+  TA-program example), print the summary, and (``--out``) persist the
+  snapshot as schema-versioned JSON for ``trace --stats`` /
+  ``run --stats`` to consume;
+* ``stats-audit [--seeds N] [--engine naive|vector] [--tc N]
+  [--out PATH] [--json]`` — the estimator's accuracy audit: replay the
+  example corpus plus ``--seeds`` differential-fuzzer cases with fresh
+  ANALYZE stats installed, score every cardinality estimate against the
+  actual rows, and report per-op p50/p95/max q-error plus workload
+  fingerprint aggregates; exit 1 unless every dispatched op kind was
+  scored (docs/OBSERVABILITY.md);
+* ``metrics [--prom] [--estimates] [--stats PATH]`` — the same
+  aggregated metrics as a JSON snapshot or (``--prom``) in the
+  Prometheus text exposition format (per-op counters and wall-time
+  histograms, ready to scrape); ``--estimates`` reruns the corpus under
+  estimation and adds the estimator families (per-op q-error
+  histograms, worst-q-error gauges, estimates-by-source counters);
+  ``--stats PATH`` adds the stale-stats age/size gauges for a persisted
+  snapshot;
 * ``prom-lint [FILE]`` — validate a Prometheus text payload (stdin when
   no file): name grammars, TYPE declarations, histogram cumulativity;
   exit 1 on format problems;
@@ -49,7 +72,8 @@ Commands:
 * ``run [workload] [--engine naive|vector] [--deadline MS] [--max-rows N]
   [--max-rows-per-op N] [--max-cells-per-op N] [--max-while N]
   [--checkpoint PATH] [--resume] [--retry N] [--verify] [--json]
-  [--progress] [--events PATH] [--flight-dir DIR]`` — run a workload
+  [--progress] [--events PATH] [--flight-dir DIR] [--stats PATH]`` —
+  run a workload
   (``tc:N`` for the synthetic transitive-closure fixpoint, or any
   bundled TA example) under the resource governor with
   checkpoint/resume; ``--engine vector`` routes execution through the
@@ -59,8 +83,11 @@ Commands:
   while-iteration/budget lines from the event bus, ``--events PATH``
   streams every event as JSON lines, and ``--flight-dir DIR`` arms the
   flight recorder — a run that dies on a budget kill dumps a postmortem
-  bundle (event tail, metrics, checkpoint pointer) into DIR
-  (docs/OBSERVABILITY.md);
+  bundle (event tail, metrics, checkpoint pointer, and the ANALYZE
+  snapshot behind any live cardinality estimates) into DIR
+  (docs/OBSERVABILITY.md); ``--stats PATH`` installs a persisted
+  ANALYZE snapshot so the run is scored by the cardinality estimator
+  (``op_estimate`` events carry est/actual rows and q-error);
 * ``chaos [example...] [--kinds raise,delay,corrupt] [--seed N]
   [--json]`` — run the fault-injection matrix over the bundled
   pipelines; every injection point must surface as a typed error with
@@ -199,16 +226,32 @@ def _resolve_or_fail(raw: str) -> str | None:
 
 def _trace(rest: list[str]) -> int:
     import json
+    from contextlib import ExitStack
 
     from .obs.examples import EXAMPLES, trace_example
 
     json_out = "--json" in rest
     analyze = "--analyze" in rest
-    names = [a for a in rest if not a.startswith("-")]
+    stats_path = _flag_value(rest, "--stats")
+    names = [
+        a for a in rest if not a.startswith("-") and a != stats_path
+    ]
     name = _resolve_or_fail(names[0] if names else "fig4-group")
     if name is None:
         return 2
-    obs, _result = trace_example(name)
+    with ExitStack() as stack:
+        if stats_path is not None:
+            from .core.errors import StatsError
+            from .obs.estimator import estimation
+            from .obs.stats import load_stats
+
+            try:
+                stats = load_stats(stats_path)
+            except StatsError as err:
+                print(f"error: {err}")
+                return 2
+            stack.enter_context(estimation(stats))
+        obs, _result = trace_example(name)
     if json_out:
         data = obs.to_json()
         if analyze:
@@ -490,12 +533,13 @@ def _run(rest: list[str]) -> int:
     engine = _flag_value(rest, "--engine") or "naive"
     events_path = _flag_value(rest, "--events")
     flight_dir = _flag_value(rest, "--flight-dir")
+    stats_path = _flag_value(rest, "--stats")
     if engine not in ("naive", "vector"):
         print(f"error: invalid --engine {engine!r}; expected naive or vector")
         return 2
     for flag in ("--deadline", "--max-rows", "--max-rows-per-op",
                  "--max-cells-per-op", "--max-while", "--retry", "--checkpoint",
-                 "--engine", "--events", "--flight-dir"):
+                 "--engine", "--events", "--flight-dir", "--stats"):
         value = _flag_value(rest, flag)
         if value is not None:
             flag_values.add(value)
@@ -547,6 +591,17 @@ def _run(rest: list[str]) -> int:
         print("error: --retry requires --checkpoint PATH (resume needs a file)")
         return 2
 
+    stats = None
+    if stats_path is not None:
+        from .core.errors import StatsError
+        from .obs.stats import load_stats
+
+        try:
+            stats = load_stats(stats_path)
+        except StatsError as err:
+            print(f"error: {err}")
+            return 2
+
     kills: list[str] = []
     attempts = 0
     result = None
@@ -573,6 +628,12 @@ def _run(rest: list[str]) -> int:
             if flight_dir is not None:
                 recorder = FlightRecorder(bus, directory=flight_dir)
                 recorder.note_program(repr(program))
+                if stats is not None:
+                    recorder.note_stats(stats)
+        if stats is not None:
+            from .obs.estimator import estimation
+
+            stack.enter_context(estimation(stats))
         while True:
             attempts += 1
             governor = ResourceGovernor(limits)
@@ -771,18 +832,212 @@ def _stats(rest: list[str]) -> int:
     return 0
 
 
+def _analyze_target(rest: list[str], flag_values: set) -> tuple[str, object] | None:
+    """``(label, database)`` for the workload/example named in ``rest``."""
+    from .core.errors import ReproError
+    from .runtime.workloads import parse_workload
+
+    names = [a for a in rest if not a.startswith("-") and a not in flag_values]
+    spec = names[0] if names else "tc:8"
+    try:
+        workload = parse_workload(spec)
+    except ReproError as err:
+        print(f"error: {err}")
+        return None
+    if workload is not None:
+        label, _program, db = workload
+        return label, db
+    name = _resolve_or_fail(spec)
+    if name is None:
+        return None
+    from .obs.examples import EXAMPLES
+
+    example = EXAMPLES[name]
+    if example.setup is None:
+        print(
+            f"error: example {name!r} has no tabular database to ANALYZE "
+            "(its pipeline is not a TA program)"
+        )
+        return None
+    db, _run = example.setup()
+    return name, db
+
+
+def _analyze(rest: list[str]) -> int:
+    import json
+
+    from .core.errors import StatsError
+    from .obs.stats import DEFAULT_TOP_K, analyze_database
+
+    engine = _flag_value(rest, "--engine") or "vector"
+    if engine not in ("naive", "vector"):
+        print(f"error: invalid --engine {engine!r}; expected naive or vector")
+        return 2
+    top_k, err = _int_flag(rest, "--top-k")
+    if err is not None:
+        print(f"error: {err}")
+        return 2
+    out_path = _flag_value(rest, "--out")
+    json_out = "--json" in rest
+    flag_values = {
+        v
+        for v in (_flag_value(rest, "--engine"), _flag_value(rest, "--top-k"), out_path)
+        if v is not None
+    }
+    target = _analyze_target(rest, flag_values)
+    if target is None:
+        return 2
+    label, db = target
+    try:
+        stats = analyze_database(
+            db, engine=engine, top_k=top_k if top_k is not None else DEFAULT_TOP_K
+        )
+    except StatsError as err:
+        print(f"error: {err}")
+        return 2
+    written = None
+    if out_path is not None:
+        written = stats.save(out_path)
+    if json_out:
+        print(json.dumps(stats.to_json(), indent=2))
+        return 0
+    print(
+        f"ANALYZE of {label} ({stats.engine} engine, top-{stats.top_k} sketches)"
+    )
+    print(
+        f"fingerprint {stats.fingerprint}  "
+        f"{len(stats.tables)} table(s), {stats.total_rows} data row(s)"
+    )
+    for table in stats.tables:
+        print(
+            f"  {table.name}: {table.height} rows x {table.width} cols, "
+            f"{table.distinct_rows} distinct"
+        )
+        for column in table.columns:
+            top = ", ".join(f"{s}:{c}" for s, c in column.top[:3])
+            print(
+                f"    {column.attribute}: ndv {column.ndv}, "
+                f"nulls {column.nulls}, min {column.min}, max {column.max}"
+                + (f", top [{top}]" if top else "")
+            )
+    if written is not None:
+        print(f"snapshot written to {written}")
+    return 0
+
+
+def _stats_audit(rest: list[str]) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs.workload import DEFAULT_AUDIT_SEEDS, stats_audit
+
+    seeds, err = _int_flag(rest, "--seeds")
+    errors = [err]
+    tc_size, err = _int_flag(rest, "--tc")
+    errors.append(err)
+    for message in errors:
+        if message is not None:
+            print(f"error: {message}")
+            return 2
+    engine = _flag_value(rest, "--engine") or "vector"
+    if engine not in ("naive", "vector"):
+        print(f"error: invalid --engine {engine!r}; expected naive or vector")
+        return 2
+    out_path = _flag_value(rest, "--out")
+    json_out = "--json" in rest
+
+    report = stats_audit(
+        seeds=seeds if seeds is not None else DEFAULT_AUDIT_SEEDS,
+        engine=engine,
+        tc_size=tc_size if tc_size is not None else 6,
+    )
+    if out_path is not None:
+        target = Path(out_path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(report, indent=2) + "\n")
+    if json_out:
+        print(json.dumps(report, indent=2))
+    else:
+        corpus = report["corpus"]
+        print(
+            f"stats audit: {corpus['cases']} case(s) "
+            f"({corpus['fuzz_seeds']} fuzz seed(s), {corpus['errors']} "
+            f"raised), {report['overall']['estimates']} estimate(s) scored "
+            f"in {corpus['elapsed_s']}s on the {report['engine']} engine"
+        )
+        print()
+        width = max((len(op) for op in report["ops"]), default=2)
+        print(f"{'op':{width}}  {'n':>5}  {'p50':>6}  {'p95':>6}  {'max':>8}  sources")
+        for op, record in report["ops"].items():
+            sources = " ".join(
+                f"{source}={count}" for source, count in sorted(record["sources"].items())
+            )
+            print(
+                f"{op:{width}}  {record['count']:>5}  {record['p50']:>6}  "
+                f"{record['p95']:>6}  {record['max']:>8}  {sources}"
+            )
+        overall = report["overall"]
+        print()
+        print(
+            f"overall q-error: p50 {overall['p50']}, p95 {overall['p95']}, "
+            f"max {overall['max']}"
+        )
+        coverage = report["coverage"]
+        if coverage["complete"]:
+            print(
+                f"coverage: complete — every dispatched op kind "
+                f"({len(coverage['dispatched_ops'])}) was scored"
+            )
+        else:
+            print(f"coverage: INCOMPLETE — never scored: {coverage['missing']}")
+        if out_path is not None:
+            print(f"report written to {out_path}")
+    return 0 if report["coverage"]["complete"] else 1
+
+
 def _metrics(rest: list[str]) -> int:
     import json
 
     from .obs import observation, prometheus_text
 
+    stats_path = _flag_value(rest, "--stats")
+    estimates = "--estimates" in rest
+    stats = None
+    if stats_path is not None:
+        from .core.errors import StatsError
+        from .obs.stats import load_stats
+
+        try:
+            stats = load_stats(stats_path)
+        except StatsError as err:
+            print(f"error: {err}")
+            return 2
+    accuracy = None
     with observation(trace=False) as obs:
         from .obs.examples import EXAMPLES, run_example
 
-        for example in EXAMPLES.values():
-            run_example(example.name)
+        if estimates:
+            # Rerun the corpus under estimation: each example's database
+            # is ANALYZEd first so the estimator families carry real
+            # stats-sourced q-errors, not just shape fallbacks.
+            from .obs.estimator import EstimateAccuracy, estimation
+            from .obs.stats import analyze_database
+
+            accuracy = EstimateAccuracy()
+            for example in EXAMPLES.values():
+                if example.setup is None:
+                    run_example(example.name)
+                    continue
+                db, run = example.setup()
+                with estimation(analyze_database(db), accuracy=accuracy):
+                    run(db)
+        else:
+            for example in EXAMPLES.values():
+                run_example(example.name)
     if "--prom" in rest:
-        sys.stdout.write(prometheus_text(obs.metrics))
+        sys.stdout.write(
+            prometheus_text(obs.metrics, accuracy=accuracy, stats=stats)
+        )
         return 0
     print(json.dumps(obs.metrics.snapshot(), indent=2))
     return 0
@@ -893,6 +1148,10 @@ def main(argv: list[str] | None = None) -> int:
         return _lineage(rest)
     if command == "stats":
         return _stats(rest)
+    if command == "analyze":
+        return _analyze(rest)
+    if command == "stats-audit":
+        return _stats_audit(rest)
     if command == "metrics":
         return _metrics(rest)
     if command == "prom-lint":

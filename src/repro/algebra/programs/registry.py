@@ -15,6 +15,7 @@ from typing import Callable, Mapping, Sequence
 
 from ...core import EvaluationError, FreshValueSource, Symbol, Table
 from ...engine import runtime as _engine
+from ...obs import estimator as _est
 from ...obs import events as _ev
 from ...obs import runtime as _obs
 from ...obs.trace import NULL_SPAN
@@ -94,8 +95,16 @@ class OpSpec:
         :func:`repro.obs.events.event_stream` is active, the invocation
         additionally publishes ``span_start``/``span_finish`` (and
         ``error``) events around whichever of those layers applies.  The
-        disabled path pays one attribute check per layer.
+        disabled path pays one attribute check per layer.  When an
+        :func:`repro.obs.estimator.estimation` scope is active, the
+        outermost layer additionally predicts rows-out *before* dispatch
+        and records the estimate's q-error against the actual afterwards.
         """
+        if _est.EST.active:
+            return self._invoke_estimated(tables, arguments, fresh)
+        # The chain below is duplicated in _invoke_inner (the estimated
+        # layer's continuation): keeping it inline here means the fully
+        # disabled dispatch pays attribute checks only, no extra frame.
         if _ev.EVT.active:
             return self._invoke_evented(tables, arguments, fresh)
         if _gv.GOV.active:
@@ -103,6 +112,57 @@ class OpSpec:
         if _obs.OBS.active:
             return self._invoke_observed(tables, arguments, fresh)
         return self._invoke_raw(tables, arguments, fresh)
+
+    def _invoke_inner(
+        self,
+        tables: Sequence[Table],
+        arguments: Mapping[str, object],
+        fresh: FreshValueSource | None,
+    ) -> tuple[Table, ...]:
+        """The event/governor/observation/raw chain (below estimation)."""
+        if _ev.EVT.active:
+            return self._invoke_evented(tables, arguments, fresh)
+        if _gv.GOV.active:
+            return self._invoke_governed(tables, arguments, fresh)
+        if _obs.OBS.active:
+            return self._invoke_observed(tables, arguments, fresh)
+        return self._invoke_raw(tables, arguments, fresh)
+
+    def _invoke_estimated(
+        self,
+        tables: Sequence[Table],
+        arguments: Mapping[str, object],
+        fresh: FreshValueSource | None,
+    ) -> tuple[Table, ...]:
+        """Predict, dispatch, then score the prediction.
+
+        Estimation is telemetry: prediction and scoring are wrapped so a
+        stats/estimator defect can never alter or kill a run.  The
+        prediction is handed to the observed layer through a per-thread
+        pending slot so EXPLAIN spans carry ``est_rows`` without
+        predicting twice.
+        """
+        estimator = _est.EST.estimator
+        predicted = None
+        if estimator is not None:
+            try:
+                predicted = estimator.predict(self.name, tables, arguments)
+            except Exception:
+                predicted = None
+            if predicted is not None:
+                _est._push_pending(predicted)
+        try:
+            produced = self._invoke_inner(tables, arguments, fresh)
+        finally:
+            _est._pop_pending()
+        if predicted is not None:
+            try:
+                estimator.observe(
+                    self.name, predicted, sum(t.height for t in produced)
+                )
+            except Exception:
+                pass
+        return produced
 
     def _invoke_evented(
         self,
@@ -247,6 +307,12 @@ class OpSpec:
                     cols_in=cols_in,
                     shapes_in=shapes_in,
                 )
+                # An active estimation scope handed its rows-out
+                # prediction over; stamp it so EXPLAIN shows est_rows
+                # from stats (not shape heuristics) wherever stats exist.
+                pending = _est._pop_pending()
+                if pending is not None:
+                    sp.set(est_rows=pending[0], est_source=pending[1])
                 produced = self._invoke_raw(tables, arguments, fresh)
                 sp.set(
                     tables_out=len(produced),

@@ -31,6 +31,7 @@ from ...core import (
     TabularDatabase,
     Table,
 )
+from ...obs import estimator as _est
 from ...obs import events as _ev
 from ...obs import runtime as _obs
 from ...obs.trace import NULL_SPAN
@@ -254,6 +255,16 @@ class While(Statement):
             prov_frontier: list[int] = []
             lineage_on = observing and obs.lineage is not None
             gov = _gv.GOV
+            predicted_iterations = None
+            if _est.EST.active and _est.EST.estimator is not None:
+                # Predict the fixpoint's iteration count from the
+                # loop-entry frontier; scored under the pseudo-op WHILE.
+                try:
+                    predicted_iterations = _est.EST.estimator.predict_while(
+                        str(self.condition), self._condition_rows(db, interp)
+                    )
+                except Exception:
+                    predicted_iterations = None
             prev_rows = prev_cells = 0
             if _ev.EVT.active:
                 prev_rows = sum(t.height for t in db.tables)
@@ -308,6 +319,15 @@ class While(Statement):
                             db = self.body.execute(db, interp)
                         continue
                 db = self.body.execute(db, interp)
+            if predicted_iterations is not None:
+                estimator = _est.EST.estimator
+                if estimator is not None:
+                    try:
+                        estimator.observe("WHILE", predicted_iterations, iterations)
+                    except Exception:
+                        pass
+                if observing:
+                    sp.set(est_iterations=predicted_iterations[0])
             if observing:
                 sp.set(iterations=iterations, condition_rows=condition_rows)
                 if lineage_on:

@@ -19,6 +19,7 @@ from .errors import (
     NonTerminationError,
     ParseError,
     ReproError,
+    StatsError,
     SchemaError,
     UndefinedOperationError,
 )
@@ -82,4 +83,5 @@ __all__ = [
     "NonTerminationError",
     "ParseError",
     "EvaluationError",
+    "StatsError",
 ]

@@ -125,6 +125,14 @@ class ExternalToolError(ContextualError):
     """
 
 
+class StatsError(ReproError):
+    """A statistics snapshot could not be computed, written, or read.
+
+    Covers unreadable/corrupt stats files, schema-version mismatches,
+    and invalid ANALYZE parameters (unknown engine, non-positive top-K).
+    """
+
+
 class ParseError(ReproError):
     """A textual tabular algebra or SchemaLog program failed to parse."""
 

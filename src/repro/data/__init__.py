@@ -1,4 +1,6 @@
-"""Workloads: the paper's Figure 1 sales data and synthetic generators."""
+"""Workloads: Figure 1 sales data, synthetic generators, corpus programs."""
+
+from typing import TYPE_CHECKING
 
 from .generators import (
     random_database,
@@ -42,4 +44,20 @@ __all__ = [
     "synthetic_grouped_table",
     "synthetic_sales_facts",
     "synthetic_sales_table",
+    "random_case",
 ]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .programs import random_case
+
+
+def __getattr__(name: str):
+    # ``programs`` pulls in the algebra package (statements, registry),
+    # which itself imports repro.data-adjacent modules during interpreter
+    # setup — loading it lazily keeps ``import repro.data`` light and
+    # cycle-proof for consumers that only want the figures.
+    if name == "random_case":
+        from .programs import random_case
+
+        return random_case
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -81,17 +81,55 @@ from .export import (
     write_provenance_json,
 )
 from .profile import Hotspot, Profile, profile
+# Statistics and estimation load after everything above: stats/estimator
+# sit below cost/flight in the layering, and keeping them last preserves
+# the package's import-cycle discipline (the registry imports this
+# package while the algebra package is still initialising).
+from .stats import (
+    DEFAULT_TOP_K,
+    STATS_SCHEMA_VERSION,
+    ColumnStats,
+    DatabaseStats,
+    TableStats,
+    analyze_database,
+    analyze_table_stats,
+    database_fingerprint,
+    load_stats,
+    validate_stats_data,
+)
+from .estimator import (
+    EST,
+    QERROR_BUCKETS,
+    CardinalityEstimator,
+    EstimateAccuracy,
+    estimation,
+    qerror,
+)
+from .workload import (
+    WorkloadLog,
+    fingerprint_program,
+    normalize_program,
+    stats_audit,
+)
 
 __all__ = [
     "OBS",
     "EVT",
+    "EST",
     "NULL_SPAN",
     "EVENT_KINDS",
     "EVENT_SCHEMA_VERSION",
+    "DEFAULT_TOP_K",
+    "QERROR_BUCKETS",
+    "STATS_SCHEMA_VERSION",
     "AuditResult",
+    "CardinalityEstimator",
     "CellRef",
+    "ColumnStats",
     "CostEstimate",
     "CostModel",
+    "DatabaseStats",
+    "EstimateAccuracy",
     "Event",
     "EventBus",
     "FlightRecorder",
@@ -106,35 +144,47 @@ __all__ = [
     "ReplayCheck",
     "RingSubscriber",
     "Span",
+    "TableStats",
     "Tracer",
     "Witness",
+    "WorkloadLog",
+    "analyze_database",
     "analyze_records",
+    "analyze_table_stats",
     "analyze_table",
     "audit_run",
     "chrome_trace",
     "count_prov_cells",
     "counters_table",
+    "database_fingerprint",
     "derived_from",
     "emit",
+    "estimation",
     "event_stream",
     "explain_analyze_text",
     "explain_json",
     "explain_text",
+    "fingerprint_program",
     "flight_recorder",
     "format_span",
     "graph_to_dot",
     "jsonl_records",
     "lineage",
     "lint_prometheus_text",
+    "load_stats",
     "metrics_table",
+    "normalize_program",
     "observation",
     "profile",
     "prometheus_text",
     "provenance",
     "provenance_graph",
+    "qerror",
     "span",
+    "stats_audit",
     "span_tree_text",
     "table_origins",
+    "validate_stats_data",
     "with_prov",
     "write_chrome_trace",
     "write_jsonl",

@@ -353,17 +353,28 @@ def _analyze_span(span: Span, model: CostModel) -> dict | None:
     estimate = model.estimate(span.name, shapes_in)
     if estimate is None:
         return None
+    # An estimation scope stamps its own (possibly stats-derived)
+    # prediction onto the span; it takes precedence over the shape
+    # heuristics so EXPLAIN shows what the estimator actually predicted.
+    est_rows = span.attributes.get("est_rows")
+    est_source = span.attributes.get("est_source")
+    if est_rows is None:
+        est_rows = estimate.rows_out
+        est_source = "model"
     act_rows = int(span.attributes.get("rows_out", 0))
     act_tables = int(span.attributes.get("tables_out", 0))
     act_seconds = span.duration
     est_seconds = model.estimate_seconds(estimate)
+    q = max(max(est_rows, 1), max(act_rows, 1)) / min(max(est_rows, 1), max(act_rows, 1))
     return {
         "op": span.name,
         "est_tables": estimate.tables_out,
         "act_tables": act_tables,
-        "est_rows": estimate.rows_out,
+        "est_rows": int(est_rows),
+        "est_source": est_source,
         "act_rows": act_rows,
-        "row_ratio": _ratio(act_rows, estimate.rows_out),
+        "row_ratio": _ratio(act_rows, est_rows),
+        "q_error": round(q, 3),
         "est_cells": estimate.cells_out,
         "cost_units": round(estimate.cost_units, 1),
         "est_ms": est_seconds * 1e3,
@@ -390,7 +401,12 @@ def analyze_table(
     records = analyze_records(obs, model)
     if not records:
         return None
+    # The source column appears only when an estimation scope actually
+    # stamped estimates, keeping the plain-analyze golden output stable.
+    sourced = any(record["est_source"] != "model" for record in records)
     columns = ["Est rows", "Act rows", "Row ratio"]
+    if sourced:
+        columns.append("Src")
     if timings:
         columns += ["Est ms", "Act ms", "Time ratio"]
     rows = []
@@ -400,6 +416,8 @@ def analyze_table(
             record["act_rows"],
             N(_format_ratio(record["row_ratio"])),
         ]
+        if sourced:
+            row.append(N(record["est_source"]))
         if timings:
             row += [
                 V(round(record["est_ms"], 3)),

@@ -86,6 +86,7 @@ EVENT_KINDS = frozenset(
         "fault_injected",  # chaos plan fired: op, kind, occurrence, seed
         "engine_dispatch",  # vector kernel took an invocation: op
         "engine_fallback",  # vector backend declined: op, reason (machine-readable)
+        "op_estimate",  # estimator scored a prediction: op, est_rows, act_rows, q_error, source
         "error",  # an op raised: op, error (repr), error_type
     }
 )

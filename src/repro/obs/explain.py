@@ -44,6 +44,10 @@ _SHAPE_KEYS = (
     "shapes_out",
 )
 
+#: Estimator-stamped attributes, rendered as one ``est_rows=N (source)``
+#: token rather than generic pairs.
+_EST_KEYS = ("est_rows", "est_source")
+
 
 def format_span(span: Span, timings: bool = True) -> str:
     """One line describing a span: label, row/column flow, attributes, time."""
@@ -58,8 +62,15 @@ def format_span(span: Span, timings: bool = True) -> str:
         parts.append(f"rows {attrs.get('rows_in', '?')}→{attrs.get('rows_out', '?')}")
     if "cols_in" in attrs or "cols_out" in attrs:
         parts.append(f"cols {attrs.get('cols_in', '?')}→{attrs.get('cols_out', '?')}")
+    if "est_rows" in attrs:
+        # The estimation scope's prediction with its provenance:
+        # ``est_rows=12 (stats)`` when derived from an ANALYZE snapshot.
+        source = attrs.get("est_source")
+        parts.append(
+            f"est_rows={attrs['est_rows']}" + (f" ({source})" if source else "")
+        )
     for key, value in attrs.items():
-        if key == "text" or key in _SHAPE_KEYS:
+        if key == "text" or key in _SHAPE_KEYS or key in _EST_KEYS:
             continue
         parts.append(f"{key}={value}")
     if span.error is not None:

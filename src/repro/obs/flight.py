@@ -19,7 +19,11 @@ N events of the run at all times, and when the run ends in a
 * ``explain.txt``    — the EXPLAIN report over the spans completed so
   far, when a tracer was live;
 * ``plan.txt``       — the program/plan text, when the caller noted one
-  via :meth:`FlightRecorder.note_program`.
+  via :meth:`FlightRecorder.note_program`;
+* ``stats.json``     — the ANALYZE snapshot the estimator saw, when one
+  was noted via :meth:`FlightRecorder.note_stats` or an estimation
+  scope was live at dump time — crash triage sees the statistics behind
+  every cardinality prediction of the dying run.
 
 Usage mirrors the other runtime scopes::
 
@@ -48,6 +52,7 @@ from pathlib import Path
 from typing import Iterator
 
 from ..core.errors import ContextualError, ReproError
+from . import estimator as _est
 from . import runtime as _obs
 from .events import EVT, EventBus, RingSubscriber, event_stream
 
@@ -80,7 +85,7 @@ def _next_bundle_name() -> str:
 class FlightRecorder:
     """A bounded event tail plus the postmortem dump that consumes it."""
 
-    __slots__ = ("directory", "ring", "bus", "program_text", "last_bundle")
+    __slots__ = ("directory", "ring", "bus", "program_text", "stats", "last_bundle")
 
     def __init__(
         self,
@@ -93,12 +98,22 @@ class FlightRecorder:
         self.ring: RingSubscriber = bus.ring(capacity)
         #: Plan/program text included in the bundle when noted.
         self.program_text: str | None = None
+        #: ANALYZE snapshot included in the bundle when noted.
+        self.stats = None
         #: Path of the most recently written bundle, or None.
         self.last_bundle: Path | None = None
 
     def note_program(self, text: str) -> None:
         """Record the program/plan text for inclusion in any bundle."""
         self.program_text = text
+
+    def note_stats(self, stats) -> None:
+        """Record the ANALYZE snapshot the estimator saw.
+
+        The bundle then shows crash triage exactly the statistics the
+        run's cardinality predictions came from (``stats.json``).
+        """
+        self.stats = stats
 
     def checkpoint_pointer(self) -> str | None:
         """The last ``checkpoint_write`` path seen, or None."""
@@ -144,6 +159,17 @@ class FlightRecorder:
         if self.program_text is not None:
             (bundle / "plan.txt").write_text(self.program_text + "\n")
             files.append("plan.txt")
+        stats = self.stats
+        if stats is None and _est.EST.active:
+            # No snapshot was noted but an estimation scope is live:
+            # include what the estimator is actually consulting.
+            estimator = _est.EST.estimator
+            stats = estimator.stats if estimator is not None else None
+        if stats is not None:
+            (bundle / "stats.json").write_text(
+                json.dumps(stats.to_json(), indent=2) + "\n"
+            )
+            files.append("stats.json")
 
         manifest: dict = {
             "format": BUNDLE_FORMAT,
@@ -158,6 +184,13 @@ class FlightRecorder:
             "checkpoint": self.checkpoint_pointer(),
             "files": files + ["MANIFEST.json"],
         }
+        if stats is not None:
+            manifest["stats"] = {
+                "engine": stats.engine,
+                "fingerprint": stats.fingerprint,
+                "tables": len(stats.tables),
+                "age_seconds": round(stats.age_seconds(), 3),
+            }
         if error is not None:
             manifest["error"] = {
                 "type": type(error).__name__,

@@ -73,8 +73,21 @@ class _Writer:
             self.lines.append(f"{name} {_fmt(value)}")
 
 
-def prometheus_text(metrics: MetricsRegistry, namespace: str = "repro") -> str:
-    """One snapshot as the Prometheus text exposition format."""
+def prometheus_text(
+    metrics: MetricsRegistry,
+    namespace: str = "repro",
+    accuracy=None,
+    stats=None,
+) -> str:
+    """One snapshot as the Prometheus text exposition format.
+
+    ``accuracy`` (an :class:`~repro.obs.estimator.EstimateAccuracy`)
+    adds the estimator families — per-op q-error histograms over the
+    fixed :data:`~repro.obs.estimator.QERROR_BUCKETS` and the worst
+    q-error gauge; ``stats`` (a :class:`~repro.obs.stats.DatabaseStats`)
+    adds the stale-stats age and snapshot-size gauges.  Both are opt-in
+    so the plain metrics export is unchanged.
+    """
     operations = metrics.operations
     counters = metrics.counters
     out = _Writer(namespace)
@@ -115,6 +128,61 @@ def prometheus_text(metrics: MetricsRegistry, namespace: str = "repro") -> str:
     )
     for counter in sorted(counters):
         out.sample(name, {"counter": counter}, counters[counter])
+
+    if accuracy is not None and accuracy.ops:
+        from .estimator import QERROR_BUCKETS
+
+        name = out.family(
+            "estimator_qerror",
+            "histogram",
+            "Cardinality-estimate q-error (max(est/act, act/est)) per op.",
+        )
+        for op in sorted(accuracy.ops):
+            record = accuracy.ops[op]
+            cumulative = 0
+            for bound, count in zip(QERROR_BUCKETS, record.hist):
+                cumulative += count
+                out.sample(
+                    f"{name}_bucket", {"op": op, "le": _fmt(bound)}, cumulative
+                )
+            cumulative += record.hist[-1]
+            out.sample(f"{name}_bucket", {"op": op, "le": "+Inf"}, cumulative)
+            out.sample(f"{name}_sum", {"op": op}, round(record.sum, 9))
+            out.sample(f"{name}_count", {"op": op}, record.count)
+        name = out.family(
+            "estimator_worst_qerror",
+            "gauge",
+            "Worst q-error observed for the op since the scope opened.",
+        )
+        for op in sorted(accuracy.ops):
+            out.sample(name, {"op": op}, round(accuracy.ops[op].max, 9))
+        name = out.family(
+            "estimator_estimates_total",
+            "counter",
+            "Cardinality estimates scored, by source (stats vs shape).",
+        )
+        totals: dict[str, int] = {}
+        for record in accuracy.ops.values():
+            for source, count in record.sources.items():
+                totals[source] = totals.get(source, 0) + count
+        for source in sorted(totals):
+            out.sample(name, {"source": source}, totals[source])
+
+    if stats is not None:
+        name = out.family(
+            "stats_age_seconds",
+            "gauge",
+            "Seconds since the installed ANALYZE snapshot was taken.",
+        )
+        out.sample(name, {}, round(stats.age_seconds(), 3))
+        name = out.family(
+            "stats_tables", "gauge", "Tables covered by the ANALYZE snapshot."
+        )
+        out.sample(name, {}, len(stats.tables))
+        name = out.family(
+            "stats_rows", "gauge", "Total data rows covered by the ANALYZE snapshot."
+        )
+        out.sample(name, {}, stats.total_rows)
 
     return "\n".join(out.lines) + "\n"
 

@@ -2,14 +2,12 @@
 
 Three pieces, used by ``test_differential.py``:
 
-* :func:`gen_case` — a seeded random (program, database) pair.  Programs
-  draw from the full registered operation set (kernel-backed and
-  fallback ops alike, so backend mixing is exercised), optionally with
-  wildcard arguments/parameters and while loops; databases come from
-  :func:`repro.data.generators.random_database` — adversarial tables
-  where ⊥, repeated attributes, and names-in-data all occur.  A coarse
-  size ledger keeps every generated program's intermediate tables small,
-  so no resource governor is needed and both backends see *identical*
+* :func:`gen_case` — a seeded random (program, database) pair from the
+  shared corpus generator :func:`repro.data.programs.random_case` (the
+  ``repro stats-audit`` command replays the same seeds, so estimator
+  audits and differential tests cover one corpus).  The generator's
+  coarse size ledger keeps every intermediate table small, so no
+  resource governor is needed and both backends see *identical*
   executions (a governor row-cap would trip asymmetrically: the fused
   PRODUCTSELECT legitimately materializes fewer rows than the naive
   PRODUCT it replaces).
@@ -27,268 +25,24 @@ Three pieces, used by ``test_differential.py``:
 from __future__ import annotations
 
 import json
-import random
 
 from repro.core import TabularDatabase, Table, render_database
 from repro.core.errors import ReproError
-from repro.data.generators import random_database
+from repro.data.programs import MAX_WHILE_ITERATIONS, random_case
 from repro.engine import run_program
-from repro.algebra.programs.params import Star
-from repro.algebra.programs.statements import Assignment, Program, Statement, While
+from repro.algebra.programs.statements import Program, Statement, While
 from repro.runtime.checkpoint import database_to_data
 
-MAX_WHILE_ITERATIONS = 12
+__all__ = [
+    "MAX_WHILE_ITERATIONS",
+    "gen_case",
+    "check_case",
+    "shrink_case",
+    "describe_failure",
+]
 
-ATTRS = ("A", "B", "C", "D")
-VALUES = tuple(f"v{i}" for i in range(20))
-NAMES = ("R", "S", "T", "U", "V")
-
-#: Operations that never grow a table (rows and columns bounded by the
-#: input) — the only ones allowed inside while-loop bodies, so loop
-#: iteration cannot blow up the database.
-_SAFE_OPS = (
-    "SELECT",
-    "SELECTCONST",
-    "PROJECT",
-    "RENAME",
-    "TRANSPOSE",
-    "CLEANUP",
-    "PURGE",
-    "DEDUP",
-    "DEDUPCOLUMNS",
-    "DROPNULLROWS",
-    "DIFFERENCE",
-    "INTERSECTION",
-)
-
-#: Fallback-only operations (no kernel): drawing these mixes naive and
-#: vectorized statements inside one vector-engine run.
-_FALLBACK_OPS = (
-    "GROUP",
-    "MERGE",
-    "SWITCH",
-    "SPLIT",
-    "NATURALJOIN",
-    "GROUPCOMPACT",
-    "MERGECOMPACT",
-    "TUPLENEW",
-)
-
-
-class _Sizes:
-    """Coarse per-name (tables, rows, cols) upper bounds during generation."""
-
-    def __init__(self, db: TabularDatabase):
-        self.by_name: dict[str, tuple[int, int, int]] = {}
-        for table in db.tables:
-            name = str(table.name)
-            count, rows, cols = self.by_name.get(name, (0, 0, 0))
-            self.by_name[name] = (
-                count + 1,
-                max(rows, table.height),
-                max(cols, table.width),
-            )
-
-    def get(self, name: object) -> tuple[int, int, int]:
-        if isinstance(name, Star):
-            out = (1, 1, 1)
-            for bound in self.by_name.values():
-                out = tuple(max(a, b) for a, b in zip(out, bound))
-            return out
-        return self.by_name.get(str(name), (1, 1, 1))
-
-    def put(self, name: object, bound: tuple[int, int, int]) -> None:
-        count = min(bound[0], 6)
-        rows = min(bound[1], 400)
-        cols = min(bound[2], 20)
-        if isinstance(name, Star):
-            for key in self.by_name:
-                self.by_name[key] = (count, rows, cols)
-        else:
-            self.by_name[str(name)] = (count, rows, cols)
-
-
-def _attr(rng: random.Random) -> object:
-    return None if rng.random() < 0.08 else rng.choice(ATTRS)
-
-
-def _attr_set(rng: random.Random) -> list:
-    size = rng.randrange(0, 3)
-    return [_attr(rng) for _ in range(size)]
-
-
-def _value(rng: random.Random) -> object:
-    return None if rng.random() < 0.1 else rng.choice(VALUES)
-
-
-def _gen_params(rng: random.Random, op: str, star: Star | None) -> dict:
-    def attr() -> object:
-        if star is not None and rng.random() < 0.2:
-            return star
-        return _attr(rng)
-
-    if op == "SELECT":
-        return {"left": attr(), "right": attr()}
-    if op == "SELECTCONST":
-        return {"attr": attr(), "value": _value(rng)}
-    if op == "PROJECT":
-        return {"attrs": _attr_set(rng)}
-    if op == "RENAME":
-        return {"old": attr(), "new": attr()}
-    if op in ("CLEANUP", "GROUP", "GROUPCOMPACT"):
-        return {"by": _attr_set(rng), "on": _attr_set(rng)}
-    if op in ("PURGE", "MERGE", "MERGECOMPACT"):
-        return {"on": _attr_set(rng), "by": _attr_set(rng)}
-    if op in ("DROPNULLROWS", "TUPLENEW"):
-        return {"attr": attr()}
-    if op == "CONSTCOLUMN":
-        return {"attr": attr(), "value": _value(rng)}
-    if op == "SWITCH":
-        return {"value": _value(rng)}
-    if op == "SPLIT":
-        return {"on": _attr_set(rng)}
-    return {}
-
-
-def _arity(op: str) -> int:
-    return 2 if op in ("UNION", "DIFFERENCE", "INTERSECTION", "PRODUCT",
-                       "CLASSICALUNION", "NATURALJOIN") else 1
-
-
-def _gen_statement(
-    rng: random.Random, sizes: _Sizes, *, allow_wildcards: bool, safe_only: bool
-) -> list[Statement]:
-    """One generation step: usually one statement, sometimes a fusable
-    PRODUCT+SELECT pair (so the planner's rewrite is differentially
-    covered end to end)."""
-    star = Star(1) if allow_wildcards and rng.random() < 0.25 else None
-
-    pool: tuple[str, ...] = _SAFE_OPS
-    if not safe_only:
-        pool = pool + ("UNION", "PRODUCT", "CLASSICALUNION", "CONSTCOLUMN")
-        pool = pool + tuple(rng.sample(_FALLBACK_OPS, 3))
-    op = rng.choice(pool)
-
-    args: list[object] = []
-    for _ in range(_arity(op)):
-        if star is not None and rng.random() < 0.6:
-            args.append(star)
-        else:
-            args.append(rng.choice(NAMES[:4]))
-    if star is not None and not any(isinstance(a, Star) for a in args):
-        args[0] = star
-
-    counts = [sizes.get(a) for a in args]
-    target: object = rng.choice(NAMES)
-    if star is not None and rng.random() < 0.3:
-        target = star
-
-    # Size guards: regenerate growing ops as a safe op when too big.
-    if op in ("PRODUCT", "NATURALJOIN"):
-        (n1, r1, c1), (n2, r2, c2) = counts
-        if n1 * n2 > 4 or r1 * r2 > 200 or c1 + c2 > 14:
-            op = "DIFFERENCE"
-    if op in ("UNION", "CLASSICALUNION"):
-        (n1, r1, c1), (n2, r2, c2) = counts
-        if n1 * n2 > 4 or r1 + r2 > 300 or c1 + c2 > 16:
-            op = "INTERSECTION"
-    if op in ("GROUP", "GROUPCOMPACT", "MERGE", "MERGECOMPACT", "SWITCH"):
-        _n, rows, cols = counts[0]
-        if rows + cols > 14 or rows * max(cols, 1) > 200:
-            op = "DEDUP"
-    if op == "SPLIT":
-        _n, rows, cols = counts[0]
-        if counts[0][0] * max(rows, 1) > 12:
-            op = "DEDUP"
-    if op in ("CONSTCOLUMN", "TUPLENEW") and counts[0][2] > 16:
-        op = "PROJECT"
-    args = args[: _arity(op)]
-    counts = counts[: _arity(op)]
-
-    statements = [Assignment(target, op, args, _gen_params(rng, op, star))]
-
-    # Update the ledger with a coarse upper bound of the result shape.
-    (n1, r1, c1) = counts[0]
-    if _arity(op) == 2:
-        (n2, r2, c2) = counts[1]
-        bound = (n1 * n2, r1 * r2 if op in ("PRODUCT", "NATURALJOIN") else r1 + r2,
-                 c1 + c2)
-    elif op in ("GROUP", "GROUPCOMPACT"):
-        bound = (n1, 2 * r1 + 2, c1 + r1 + 2)
-    elif op in ("MERGE", "MERGECOMPACT"):
-        bound = (n1, r1 * max(c1, 1), c1 + 1)
-    elif op == "SPLIT":
-        bound = (n1 * max(r1, 1), r1, c1)
-    elif op == "TRANSPOSE":
-        bound = (n1, c1 + 1, r1 + 1)
-    elif op == "SWITCH":
-        bound = (n1, r1 + c1, r1 + c1)
-    elif op in ("CONSTCOLUMN", "TUPLENEW"):
-        bound = (n1, r1, c1 + 1)
-    else:
-        bound = (n1, r1, c1)
-    sizes.put(target, bound)
-
-    # Sometimes chase a PRODUCT with a same-target SELECT: exactly the
-    # adjacent pair the planner fuses into PRODUCTSELECT.
-    if op == "PRODUCT" and not isinstance(target, Star) and rng.random() < 0.7:
-        statements.append(
-            Assignment(
-                target,
-                "SELECT",
-                [target],
-                {"left": _attr(rng), "right": _attr(rng)},
-            )
-        )
-    return statements
-
-
-def _gen_while(rng: random.Random, sizes: _Sizes, allow_wildcards: bool) -> While:
-    condition = rng.choice(NAMES[:4])
-    body: list[Statement] = []
-    for _ in range(rng.randrange(1, 3)):
-        body.extend(
-            _gen_statement(rng, sizes, allow_wildcards=allow_wildcards, safe_only=True)
-        )
-    if rng.random() < 0.7:
-        # Guarantee termination: R \ R is always empty, so assigning it
-        # to the condition name ends the loop after this iteration.
-        body.append(Assignment(condition, "DIFFERENCE", [condition, condition]))
-    else:
-        body.append(
-            Assignment(
-                condition,
-                "SELECTCONST",
-                [condition],
-                {"attr": _attr(rng), "value": _value(rng)},
-            )
-        )
-    return While(condition, Program(body))
-
-
-def gen_case(
-    seed: int, *, allow_while: bool = True, allow_wildcards: bool = True
-) -> tuple[Program, TabularDatabase]:
-    """The seeded random (program, database) differential test case."""
-    rng = random.Random(seed)
-    db = random_database(
-        n_tables=rng.randrange(2, 5),
-        height=rng.randrange(2, 5),
-        width=rng.randrange(1, 4),
-        seed=rng.randrange(10**9),
-    )
-    sizes = _Sizes(db)
-    statements: list[Statement] = []
-    for _ in range(rng.randrange(3, 9)):
-        if allow_while and rng.random() < 0.18:
-            statements.append(_gen_while(rng, sizes, allow_wildcards))
-        else:
-            statements.extend(
-                _gen_statement(
-                    rng, sizes, allow_wildcards=allow_wildcards, safe_only=False
-                )
-            )
-    return Program(statements), db
+#: The corpus generator under its historical test-suite name.
+gen_case = random_case
 
 
 # ----------------------------------------------------------------------

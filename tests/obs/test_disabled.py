@@ -109,6 +109,27 @@ class TestZeroOverheadSmoke:
         finally:
             registry_module.OpSpec._invoke_evented = original
 
+    def test_disabled_dispatch_skips_the_estimated_path(self):
+        """Estimation is gated identically: one EST.active check."""
+        import repro.algebra.programs.registry as registry_module
+        from repro.obs.estimator import estimation
+
+        spec = OPERATIONS["DEDUP"]
+        table = make_table("T", ["A"], [["x"], ["y"]])
+        calls = []
+        original = registry_module.OpSpec._invoke_estimated
+        try:
+            registry_module.OpSpec._invoke_estimated = (
+                lambda self, *a: calls.append(self.name) or original(self, *a)
+            )
+            spec.invoke((table,), {}, None)
+            assert calls == []  # no scope: estimated path never entered
+            with estimation():
+                spec.invoke((table,), {}, None)
+            assert calls == ["DEDUP"]
+        finally:
+            registry_module.OpSpec._invoke_estimated = original
+
     def test_disabled_run_allocates_nothing_in_obs_modules(self):
         """tracemalloc audit: the off switch means *zero* obs allocations.
 

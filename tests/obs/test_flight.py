@@ -78,6 +78,48 @@ class TestBundle:
         assert "operations" in metrics and "counters" in metrics
         assert (bundle / "explain.txt").read_text().strip()
 
+    def test_noted_stats_land_in_stats_json(self, tmp_path):
+        from repro.obs.stats import analyze_database, validate_stats_data
+
+        _label, program, db = parse_workload("tc:6")
+        stats = analyze_database(db)
+        limits = Limits(max_total_rows=60)
+        with pytest.raises(BudgetExceededError):
+            with flight_recorder(tmp_path / "flight") as recorder:
+                recorder.note_stats(stats)
+                run_hardened(program, db, limits=limits)
+        data = json.loads((recorder.last_bundle / "stats.json").read_text())
+        assert validate_stats_data(data) == []
+        manifest = json.loads((recorder.last_bundle / "MANIFEST.json").read_text())
+        assert manifest["stats"]["fingerprint"] == stats.fingerprint
+        assert manifest["stats"]["tables"] == 1
+        assert "stats.json" in manifest["files"]
+
+    def test_live_estimation_scope_contributes_stats(self, tmp_path):
+        from repro.obs.estimator import estimation
+        from repro.obs.stats import analyze_database
+
+        _label, program, db = parse_workload("tc:6")
+        stats = analyze_database(db)
+        limits = Limits(max_total_rows=60)
+        with pytest.raises(BudgetExceededError):
+            # The estimation scope wraps the recorder so it is still live
+            # when the dying run's bundle is written.
+            with estimation(stats):
+                with flight_recorder(tmp_path / "flight") as recorder:
+                    run_hardened(program, db, limits=limits)
+        # Nothing was noted, but the estimator's snapshot rode along.
+        assert (recorder.last_bundle / "stats.json").exists()
+        manifest = json.loads((recorder.last_bundle / "MANIFEST.json").read_text())
+        assert manifest["stats"]["fingerprint"] == stats.fingerprint
+
+    def test_bundle_without_stats_omits_the_file(self, tmp_path):
+        recorder = _killed_run(tmp_path / "flight", tmp_path)
+        assert not (recorder.last_bundle / "stats.json").exists()
+        manifest = json.loads((recorder.last_bundle / "MANIFEST.json").read_text())
+        assert "stats" not in manifest
+        assert "stats.json" not in manifest["files"]
+
     def test_clean_exit_writes_nothing(self, tmp_path):
         directory = tmp_path / "flight"
         _label, program, db = parse_workload("tc:4")

@@ -67,6 +67,47 @@ class TestExporter:
         assert lint_prometheus_text(prometheus_text(_observed_metrics())) == []
 
 
+class TestEstimatorFamilies:
+    def _accuracy_and_stats(self):
+        from repro.obs.estimator import EstimateAccuracy, estimation
+        from repro.obs.stats import analyze_database
+
+        accuracy = EstimateAccuracy()
+        db = sales_info1()
+        stats = analyze_database(db)
+        with observation(trace=False) as obs:
+            with estimation(stats, accuracy=accuracy):
+                parse_program(PIVOT).run(db)
+        return obs.metrics, accuracy, stats
+
+    def test_qerror_histogram_is_cumulative_per_op(self):
+        metrics, accuracy, stats = self._accuracy_and_stats()
+        text = prometheus_text(metrics, accuracy=accuracy, stats=stats)
+        assert "# TYPE repro_estimator_qerror histogram" in text
+        assert 'repro_estimator_qerror_bucket{op="GROUP",le="+Inf"} 1' in text
+        assert 'repro_estimator_qerror_count{op="GROUP"} 1' in text
+        assert "# TYPE repro_estimator_worst_qerror gauge" in text
+        assert 'repro_estimator_estimates_total{source="stats"}' in text
+
+    def test_stats_gauges_exported(self):
+        metrics, accuracy, stats = self._accuracy_and_stats()
+        text = prometheus_text(metrics, accuracy=accuracy, stats=stats)
+        assert "# TYPE repro_stats_age_seconds gauge" in text
+        assert "repro_stats_tables 1" in text
+        assert "repro_stats_rows 8" in text
+
+    def test_estimator_families_lint_clean(self):
+        metrics, accuracy, stats = self._accuracy_and_stats()
+        text = prometheus_text(metrics, accuracy=accuracy, stats=stats)
+        assert lint_prometheus_text(text) == []
+
+    def test_plain_export_unchanged_without_optins(self):
+        metrics, _accuracy, _stats = self._accuracy_and_stats()
+        text = prometheus_text(metrics)
+        assert "estimator" not in text
+        assert "stats_age" not in text
+
+
 class TestLinter:
     def test_bad_metric_name(self):
         payload = "# TYPE 9bad counter\n9bad 1\n"

@@ -440,6 +440,178 @@ class TestMetrics:
         assert 'le="+Inf"' in output
         assert lint_prometheus_text(output) == []
 
+    def test_metrics_prom_estimates_adds_estimator_families(self, tmp_path):
+        from repro.obs import lint_prometheus_text
+
+        stats_path = tmp_path / "stats.json"
+        code, _output = run_cli("analyze", "tc:6", "--out", str(stats_path))
+        assert code == 0
+        code, output = run_cli(
+            "metrics", "--prom", "--estimates", "--stats", str(stats_path)
+        )
+        assert code == 0
+        assert "# TYPE repro_estimator_qerror histogram" in output
+        assert "# TYPE repro_estimator_worst_qerror gauge" in output
+        assert "# TYPE repro_stats_age_seconds gauge" in output
+        assert 'repro_estimator_estimates_total{source="stats"}' in output
+        assert lint_prometheus_text(output) == []
+
+    def test_metrics_prom_without_optins_is_unchanged(self):
+        code, output = run_cli("metrics", "--prom")
+        assert code == 0
+        assert "estimator" not in output
+
+    def test_metrics_bad_stats_path_exits_two(self, tmp_path):
+        code, output = run_cli(
+            "metrics", "--prom", "--stats", str(tmp_path / "absent.json")
+        )
+        assert code == 2
+        assert "error:" in output
+
+
+class TestAnalyze:
+    def test_analyze_workload_summary(self):
+        code, output = run_cli("analyze", "tc:6")
+        assert code == 0
+        assert "ANALYZE of tc:6" in output
+        assert "vector engine" in output
+        assert "ndv" in output
+
+    def test_analyze_example_naive(self):
+        code, output = run_cli("analyze", "fig4-group", "--engine", "naive")
+        assert code == 0
+        assert "naive engine" in output
+        assert "Sales: 8 rows x 3 cols" in output
+
+    def test_analyze_json_is_schema_valid(self):
+        import json
+
+        from repro.obs.stats import validate_stats_data
+
+        code, output = run_cli("analyze", "fig4-group", "--json")
+        assert code == 0
+        assert validate_stats_data(json.loads(output)) == []
+
+    def test_analyze_out_writes_loadable_snapshot(self, tmp_path):
+        from repro.obs.stats import load_stats
+
+        path = tmp_path / "nested" / "stats.json"
+        code, output = run_cli("analyze", "tc:6", "--out", str(path))
+        assert code == 0
+        assert str(path) in output
+        stats = load_stats(path)
+        assert stats.total_rows == 5
+
+    def test_analyze_top_k(self):
+        import json
+
+        code, output = run_cli("analyze", "fig4-group", "--top-k", "2", "--json")
+        assert code == 0
+        data = json.loads(output)
+        assert data["top_k"] == 2
+        assert all(
+            len(c["top"]) <= 2
+            for t in data["tables"]
+            for c in t["columns"]
+        )
+
+    def test_analyze_bad_engine_exits_two(self):
+        code, output = run_cli("analyze", "tc:6", "--engine", "gpu")
+        assert code == 2
+        assert "invalid --engine" in output
+
+    def test_analyze_non_program_example_exits_two(self):
+        code, output = run_cli("analyze", "olap")
+        assert code == 2
+        assert "error" in output
+
+
+class TestStatsAudit:
+    def test_audit_report_covers_dispatched_ops(self, tmp_path):
+        import json
+
+        out = tmp_path / "qerror.json"
+        code, output = run_cli(
+            "stats-audit", "--seeds", "12", "--out", str(out)
+        )
+        assert code == 0
+        assert "coverage: complete" in output
+        assert "overall q-error" in output
+        report = json.loads(out.read_text())
+        assert report["coverage"]["complete"] is True
+        assert report["overall"]["estimates"] > 0
+        assert report["ops"]
+
+    def test_audit_json_mode(self):
+        import json
+
+        code, output = run_cli("stats-audit", "--seeds", "2", "--tc", "4", "--json")
+        data = json.loads(output)
+        assert data["version"] == 1
+        assert data["corpus"]["fuzz_seeds"] == 2
+        assert code == (0 if data["coverage"]["complete"] else 1)
+
+    def test_audit_bad_seeds_exits_two(self):
+        code, output = run_cli("stats-audit", "--seeds", "many")
+        assert code == 2
+        assert "invalid --seeds" in output
+
+    def test_audit_bad_engine_exits_two(self):
+        code, output = run_cli("stats-audit", "--engine", "gpu")
+        assert code == 2
+        assert "invalid --engine" in output
+
+
+class TestStatsFlags:
+    def test_trace_analyze_with_stats_shows_source(self, tmp_path):
+        stats_path = tmp_path / "stats.json"
+        code, _output = run_cli("analyze", "fig4-group", "--out", str(stats_path))
+        assert code == 0
+        code, output = run_cli(
+            "trace", "fig4-group", "--analyze", "--stats", str(stats_path)
+        )
+        assert code == 0
+        assert "est_rows=9 (stats)" in output
+        assert "| Src" in output  # the attribution column appears
+
+    def test_trace_without_stats_has_no_source_column(self):
+        code, output = run_cli("trace", "fig4-group", "--analyze")
+        assert code == 0
+        assert "| Src" not in output
+
+    def test_trace_bad_stats_path_exits_two(self, tmp_path):
+        code, output = run_cli(
+            "trace", "fig4-group", "--stats", str(tmp_path / "absent.json")
+        )
+        assert code == 2
+        assert "error:" in output
+
+    def test_run_with_stats_emits_op_estimates(self, tmp_path):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        code, _output = run_cli("analyze", "tc:6", "--out", str(stats_path))
+        assert code == 0
+        events_path = tmp_path / "events.jsonl"
+        code, _output = run_cli(
+            "run", "tc:6",
+            "--stats", str(stats_path),
+            "--events", str(events_path),
+        )
+        assert code == 0
+        kinds = [
+            json.loads(line)["kind"]
+            for line in events_path.read_text().splitlines()
+        ]
+        assert "op_estimate" in kinds
+
+    def test_run_bad_stats_path_exits_two(self, tmp_path):
+        code, output = run_cli(
+            "run", "tc:6", "--stats", str(tmp_path / "absent.json")
+        )
+        assert code == 2
+        assert "error:" in output
+
 
 class TestPromLint:
     def test_clean_payload_exits_zero(self, tmp_path):
