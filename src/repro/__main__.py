@@ -91,7 +91,34 @@ Commands:
 * ``chaos [example...] [--kinds raise,delay,corrupt] [--seed N]
   [--json]`` — run the fault-injection matrix over the bundled
   pipelines; every injection point must surface as a typed error with
-  no partial mutation (exit 1 otherwise).
+  no partial mutation (exit 1 otherwise);
+* ``history [run-id] [--ledger DIR] [--fingerprint F] [--workload W]
+  [--outcome S] [--limit N] [--aggregates] [--json]`` — list the runs
+  recorded in a ledger directory (``run --ledger`` / ``trace --ledger``
+  write them), inspect one run's full manifest by id, or
+  (``--aggregates``) print the per-fingerprint cross-run aggregates the
+  cost-model feedback loop consumes;
+* ``replay <run-id | bundle-dir> [--ledger DIR] [--engine naive|vector]
+  [--inject-fault SEED] [--json]`` — re-execute a ledgered run and diff
+  it against the recording: result-database digest (with structural
+  drill-down to the first differing cell), ordered op/rows trace, and
+  normalized program fingerprint; exit 0 iff byte-identical, 1 on any
+  divergence.  A flight-recorder bundle directory resolves to its run
+  via the manifest's run pointer.  ``--inject-fault`` /``--engine``
+  deliberately inject divergence so CI can prove the detector fires;
+* ``sentinel [--ledger DIR] [--window N] [--min-runs N]
+  [--latency-factor X] [--qerror-factor X] [--fallback-jump X]
+  [--json]`` — cross-run drift detection: compare the recent window of
+  runs against the baseline window per program fingerprint over latency
+  p50/p95, mean q-error, and vector-fallback rate; exit 0 clean, 4 on
+  drift, 3 when no fingerprint has enough history.
+
+``run`` and ``trace`` accept ``--ledger DIR`` to journal the run into a
+persistent ledger (docs/OBSERVABILITY.md describes the on-disk format).
+
+Exit codes, uniformly: 0 success; 1 failure (a check failed, a run was
+killed or diverged, a gate tripped); 2 usage error; 3 missing input
+(file, ledger, run, or bundle absent or unusable); 4 drift detected.
 """
 
 from __future__ import annotations
@@ -99,7 +126,7 @@ from __future__ import annotations
 import sys
 
 
-def _figures() -> int:
+def _figures(rest: list[str]) -> int:
     from .algebra import group, merge
     from .core import render_database, render_table
     from .data import (
@@ -142,7 +169,7 @@ def _figures() -> int:
     return 0
 
 
-def _check() -> int:
+def _check(rest: list[str]) -> int:
     from .algebra import collapse_compact, group, group_compact, merge, merge_compact, split
     from .canonical import decode, encode
     from .data import (
@@ -187,7 +214,7 @@ def _check() -> int:
     return 1 if failed else 0
 
 
-def _demo() -> int:
+def _demo(rest: list[str]) -> int:
     import runpy
     from pathlib import Path
 
@@ -233,13 +260,29 @@ def _trace(rest: list[str]) -> int:
     json_out = "--json" in rest
     analyze = "--analyze" in rest
     stats_path = _flag_value(rest, "--stats")
+    ledger_dir = _flag_value(rest, "--ledger")
     names = [
-        a for a in rest if not a.startswith("-") and a != stats_path
+        a
+        for a in rest
+        if not a.startswith("-") and a not in (stats_path, ledger_dir)
     ]
     name = _resolve_or_fail(names[0] if names else "fig4-group")
     if name is None:
         return 2
+    recorder = None
     with ExitStack() as stack:
+        if ledger_dir is not None:
+            from .core.errors import LedgerError
+            from .obs.events import event_stream
+            from .obs.ledger import RunLedger, RunRecorder
+
+            bus = stack.enter_context(event_stream())
+            try:
+                ledger = RunLedger(ledger_dir)
+            except LedgerError as err:
+                print(f"error: {err}")
+                return 3
+            recorder = RunRecorder(bus, ledger)
         if stats_path is not None:
             from .core.errors import StatsError
             from .obs.estimator import estimation
@@ -252,6 +295,21 @@ def _trace(rest: list[str]) -> int:
                 return 2
             stack.enter_context(estimation(stats))
         obs, _result = trace_example(name)
+        if recorder is not None:
+            # Traces are journaled for history/sentinel but marked
+            # non-replayable: the tracer drives the example's own
+            # pipeline, not the hardened runtime replay re-executes.
+            program = None
+            example = EXAMPLES[name]
+            if example.setup is not None:
+                _db, bound_run = example.setup()
+                candidate = getattr(bound_run, "__self__", None)
+                if candidate is not None and hasattr(candidate, "statements"):
+                    program = candidate
+            recorder.finish(workload=name, program=program)
+            if not json_out:
+                print(f"run {recorder.run_id} recorded in ledger {ledger_dir}")
+                print()
     if json_out:
         data = obs.to_json()
         if analyze:
@@ -534,12 +592,13 @@ def _run(rest: list[str]) -> int:
     events_path = _flag_value(rest, "--events")
     flight_dir = _flag_value(rest, "--flight-dir")
     stats_path = _flag_value(rest, "--stats")
+    ledger_dir = _flag_value(rest, "--ledger")
     if engine not in ("naive", "vector"):
         print(f"error: invalid --engine {engine!r}; expected naive or vector")
         return 2
     for flag in ("--deadline", "--max-rows", "--max-rows-per-op",
                  "--max-cells-per-op", "--max-while", "--retry", "--checkpoint",
-                 "--engine", "--events", "--flight-dir", "--stats"):
+                 "--engine", "--events", "--flight-dir", "--stats", "--ledger"):
         value = _flag_value(rest, flag)
         if value is not None:
             flag_values.add(value)
@@ -602,18 +661,27 @@ def _run(rest: list[str]) -> int:
             print(f"error: {err}")
             return 2
 
+    limits_info = {
+        "deadline_ms": deadline_ms,
+        "max_rows": max_rows,
+        "max_rows_per_op": max_rows_per_op,
+        "max_cells_per_op": max_cells_per_op,
+        "max_while": max_while,
+    }
     kills: list[str] = []
     attempts = 0
     result = None
     governor = None
     bundle_path = None
+    run_recorder = None
     with ExitStack() as stack:
         # The event feed is on whenever anything consumes it: the live
-        # ticker, the JSONL stream, or the flight recorder's postmortem
-        # ring.  With none of the three, `run` keeps the zero-overhead
-        # disabled path.
+        # ticker, the JSONL stream, the flight recorder's postmortem
+        # ring, or the run-ledger recorder.  With none of the four,
+        # `run` keeps the zero-overhead disabled path.
         recorder = None
-        if progress or events_path is not None or flight_dir is not None:
+        if (progress or events_path is not None or flight_dir is not None
+                or ledger_dir is not None):
             from .obs.events import JsonlEventWriter, event_stream
             from .obs.flight import FlightRecorder
             from .obs.progress import ProgressTicker
@@ -625,11 +693,23 @@ def _run(rest: list[str]) -> int:
                 writer = JsonlEventWriter(events_path)
                 bus.attach(writer)
                 stack.callback(writer.close)
+            if ledger_dir is not None:
+                from .core.errors import LedgerError
+                from .obs.ledger import RunLedger, RunRecorder
+
+                try:
+                    run_ledger = RunLedger(ledger_dir)
+                except LedgerError as err:
+                    print(f"error: {err}")
+                    return 3
+                run_recorder = RunRecorder(bus, run_ledger)
             if flight_dir is not None:
                 recorder = FlightRecorder(bus, directory=flight_dir)
                 recorder.note_program(repr(program))
                 if stats is not None:
                     recorder.note_stats(stats)
+                if run_recorder is not None:
+                    recorder.note_run(run_recorder.run_id, ledger_dir)
         if stats is not None:
             from .obs.estimator import estimation
 
@@ -663,14 +743,34 @@ def _run(rest: list[str]) -> int:
                         bundle_path = None
                     if bundle_path is not None and not json_out:
                         print(f"postmortem bundle written to {bundle_path}")
+                if run_recorder is not None:
+                    run_recorder.finish(
+                        workload=label, program=program, engine=engine,
+                        error=err, limits=limits_info, attempts=attempts,
+                        kills=kills, stats=stats, replay_spec=label,
+                    )
+                    if not json_out:
+                        print(
+                            f"run {run_recorder.run_id} recorded in "
+                            f"ledger {ledger_dir}"
+                        )
                 if json_out:
                     summary = {"workload": label, "attempts": attempts,
                                "kills": kills, "finished": False}
                     if bundle_path is not None:
                         summary["postmortem"] = bundle_path
+                    if run_recorder is not None:
+                        summary["run_id"] = run_recorder.run_id
+                        summary["ledger"] = ledger_dir
                     print(json.dumps(summary, indent=2))
                 return 1
 
+    if run_recorder is not None:
+        run_recorder.finish(
+            workload=label, program=program, engine=engine,
+            result_db=result, limits=limits_info, attempts=attempts,
+            kills=kills, stats=stats, replay_spec=label,
+        )
     identical = None
     if verify:
         identical = result == program.run(db)
@@ -685,6 +785,9 @@ def _run(rest: list[str]) -> int:
     }
     if identical is not None:
         summary["identical_to_ungoverned_run"] = identical
+    if run_recorder is not None:
+        summary["run_id"] = run_recorder.run_id
+        summary["ledger"] = ledger_dir
     if json_out:
         print(json.dumps(summary, indent=2))
     else:
@@ -698,6 +801,8 @@ def _run(rest: list[str]) -> int:
             f"{gov['ops_dispatched']} ops, {gov['rows_emitted']} rows, "
             f"{gov['cells_emitted']} cells in {gov['elapsed_s'] * 1000:.0f}ms"
         )
+        if run_recorder is not None:
+            print(f"run {run_recorder.run_id} recorded in ledger {ledger_dir}")
         if identical is not None:
             print(
                 "verify: identical to ungoverned run"
@@ -1013,7 +1118,13 @@ def _metrics(rest: list[str]) -> int:
             print(f"error: {err}")
             return 2
     accuracy = None
-    with observation(trace=False) as obs:
+    from .obs.events import event_stream
+
+    # The corpus runs under a live bus with one small ring attached, so
+    # the export carries real publish/receive/drop counts — a scrape can
+    # alert on ring truncation instead of discovering it in a postmortem.
+    with event_stream() as bus, observation(trace=False) as obs:
+        bus.ring(capacity=256)
         from .obs.examples import EXAMPLES, run_example
 
         if estimates:
@@ -1036,10 +1147,16 @@ def _metrics(rest: list[str]) -> int:
                 run_example(example.name)
     if "--prom" in rest:
         sys.stdout.write(
-            prometheus_text(obs.metrics, accuracy=accuracy, stats=stats)
+            prometheus_text(obs.metrics, accuracy=accuracy, stats=stats, bus=bus)
         )
         return 0
-    print(json.dumps(obs.metrics.snapshot(), indent=2))
+    snapshot = obs.metrics.snapshot()
+    snapshot["events"] = {
+        "published": bus.published,
+        "callback_errors": bus.callback_errors,
+        **bus.ring_totals(),
+    }
+    print(json.dumps(snapshot, indent=2))
     return 0
 
 
@@ -1136,39 +1253,298 @@ def _engine_report(rest: list[str]) -> int:
     return 0 if report["coverage"] == 1.0 else 1
 
 
+def _float_flag(rest: list[str], flag: str) -> tuple[float | None, str | None]:
+    """``(value, error)`` for a float-valued flag."""
+    text = _flag_value(rest, flag)
+    if text is None:
+        return None, None
+    try:
+        return float(text), None
+    except ValueError:
+        return None, f"invalid {flag} {text!r}; expected a number"
+
+
+def _open_ledger(path: str):
+    """An existing ledger directory opened read-side, or None (exit 3).
+
+    ``history``/``replay``/``sentinel`` read ledgers; a directory that
+    was never written is a missing input, not an empty result set, so
+    the caller must distinguish it from "no runs matched".
+    """
+    from pathlib import Path
+
+    from .core.errors import LedgerError
+    from .obs.ledger import RunLedger
+
+    if not (Path(path) / "LEDGER.json").exists():
+        print(
+            f"error: no ledger at {path} "
+            f"(record one with: repro run tc:6 --ledger {path})"
+        )
+        return None
+    try:
+        return RunLedger(path)
+    except LedgerError as err:
+        print(f"error: {err}")
+        return None
+
+
+def _history(rest: list[str]) -> int:
+    import json
+
+    from .core.errors import LedgerError
+
+    ledger_dir = _flag_value(rest, "--ledger") or "ledger"
+    fingerprint = _flag_value(rest, "--fingerprint")
+    workload = _flag_value(rest, "--workload")
+    outcome = _flag_value(rest, "--outcome")
+    limit, err = _int_flag(rest, "--limit")
+    if err is not None:
+        print(f"error: {err}")
+        return 2
+    json_out = "--json" in rest
+    aggregates = "--aggregates" in rest
+    flag_values = {
+        v
+        for v in (
+            _flag_value(rest, "--ledger"), fingerprint, workload, outcome,
+            _flag_value(rest, "--limit"),
+        )
+        if v is not None
+    }
+    names = [a for a in rest if not a.startswith("-") and a not in flag_values]
+    ledger = _open_ledger(ledger_dir)
+    if ledger is None:
+        return 3
+
+    if names:
+        # Inspect one run: the full manifest, always as JSON (it *is*
+        # the on-disk record).
+        try:
+            manifest = ledger.get(names[0])
+        except LedgerError as err:
+            print(f"error: {err}")
+            return 3
+        print(json.dumps(manifest, indent=2))
+        return 0
+
+    if aggregates:
+        data = ledger.aggregates()
+        if json_out:
+            print(json.dumps(data, indent=2))
+            return 0
+        print(f"ledger {ledger_dir}: {len(ledger)} run(s), "
+              f"{len(data)} fingerprint(s)")
+        for record in data:
+            latency = record["latency_ms"]
+            q = record["q_error_mean"]
+            print(
+                f"  {record['fingerprint']}  {record['runs']:>4} run(s)  "
+                f"p50 {latency['p50']}ms p95 {latency['p95']}ms  "
+                f"q-mean {q if q is not None else '-'}  "
+                f"fallback {record['fallback_rate']}  "
+                f"[{','.join(record['workloads'][:3])}]"
+            )
+        return 0
+
+    rows = ledger.runs(
+        fingerprint=fingerprint, workload=workload, outcome=outcome, limit=limit
+    )
+    if json_out:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(f"ledger {ledger_dir}: {len(rows)} run(s) listed, {len(ledger)} total")
+    if ledger.warnings:
+        for message in ledger.warnings:
+            print(f"  recovery: {message}")
+    for row in rows:
+        q_max = row.get("q_max")
+        dropped = row.get("dropped_events") or 0
+        print(
+            f"  {row['run_id']}  {row.get('workload'):>12}  "
+            f"{row.get('engine') or '-':>6}  {row.get('outcome'):>6}  "
+            f"{row.get('elapsed_ms')}ms  {row.get('ops')} op(s)  "
+            f"{row.get('fallbacks')} fallback(s)"
+            + (f"  q-max {q_max}" if q_max is not None else "")
+            + (f"  {dropped} dropped event(s)" if dropped else "")
+        )
+    return 0
+
+
+def _replay(rest: list[str]) -> int:
+    import json
+    from pathlib import Path
+
+    from .core.errors import LedgerError
+
+    ledger_flag = _flag_value(rest, "--ledger")
+    engine = _flag_value(rest, "--engine")
+    if engine is not None and engine not in ("naive", "vector"):
+        print(f"error: invalid --engine {engine!r}; expected naive or vector")
+        return 2
+    inject_seed, err = _int_flag(rest, "--inject-fault")
+    if err is not None:
+        print(f"error: {err}")
+        return 2
+    json_out = "--json" in rest
+    flag_values = {
+        v
+        for v in (ledger_flag, engine, _flag_value(rest, "--inject-fault"))
+        if v is not None
+    }
+    names = [a for a in rest if not a.startswith("-") and a not in flag_values]
+    if not names:
+        print("usage: repro replay <run-id | bundle-dir> [--ledger DIR] "
+              "[--engine naive|vector] [--inject-fault SEED] [--json]")
+        return 2
+
+    from .obs.replay import bundle_run_pointer, replay_from_ledger
+
+    target = names[0]
+    run_id = target
+    ledger_dir = ledger_flag or "ledger"
+    if Path(target).is_dir() and (Path(target) / "MANIFEST.json").exists():
+        # A flight-recorder bundle: follow its run pointer back to the
+        # ledger the run was journaled in.
+        try:
+            run_id, pointed = bundle_run_pointer(target)
+        except LedgerError as err:
+            print(f"error: {err}")
+            return 3
+        if ledger_flag is None:
+            ledger_dir = pointed
+    ledger = _open_ledger(ledger_dir)
+    if ledger is None:
+        return 3
+
+    faults = None
+    if inject_seed is not None:
+        # Deliberate divergence: a seeded corrupt fault makes the replay
+        # raise a typed error where the recording finished, proving the
+        # detector (and its nonzero exit) live.
+        from .runtime.faults import FaultPlan, FaultRule
+
+        faults = FaultPlan([FaultRule(op="*", kind="corrupt")], seed=inject_seed)
+    try:
+        report = replay_from_ledger(ledger, run_id, faults=faults, engine=engine)
+    except LedgerError as err:
+        print(f"error: {err}")
+        return 3
+    if json_out:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _sentinel(rest: list[str]) -> int:
+    import json
+
+    from .obs.sentinel import DEFAULT_MIN_RUNS, DEFAULT_WINDOW, sentinel_report
+
+    ledger_dir = _flag_value(rest, "--ledger") or "ledger"
+    window, err = _int_flag(rest, "--window")
+    errors = [err]
+    min_runs, err = _int_flag(rest, "--min-runs")
+    errors.append(err)
+    latency_factor, err = _float_flag(rest, "--latency-factor")
+    errors.append(err)
+    qerror_factor, err = _float_flag(rest, "--qerror-factor")
+    errors.append(err)
+    fallback_jump, err = _float_flag(rest, "--fallback-jump")
+    errors.append(err)
+    for message in errors:
+        if message is not None:
+            print(f"error: {message}")
+            return 2
+    json_out = "--json" in rest
+    ledger = _open_ledger(ledger_dir)
+    if ledger is None:
+        return 3
+    report = sentinel_report(
+        ledger,
+        window=window if window is not None else DEFAULT_WINDOW,
+        min_runs=min_runs if min_runs is not None else DEFAULT_MIN_RUNS,
+        latency_factor=latency_factor if latency_factor is not None else 2.0,
+        qerror_factor=qerror_factor if qerror_factor is not None else 2.0,
+        fallback_jump=fallback_jump if fallback_jump is not None else 0.25,
+    )
+    if json_out:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    if not report.ok:
+        return 4
+    if report.judged == 0:
+        # "Never measured" must not read as "healthy" in CI.
+        return 3
+    return 0
+
+
+#: Declarative dispatch: command name -> (handler, one-line help).
+#: Every handler takes the argument list after the command name and
+#: returns the process exit status.
+COMMANDS: dict = {
+    "check": (_check, "fast self-check of the headline reproductions"),
+    "figures": (_figures, "print every Figure 1-5 artifact with exactness checks"),
+    "demo": (_demo, "the quickstart walkthrough"),
+    "trace": (_trace, "run a bundled pipeline under the tracer; print EXPLAIN"),
+    "profile": (_profile, "hotspots, wall-time histograms, per-span peak memory"),
+    "lineage": (_lineage, "cell-level why-provenance queries and witness replay"),
+    "stats": (_stats, "aggregated per-operation metrics over every example"),
+    "analyze": (_analyze, "per-table/column statistics; persist an ANALYZE snapshot"),
+    "stats-audit": (_stats_audit, "score every cardinality estimate (q-error audit)"),
+    "metrics": (_metrics, "metrics snapshot as JSON or Prometheus text"),
+    "prom-lint": (_prom_lint, "validate a Prometheus text payload"),
+    "engine-report": (_engine_report, "vector-engine kernel/fallback attribution"),
+    "bench-compare": (_bench_compare, "diff two benchmark trajectories (perf gate)"),
+    "run": (_run, "run a workload under the governor with checkpoint/resume"),
+    "chaos": (_chaos, "fault-injection matrix over the bundled pipelines"),
+    "history": (_history, "list/inspect ledgered runs and per-shape aggregates"),
+    "replay": (_replay, "re-execute a ledgered run and diff it bit for bit"),
+    "sentinel": (_sentinel, "cross-run drift detection over the ledger"),
+}
+
+#: Exit-status vocabulary shared by every subcommand.
+EXIT_CODES = (
+    (0, "success: checks hold / replay identical / no drift"),
+    (1, "failure: a check failed, a run died or diverged, a gate tripped"),
+    (2, "usage: unknown command, bad flag, unknown example or workload"),
+    (3, "missing input: file, ledger, run, or bundle absent or unusable"),
+    (4, "drift: the sentinel flagged a cross-run regression"),
+)
+
+
+def _usage() -> str:
+    lines = ["usage: python -m repro <command> [options]", "", "commands:"]
+    width = max(len(name) for name in COMMANDS)
+    for name, (_handler, help_text) in COMMANDS.items():
+        lines.append(f"  {name:{width}}  {help_text}")
+    lines.append("")
+    lines.append("exit codes:")
+    for code, meaning in EXIT_CODES:
+        lines.append(f"  {code}  {meaning}")
+    lines.append("")
+    lines.append(
+        "per-command flags are documented in the module docstring "
+        "(python -m pydoc repro.__main__) and under docs/."
+    )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
-    command = args[0] if args else "check"
-    rest = args[1:]
-    if command == "trace":
-        return _trace(rest)
-    if command == "profile":
-        return _profile(rest)
-    if command == "lineage":
-        return _lineage(rest)
-    if command == "stats":
-        return _stats(rest)
-    if command == "analyze":
-        return _analyze(rest)
-    if command == "stats-audit":
-        return _stats_audit(rest)
-    if command == "metrics":
-        return _metrics(rest)
-    if command == "prom-lint":
-        return _prom_lint(rest)
-    if command == "engine-report":
-        return _engine_report(rest)
-    if command == "bench-compare":
-        return _bench_compare(rest)
-    if command == "run":
-        return _run(rest)
-    if command == "chaos":
-        return _chaos(rest)
-    commands = {"figures": _figures, "check": _check, "demo": _demo}
-    if command not in commands:
-        print(__doc__)
+    if not args or args[0] in ("--help", "-h", "help"):
+        print(_usage())
+        return 0
+    command, rest = args[0], args[1:]
+    entry = COMMANDS.get(command)
+    if entry is None:
+        print(f"error: unknown command {command!r}")
+        print()
+        print(_usage())
         return 2
-    return commands[command]()
+    return entry[0](rest)
 
 
 if __name__ == "__main__":

@@ -133,6 +133,16 @@ class StatsError(ReproError):
     """
 
 
+class LedgerError(ReproError):
+    """A run-ledger directory could not be written, read, or applied.
+
+    Covers unreadable/corrupt ledger segments, schema-version
+    mismatches (a ledger written by a different format cannot be
+    silently reinterpreted), unknown run ids, and runs recorded without
+    enough state to replay.
+    """
+
+
 class ParseError(ReproError):
     """A textual tabular algebra or SchemaLog program failed to parse."""
 

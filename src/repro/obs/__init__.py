@@ -111,11 +111,31 @@ from .workload import (
     normalize_program,
     stats_audit,
 )
+from .ledger import (
+    LEDGER,
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    RunRecorder,
+    database_digest,
+    ledger_scope,
+    new_run_id,
+)
+from .replay import (
+    Divergence,
+    ReplayReport,
+    bundle_run_pointer,
+    replay_from_ledger,
+    replay_run,
+    resolve_runnable,
+)
+from .sentinel import DriftFinding, SentinelReport, sentinel_report
 
 __all__ = [
     "OBS",
     "EVT",
     "EST",
+    "LEDGER",
+    "LEDGER_SCHEMA_VERSION",
     "NULL_SPAN",
     "EVENT_KINDS",
     "EVENT_SCHEMA_VERSION",
@@ -129,6 +149,8 @@ __all__ = [
     "CostEstimate",
     "CostModel",
     "DatabaseStats",
+    "Divergence",
+    "DriftFinding",
     "EstimateAccuracy",
     "Event",
     "EventBus",
@@ -142,7 +164,11 @@ __all__ = [
     "Profile",
     "ProgressTicker",
     "ReplayCheck",
+    "ReplayReport",
     "RingSubscriber",
+    "RunLedger",
+    "RunRecorder",
+    "SentinelReport",
     "Span",
     "TableStats",
     "Tracer",
@@ -153,9 +179,11 @@ __all__ = [
     "analyze_table_stats",
     "analyze_table",
     "audit_run",
+    "bundle_run_pointer",
     "chrome_trace",
     "count_prov_cells",
     "counters_table",
+    "database_digest",
     "database_fingerprint",
     "derived_from",
     "emit",
@@ -169,10 +197,12 @@ __all__ = [
     "format_span",
     "graph_to_dot",
     "jsonl_records",
+    "ledger_scope",
     "lineage",
     "lint_prometheus_text",
     "load_stats",
     "metrics_table",
+    "new_run_id",
     "normalize_program",
     "observation",
     "profile",
@@ -180,6 +210,10 @@ __all__ = [
     "provenance",
     "provenance_graph",
     "qerror",
+    "replay_from_ledger",
+    "replay_run",
+    "resolve_runnable",
+    "sentinel_report",
     "span",
     "stats_audit",
     "span_tree_text",

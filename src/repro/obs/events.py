@@ -238,6 +238,22 @@ class EventBus:
         with self._lock:
             return len(self._rings) + len(self._callbacks)
 
+    def ring_totals(self) -> dict:
+        """Aggregate receive/drop counts over every attached ring.
+
+        Drops are how a bounded subscriber loses telemetry silently;
+        surfacing the totals (``repro metrics``, the Prometheus
+        ``events_ring_dropped_total`` family, the ledger manifest's
+        ``events.dropped``) is what makes the truncation visible.
+        """
+        with self._lock:
+            rings = tuple(self._rings)
+        return {
+            "rings": len(rings),
+            "received": sum(ring.received for ring in rings),
+            "dropped": sum(ring.dropped for ring in rings),
+        }
+
     # -- publishing -----------------------------------------------------
 
     def publish(self, kind: str, /, **data) -> Event:

@@ -11,7 +11,10 @@ N events of the run at all times, and when the run ends in a
 * ``MANIFEST.json`` — bundle format version, creation time, the error
   (type, message, structured context), event counts (retained/dropped),
   and the **checkpoint pointer** (the path of the last
-  ``checkpoint_write`` event seen, i.e. where to resume from);
+  ``checkpoint_write`` event seen, i.e. where to resume from); when a
+  run ledger was armed the manifest also carries the **run pointer**
+  (``run.id`` + ``run.ledger``, noted via :meth:`FlightRecorder.note_run`)
+  joining the postmortem to its ledger record;
 * ``events.jsonl``   — the event tail, one wire-form JSON object per
   line, replaying the final iterations of the run;
 * ``metrics.json``   — the active metrics snapshot, when an
@@ -85,7 +88,16 @@ def _next_bundle_name() -> str:
 class FlightRecorder:
     """A bounded event tail plus the postmortem dump that consumes it."""
 
-    __slots__ = ("directory", "ring", "bus", "program_text", "stats", "last_bundle")
+    __slots__ = (
+        "directory",
+        "ring",
+        "bus",
+        "program_text",
+        "stats",
+        "last_bundle",
+        "run_id",
+        "ledger_path",
+    )
 
     def __init__(
         self,
@@ -102,10 +114,24 @@ class FlightRecorder:
         self.stats = None
         #: Path of the most recently written bundle, or None.
         self.last_bundle: Path | None = None
+        #: Run-ledger join key included in the bundle when noted.
+        self.run_id: str | None = None
+        self.ledger_path: str | None = None
 
     def note_program(self, text: str) -> None:
         """Record the program/plan text for inclusion in any bundle."""
         self.program_text = text
+
+    def note_run(self, run_id: str, ledger: str | Path | None = None) -> None:
+        """Record the run id (and its ledger directory) for the bundle.
+
+        A postmortem written while a run ledger was armed then carries
+        the join key in its ``MANIFEST.json`` (the ``run`` block), so
+        ``repro replay <bundle-dir>`` and postmortem triage can find the
+        ledger record without guessing.
+        """
+        self.run_id = run_id
+        self.ledger_path = str(ledger) if ledger is not None else None
 
     def note_stats(self, stats) -> None:
         """Record the ANALYZE snapshot the estimator saw.
@@ -184,6 +210,8 @@ class FlightRecorder:
             "checkpoint": self.checkpoint_pointer(),
             "files": files + ["MANIFEST.json"],
         }
+        if self.run_id is not None:
+            manifest["run"] = {"id": self.run_id, "ledger": self.ledger_path}
         if stats is not None:
             manifest["stats"] = {
                 "engine": stats.engine,

@@ -1,0 +1,735 @@
+"""The persistent run ledger: durable, append-only cross-run memory.
+
+Every other observability surface — spans, events, q-error scores,
+fallback reasons, budget outcomes — evaporates at process exit.  The
+ledger is the piece that survives: an **append-only, schema-versioned
+on-disk journal** of run manifests, one JSON line per run, written to
+rotating segment files with a compacted index.  It is the durable
+substrate two ROADMAP items read from: the multi-tenant service's
+per-tenant accounting and the cost-based optimizer's per-fingerprint
+latency/q-error feedback loop.
+
+Layout of a ledger directory::
+
+    ledger/
+    ├── LEDGER.json          # header: {"format": 1, "created": ...}
+    ├── segment-000001.jsonl # run manifests, one JSON object per line
+    ├── segment-000002.jsonl # opened when the previous segment filled
+    └── index.json           # compacted per-run summaries (a cache —
+                             # rebuilt from the segments when missing)
+
+Durability rules:
+
+* appends are serialized under one lock (the event-bus thread and the
+  driver may record concurrently) and each line is flushed before the
+  append returns;
+* a **torn final line** — the process died mid-write — is skipped with
+  a warning on reopen, never a crash; every intact line before it is
+  recovered;
+* a ledger whose header carries a *different* schema version is
+  **rejected** with a typed :class:`~repro.core.errors.LedgerError`
+  rather than silently reinterpreted, and so is an individual record
+  whose ``v`` disagrees with the header;
+* ``index.json`` is a cache: deleting it loses nothing (reopen rebuilds
+  it from the segments).
+
+The manifests themselves are built by :class:`RunRecorder`, a
+:class:`~repro.obs.events.RingSubscriber` on the live event bus — the
+engine hot path publishes the same events it always did and the ledger
+listens, so recording adds **no new hooks** to op dispatch.  Like
+``OBS``/``GOV``/``EVT``/``EST``, the module-level :data:`LEDGER`
+singleton guards the feature: when ``LEDGER.active`` is False — the
+default — nothing consults the ledger and the zero-allocation audit
+holds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+import warnings
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from ..core.errors import BudgetExceededError, CancelledError, LedgerError
+from .events import EventBus, RingSubscriber
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "DEFAULT_SEGMENT_RECORDS",
+    "DEFAULT_SEGMENT_BYTES",
+    "DEFAULT_RESULT_BYTES_CAP",
+    "RunLedger",
+    "RunRecorder",
+    "LEDGER",
+    "ledger_scope",
+    "new_run_id",
+    "database_digest",
+]
+
+#: Version stamp carried by the ledger header and by every record.
+#: Bump when a manifest field changes shape (adding fields is backward
+#: compatible and does not bump the version).
+LEDGER_SCHEMA_VERSION = 1
+
+#: Records per segment before rotation.
+DEFAULT_SEGMENT_RECORDS = 256
+
+#: Bytes per segment before rotation (whichever threshold trips first).
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+#: Serialized result databases larger than this are recorded as digest
+#: only; replay then compares digests instead of structural diffs.
+DEFAULT_RESULT_BYTES_CAP = 1 * 1024 * 1024
+
+#: Process-wide run counter folded into generated run ids so two runs
+#: starting in the same nanosecond window never collide.
+_RUN_COUNTER_LOCK = threading.Lock()
+_RUN_COUNTER = 0
+
+
+def new_run_id() -> str:
+    """A unique, sortable run id: UTC second + pid + process counter."""
+    global _RUN_COUNTER
+    with _RUN_COUNTER_LOCK:
+        _RUN_COUNTER += 1
+        count = _RUN_COUNTER
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"r-{stamp}-{os.getpid():05d}-{count:04d}"
+
+
+def database_digest(db) -> tuple[str, int, int, list]:
+    """``(sha256, tables, rows, data)`` of one serialized database.
+
+    Serialization reuses the checkpoint encoding, so the digest covers
+    exactly the state a resume would restore — byte-identical results
+    have byte-identical digests across processes.
+    """
+    from ..runtime.checkpoint import database_to_data
+
+    data = database_to_data(db)
+    payload = json.dumps(data, separators=(",", ":"), sort_keys=True)
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    rows = sum(len(table) for table in data)
+    return digest, len(data), rows, data
+
+
+# ----------------------------------------------------------------------
+# The on-disk ledger
+# ----------------------------------------------------------------------
+
+_HEADER_NAME = "LEDGER.json"
+_INDEX_NAME = "index.json"
+_SEGMENT_PREFIX = "segment-"
+
+
+def _summarize(manifest: dict) -> dict:
+    """The compacted index row for one manifest (what ``runs()`` lists)."""
+    outcome = manifest.get("outcome") or {}
+    estimates = manifest.get("estimates") or {}
+    spans = manifest.get("spans") or {}
+    fallbacks = manifest.get("fallbacks") or {}
+    result = manifest.get("result") or {}
+    return {
+        "run_id": manifest["run_id"],
+        "ts": manifest.get("ts"),
+        "workload": (manifest.get("workload") or {}).get("label"),
+        "fingerprint": (manifest.get("program") or {}).get("fingerprint"),
+        "engine": manifest.get("engine"),
+        "outcome": outcome.get("status"),
+        "elapsed_ms": manifest.get("elapsed_ms"),
+        "ops": sum(record.get("calls", 0) for record in spans.values()),
+        "fallbacks": sum(fallbacks.values()),
+        "q_mean": estimates.get("q_mean"),
+        "q_max": estimates.get("q_max"),
+        "result_sha256": result.get("sha256"),
+        "dropped_events": (manifest.get("events") or {}).get("dropped"),
+    }
+
+
+class RunLedger:
+    """One ledger directory: append runs, list runs, read runs back.
+
+    Thread-safe: :meth:`record` may be called from the bus thread while
+    another thread records or rotates.  Open is recovery: segments are
+    scanned, torn tails skipped (with a warning), and the in-memory
+    index rebuilt, so a ledger left behind by a killed process reopens
+    cleanly.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        max_segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        result_bytes_cap: int = DEFAULT_RESULT_BYTES_CAP,
+    ):
+        if max_segment_records < 1:
+            raise LedgerError(
+                f"segment rotation needs >= 1 record, got {max_segment_records}"
+            )
+        self.directory = Path(directory)
+        self.max_segment_records = max_segment_records
+        self.max_segment_bytes = max_segment_bytes
+        self.result_bytes_cap = result_bytes_cap
+        #: Recovery notes from the last open (torn tails, unreadable lines).
+        self.warnings: list[str] = []
+        self._lock = threading.Lock()
+        #: run_id -> (segment name, compacted summary)
+        self._index: dict[str, tuple[str, dict]] = {}
+        self._order: list[str] = []
+        self._segment_records = 0
+        self._segment_bytes = 0
+        self._open()
+
+    # -- open / recovery ------------------------------------------------
+
+    def _open(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        header_path = self.directory / _HEADER_NAME
+        if header_path.exists():
+            try:
+                header = json.loads(header_path.read_text())
+            except (OSError, ValueError) as err:
+                raise LedgerError(
+                    f"cannot read ledger header {header_path}: {err}"
+                ) from err
+            if not isinstance(header, dict) or header.get("format") != LEDGER_SCHEMA_VERSION:
+                found = header.get("format") if isinstance(header, dict) else "?"
+                raise LedgerError(
+                    f"ledger {self.directory} has schema version {found!r}; "
+                    f"this build reads version {LEDGER_SCHEMA_VERSION} "
+                    "(refusing to reinterpret a foreign format)"
+                )
+        else:
+            header_path.write_text(
+                json.dumps(
+                    {"format": LEDGER_SCHEMA_VERSION, "created": round(time.time(), 3)}
+                )
+                + "\n"
+            )
+        self._recover()
+
+    def _segments(self) -> list[Path]:
+        return sorted(self.directory.glob(f"{_SEGMENT_PREFIX}*.jsonl"))
+
+    def _recover(self) -> None:
+        """Rebuild the in-memory index by scanning every segment."""
+        self._index.clear()
+        self._order.clear()
+        self.warnings = []
+        segments = self._segments()
+        for segment in segments:
+            try:
+                text = segment.read_text()
+            except OSError as err:
+                raise LedgerError(f"cannot read ledger segment {segment}: {err}") from err
+            lines = text.split("\n")
+            # A file ending in "\n" splits into lines + [""]; anything
+            # else has a torn tail from a mid-write death.
+            torn = lines[-1] != ""
+            body = lines[:-1]
+            for lineno, line in enumerate(body, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    manifest = json.loads(line)
+                except ValueError:
+                    message = (
+                        f"{segment.name}:{lineno}: unparseable record skipped "
+                        "(torn mid-file line)"
+                    )
+                    self.warnings.append(message)
+                    warnings.warn(f"ledger recovery: {message}", stacklevel=2)
+                    continue
+                self._admit(manifest, segment.name)
+            if torn:
+                message = (
+                    f"{segment.name}: torn final line skipped "
+                    f"({len(lines[-1])} byte(s) of partial write)"
+                )
+                self.warnings.append(message)
+                warnings.warn(f"ledger recovery: {message}", stacklevel=2)
+        if segments:
+            active = segments[-1]
+            self._segment_records = sum(
+                1 for run_id in self._order if self._index[run_id][0] == active.name
+            )
+            self._segment_bytes = active.stat().st_size
+        else:
+            self._segment_records = 0
+            self._segment_bytes = 0
+        self._write_index()
+
+    def _admit(self, manifest: dict, segment_name: str) -> None:
+        """Index one parsed record, rejecting foreign schema versions."""
+        if not isinstance(manifest, dict) or "run_id" not in manifest:
+            raise LedgerError(
+                f"ledger segment {segment_name} holds a non-manifest record"
+            )
+        version = manifest.get("v")
+        if version != LEDGER_SCHEMA_VERSION:
+            raise LedgerError(
+                f"record {manifest.get('run_id')!r} in {segment_name} carries "
+                f"schema version {version!r}; this build reads "
+                f"{LEDGER_SCHEMA_VERSION}"
+            )
+        run_id = str(manifest["run_id"])
+        if run_id not in self._index:
+            self._order.append(run_id)
+        self._index[run_id] = (segment_name, _summarize(manifest))
+
+    # -- appending ------------------------------------------------------
+
+    def _active_segment(self) -> Path:
+        segments = self._segments()
+        if segments:
+            return segments[-1]
+        return self.directory / f"{_SEGMENT_PREFIX}000001.jsonl"
+
+    def _next_segment(self, current: Path) -> Path:
+        number = int(current.stem[len(_SEGMENT_PREFIX):]) + 1
+        return self.directory / f"{_SEGMENT_PREFIX}{number:06d}.jsonl"
+
+    def record(self, manifest: dict) -> str:
+        """Append one run manifest; returns its run id.
+
+        The manifest must carry ``run_id`` (use :func:`new_run_id`) and
+        is stamped with the schema version here, so every line on disk
+        is self-describing.  Rotation happens before the append when the
+        active segment is full — one record never spans two segments.
+        """
+        if "run_id" not in manifest:
+            raise LedgerError("a run manifest needs a run_id (see new_run_id())")
+        manifest = dict(manifest)
+        manifest["v"] = LEDGER_SCHEMA_VERSION
+        line = json.dumps(manifest, separators=(",", ":"), sort_keys=True) + "\n"
+        encoded = line.encode("utf-8")
+        with self._lock:
+            segment = self._active_segment()
+            if segment.exists() and (
+                self._segment_records >= self.max_segment_records
+                or self._segment_bytes + len(encoded) > self.max_segment_bytes > 0
+            ):
+                segment = self._next_segment(segment)
+                self._segment_records = 0
+                self._segment_bytes = 0
+            try:
+                with segment.open("ab") as handle:
+                    handle.write(encoded)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except OSError as err:
+                raise LedgerError(f"cannot append to {segment}: {err}") from err
+            self._segment_records += 1
+            self._segment_bytes += len(encoded)
+            self._admit(manifest, segment.name)
+            self._write_index()
+        return str(manifest["run_id"])
+
+    def _write_index(self) -> None:
+        """Rewrite the compacted index (atomically; it is only a cache)."""
+        index_path = self.directory / _INDEX_NAME
+        payload = {
+            "format": LEDGER_SCHEMA_VERSION,
+            "runs": [
+                {"segment": self._index[run_id][0], **self._index[run_id][1]}
+                for run_id in self._order
+            ],
+        }
+        tmp = index_path.with_suffix(".json.tmp")
+        try:
+            tmp.write_text(json.dumps(payload, indent=2) + "\n")
+            tmp.replace(index_path)
+        except OSError:
+            # The index is a cache; a failed rewrite costs a rescan later.
+            pass
+
+    # -- reading --------------------------------------------------------
+
+    def runs(
+        self,
+        fingerprint: str | None = None,
+        workload: str | None = None,
+        outcome: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict]:
+        """Compacted run summaries, oldest first, optionally filtered."""
+        with self._lock:
+            rows = [self._index[run_id][1] for run_id in self._order]
+        if fingerprint is not None:
+            rows = [r for r in rows if r.get("fingerprint") == fingerprint]
+        if workload is not None:
+            rows = [r for r in rows if r.get("workload") == workload]
+        if outcome is not None:
+            rows = [r for r in rows if r.get("outcome") == outcome]
+        if limit is not None:
+            rows = rows[-limit:]
+        return rows
+
+    def get(self, run_id: str) -> dict:
+        """The full manifest of one run (reads its segment back)."""
+        with self._lock:
+            entry = self._index.get(run_id)
+        if entry is None:
+            raise LedgerError(f"no run {run_id!r} in ledger {self.directory}")
+        segment = self.directory / entry[0]
+        try:
+            text = segment.read_text()
+        except OSError as err:
+            raise LedgerError(f"cannot read ledger segment {segment}: {err}") from err
+        for line in text.split("\n"):
+            if not line.strip():
+                continue
+            try:
+                manifest = json.loads(line)
+            except ValueError:
+                continue  # torn line; recovery already warned about it
+            if isinstance(manifest, dict) and manifest.get("run_id") == run_id:
+                if manifest.get("v") != LEDGER_SCHEMA_VERSION:
+                    raise LedgerError(
+                        f"run {run_id!r} carries schema version "
+                        f"{manifest.get('v')!r}; this build reads "
+                        f"{LEDGER_SCHEMA_VERSION}"
+                    )
+                return manifest
+        raise LedgerError(
+            f"run {run_id!r} is indexed in {entry[0]} but its record is gone "
+            "(segment truncated after indexing?)"
+        )
+
+    def aggregates(self) -> list[dict]:
+        """Per-fingerprint cross-run aggregates, busiest shape first.
+
+        This is the read surface the cost-based optimizer's feedback
+        loop consumes: measured latency percentiles, q-error, and
+        fallback rates per normalized program shape.
+        """
+        groups: dict[str, list[dict]] = {}
+        for row in self.runs():
+            groups.setdefault(row.get("fingerprint") or "?", []).append(row)
+        out = []
+        for fingerprint, rows in groups.items():
+            latencies = sorted(
+                float(r["elapsed_ms"]) for r in rows if r.get("elapsed_ms") is not None
+            )
+            q_means = [float(r["q_mean"]) for r in rows if r.get("q_mean") is not None]
+            ops = sum(int(r.get("ops") or 0) for r in rows)
+            fallbacks = sum(int(r.get("fallbacks") or 0) for r in rows)
+            outcomes: dict[str, int] = {}
+            for r in rows:
+                key = str(r.get("outcome"))
+                outcomes[key] = outcomes.get(key, 0) + 1
+            out.append(
+                {
+                    "fingerprint": fingerprint,
+                    "runs": len(rows),
+                    "workloads": sorted({str(r.get("workload")) for r in rows}),
+                    "outcomes": outcomes,
+                    "latency_ms": {
+                        "p50": round(_percentile(latencies, 0.50), 3),
+                        "p95": round(_percentile(latencies, 0.95), 3),
+                        "max": round(latencies[-1], 3) if latencies else 0.0,
+                    },
+                    "q_error_mean": (
+                        round(sum(q_means) / len(q_means), 3) if q_means else None
+                    ),
+                    "ops": ops,
+                    "fallback_rate": round(fallbacks / ops, 4) if ops else 0.0,
+                }
+            )
+        out.sort(key=lambda record: (-record["runs"], record["fingerprint"]))
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._order)
+
+    def __repr__(self) -> str:
+        return f"RunLedger({self.directory}, {len(self)} run(s))"
+
+
+def _percentile(ordered, fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    import math
+
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+# ----------------------------------------------------------------------
+# The recorder: event tail -> run manifest
+# ----------------------------------------------------------------------
+
+class RunRecorder:
+    """Builds one run manifest from the live event bus.
+
+    A bounded :class:`~repro.obs.events.RingSubscriber` retains the
+    run's events; :meth:`finish` drains it and folds the tail into the
+    manifest — per-op span summaries, est-vs-actual q-errors, fallback
+    reasons, while-iteration counts, checkpoint pointer, governor kills
+    — then appends to the ledger.  The ring's own drop count is recorded
+    in the manifest (``events.dropped``), so silently truncated
+    telemetry is visible to every later consumer.
+    """
+
+    __slots__ = ("ring", "ledger", "run_id", "_bus", "_started")
+
+    def __init__(
+        self,
+        bus: EventBus,
+        ledger: RunLedger | None = None,
+        capacity: int = 4096,
+        run_id: str | None = None,
+    ):
+        self.ring: RingSubscriber = bus.ring(capacity)
+        self.ledger = ledger
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self._bus = bus
+        self._started = time.perf_counter()
+
+    def detach(self) -> None:
+        self._bus.detach(self.ring)
+
+    def finish(
+        self,
+        *,
+        workload: str,
+        program=None,
+        engine: str = "naive",
+        seed: int = 0,
+        result_db=None,
+        error: BaseException | None = None,
+        limits: dict | None = None,
+        attempts: int = 1,
+        kills: list[str] | None = None,
+        stats=None,
+        replay_spec: str | None = None,
+        result_bytes_cap: int | None = None,
+    ) -> dict:
+        """Drain the ring, build the manifest, append it to the ledger.
+
+        ``replay_spec`` names how to re-derive the program and input
+        database (a workload spec or example name); runs without one are
+        recorded but marked non-replayable.  The recorder detaches from
+        the bus, so a recorder finishes exactly once.
+        """
+        elapsed_ms = round((time.perf_counter() - self._started) * 1e3, 3)
+        events = self.ring.drain()
+        self.detach()
+
+        spans: dict[str, dict] = {}
+        op_sequence: list[list] = []
+        estimates_by_op: dict[str, dict] = {}
+        fallbacks: dict[str, int] = {}
+        while_iterations = 0
+        checkpoint = None
+        governor_kills: list[dict] = []
+        outcome_event = None
+        q_sum = 0.0
+        q_max = 0.0
+        q_count = 0
+        for event in events:
+            kind = event.kind
+            data = event.data
+            if kind == "span_finish":
+                op = str(data.get("op", "?"))
+                record = spans.get(op)
+                if record is None:
+                    record = spans[op] = {
+                        "calls": 0, "errors": 0, "rows_out": 0, "ms": 0.0
+                    }
+                record["calls"] += 1
+                record["ms"] = round(
+                    record["ms"] + float(data.get("duration_ms", 0.0) or 0.0), 3
+                )
+                if data.get("ok", True):
+                    rows_out = int(data.get("rows_out", 0) or 0)
+                    record["rows_out"] += rows_out
+                    op_sequence.append([op, rows_out])
+                else:
+                    record["errors"] += 1
+            elif kind == "op_estimate":
+                op = str(data.get("op", "?"))
+                q = float(data.get("q_error", 1.0))
+                record = estimates_by_op.get(op)
+                if record is None:
+                    record = estimates_by_op[op] = {"count": 0, "q_max": 0.0}
+                record["count"] += 1
+                if q > record["q_max"]:
+                    record["q_max"] = round(q, 4)
+                q_sum += q
+                q_count += 1
+                if q > q_max:
+                    q_max = q
+            elif kind == "engine_fallback":
+                reason = str(data.get("reason", "?"))
+                fallbacks[reason] = fallbacks.get(reason, 0) + 1
+            elif kind == "while_iteration":
+                while_iterations += 1
+            elif kind == "checkpoint_write":
+                path = data.get("path")
+                checkpoint = str(path) if path is not None else checkpoint
+            elif kind == "governor_kill":
+                governor_kills.append(
+                    {
+                        "kind": str(data.get("kind")),
+                        "limit": data.get("limit"),
+                        "used": data.get("used"),
+                    }
+                )
+            elif kind == "run_finish":
+                outcome_event = data
+
+        if error is not None:
+            if isinstance(error, (BudgetExceededError, CancelledError)):
+                status = "killed"
+            else:
+                status = "error"
+        elif outcome_event is not None and outcome_event.get("outcome") not in (
+            None, "ok"
+        ):
+            status = str(outcome_event["outcome"])
+        else:
+            status = "ok"
+        outcome: dict = {"status": status, "attempts": attempts}
+        if kills:
+            outcome["kills"] = list(kills)
+        if error is not None:
+            outcome["error_type"] = type(error).__name__
+            outcome["error"] = str(error)
+            outcome["error_context"] = dict(getattr(error, "context", {}) or {})
+        if governor_kills:
+            outcome["governor_kills"] = governor_kills
+
+        result: dict | None = None
+        if result_db is not None:
+            digest, tables, rows, data = database_digest(result_db)
+            result = {"sha256": digest, "tables": tables, "rows": rows}
+            cap = (
+                result_bytes_cap
+                if result_bytes_cap is not None
+                else (
+                    self.ledger.result_bytes_cap
+                    if self.ledger is not None
+                    else DEFAULT_RESULT_BYTES_CAP
+                )
+            )
+            payload = json.dumps(data, separators=(",", ":"))
+            if len(payload) <= cap:
+                result["data"] = data
+            else:
+                result["data"] = None
+                result["bytes"] = len(payload)
+
+        program_block: dict | None = None
+        if program is not None:
+            from .workload import fingerprint_program, normalize_program
+
+            try:
+                normalized = normalize_program(program)
+                fingerprint = fingerprint_program(program)
+            except Exception:
+                normalized = repr(program)
+                fingerprint = hashlib.sha256(
+                    normalized.encode("utf-8")
+                ).hexdigest()[:16]
+            program_block = {
+                "repr": repr(program),
+                "normalized": normalized,
+                "fingerprint": fingerprint,
+            }
+        else:
+            program_block = {
+                "repr": None,
+                "normalized": workload,
+                "fingerprint": hashlib.sha256(
+                    workload.encode("utf-8")
+                ).hexdigest()[:16],
+            }
+
+        manifest = {
+            "run_id": self.run_id,
+            "ts": round(time.time(), 3),
+            "workload": {
+                "label": workload,
+                "spec": replay_spec,
+                "replayable": replay_spec is not None and result is not None,
+            },
+            "program": program_block,
+            "engine": engine,
+            "seed": seed,
+            "limits": limits,
+            "outcome": outcome,
+            "elapsed_ms": elapsed_ms,
+            "result": result,
+            "spans": spans,
+            "op_sequence": op_sequence,
+            "estimates": {
+                "count": q_count,
+                "q_mean": round(q_sum / q_count, 4) if q_count else None,
+                "q_max": round(q_max, 4) if q_count else None,
+                "by_op": estimates_by_op,
+            },
+            "fallbacks": fallbacks,
+            "while_iterations": while_iterations,
+            "checkpoint": checkpoint,
+            "stats_fingerprint": getattr(stats, "fingerprint", None),
+            "events": {
+                "published": self._bus.published,
+                "received": self.ring.received,
+                "dropped": self.ring.dropped,
+            },
+        }
+        if self.ledger is not None:
+            self.ledger.record(manifest)
+        return manifest
+
+    def __repr__(self) -> str:
+        return f"RunRecorder({self.run_id}, {self.ring!r})"
+
+
+# ----------------------------------------------------------------------
+# The LEDGER singleton (OBS/GOV/EVT/EST pattern)
+# ----------------------------------------------------------------------
+
+class _LedgerState:
+    """The mutable global: one attribute check guards every consult site."""
+
+    __slots__ = ("active", "ledger")
+
+    def __init__(self):
+        self.active = False
+        #: The installed :class:`RunLedger`, or None.
+        self.ledger: RunLedger | None = None
+
+
+#: The process-wide ledger state.  The engine hot path never touches it
+#: (recording is bus-fed); drivers check ``LEDGER.active`` to decide
+#: whether a finished run should be journaled.
+LEDGER = _LedgerState()
+
+
+@contextmanager
+def ledger_scope(directory: str | Path | RunLedger) -> Iterator[RunLedger]:
+    """Install a ledger for the duration of the ``with`` block.
+
+    Accepts a directory (opened/created as a :class:`RunLedger`) or an
+    already-open ledger; restores the previous state on exit so scopes
+    nest exactly like ``observation()``/``event_stream()``.
+    """
+    ledger = (
+        directory if isinstance(directory, RunLedger) else RunLedger(directory)
+    )
+    previous = (LEDGER.active, LEDGER.ledger)
+    LEDGER.ledger = ledger
+    LEDGER.active = True
+    try:
+        yield ledger
+    finally:
+        LEDGER.active, LEDGER.ledger = previous

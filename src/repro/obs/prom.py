@@ -78,6 +78,7 @@ def prometheus_text(
     namespace: str = "repro",
     accuracy=None,
     stats=None,
+    bus=None,
 ) -> str:
     """One snapshot as the Prometheus text exposition format.
 
@@ -85,8 +86,11 @@ def prometheus_text(
     adds the estimator families — per-op q-error histograms over the
     fixed :data:`~repro.obs.estimator.QERROR_BUCKETS` and the worst
     q-error gauge; ``stats`` (a :class:`~repro.obs.stats.DatabaseStats`)
-    adds the stale-stats age and snapshot-size gauges.  Both are opt-in
-    so the plain metrics export is unchanged.
+    adds the stale-stats age and snapshot-size gauges; ``bus`` (an
+    :class:`~repro.obs.events.EventBus`) adds the event-feed counters —
+    published events, ring receive/drop totals (dropped > 0 means a
+    bounded subscriber silently lost telemetry), and callback errors.
+    All are opt-in so the plain metrics export is unchanged.
     """
     operations = metrics.operations
     counters = metrics.counters
@@ -167,6 +171,33 @@ def prometheus_text(
                 totals[source] = totals.get(source, 0) + count
         for source in sorted(totals):
             out.sample(name, {"source": source}, totals[source])
+
+    if bus is not None:
+        totals = bus.ring_totals()
+        name = out.family(
+            "events_published_total",
+            "counter",
+            "Events published to the bus since it opened.",
+        )
+        out.sample(name, {}, bus.published)
+        name = out.family(
+            "events_ring_received_total",
+            "counter",
+            "Events received across every ring subscriber.",
+        )
+        out.sample(name, {}, totals["received"])
+        name = out.family(
+            "events_ring_dropped_total",
+            "counter",
+            "Events dropped by full ring subscribers (silently truncated telemetry).",
+        )
+        out.sample(name, {}, totals["dropped"])
+        name = out.family(
+            "events_callback_errors_total",
+            "counter",
+            "Callback subscribers that raised (never fatal to the run).",
+        )
+        out.sample(name, {}, bus.callback_errors)
 
     if stats is not None:
         name = out.family(

@@ -335,8 +335,8 @@ def run_hardened(
 
     interp.fresh.advance_past(db.symbols())
 
-    def write(index: int, body_index: int = 0, iteration: int = 0,
-              done: bool = False) -> None:
+    def write(database: TabularDatabase, index: int, body_index: int = 0,
+              iteration: int = 0, done: bool = False) -> None:
         if checkpoint_path is not None:
             save_checkpoint(
                 checkpoint_path,
@@ -344,7 +344,7 @@ def run_hardened(
                     statement_index=index,
                     iterations=iteration,
                     next_tag=interp.fresh.next_tag,
-                    db=db,
+                    db=database,
                     fingerprint=fingerprint,
                     body_index=body_index,
                     done=done,
@@ -379,74 +379,107 @@ def run_hardened(
                 start_index=start_index,
             )
         # Boundary zero: resume works even if killed before any progress.
-        write(start_index, body_index=start_body, iteration=start_iteration)
-        for index in range(start_index, len(program.statements)):
-            statement = program.statements[index]
-            previous_statement, gov.statement = gov.statement, index
-            try:
-                if isinstance(statement, While):
-                    # Step the fixpoint one body statement at a time so
-                    # every completed body statement is a restart point.
-                    body = statement.body.statements
-                    if index == start_index:
-                        # A mid-body resume re-enters iteration
-                        # `start_iteration` at statement `start_body`
-                        # without re-testing the condition.
-                        iteration, body_pos = start_iteration, start_body
-                    else:
-                        iteration, body_pos = 0, 0
-                    prev_rows = prev_cells = 0
-                    if _ev.EVT.active:
-                        prev_rows = sum(t.height for t in db.tables)
-                        prev_cells = sum(t.nrows * t.ncols for t in db.tables)
-                    while True:
-                        if body_pos == 0:
-                            if not statement._holds(db, interp):
-                                break
-                            iteration += 1
-                            if iteration > interp.max_while_iterations:
-                                raise _non_termination(statement, iteration, interp)
-                            gov.while_tick(
-                                str(statement.condition), iteration, statement=index
-                            )
-                            if _ev.EVT.active:
-                                # Same fixpoint-frontier event While.execute
-                                # publishes: the hardened driver steps the
-                                # loop itself, so it reports the ticks too.
-                                total_rows = sum(t.height for t in db.tables)
-                                total_cells = sum(
-                                    t.nrows * t.ncols for t in db.tables
-                                )
-                                _ev.emit(
-                                    "while_iteration",
-                                    condition=str(statement.condition),
-                                    iteration=iteration,
-                                    frontier_rows=statement._condition_rows(
-                                        db, interp
-                                    ),
-                                    total_rows=total_rows,
-                                    total_cells=total_cells,
-                                    delta_rows=total_rows - prev_rows,
-                                    delta_cells=total_cells - prev_cells,
-                                )
-                                prev_rows, prev_cells = total_rows, total_cells
-                        for position in range(body_pos, len(body)):
-                            db = committed(body[position], db)
-                            write(
-                                index,
-                                body_index=(position + 1) % len(body),
-                                iteration=iteration,
-                            )
-                        body_pos = 0
-                else:
-                    gov.check(op=statement.spec.name)
-                    db = committed(statement, db)
-                    write(index + 1)
-            finally:
-                gov.statement = previous_statement
-        write(len(program.statements), done=True)
+        write(db, start_index, body_index=start_body, iteration=start_iteration)
+        try:
+            db = _drive(
+                program, db, interp, gov, write, committed,
+                start_index, start_body, start_iteration,
+            )
+        except BaseException as err:
+            # Outcome stamping: the bus sees *every* run end, not just
+            # the clean ones, so a ledger recorder can attribute the
+            # outcome without being handed the exception out of band.
+            if _ev.EVT.active:
+                from ..core.errors import BudgetExceededError, CancelledError
+
+                outcome = (
+                    "killed"
+                    if isinstance(err, (BudgetExceededError, CancelledError))
+                    else "error"
+                )
+                _ev.emit(
+                    "run_finish",
+                    governor=gov.snapshot(),
+                    outcome=outcome,
+                    error_type=type(err).__name__,
+                )
+            raise
+        write(db, len(program.statements), done=True)
         if _ev.EVT.active:
-            _ev.emit("run_finish", governor=gov.snapshot())
+            _ev.emit("run_finish", governor=gov.snapshot(), outcome="ok")
+    return db
+
+
+def _drive(program, db, interp, gov, write, committed,
+           start_index, start_body, start_iteration):
+    """The statement-stepping loop of :func:`run_hardened`."""
+    from ..algebra.programs.statements import While
+
+    for index in range(start_index, len(program.statements)):
+        statement = program.statements[index]
+        previous_statement, gov.statement = gov.statement, index
+        try:
+            if isinstance(statement, While):
+                # Step the fixpoint one body statement at a time so
+                # every completed body statement is a restart point.
+                body = statement.body.statements
+                if index == start_index:
+                    # A mid-body resume re-enters iteration
+                    # `start_iteration` at statement `start_body`
+                    # without re-testing the condition.
+                    iteration, body_pos = start_iteration, start_body
+                else:
+                    iteration, body_pos = 0, 0
+                prev_rows = prev_cells = 0
+                if _ev.EVT.active:
+                    prev_rows = sum(t.height for t in db.tables)
+                    prev_cells = sum(t.nrows * t.ncols for t in db.tables)
+                while True:
+                    if body_pos == 0:
+                        if not statement._holds(db, interp):
+                            break
+                        iteration += 1
+                        if iteration > interp.max_while_iterations:
+                            raise _non_termination(statement, iteration, interp)
+                        gov.while_tick(
+                            str(statement.condition), iteration, statement=index
+                        )
+                        if _ev.EVT.active:
+                            # Same fixpoint-frontier event While.execute
+                            # publishes: the hardened driver steps the
+                            # loop itself, so it reports the ticks too.
+                            total_rows = sum(t.height for t in db.tables)
+                            total_cells = sum(
+                                t.nrows * t.ncols for t in db.tables
+                            )
+                            _ev.emit(
+                                "while_iteration",
+                                condition=str(statement.condition),
+                                iteration=iteration,
+                                frontier_rows=statement._condition_rows(
+                                    db, interp
+                                ),
+                                total_rows=total_rows,
+                                total_cells=total_cells,
+                                delta_rows=total_rows - prev_rows,
+                                delta_cells=total_cells - prev_cells,
+                            )
+                            prev_rows, prev_cells = total_rows, total_cells
+                    for position in range(body_pos, len(body)):
+                        db = committed(body[position], db)
+                        write(
+                            db,
+                            index,
+                            body_index=(position + 1) % len(body),
+                            iteration=iteration,
+                        )
+                    body_pos = 0
+            else:
+                gov.check(op=statement.spec.name)
+                db = committed(statement, db)
+                write(db, index + 1)
+        finally:
+            gov.statement = previous_statement
     return db
 
 

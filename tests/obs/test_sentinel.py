@@ -1,0 +1,115 @@
+"""The drift sentinel: sliding-window regressions over the ledger."""
+
+from repro.obs.ledger import RunLedger, new_run_id
+from repro.obs.sentinel import sentinel_report
+
+
+def _record(ledger, *, fingerprint="a" * 16, workload="tc:6", elapsed=10.0,
+            q_mean=None, ops=10, fallbacks=0):
+    ledger.record(
+        {
+            "run_id": new_run_id(),
+            "ts": 1.0,
+            "workload": {"label": workload, "spec": workload, "replayable": False},
+            "program": {"repr": None, "normalized": workload,
+                        "fingerprint": fingerprint},
+            "engine": "naive",
+            "outcome": {"status": "ok", "attempts": 1},
+            "elapsed_ms": elapsed,
+            "result": None,
+            "spans": {"OP": {"calls": ops, "errors": 0, "rows_out": 0, "ms": 1.0}},
+            "estimates": {"count": 1 if q_mean is not None else 0,
+                          "q_mean": q_mean, "q_max": q_mean, "by_op": {}},
+            "fallbacks": {"no_kernel": fallbacks} if fallbacks else {},
+            "events": {"published": 0, "received": 0, "dropped": 0},
+        }
+    )
+
+
+class TestVerdicts:
+    def test_stable_history_is_clean(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        for _ in range(8):
+            _record(ledger, elapsed=10.0)
+        report = sentinel_report(ledger, window=4, min_runs=3)
+        assert report.ok
+        assert report.judged == 1
+        assert report.fingerprints[0]["status"] == "ok"
+        assert "no drift detected" in report.render()
+
+    def test_latency_blowup_is_flagged(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        for _ in range(4):
+            _record(ledger, elapsed=10.0)
+        for _ in range(4):
+            _record(ledger, elapsed=50.0)
+        report = sentinel_report(ledger, window=4, min_runs=3)
+        assert not report.ok
+        signals = {f.signal for f in report.findings}
+        assert "latency_p50" in signals
+        assert report.fingerprints[0]["status"] == "drift"
+        assert "DRIFT" in report.render()
+
+    def test_sub_floor_latency_noise_is_suppressed(self, tmp_path):
+        """A 3x blowup of 0.1ms is scheduler noise, not a regression."""
+        ledger = RunLedger(tmp_path / "led")
+        for _ in range(4):
+            _record(ledger, elapsed=0.1)
+        for _ in range(4):
+            _record(ledger, elapsed=0.3)
+        report = sentinel_report(ledger, window=4, min_runs=3)
+        assert report.ok
+
+    def test_qerror_regression_is_flagged(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        for _ in range(4):
+            _record(ledger, q_mean=1.2)
+        for _ in range(4):
+            _record(ledger, q_mean=4.0)
+        report = sentinel_report(ledger, window=4, min_runs=3)
+        assert {f.signal for f in report.findings} == {"q_error"}
+
+    def test_fallback_jump_is_flagged(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        for _ in range(4):
+            _record(ledger, fallbacks=0)
+        for _ in range(4):
+            _record(ledger, fallbacks=5)
+        report = sentinel_report(ledger, window=4, min_runs=3)
+        assert {f.signal for f in report.findings} == {"fallback_rate"}
+        (finding,) = report.findings
+        assert finding.recent == 0.5
+
+    def test_insufficient_history_never_pages(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        for _ in range(3):
+            _record(ledger, elapsed=10.0)
+        _record(ledger, elapsed=500.0)  # wild outlier, too little baseline
+        report = sentinel_report(ledger, window=4, min_runs=3)
+        assert report.ok
+        assert report.judged == 0
+        assert report.fingerprints[0]["status"] == "insufficient"
+
+    def test_fingerprints_are_judged_independently(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        for _ in range(4):
+            _record(ledger, fingerprint="a" * 16, elapsed=10.0)
+        for _ in range(4):
+            _record(ledger, fingerprint="a" * 16, elapsed=50.0)
+        for _ in range(8):
+            _record(ledger, fingerprint="b" * 16, workload="tc:8", elapsed=10.0)
+        report = sentinel_report(ledger, window=4, min_runs=3)
+        statuses = {f["fingerprint"]: f["status"] for f in report.fingerprints}
+        assert statuses == {"a" * 16: "drift", "b" * 16: "ok"}
+        assert all(f.fingerprint == "a" * 16 for f in report.findings)
+
+    def test_report_serializes(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        for _ in range(4):
+            _record(ledger, elapsed=10.0)
+        for _ in range(4):
+            _record(ledger, elapsed=50.0)
+        data = sentinel_report(ledger, window=4, min_runs=3).to_json()
+        assert data["ok"] is False
+        assert data["findings"][0]["signal"].startswith("latency")
+        assert data["findings"][0]["baseline"] < data["findings"][0]["recent"]

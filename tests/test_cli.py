@@ -22,9 +22,29 @@ class TestCli:
         assert "7/7 reproductions hold" in output
         assert "FAIL" not in output
 
-    def test_default_command_is_check(self):
-        code, _output = run_cli()
+    def test_bare_invocation_prints_the_command_listing(self):
+        code, output = run_cli()
         assert code == 0
+        assert "commands:" in output
+        assert "exit codes:" in output
+
+    def test_help_lists_every_command_and_exit_code(self):
+        from repro.__main__ import COMMANDS, EXIT_CODES
+
+        code, output = run_cli("--help")
+        assert code == 0
+        for name in COMMANDS:
+            assert name in output
+        for exit_code, meaning in EXIT_CODES:
+            assert meaning in output
+        assert {exit_code for exit_code, _ in EXIT_CODES} == {0, 1, 2, 3, 4}
+
+    def test_every_command_has_a_handler_and_help(self):
+        from repro.__main__ import COMMANDS
+
+        for name, (handler, help_text) in COMMANDS.items():
+            assert callable(handler), name
+            assert help_text and len(help_text) < 80, name
 
     def test_figures_prints_every_artifact(self):
         code, output = run_cli("figures")
@@ -692,3 +712,187 @@ class TestChaos:
     def test_chaos_unknown_example(self):
         code, output = run_cli("chaos", "not-an-example")
         assert code == 2
+
+
+class TestLedgerCommands:
+    """``run --ledger`` + ``history``/``replay``/``sentinel`` end to end."""
+
+    def _ledgered_run(self, tmp_path, *extra):
+        led = str(tmp_path / "led")
+        code, output = run_cli("run", "tc:4", "--ledger", led, "--json", *extra)
+        import json
+
+        return code, json.loads(output), led
+
+    def test_run_records_and_history_lists(self, tmp_path):
+        code, summary, led = self._ledgered_run(tmp_path)
+        assert code == 0
+        assert summary["run_id"].startswith("r-")
+        assert summary["ledger"] == led
+        code, output = run_cli("history", "--ledger", led)
+        assert code == 0
+        assert summary["run_id"] in output
+        assert "ok" in output
+
+    def test_history_inspects_one_manifest(self, tmp_path):
+        import json
+
+        _code, summary, led = self._ledgered_run(tmp_path)
+        code, output = run_cli("history", summary["run_id"], "--ledger", led)
+        assert code == 0
+        manifest = json.loads(output)
+        assert manifest["run_id"] == summary["run_id"]
+        assert manifest["workload"]["replayable"] is True
+        assert manifest["result"]["sha256"]
+
+    def test_history_aggregates(self, tmp_path):
+        _code, _summary, led = self._ledgered_run(tmp_path)
+        self._ledgered_run(tmp_path)
+        code, output = run_cli("history", "--ledger", led, "--aggregates")
+        assert code == 0
+        assert "2 run(s)" in output
+
+    def test_killed_run_recorded_with_outcome(self, tmp_path):
+        led = str(tmp_path / "led")
+        checkpoint = str(tmp_path / "run.ckpt")
+        code, _output = run_cli(
+            "run", "tc:8", "--ledger", led, "--deadline", "1",
+            "--checkpoint", checkpoint,
+        )
+        assert code == 1
+        code, output = run_cli("history", "--ledger", led, "--outcome", "killed")
+        assert code == 0
+        assert "killed" in output
+
+    def test_replay_clean_run_exits_zero(self, tmp_path):
+        _code, summary, led = self._ledgered_run(tmp_path)
+        code, output = run_cli("replay", summary["run_id"], "--ledger", led)
+        assert code == 0
+        assert "identical" in output
+
+    def test_replay_divergence_exits_nonzero(self, tmp_path):
+        """The CI golden: an injected fault must flip the exit status."""
+        _code, summary, led = self._ledgered_run(tmp_path)
+        code, output = run_cli(
+            "replay", summary["run_id"], "--ledger", led, "--inject-fault", "7",
+        )
+        assert code == 1
+        assert "DIVERGED" in output
+        assert "replay_error" in output
+
+    def test_replay_missing_ledger_exits_three(self, tmp_path):
+        code, output = run_cli(
+            "replay", "r-nope", "--ledger", str(tmp_path / "void")
+        )
+        assert code == 3
+        assert "no ledger at" in output
+
+    def test_replay_unknown_run_exits_three(self, tmp_path):
+        _code, _summary, led = self._ledgered_run(tmp_path)
+        code, output = run_cli("replay", "r-nope", "--ledger", led)
+        assert code == 3
+        assert "no run" in output
+
+    def test_replay_without_target_is_usage_error(self):
+        code, output = run_cli("replay")
+        assert code == 2
+        assert "usage" in output
+
+    def test_replay_accepts_a_flight_bundle(self, tmp_path):
+        import json
+        from pathlib import Path
+
+        led = str(tmp_path / "led")
+        flight = tmp_path / "flight"
+        checkpoint = str(tmp_path / "bundle.ckpt")
+        code, _output = run_cli(
+            "run", "tc:8", "--ledger", led, "--flight-dir", str(flight),
+            "--deadline", "1", "--checkpoint", checkpoint,
+        )
+        assert code == 1
+        (bundle,) = flight.glob("postmortem-*")
+        manifest = json.loads((bundle / "MANIFEST.json").read_text())
+        assert manifest["run"]["ledger"] == led
+        # A killed run has no result digest: the bundle resolves to its
+        # run id, which then reports non-replayable (exit 3), proving
+        # the pointer was followed.
+        code, output = run_cli("replay", str(bundle))
+        assert code == 3
+        assert manifest["run"]["id"] in output
+
+    def test_sentinel_without_history_exits_three(self, tmp_path):
+        _code, _summary, led = self._ledgered_run(tmp_path)
+        code, output = run_cli("sentinel", "--ledger", led)
+        assert code == 3
+        assert "0 judged" in output
+
+    def test_sentinel_clean_and_drifted(self, tmp_path):
+        import json
+
+        from repro.obs.ledger import RunLedger, new_run_id
+
+        led = tmp_path / "led"
+        ledger = RunLedger(led)
+        for elapsed in (10.0, 10.0, 10.0, 10.0, 11.0, 10.0):
+            ledger.record({
+                "run_id": new_run_id(),
+                "workload": {"label": "tc:6"},
+                "program": {"fingerprint": "a" * 16},
+                "outcome": {"status": "ok"},
+                "elapsed_ms": elapsed,
+                "spans": {}, "estimates": {}, "fallbacks": {}, "events": {},
+            })
+        code, output = run_cli("sentinel", "--ledger", str(led), "--window", "3")
+        assert code == 0
+        assert "no drift detected" in output
+        for _ in range(3):
+            ledger.record({
+                "run_id": new_run_id(),
+                "workload": {"label": "tc:6"},
+                "program": {"fingerprint": "a" * 16},
+                "outcome": {"status": "ok"},
+                "elapsed_ms": 60.0,
+                "spans": {}, "estimates": {}, "fallbacks": {}, "events": {},
+            })
+        code, output = run_cli(
+            "sentinel", "--ledger", str(led), "--window", "3", "--json"
+        )
+        assert code == 4
+        data = json.loads(output)
+        assert data["ok"] is False
+        assert data["findings"]
+
+    def test_trace_ledger_records_non_replayable_run(self, tmp_path):
+        import json
+
+        led = str(tmp_path / "led")
+        code, output = run_cli("trace", "fig4-group", "--ledger", led)
+        assert code == 0
+        assert "recorded in ledger" in output
+        code, output = run_cli("history", "--ledger", led, "--json")
+        assert code == 0
+        (row,) = json.loads(output)
+        assert row["workload"] == "fig4-group"
+        run_id = row["run_id"]
+        code, output = run_cli("replay", run_id, "--ledger", led)
+        assert code == 3
+        assert "without a replayable" in output
+
+    def test_metrics_surfaces_event_counters(self):
+        import json
+
+        code, output = run_cli("metrics")
+        assert code == 0
+        events = json.loads(output)["events"]
+        assert events["published"] > 0
+        assert events["rings"] == 1
+        assert events["received"] > 0
+
+    def test_prom_export_carries_event_families(self):
+        code, output = run_cli("metrics", "--prom")
+        assert code == 0
+        assert "repro_events_published_total" in output
+        assert "repro_events_ring_dropped_total" in output
+        from repro.obs import lint_prometheus_text
+
+        assert lint_prometheus_text(output) == []
