@@ -1,0 +1,103 @@
+"""Experiment ``supervisor`` — fault-free supervision overhead.
+
+The supervisor's job is to absorb faults; its admission, attempt loop,
+and breaker bookkeeping must cost ~nothing when no fault ever fires.
+Two measurements:
+
+* **raw** — :func:`repro.runtime.checkpoint.run_hardened` driving the
+  workload directly under generous limits;
+* **supervised** — the same workload through
+  :meth:`repro.runtime.supervisor.Supervisor.submit` with a default
+  retry policy and a circuit breaker armed: one admission check, one
+  attempt, one breaker success record.
+
+The supervised result is asserted equal to the raw result — a policy
+that never trips provably does not change semantics — and the one-shot
+ratio is recorded to ``BENCH_obs.json`` and held under the same
+generous bound as the governor bench (the acceptance gate proper is the
+1.5x CI comparison over the recorded trajectory).
+"""
+
+import time
+
+from repro.runtime import Limits, run_hardened
+from repro.runtime.policy import BreakerPolicy, RetryPolicy
+from repro.runtime.supervisor import Supervisor
+from repro.runtime.workloads import transitive_closure_workload
+
+from conftest import report
+
+#: Trajectory label prefix: timing records roll into
+#: ``BENCH_trajectory.json`` as ``supervisor/<test name>`` (see conftest).
+BENCH_LABEL = "supervisor"
+
+#: Limits high enough that nothing ever trips — pure bookkeeping cost.
+GENEROUS = Limits(
+    deadline_s=3600.0,
+    max_rows_per_op=10**9,
+    max_cells_per_op=10**9,
+    max_total_rows=10**9,
+    max_while_iterations=10**6,
+)
+
+NODES = 8
+
+
+def run_raw():
+    program, db = transitive_closure_workload(NODES)
+    return run_hardened(program, db, limits=GENEROUS)
+
+
+def run_supervised():
+    program, db = transitive_closure_workload(NODES)
+    supervisor = Supervisor(
+        policy=RetryPolicy(max_attempts=3),
+        breaker_policy=BreakerPolicy(failure_threshold=3, cooldown_s=3600.0),
+    )
+    run = supervisor.submit(
+        program, db, workload=f"tc:{NODES}", limits=GENEROUS
+    )
+    assert run.ok and len(run.attempts) == 1
+    return run.result
+
+
+class TestSupervisorOverhead:
+    def test_raw_hardened_run(self, benchmark):
+        program, db = transitive_closure_workload(NODES)
+        result = benchmark(run_raw)
+        assert result == program.run(db)
+
+    def test_supervised_run_single_attempt(self, benchmark):
+        result = benchmark(run_supervised)
+        assert result == run_raw()  # an untripped policy never changes results
+
+    def test_report_overhead_ratio(self):
+        """One-shot ratio measurement, recorded to BENCH_obs.json.
+
+        The fault-free supervised path adds one breaker admission, one
+        deadline check, one limits merge, and one success record on top
+        of ``run_hardened`` — constant work independent of the workload
+        size, so the ratio shrinks as workloads grow.  The bound here is
+        deliberately generous; the 1.5x gate is enforced by the bench
+        trajectory comparison in CI.
+        """
+
+        def clock(fn, repeats=30):
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        raw = clock(run_raw)
+        supervised = clock(run_supervised)
+        report(
+            "supervisor-overhead",
+            raw_ms=round(raw * 1e3, 3),
+            supervised_ms=round(supervised * 1e3, 3),
+            ratio=round(supervised / raw, 2),
+        )
+        # generous bound: supervision adds constant per-run bookkeeping,
+        # not per-op or per-row work (same spirit as the governor bound)
+        assert supervised < raw * 10 + 0.05

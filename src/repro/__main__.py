@@ -46,14 +46,17 @@ Commands:
   actual rows, and report per-op p50/p95/max q-error plus workload
   fingerprint aggregates; exit 1 unless every dispatched op kind was
   scored (docs/OBSERVABILITY.md);
-* ``metrics [--prom] [--estimates] [--stats PATH]`` — the same
-  aggregated metrics as a JSON snapshot or (``--prom``) in the
+* ``metrics [--prom] [--estimates] [--stats PATH] [--supervisor]`` —
+  the same aggregated metrics as a JSON snapshot or (``--prom``) in the
   Prometheus text exposition format (per-op counters and wall-time
   histograms, ready to scrape); ``--estimates`` reruns the corpus under
   estimation and adds the estimator families (per-op q-error
   histograms, worst-q-error gauges, estimates-by-source counters);
   ``--stats PATH`` adds the stale-stats age/size gauges for a persisted
-  snapshot;
+  snapshot; ``--supervisor`` runs a small deterministic supervised demo
+  (a retried fault, a breaker-tripping poison workload, a quarantined
+  submission) and adds the ``repro_retry_*`` / ``repro_breaker_*`` /
+  ``repro_recovery_*`` fault-tolerance families;
 * ``prom-lint [FILE]`` — validate a Prometheus text payload (stdin when
   no file): name grammars, TYPE declarations, histogram cumulativity;
   exit 1 on format problems;
@@ -87,11 +90,36 @@ Commands:
   snapshot behind any live cardinality estimates) into DIR
   (docs/OBSERVABILITY.md); ``--stats PATH`` installs a persisted
   ANALYZE snapshot so the run is scored by the cardinality estimator
-  (``op_estimate`` events carry est/actual rows and q-error);
+  (``op_estimate`` events carry est/actual rows and q-error); with
+  ``--retry N`` the run routes through the fault-tolerant supervisor
+  (error classification, checkpoint resume, deterministic backoff,
+  vector→naive degradation, circuit-breaker admission) — ``--retry``
+  requires ``--checkpoint`` (exit 2 otherwise);
+* ``supervise [workload] [--engine naive|vector] [--retry N]
+  [--backoff MS] [--attempt-deadline MS] [--total-deadline MS]
+  [--deadline MS] [--max-while N] [--checkpoint PATH] [--faults JSON]
+  [--seed N] [--breaker-threshold N] [--cooldown S] [--ledger DIR]
+  [--verify] [--json]`` — run one workload to a definitive outcome
+  under the supervisor and print the attempt-by-attempt history;
+  ``--faults`` injects a seeded chaos plan (docs/ROBUSTNESS.md JSON
+  format) to exercise the retry/degradation paths; with ``--ledger``
+  the admission stamp, breaker transitions, and closing manifest are
+  journaled so the run is crash-recoverable; exit 0 on a verified
+  result, 1 on terminal failure or quarantine;
+* ``recover [--ledger DIR] [--retry N] [--verify] [--json]`` — crash
+  recovery: scan the ledger for runs with an admission stamp but no
+  outcome, resume each from its checkpoint under the supervisor, and
+  stamp unrecoverable ones ``orphaned`` (missing/torn checkpoint,
+  unreplayable spec); exit 0 when every open run was resumed or
+  orphaned, 1 when a resumed run failed, 3 when the ledger is absent;
 * ``chaos [example...] [--kinds raise,delay,corrupt] [--seed N]
-  [--json]`` — run the fault-injection matrix over the bundled
-  pipelines; every injection point must surface as a typed error with
-  no partial mutation (exit 1 otherwise);
+  [--supervisor] [--json]`` — run the fault-injection matrix over the
+  bundled pipelines; every injection point must surface as a typed
+  error with no partial mutation (exit 1 otherwise); ``--supervisor``
+  runs the supervisor decision matrix instead: every
+  (error class × retry policy × engine) cell must end in the documented
+  decision (retried/resumed/degraded/quarantined) with a final database
+  byte-identical to an unfaulted run;
 * ``history [run-id] [--ledger DIR] [--fingerprint F] [--workload W]
   [--outcome S] [--limit N] [--aggregates] [--json]`` — list the runs
   recorded in a ledger directory (``run --ledger`` / ``trace --ledger``
@@ -646,8 +674,11 @@ def _run(rest: list[str]) -> int:
     if resume and checkpoint is None:
         print("error: --resume requires --checkpoint PATH")
         return 2
-    if retry and checkpoint is None:
+    if retry is not None and checkpoint is None:
         print("error: --retry requires --checkpoint PATH (resume needs a file)")
+        return 2
+    if retry is not None and retry < 0:
+        print(f"error: --retry must be >= 0, got {retry}")
         return 2
 
     stats = None
@@ -714,6 +745,93 @@ def _run(rest: list[str]) -> int:
             from .obs.estimator import estimation
 
             stack.enter_context(estimation(stats))
+        if retry is not None:
+            # --retry routes through the fault-tolerant supervisor:
+            # error classification, checkpoint resume, deterministic
+            # backoff, vector->naive degradation, breaker admission.
+            from .core.errors import QuarantinedError, VerificationError
+            from .runtime.policy import RetryPolicy
+            from .runtime.supervisor import Supervisor
+
+            supervisor = Supervisor(
+                policy=RetryPolicy(max_attempts=retry + 1, base_backoff_s=0.01),
+                ledger=run_recorder.ledger if run_recorder is not None else None,
+            )
+            try:
+                srun = supervisor.submit(
+                    program,
+                    db,
+                    workload=label,
+                    spec=label,
+                    limits=limits,
+                    checkpoint_path=checkpoint,
+                    resume=resume,
+                    engine=engine,
+                    verify=verify,
+                    recorder=run_recorder,
+                )
+            except QuarantinedError as err:
+                print(f"quarantined: {err}")
+                return 1
+            attempts = len(srun.attempts)
+            kills = [a.error for a in srun.attempts if a.error is not None]
+            summary = {
+                "workload": label,
+                "engine": srun.engine,
+                "attempts": attempts,
+                "kills": kills,
+                "finished": srun.ok,
+                "supervisor": srun.history(),
+            }
+            if run_recorder is not None:
+                summary["run_id"] = srun.run_id
+                summary["ledger"] = ledger_dir
+            if not srun.ok:
+                if recorder is not None:
+                    recorder.note_supervisor(srun.history())
+                    try:
+                        bundle_path = str(recorder.dump(error=srun.error))
+                    except OSError:
+                        bundle_path = None
+                    if bundle_path is not None:
+                        summary["postmortem"] = bundle_path
+                if json_out:
+                    print(json.dumps(summary, indent=2))
+                else:
+                    print(
+                        f"failed after {attempts} attempt(s): {srun.error}"
+                    )
+                    if isinstance(srun.error, VerificationError):
+                        print("verify: MISMATCH against ungoverned run")
+                    if bundle_path is not None:
+                        print(f"postmortem bundle written to {bundle_path}")
+                    if run_recorder is not None:
+                        print(
+                            f"run {srun.run_id} recorded in ledger {ledger_dir}"
+                        )
+                return 1
+            result = srun.result
+            summary["tables"] = len(result.tables)
+            if verify:
+                summary["identical_to_ungoverned_run"] = srun.verified
+            if json_out:
+                print(json.dumps(summary, indent=2))
+            else:
+                print(
+                    f"{label}: finished after {attempts} attempt(s) "
+                    f"({len(kills)} budget kill(s)); "
+                    f"{summary['tables']} output table(s)"
+                )
+                if srun.degraded or srun.shed:
+                    print(
+                        f"supervisor: degraded to engine={srun.engine}"
+                        + (f", shed {', '.join(srun.shed)}" if srun.shed else "")
+                    )
+                if run_recorder is not None:
+                    print(f"run {srun.run_id} recorded in ledger {ledger_dir}")
+                if verify:
+                    print("verify: identical to ungoverned run")
+            return 0
         while True:
             attempts += 1
             governor = ResourceGovernor(limits)
@@ -731,8 +849,6 @@ def _run(rest: list[str]) -> int:
                 kills.append(str(err))
                 if not json_out:
                     print(f"killed (attempt {attempts}): {err}")
-                if retry is not None and attempts <= retry and checkpoint is not None:
-                    continue
                 if recorder is not None:
                     # The run is over and it died contextually: dump the
                     # postmortem bundle (event tail, metrics, checkpoint
@@ -812,6 +928,213 @@ def _run(rest: list[str]) -> int:
     return 0 if identical in (None, True) else 1
 
 
+def _supervise(rest: list[str]) -> int:
+    import json
+
+    from .core.errors import QuarantinedError, ReproError
+    from .runtime import Limits
+    from .runtime.policy import BreakerPolicy, RetryPolicy
+    from .runtime.supervisor import Supervisor
+    from .runtime.workloads import parse_workload
+
+    int_flags = {}
+    for flag in ("--retry", "--seed", "--breaker-threshold", "--deadline",
+                 "--backoff", "--attempt-deadline", "--total-deadline",
+                 "--max-while"):
+        value, err = _int_flag(rest, flag)
+        if err is not None:
+            print(f"error: {err}")
+            return 2
+        int_flags[flag] = value
+    cooldown, err = _float_flag(rest, "--cooldown")
+    if err is not None:
+        print(f"error: {err}")
+        return 2
+    checkpoint = _flag_value(rest, "--checkpoint")
+    engine = _flag_value(rest, "--engine") or "naive"
+    faults_text = _flag_value(rest, "--faults")
+    ledger_dir = _flag_value(rest, "--ledger")
+    if engine not in ("naive", "vector"):
+        print(f"error: invalid --engine {engine!r}; expected naive or vector")
+        return 2
+    retry = int_flags["--retry"]
+    if retry is not None and retry < 0:
+        print(f"error: --retry must be >= 0, got {retry}")
+        return 2
+    verify = "--verify" in rest
+    json_out = "--json" in rest
+    flag_values = set()
+    for flag in ("--retry", "--seed", "--breaker-threshold", "--deadline",
+                 "--backoff", "--attempt-deadline", "--total-deadline",
+                 "--max-while", "--cooldown", "--checkpoint", "--engine",
+                 "--faults", "--ledger"):
+        value = _flag_value(rest, flag)
+        if value is not None:
+            flag_values.add(value)
+    names = [a for a in rest if not a.startswith("-") and a not in flag_values]
+    spec = names[0] if names else "tc"
+
+    try:
+        workload = parse_workload(spec)
+    except ReproError as err:
+        print(f"error: {err}")
+        return 2
+    if workload is None:
+        name = _resolve_or_fail(spec)
+        if name is None:
+            return 2
+        from .obs.examples import EXAMPLES
+
+        example = EXAMPLES[name]
+        if example.setup is None:
+            print(
+                f"error: example {name!r} is not a TA program over a tabular "
+                "database; it cannot run under the hardened runtime"
+            )
+            return 2
+        db, bound_run = example.setup()
+        program = getattr(bound_run, "__self__", None)
+        if program is None or not hasattr(program, "statements"):
+            print(f"error: example {name!r} does not expose a TA program")
+            return 2
+        workload = (name, program, db)
+    label, program, db = workload
+
+    faults = None
+    if faults_text is not None:
+        from .runtime.faults import FaultPlan
+
+        try:
+            faults = FaultPlan.from_json(json.loads(faults_text))
+        except (ValueError, ReproError) as err:
+            print(f"error: invalid --faults payload: {err}")
+            return 2
+
+    deadline_ms = int_flags["--deadline"]
+    limits = Limits(
+        deadline_s=deadline_ms / 1000.0 if deadline_ms is not None else None,
+        max_while_iterations=int_flags["--max-while"],
+    )
+    try:
+        policy = RetryPolicy(
+            max_attempts=(retry + 1) if retry is not None else 3,
+            base_backoff_s=(
+                int_flags["--backoff"] / 1000.0
+                if int_flags["--backoff"] is not None
+                else 0.01
+            ),
+            seed=int_flags["--seed"] or 0,
+            attempt_deadline_s=(
+                int_flags["--attempt-deadline"] / 1000.0
+                if int_flags["--attempt-deadline"] is not None
+                else None
+            ),
+            total_deadline_s=(
+                int_flags["--total-deadline"] / 1000.0
+                if int_flags["--total-deadline"] is not None
+                else None
+            ),
+        )
+        breaker_policy = BreakerPolicy(
+            failure_threshold=int_flags["--breaker-threshold"] or 3,
+            cooldown_s=cooldown if cooldown is not None else 30.0,
+        )
+    except ReproError as err:
+        print(f"error: {err}")
+        return 2
+
+    ledger = None
+    if ledger_dir is not None:
+        from .core.errors import LedgerError
+        from .obs.ledger import RunLedger
+
+        try:
+            ledger = RunLedger(ledger_dir)
+        except LedgerError as err:
+            print(f"error: {err}")
+            return 3
+
+    supervisor = Supervisor(
+        policy=policy, breaker_policy=breaker_policy, ledger=ledger
+    )
+    try:
+        srun = supervisor.submit(
+            program,
+            db,
+            workload=label,
+            spec=label,
+            limits=limits,
+            faults=faults,
+            checkpoint_path=checkpoint,
+            engine=engine,
+            verify=verify,
+        )
+    except QuarantinedError as err:
+        if json_out:
+            print(json.dumps(
+                {"workload": label, "outcome": "quarantined", "error": str(err)},
+                indent=2,
+            ))
+        else:
+            print(f"quarantined: {err}")
+        return 1
+    if json_out:
+        print(json.dumps(srun.history(), indent=2))
+    else:
+        print(
+            f"{label}: {srun.outcome} after {len(srun.attempts)} attempt(s) "
+            f"on engine {srun.engine}"
+            + (" [degraded]" if srun.degraded else "")
+            + (f" [shed {', '.join(srun.shed)}]" if srun.shed else "")
+        )
+        for record in srun.attempts:
+            verdict = record.decision or "ok"
+            detail = f" {record.error_type}: {record.error}" if record.error else ""
+            print(
+                f"  attempt {record.attempt} [{record.engine}"
+                + (", resumed" if record.resumed else "")
+                + f"] -> {verdict}{detail}"
+            )
+        if srun.error is not None:
+            print(f"terminal error: {srun.error}")
+        if verify and srun.ok:
+            print("verify: identical to ungoverned run")
+        if ledger is not None:
+            print(f"run {srun.run_id} recorded in ledger {ledger_dir}")
+    return 0 if srun.ok else 1
+
+
+def _recover(rest: list[str]) -> int:
+    import json
+
+    from .runtime.policy import RetryPolicy
+    from .runtime.supervisor import Supervisor
+
+    retry, err = _int_flag(rest, "--retry")
+    if err is not None:
+        print(f"error: {err}")
+        return 2
+    ledger_dir = _flag_value(rest, "--ledger") or "ledger"
+    verify = "--verify" in rest
+    json_out = "--json" in rest
+    ledger = _open_ledger(ledger_dir)
+    if ledger is None:
+        return 3
+    supervisor = Supervisor(
+        policy=RetryPolicy(
+            max_attempts=(retry + 1) if retry is not None else 3,
+            base_backoff_s=0.01,
+        ),
+        ledger=ledger,
+    )
+    report = supervisor.recover(verify=verify)
+    if json_out:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _chaos(rest: list[str]) -> int:
     import json
 
@@ -823,6 +1146,38 @@ def _chaos(rest: list[str]) -> int:
     if err is not None:
         print(f"error: {err}")
         return 2
+    if "--supervisor" in rest:
+        from .runtime.chaos import (
+            render_supervisor_report,
+            run_supervisor_matrix,
+        )
+
+        report = run_supervisor_matrix(seed=seed if seed is not None else 0)
+        if "--json" in rest:
+            print(json.dumps(
+                {
+                    "seed": report.seed,
+                    "ok": report.ok,
+                    "points": [
+                        {
+                            "cell": p.cell,
+                            "error_class": p.error_class,
+                            "policy": p.policy,
+                            "engine": p.engine,
+                            "expected": p.expected,
+                            "observed": p.observed,
+                            "error_type": p.error_type,
+                            "identical": p.identical,
+                            "ok": p.ok,
+                        }
+                        for p in report.points
+                    ],
+                },
+                indent=2,
+            ))
+        else:
+            print(render_supervisor_report(report))
+        return 0 if report.ok else 1
     kinds_text = _flag_value(rest, "--kinds")
     kinds = None
     if kinds_text is not None:
@@ -1145,9 +1500,46 @@ def _metrics(rest: list[str]) -> int:
         else:
             for example in EXAMPLES.values():
                 run_example(example.name)
+    supervisor = None
+    if "--supervisor" in rest:
+        # A small deterministic supervised demo so the fault-tolerance
+        # families export non-zero: one retried fault, one poison
+        # workload tripping the breaker, one quarantined submission.
+        from .core.errors import QuarantinedError
+        from .runtime.faults import FaultPlan, FaultRule
+        from .runtime.policy import BreakerPolicy, RetryPolicy
+        from .runtime.supervisor import Supervisor
+        from .runtime.workloads import transitive_closure_workload
+
+        program, db = transitive_closure_workload(6)
+        supervisor = Supervisor(
+            policy=RetryPolicy(max_attempts=2, base_backoff_s=0.001),
+            breaker_policy=BreakerPolicy(failure_threshold=2, cooldown_s=3600.0),
+        )
+        supervisor.submit(
+            program, db, workload="tc:6",
+            faults=FaultPlan([FaultRule(op="DIFFERENCE", kind="raise")]),
+        )
+        for _ in range(2):
+            # Poison: one rule per attempt, so every attempt dies at its
+            # first op and the submission fails terminally.
+            supervisor.submit(
+                program, db, workload="tc:6",
+                faults=FaultPlan([
+                    FaultRule(op="*", kind="raise", occurrence=1),
+                    FaultRule(op="*", kind="raise", occurrence=2),
+                ]),
+            )
+        try:
+            supervisor.submit(program, db, workload="tc:6")
+        except QuarantinedError:
+            pass
     if "--prom" in rest:
         sys.stdout.write(
-            prometheus_text(obs.metrics, accuracy=accuracy, stats=stats, bus=bus)
+            prometheus_text(
+                obs.metrics, accuracy=accuracy, stats=stats, bus=bus,
+                supervisor=supervisor,
+            )
         )
         return 0
     snapshot = obs.metrics.snapshot()
@@ -1499,6 +1891,8 @@ COMMANDS: dict = {
     "engine-report": (_engine_report, "vector-engine kernel/fallback attribution"),
     "bench-compare": (_bench_compare, "diff two benchmark trajectories (perf gate)"),
     "run": (_run, "run a workload under the governor with checkpoint/resume"),
+    "supervise": (_supervise, "run a workload under the fault-tolerant supervisor"),
+    "recover": (_recover, "resume or orphan crashed runs found in the ledger"),
     "chaos": (_chaos, "fault-injection matrix over the bundled pipelines"),
     "history": (_history, "list/inspect ledgered runs and per-shape aggregates"),
     "replay": (_replay, "re-execute a ledgered run and diff it bit for bit"),

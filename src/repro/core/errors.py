@@ -107,6 +107,29 @@ class FaultInjectedError(ContextualError):
     """
 
 
+class QuarantinedError(ContextualError):
+    """A workload was refused admission by an open circuit breaker.
+
+    The :class:`repro.runtime.policy.CircuitBreaker` opens after a
+    configurable number of consecutive failures of one workload
+    fingerprint; until the cool-down elapses, submissions of that
+    fingerprint are rejected up front with this error instead of
+    burning retry budget on a poison workload.  The context carries the
+    fingerprint, the breaker state, and the seconds until the next
+    half-open probe is allowed.
+    """
+
+
+class VerificationError(ContextualError):
+    """A supervised run finished but its result diverged from the reference.
+
+    Verification re-executes the program ungoverned on the naive engine
+    and compares databases; a mismatch is *terminal* — retrying an
+    execution that completed with the wrong answer cannot help, so the
+    supervisor fails the run (and feeds the circuit breaker) instead.
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpoint file could not be written, read, or applied.
 

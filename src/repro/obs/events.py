@@ -88,6 +88,10 @@ EVENT_KINDS = frozenset(
         "engine_fallback",  # vector backend declined: op, reason (machine-readable)
         "op_estimate",  # estimator scored a prediction: op, est_rows, act_rows, q_error, source
         "error",  # an op raised: op, error (repr), error_type
+        "retry_scheduled",  # supervisor will retry: attempt, decision, backoff_s, error_type
+        "breaker_transition",  # circuit breaker moved: fingerprint, from_state, to_state
+        "run_recovered",  # crash recovery resumed an orphaned run: run_id, workload
+        "engine_degraded",  # degradation ladder fired: mode (engine|obs_shed), from/to
     }
 )
 

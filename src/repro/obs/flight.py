@@ -97,6 +97,7 @@ class FlightRecorder:
         "last_bundle",
         "run_id",
         "ledger_path",
+        "supervisor_history",
     )
 
     def __init__(
@@ -117,6 +118,8 @@ class FlightRecorder:
         #: Run-ledger join key included in the bundle when noted.
         self.run_id: str | None = None
         self.ledger_path: str | None = None
+        #: Supervision history block included in the bundle when noted.
+        self.supervisor_history: dict | None = None
 
     def note_program(self, text: str) -> None:
         """Record the program/plan text for inclusion in any bundle."""
@@ -132,6 +135,16 @@ class FlightRecorder:
         """
         self.run_id = run_id
         self.ledger_path = str(ledger) if ledger is not None else None
+
+    def note_supervisor(self, history: dict) -> None:
+        """Record a supervision history for the bundle.
+
+        The :class:`~repro.runtime.supervisor.Supervisor` stamps its
+        attempt-by-attempt record (decisions, backoffs, degradations)
+        here before dumping, so a postmortem shows not just the fatal
+        error but every retry that led up to it.
+        """
+        self.supervisor_history = history
 
     def note_stats(self, stats) -> None:
         """Record the ANALYZE snapshot the estimator saw.
@@ -212,6 +225,8 @@ class FlightRecorder:
         }
         if self.run_id is not None:
             manifest["run"] = {"id": self.run_id, "ledger": self.ledger_path}
+        if self.supervisor_history is not None:
+            manifest["supervisor"] = self.supervisor_history
         if stats is not None:
             manifest["stats"] = {
                 "engine": stats.engine,

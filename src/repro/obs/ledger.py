@@ -60,6 +60,7 @@ from .events import EventBus, RingSubscriber
 
 __all__ = [
     "LEDGER_SCHEMA_VERSION",
+    "RECORD_KINDS",
     "DEFAULT_SEGMENT_RECORDS",
     "DEFAULT_SEGMENT_BYTES",
     "DEFAULT_RESULT_BYTES_CAP",
@@ -75,6 +76,19 @@ __all__ = [
 #: Bump when a manifest field changes shape (adding fields is backward
 #: compatible and does not bump the version).
 LEDGER_SCHEMA_VERSION = 1
+
+#: The record vocabulary.  Every ledger line carries a ``kind`` (absent
+#: means ``"run"``, the original manifest shape, so pre-supervisor
+#: ledgers reopen unchanged):
+#:
+#: * ``run`` — a closed run manifest (indexed, listed by ``runs()``);
+#: * ``run_start`` — supervisor admission stamp written *before*
+#:   execution; a start with no later ``run``/``orphan`` record for the
+#:   same run id marks a crashed run (``open_runs()``);
+#: * ``orphan`` — crash recovery gave up on an open run (reason inside);
+#: * ``breaker`` — a circuit-breaker state transition, keyed by workload
+#:   fingerprint rather than run id (latest per fingerprint wins).
+RECORD_KINDS = frozenset({"run", "run_start", "orphan", "breaker"})
 
 #: Records per segment before rotation.
 DEFAULT_SEGMENT_RECORDS = 256
@@ -179,9 +193,15 @@ class RunLedger:
         #: Recovery notes from the last open (torn tails, unreadable lines).
         self.warnings: list[str] = []
         self._lock = threading.Lock()
-        #: run_id -> (segment name, compacted summary)
+        #: run_id -> (segment name, compacted summary); "run" records only
         self._index: dict[str, tuple[str, dict]] = {}
         self._order: list[str] = []
+        #: run_id -> latest "run_start" record (supervisor admission)
+        self._starts: dict[str, dict] = {}
+        #: run_id -> "orphan" record (recovery gave this run up)
+        self._orphans: dict[str, dict] = {}
+        #: fingerprint -> latest "breaker" record (circuit-breaker state)
+        self._breakers: dict[str, dict] = {}
         self._segment_records = 0
         self._segment_bytes = 0
         self._open()
@@ -221,7 +241,11 @@ class RunLedger:
         """Rebuild the in-memory index by scanning every segment."""
         self._index.clear()
         self._order.clear()
+        self._starts.clear()
+        self._orphans.clear()
+        self._breakers.clear()
         self.warnings = []
+        admitted_per_segment: dict[str, int] = {}
         segments = self._segments()
         for segment in segments:
             try:
@@ -247,6 +271,9 @@ class RunLedger:
                     warnings.warn(f"ledger recovery: {message}", stacklevel=2)
                     continue
                 self._admit(manifest, segment.name)
+                admitted_per_segment[segment.name] = (
+                    admitted_per_segment.get(segment.name, 0) + 1
+                )
             if torn:
                 message = (
                     f"{segment.name}: torn final line skipped "
@@ -256,9 +283,7 @@ class RunLedger:
                 warnings.warn(f"ledger recovery: {message}", stacklevel=2)
         if segments:
             active = segments[-1]
-            self._segment_records = sum(
-                1 for run_id in self._order if self._index[run_id][0] == active.name
-            )
+            self._segment_records = admitted_per_segment.get(active.name, 0)
             self._segment_bytes = active.stat().st_size
         else:
             self._segment_records = 0
@@ -267,7 +292,7 @@ class RunLedger:
 
     def _admit(self, manifest: dict, segment_name: str) -> None:
         """Index one parsed record, rejecting foreign schema versions."""
-        if not isinstance(manifest, dict) or "run_id" not in manifest:
+        if not isinstance(manifest, dict):
             raise LedgerError(
                 f"ledger segment {segment_name} holds a non-manifest record"
             )
@@ -278,10 +303,32 @@ class RunLedger:
                 f"schema version {version!r}; this build reads "
                 f"{LEDGER_SCHEMA_VERSION}"
             )
+        kind = manifest.get("kind", "run")
+        if kind not in RECORD_KINDS:
+            raise LedgerError(
+                f"record in {segment_name} carries unknown kind {kind!r}; "
+                f"this build reads {sorted(RECORD_KINDS)}"
+            )
+        if kind == "breaker":
+            if "fingerprint" not in manifest:
+                raise LedgerError(
+                    f"breaker record in {segment_name} has no fingerprint"
+                )
+            self._breakers[str(manifest["fingerprint"])] = manifest
+            return
+        if "run_id" not in manifest:
+            raise LedgerError(
+                f"{kind} record in {segment_name} has no run_id"
+            )
         run_id = str(manifest["run_id"])
-        if run_id not in self._index:
-            self._order.append(run_id)
-        self._index[run_id] = (segment_name, _summarize(manifest))
+        if kind == "run_start":
+            self._starts[run_id] = manifest
+        elif kind == "orphan":
+            self._orphans[run_id] = manifest
+        else:
+            if run_id not in self._index:
+                self._order.append(run_id)
+            self._index[run_id] = (segment_name, _summarize(manifest))
 
     # -- appending ------------------------------------------------------
 
@@ -305,6 +352,39 @@ class RunLedger:
         """
         if "run_id" not in manifest:
             raise LedgerError("a run manifest needs a run_id (see new_run_id())")
+        self._append(manifest)
+        return str(manifest["run_id"])
+
+    def record_start(self, manifest: dict) -> str:
+        """Journal a supervisor admission stamp *before* execution.
+
+        A ``run_start`` with no later closing record for the same run id
+        is what :meth:`open_runs` (and crash recovery) finds.
+        """
+        if "run_id" not in manifest:
+            raise LedgerError("a run_start record needs a run_id")
+        self._append({**manifest, "kind": "run_start"})
+        return str(manifest["run_id"])
+
+    def record_orphan(self, manifest: dict) -> str:
+        """Stamp an open run as unrecoverable (reason in the record)."""
+        if "run_id" not in manifest:
+            raise LedgerError("an orphan record needs a run_id")
+        self._append({**manifest, "kind": "orphan"})
+        return str(manifest["run_id"])
+
+    def record_breaker(self, manifest: dict) -> str:
+        """Persist a circuit-breaker transition, keyed by fingerprint.
+
+        The latest record per fingerprint wins on reopen, which is how
+        breaker state survives process restarts.
+        """
+        if "fingerprint" not in manifest:
+            raise LedgerError("a breaker record needs a workload fingerprint")
+        self._append({**manifest, "kind": "breaker"})
+        return str(manifest["fingerprint"])
+
+    def _append(self, manifest: dict) -> None:
         manifest = dict(manifest)
         manifest["v"] = LEDGER_SCHEMA_VERSION
         line = json.dumps(manifest, separators=(",", ":"), sort_keys=True) + "\n"
@@ -329,7 +409,6 @@ class RunLedger:
             self._segment_bytes += len(encoded)
             self._admit(manifest, segment.name)
             self._write_index()
-        return str(manifest["run_id"])
 
     def _write_index(self) -> None:
         """Rewrite the compacted index (atomically; it is only a cache)."""
@@ -389,7 +468,11 @@ class RunLedger:
                 manifest = json.loads(line)
             except ValueError:
                 continue  # torn line; recovery already warned about it
-            if isinstance(manifest, dict) and manifest.get("run_id") == run_id:
+            if (
+                isinstance(manifest, dict)
+                and manifest.get("run_id") == run_id
+                and manifest.get("kind", "run") == "run"
+            ):
                 if manifest.get("v") != LEDGER_SCHEMA_VERSION:
                     raise LedgerError(
                         f"run {run_id!r} carries schema version "
@@ -401,6 +484,30 @@ class RunLedger:
             f"run {run_id!r} is indexed in {entry[0]} but its record is gone "
             "(segment truncated after indexing?)"
         )
+
+    def open_runs(self) -> list[dict]:
+        """Admission stamps of runs that never closed, oldest first.
+
+        A run is *open* when its ``run_start`` record has no later
+        closing ``run`` manifest and no ``orphan`` stamp — the recording
+        process died mid-run.  This is crash recovery's work queue.
+        """
+        with self._lock:
+            return [
+                dict(start)
+                for run_id, start in self._starts.items()
+                if run_id not in self._index and run_id not in self._orphans
+            ]
+
+    def orphans(self) -> list[dict]:
+        """Orphan stamps (open runs recovery gave up on), oldest first."""
+        with self._lock:
+            return [dict(record) for record in self._orphans.values()]
+
+    def breaker_states(self) -> dict[str, dict]:
+        """Latest persisted breaker record per workload fingerprint."""
+        with self._lock:
+            return {fp: dict(record) for fp, record in self._breakers.items()}
 
     def aggregates(self) -> list[dict]:
         """Per-fingerprint cross-run aggregates, busiest shape first.
@@ -511,6 +618,7 @@ class RunRecorder:
         stats=None,
         replay_spec: str | None = None,
         result_bytes_cap: int | None = None,
+        supervisor: dict | None = None,
     ) -> dict:
         """Drain the ring, build the manifest, append it to the ledger.
 
@@ -686,6 +794,8 @@ class RunRecorder:
                 "dropped": self.ring.dropped,
             },
         }
+        if supervisor is not None:
+            manifest["supervisor"] = supervisor
         if self.ledger is not None:
             self.ledger.record(manifest)
         return manifest

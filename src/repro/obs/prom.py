@@ -79,6 +79,7 @@ def prometheus_text(
     accuracy=None,
     stats=None,
     bus=None,
+    supervisor=None,
 ) -> str:
     """One snapshot as the Prometheus text exposition format.
 
@@ -89,7 +90,11 @@ def prometheus_text(
     adds the stale-stats age and snapshot-size gauges; ``bus`` (an
     :class:`~repro.obs.events.EventBus`) adds the event-feed counters —
     published events, ring receive/drop totals (dropped > 0 means a
-    bounded subscriber silently lost telemetry), and callback errors.
+    bounded subscriber silently lost telemetry), and callback errors;
+    ``supervisor`` (a :class:`~repro.runtime.supervisor.Supervisor`)
+    adds the fault-tolerance families — retry decision/backoff/exhaustion
+    counters, circuit-breaker transition counters and per-fingerprint
+    open gauges, and crash-recovery outcome counters.
     All are opt-in so the plain metrics export is unchanged.
     """
     operations = metrics.operations
@@ -198,6 +203,70 @@ def prometheus_text(
             "Callback subscribers that raised (never fatal to the run).",
         )
         out.sample(name, {}, bus.callback_errors)
+
+    if supervisor is not None:
+        sup_stats = supervisor.stats
+        name = out.family(
+            "retry_attempts_total",
+            "counter",
+            "Supervised attempts that ended in a retryable decision.",
+        )
+        for decision in sorted(sup_stats.decisions):
+            out.sample(name, {"decision": decision}, sup_stats.decisions[decision])
+        name = out.family(
+            "retry_backoff_seconds_total",
+            "counter",
+            "Total seconds the supervisor slept between attempts.",
+        )
+        out.sample(name, {}, round(sup_stats.backoff_s_total, 9))
+        name = out.family(
+            "retry_exhausted_total",
+            "counter",
+            "Runs that burned the whole retry budget and failed.",
+        )
+        out.sample(name, {}, sup_stats.exhausted)
+        name = out.family(
+            "retry_degraded_total",
+            "counter",
+            "Degradation-ladder firings (engine downgrade, obs shedding).",
+        )
+        for mode in sorted(sup_stats.degraded):
+            out.sample(name, {"mode": mode}, sup_stats.degraded[mode])
+        name = out.family(
+            "breaker_transitions_total",
+            "counter",
+            "Circuit-breaker state transitions.",
+        )
+        for (from_state, to_state), count in sorted(
+            supervisor.breaker.transitions.items()
+        ):
+            out.sample(
+                name, {"from_state": from_state, "to_state": to_state}, count
+            )
+        name = out.family(
+            "breaker_open",
+            "gauge",
+            "1 when the fingerprint's breaker is open (quarantining).",
+        )
+        for fingerprint, entry in sorted(supervisor.breaker.states().items()):
+            out.sample(
+                name,
+                {"fingerprint": fingerprint},
+                1 if entry["state"] == "open" else 0,
+            )
+        name = out.family(
+            "breaker_quarantined_total",
+            "counter",
+            "Submissions refused admission by an open breaker.",
+        )
+        out.sample(name, {}, sup_stats.quarantined)
+        name = out.family(
+            "recovery_runs_total",
+            "counter",
+            "Crash-recovery outcomes (resumed, orphaned, failed).",
+        )
+        for outcome in sorted(sup_stats.recovery):
+            out.sample(name, {"outcome": outcome}, sup_stats.recovery[outcome])
 
     if stats is not None:
         name = out.family(

@@ -17,7 +17,15 @@ the production safety net around the engine:
   statement boundaries and :func:`~repro.runtime.checkpoint.run_hardened`,
   the deterministic kill-and-resume driver;
 * :mod:`repro.runtime.chaos` — the injection-matrix harness behind
-  ``python -m repro chaos`` (imported lazily: it loads the engine).
+  ``python -m repro chaos`` (imported lazily: it loads the engine);
+* :mod:`repro.runtime.policy` — the declarative
+  :class:`~repro.runtime.policy.RetryPolicy` (error classification,
+  seeded exponential backoff) and the per-workload-fingerprint
+  :class:`~repro.runtime.policy.CircuitBreaker`;
+* :mod:`repro.runtime.supervisor` — the fault-tolerant
+  :class:`~repro.runtime.supervisor.Supervisor` driving retry, resume,
+  graceful degradation, quarantine, and ledger-based crash recovery
+  (imported lazily: it reaches the engine through ``run_hardened``).
 
 Everything raises inside the :class:`~repro.core.errors.ReproError`
 taxonomy: :class:`~repro.core.errors.BudgetExceededError`,
@@ -44,23 +52,41 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "program_fingerprint",
+    # lazily re-exported from .policy / .supervisor:
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "classify_error",
+    "Supervisor",
+    "SupervisedRun",
+    "RecoveryReport",
 ]
 
-_CHECKPOINT_EXPORTS = {
-    "Checkpoint",
-    "run_hardened",
-    "save_checkpoint",
-    "load_checkpoint",
-    "program_fingerprint",
+_LAZY_EXPORTS = {
+    "Checkpoint": "checkpoint",
+    "run_hardened": "checkpoint",
+    "save_checkpoint": "checkpoint",
+    "load_checkpoint": "checkpoint",
+    "program_fingerprint": "checkpoint",
+    "RetryPolicy": "policy",
+    "BreakerPolicy": "policy",
+    "CircuitBreaker": "policy",
+    "classify_error": "policy",
+    "Supervisor": "supervisor",
+    "SupervisedRun": "supervisor",
+    "RecoveryReport": "supervisor",
 }
 
 
 def __getattr__(name: str):
-    # checkpoint imports the interpreter, which imports the op registry,
-    # which imports this package — loading it lazily keeps the import
-    # graph acyclic (same pattern as repro.obs deferring examples).
-    if name in _CHECKPOINT_EXPORTS:
-        from . import checkpoint
+    # checkpoint (and through it the supervisor) imports the
+    # interpreter, which imports the op registry, which imports this
+    # package — loading these lazily keeps the import graph acyclic
+    # (same pattern as repro.obs deferring examples).
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(checkpoint, name)
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

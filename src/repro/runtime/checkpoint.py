@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import weakref
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -202,12 +203,25 @@ class Checkpoint:
 
 
 def save_checkpoint(path: str | Path, checkpoint: Checkpoint) -> Path:
-    """Write one checkpoint atomically (write-then-rename)."""
+    """Write one checkpoint crash-atomically.
+
+    The payload goes to a sibling temp file, is fsynced, and then
+    renamed over the target: a ``kill -9`` at any instant leaves either
+    the previous complete checkpoint or the new complete one — never a
+    truncated file.  (The directory entry itself is not fsynced: losing
+    the *rename* to a power cut re-exposes the previous checkpoint,
+    which is still a valid resume point; what must never exist is a torn
+    file, and the data fsync before the rename guarantees that.)
+    """
     path = Path(path)
     tmp = path.with_suffix(path.suffix + ".tmp")
+    payload = json.dumps(checkpoint.to_json()) + "\n"
     try:
-        tmp.write_text(json.dumps(checkpoint.to_json()) + "\n")
-        tmp.replace(path)
+        with tmp.open("w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
     except OSError as err:
         raise CheckpointError(f"cannot write checkpoint {path}: {err}") from err
     return path

@@ -195,3 +195,27 @@ class TestRecorderWiring:
                 bus.publish("span_start", op=f"OP{index}")
             assert len(recorder.ring) == 4
             assert recorder.ring.dropped == 16
+
+
+class TestSupervisorStamp:
+    def test_noted_history_lands_in_the_manifest(self, tmp_path):
+        history = {
+            "outcome": "failed",
+            "attempts": [
+                {"attempt": 1, "decision": "retry", "backoff_s": 0.01},
+                {"attempt": 2, "decision": "fail"},
+            ],
+        }
+        with event_stream():
+            with flight_recorder(tmp_path / "flight") as recorder:
+                recorder.note_supervisor(history)
+                bundle = recorder.dump()
+        manifest = json.loads((bundle / "MANIFEST.json").read_text())
+        assert manifest["supervisor"] == history
+
+    def test_manifest_without_history_omits_the_block(self, tmp_path):
+        recorder = _killed_run(tmp_path / "flight", tmp_path)
+        manifest = json.loads(
+            (recorder.last_bundle / "MANIFEST.json").read_text()
+        )
+        assert "supervisor" not in manifest

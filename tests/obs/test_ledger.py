@@ -284,3 +284,106 @@ class TestSingleton:
         ids = [new_run_id() for _ in range(50)]
         assert len(set(ids)) == 50
         assert ids == sorted(ids)
+
+
+class TestRecordKinds:
+    """``run_start`` / ``orphan`` / ``breaker`` records beside the runs."""
+
+    def _start(self, run_id, checkpoint=None):
+        return {
+            "run_id": run_id,
+            "ts": 1.0,
+            "workload": "tc:4",
+            "spec": "tc:4",
+            "engine": "naive",
+            "fingerprint": "f" * 16,
+            "checkpoint": checkpoint,
+            "limits": None,
+        }
+
+    def test_start_without_outcome_is_an_open_run(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        run_id = new_run_id()
+        ledger.record_start(self._start(run_id))
+        assert [r["run_id"] for r in ledger.open_runs()] == [run_id]
+        assert len(ledger) == 0  # starts are not completed runs
+
+    def test_closing_manifest_closes_the_open_run(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        run_id = new_run_id()
+        ledger.record_start(self._start(run_id))
+        ledger.record(_manifest(run_id=run_id))
+        assert ledger.open_runs() == []
+        assert ledger.get(run_id)["run_id"] == run_id
+
+    def test_orphan_stamp_closes_the_open_run(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        run_id = new_run_id()
+        ledger.record_start(self._start(run_id))
+        ledger.record_orphan(
+            {"run_id": run_id, "ts": 2.0, "workload": "tc:4", "reason": "no checkpoint"}
+        )
+        assert ledger.open_runs() == []
+        assert [o["reason"] for o in ledger.orphans()] == ["no checkpoint"]
+
+    def test_kinds_survive_a_reopen(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        open_id, closed_id = new_run_id(), new_run_id()
+        ledger.record_start(self._start(open_id))
+        ledger.record_start(self._start(closed_id))
+        ledger.record(_manifest(run_id=closed_id))
+        ledger.record_breaker(
+            {"fingerprint": "f" * 16, "state": "open", "failures": 3,
+             "opened_ts": 1.0, "updated_ts": 1.0}
+        )
+        reopened = RunLedger(tmp_path / "led")
+        assert [r["run_id"] for r in reopened.open_runs()] == [open_id]
+        assert reopened.breaker_states()["f" * 16]["state"] == "open"
+        assert len(reopened) == 1
+        assert reopened.warnings == []
+
+    def test_latest_breaker_record_wins(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        for state, failures in (("open", 3), ("half_open", 3), ("closed", 0)):
+            ledger.record_breaker(
+                {"fingerprint": "a" * 16, "state": state, "failures": failures,
+                 "opened_ts": None, "updated_ts": 1.0}
+            )
+        assert ledger.breaker_states()["a" * 16]["state"] == "closed"
+        assert RunLedger(tmp_path / "led").breaker_states()["a" * 16]["failures"] == 0
+
+    def test_get_ignores_non_run_kinds(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        run_id = new_run_id()
+        ledger.record_start(self._start(run_id))
+        with pytest.raises(LedgerError):
+            ledger.get(run_id)  # a start is not a completed run
+
+    def test_unknown_kind_is_rejected(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        with pytest.raises(LedgerError):
+            ledger.record({"kind": "mystery", "run_id": new_run_id()})
+
+    def test_breaker_record_requires_a_fingerprint(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        with pytest.raises(LedgerError):
+            ledger.record_breaker({"state": "open"})
+
+    def test_recorder_stamps_the_supervision_history(self, tmp_path):
+        """RunRecorder.finish(supervisor=...) lands the block in the
+        manifest, journaled and readable after a reopen."""
+        ledger = RunLedger(tmp_path / "led")
+        program, db = parse_workload("tc:4")[1:]
+        with event_stream() as bus:
+            recorder = RunRecorder(bus, ledger)
+            result = run_hardened(program, db)
+            history = {"outcome": "ok", "attempts": [{"attempt": 1}]}
+            recorder.finish(
+                workload="tc:4",
+                engine="naive",
+                result_db=result,
+                replay_spec="tc:4",
+                supervisor=history,
+            )
+        reopened = RunLedger(tmp_path / "led")
+        assert reopened.get(recorder.run_id)["supervisor"] == history

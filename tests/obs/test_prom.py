@@ -171,3 +171,57 @@ class TestLinter:
             "h_count 2\n"
         )
         assert lint_prometheus_text(payload) == []
+
+
+class TestSupervisorFamilies:
+    def _supervised(self):
+        from repro.runtime import FaultPlan, FaultRule
+        from repro.runtime.policy import BreakerPolicy, RetryPolicy
+        from repro.runtime.supervisor import Supervisor
+        from repro.runtime.workloads import transitive_closure_workload
+
+        program, db = transitive_closure_workload(5)
+        supervisor = Supervisor(
+            RetryPolicy(max_attempts=2, base_backoff_s=0.001, jitter=0.0),
+            breaker_policy=BreakerPolicy(failure_threshold=1, cooldown_s=3600.0),
+            sleep=lambda s: None,
+        )
+        supervisor.submit(
+            program, db, workload="tc:5",
+            faults=FaultPlan([FaultRule(op="DIFFERENCE", kind="raise")]),
+        )
+        supervisor.submit(
+            program, db, workload="tc:5",
+            faults=FaultPlan(
+                [FaultRule(op="*", kind="raise", occurrence=n) for n in (1, 2)]
+            ),
+        )
+        return supervisor
+
+    def test_retry_breaker_and_recovery_families(self):
+        supervisor = self._supervised()
+        text = prometheus_text(_observed_metrics(), supervisor=supervisor)
+        assert "# TYPE repro_retry_attempts_total counter" in text
+        # one retry from the one-shot fault run, one from the poison
+        # run's first attempt (its second attempt exhausts the budget)
+        assert 'repro_retry_attempts_total{decision="retry"} 2' in text
+        assert "# TYPE repro_retry_backoff_seconds_total counter" in text
+        assert "repro_retry_exhausted_total 1" in text
+        assert "# TYPE repro_breaker_transitions_total counter" in text
+        assert (
+            'repro_breaker_transitions_total{from_state="closed",to_state="open"} 1'
+            in text
+        )
+        assert "# TYPE repro_breaker_open gauge" in text
+        fingerprint = supervisor.last_run.fingerprint
+        assert f'repro_breaker_open{{fingerprint="{fingerprint}"}} 1' in text
+        assert "# TYPE repro_recovery_runs_total counter" in text
+
+    def test_supervisor_families_lint_clean(self):
+        text = prometheus_text(_observed_metrics(), supervisor=self._supervised())
+        assert lint_prometheus_text(text) == []
+
+    def test_plain_export_has_no_supervisor_families(self):
+        text = prometheus_text(_observed_metrics())
+        assert "repro_retry_attempts_total" not in text
+        assert "repro_breaker_open" not in text

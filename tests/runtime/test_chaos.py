@@ -10,7 +10,9 @@ points; the full CI job widens this to every bundled example.
 from repro.runtime.chaos import (
     EXPECTED_ERRORS,
     render_chaos_report,
+    render_supervisor_report,
     run_chaos_matrix,
+    run_supervisor_matrix,
 )
 
 
@@ -31,4 +33,34 @@ class TestChaosMatrix:
         assert "ok  " in text
         assert "FaultInjectedError" in text
         assert "seed=1" in text
+        assert f"{len(report.points)}/{len(report.points)}" in text
+
+
+class TestSupervisorMatrix:
+    def test_every_policy_path_lands_on_its_documented_decision(self):
+        """The ISSUE acceptance bar: every (error class × policy) cell
+        ends in the documented decision — retried / resumed / degraded /
+        failed / quarantined — and ok cells produce the byte-identical
+        final database (failed cells produce no database at all)."""
+        report = run_supervisor_matrix(seed=0)
+        assert report.ok, render_supervisor_report(report)
+        observed = {p.cell: p.observed for p in report.points}
+        assert observed == {
+            "raise/retry/naive": "retried",
+            "raise/retry/vector": "retried",
+            "raise/single/naive": "failed",
+            "deadline/retry/naive": "resumed",
+            "deadline/retry/vector": "resumed",
+            "deadline/single/naive": "failed",
+            "corrupt/retry/vector": "degraded",
+            "corrupt/retry/naive": "failed",
+            "nontermination/retry/naive": "failed",
+            "poison/breaker/naive": "quarantined",
+        }
+        assert all(p.identical for p in report.points)
+
+    def test_supervisor_report_renders_cells(self):
+        report = run_supervisor_matrix(seed=0)
+        text = render_supervisor_report(report)
+        assert "quarantined" in text
         assert f"{len(report.points)}/{len(report.points)}" in text

@@ -109,6 +109,56 @@ class TestCheckpointFiles:
         assert program_fingerprint(a1) == program_fingerprint(b)
 
 
+class TestCrashAtomicity:
+    """``save_checkpoint`` is temp-file + fsync + ``os.replace``: a crash
+    at any instant leaves either the previous complete checkpoint or the
+    new complete checkpoint — never a torn file at the real path."""
+
+    def _checkpoint(self, rows):
+        db = TabularDatabase([make_table("R", ["A"], rows)])
+        return Checkpoint(
+            statement_index=1,
+            iterations=len(rows),
+            next_tag=0,
+            db=db,
+            fingerprint="abc123",
+        )
+
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, self._checkpoint([("x",)]))
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+
+    def test_crash_before_rename_preserves_the_previous_checkpoint(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, self._checkpoint([("x",)]))
+        # a process that died after writing the temp file but before the
+        # rename leaves garbage beside the checkpoint, not inside it
+        (tmp_path / "ck.json.tmp").write_text('{"format": 1, "torn')
+        loaded = load_checkpoint(path)
+        assert loaded.iterations == 1
+
+    def test_torn_checkpoint_is_a_typed_error(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, self._checkpoint([("x",), ("y",)]))
+        payload = path.read_text()
+        for cut in (1, len(payload) // 2, len(payload) - 2):
+            path.write_text(payload[:cut])
+            with pytest.raises(CheckpointError):
+                load_checkpoint(path)
+
+    def test_failed_write_surfaces_as_checkpoint_error(self, tmp_path):
+        target = tmp_path / "not-a-directory" / "ck.json"
+        with pytest.raises(CheckpointError):
+            save_checkpoint(target, self._checkpoint([("x",)]))
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, self._checkpoint([("x",)]))
+        save_checkpoint(path, self._checkpoint([("x",), ("y",)]))
+        assert load_checkpoint(path).iterations == 2
+
+
 class TestRunHardened:
     def test_matches_vanilla_run(self):
         program, db = transitive_closure_workload(6)

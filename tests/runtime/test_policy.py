@@ -1,0 +1,261 @@
+"""Supervision policy: retry schedules, error taxonomy, circuit breaker."""
+
+import pytest
+
+from repro.core.errors import (
+    BudgetExceededError,
+    CancelledError,
+    CheckpointError,
+    FaultInjectedError,
+    LimitExceededError,
+    NonTerminationError,
+    QuarantinedError,
+    ReproError,
+)
+from repro.obs.ledger import RunLedger
+from repro.runtime import Limits
+from repro.runtime.policy import (
+    BREAKER_STATES,
+    DECISIONS,
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+    classify_error,
+    merge_attempt_limits,
+)
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.degrade_engine and policy.shed_obs
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_backoff_s": -0.1},
+            {"max_backoff_s": -1.0},
+            {"backoff_factor": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_invalid_fields_are_rejected(self, kwargs):
+        with pytest.raises(ReproError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            base_backoff_s=0.1, backoff_factor=2.0, max_backoff_s=0.5, jitter=0.0
+        )
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+        assert policy.backoff_s(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        c = RetryPolicy(seed=8)
+        schedule_a = [a.backoff_s(n) for n in range(1, 6)]
+        assert schedule_a == [b.backoff_s(n) for n in range(1, 6)]
+        assert schedule_a != [c.backoff_s(n) for n in range(1, 6)]
+
+    def test_jitter_stays_within_the_spread(self):
+        policy = RetryPolicy(base_backoff_s=0.1, jitter=0.1, max_backoff_s=10.0)
+        for attempt in range(1, 20):
+            base = min(0.1 * 2.0 ** (attempt - 1), 10.0)
+            assert base * 0.9 <= policy.backoff_s(attempt) <= base * 1.1
+
+    def test_zero_base_means_no_backoff(self):
+        assert RetryPolicy(base_backoff_s=0.0).backoff_s(3) == 0.0
+
+    def test_json_round_trip(self):
+        policy = RetryPolicy(
+            max_attempts=5, attempt_deadline_s=0.25, total_deadline_s=2.0, seed=3
+        )
+        assert RetryPolicy.from_json(policy.to_json()) == policy
+
+    def test_unknown_json_fields_are_rejected(self):
+        with pytest.raises(ReproError) as excinfo:
+            RetryPolicy.from_json({"max_attempts": 2, "retries": 9})
+        assert "retries" in str(excinfo.value)
+        with pytest.raises(ReproError):
+            RetryPolicy.from_json([1, 2])
+
+
+class TestClassifyError:
+    def test_decision_vocabulary(self):
+        assert DECISIONS == ("retry", "resume", "degrade", "fail")
+
+    @pytest.mark.parametrize(
+        "error,engine,decision",
+        [
+            (FaultInjectedError("boom", op="DIFFERENCE"), "naive", "retry"),
+            (FaultInjectedError("boom", op="DIFFERENCE"), "vector", "retry"),
+            (BudgetExceededError("deadline", kind="deadline"), "naive", "resume"),
+            (CancelledError("stop"), "naive", "resume"),
+            # NonTermination/LimitExceeded are BudgetExceeded subclasses,
+            # but they are rooted in the workload: terminal, not resumable.
+            (NonTerminationError("while spun", kind="while_iterations"), "naive", "fail"),
+            (LimitExceededError("too wide", kind="rows"), "vector", "fail"),
+            (CheckpointError("torn"), "naive", "fail"),
+            (QuarantinedError("open breaker"), "naive", "fail"),
+            (ValueError("kernel bug"), "vector", "degrade"),
+            (ReproError("usage"), "vector", "degrade"),
+            (ValueError("usage"), "naive", "fail"),
+            (ReproError("usage"), "naive", "fail"),
+        ],
+    )
+    def test_taxonomy(self, error, engine, decision):
+        assert classify_error(error, engine) == decision
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_states_vocabulary(self):
+        assert BREAKER_STATES == ("closed", "open", "half_open")
+
+    def test_unseen_fingerprint_admits_closed(self):
+        breaker = CircuitBreaker()
+        assert breaker.admit("fp") == "closed"
+        assert breaker.state("fp") == "closed"
+
+    def test_opens_at_the_failure_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3), clock=clock)
+        breaker.record_failure("fp")
+        breaker.record_failure("fp")
+        assert breaker.admit("fp") == "closed"
+        breaker.record_failure("fp")
+        assert breaker.state("fp") == "open"
+        with pytest.raises(QuarantinedError) as excinfo:
+            breaker.admit("fp", workload="tc:8")
+        assert excinfo.value.context["failures"] == 3
+        assert excinfo.value.context["retry_after_s"] > 0
+        assert breaker.transitions[("closed", "open")] == 1
+
+    def test_success_resets_a_partial_streak(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2))
+        breaker.record_failure("fp")
+        breaker.record_success("fp")
+        breaker.record_failure("fp")
+        assert breaker.state("fp") == "closed"  # streak broken, never opened
+
+    def test_cooldown_admits_one_half_open_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown_s=30.0), clock=clock
+        )
+        breaker.record_failure("fp")
+        with pytest.raises(QuarantinedError):
+            breaker.admit("fp")
+        clock.now += 31.0
+        assert breaker.admit("fp") == "half_open"
+        breaker.record_success("fp")
+        assert breaker.state("fp") == "closed"
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown_s=30.0), clock=clock
+        )
+        breaker.record_failure("fp")
+        clock.now += 31.0
+        assert breaker.admit("fp") == "half_open"
+        breaker.record_failure("fp")
+        assert breaker.state("fp") == "open"
+        with pytest.raises(QuarantinedError):
+            breaker.admit("fp")  # the new cool-down starts from the re-open
+        clock.now += 31.0
+        assert breaker.admit("fp") == "half_open"
+
+    def test_state_survives_a_restart_through_the_ledger(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=2), ledger=ledger, clock=clock
+        )
+        breaker.record_failure("fp")
+        breaker.record_failure("fp")
+        assert breaker.state("fp") == "open"
+        # a fresh process: reopen the ledger, rebuild the breaker
+        reborn = CircuitBreaker(
+            BreakerPolicy(failure_threshold=2),
+            ledger=RunLedger(tmp_path / "led"),
+            clock=clock,
+        )
+        assert reborn.state("fp") == "open"
+        with pytest.raises(QuarantinedError):
+            reborn.admit("fp")
+
+    def test_below_threshold_failures_survive_a_restart(self, tmp_path):
+        """The cross-process poison workload: each process records one
+        failure; the third process's breaker must see the accumulated
+        streak and open."""
+        for _ in range(2):
+            breaker = CircuitBreaker(
+                BreakerPolicy(failure_threshold=3),
+                ledger=RunLedger(tmp_path / "led"),
+            )
+            breaker.record_failure("fp")
+        final = CircuitBreaker(
+            BreakerPolicy(failure_threshold=3), ledger=RunLedger(tmp_path / "led")
+        )
+        final.record_failure("fp")
+        assert final.state("fp") == "open"
+
+    def test_persisted_success_reset_does_not_resurrect(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led")
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2), ledger=ledger)
+        breaker.record_failure("fp")
+        breaker.record_success("fp")
+        reborn = CircuitBreaker(
+            BreakerPolicy(failure_threshold=2), ledger=RunLedger(tmp_path / "led")
+        )
+        reborn.record_failure("fp")
+        assert reborn.state("fp") == "closed"  # 1 failure, not 2
+
+    def test_breaker_policy_validation(self):
+        with pytest.raises(ReproError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ReproError):
+            BreakerPolicy(cooldown_s=-1.0)
+
+
+class TestMergeAttemptLimits:
+    def test_nothing_to_merge_returns_the_input(self):
+        limits = Limits(deadline_s=1.0)
+        policy = RetryPolicy()
+        assert merge_attempt_limits(limits, policy, None) is limits
+
+    def test_no_limits_no_deadlines_yields_defaults(self):
+        merged = merge_attempt_limits(None, RetryPolicy(), None)
+        assert isinstance(merged, Limits)
+
+    def test_tightest_deadline_wins(self):
+        limits = Limits(deadline_s=1.0, max_rows_per_op=100)
+        policy = RetryPolicy(attempt_deadline_s=0.25)
+        merged = merge_attempt_limits(limits, policy, 5.0)
+        assert merged.deadline_s == 0.25
+        assert merged.max_rows_per_op == 100  # other fields untouched
+
+    def test_remaining_total_caps_the_attempt(self):
+        merged = merge_attempt_limits(
+            Limits(deadline_s=1.0), RetryPolicy(attempt_deadline_s=0.5), 0.1
+        )
+        assert merged.deadline_s == 0.1
+
+    def test_policy_deadline_applies_without_caller_limits(self):
+        merged = merge_attempt_limits(None, RetryPolicy(attempt_deadline_s=0.3), None)
+        assert merged.deadline_s == 0.3

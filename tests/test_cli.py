@@ -340,7 +340,10 @@ class TestRun:
             "--checkpoint", str(ck), "--retry", "100", "--verify",
         )
         assert code == 0
-        assert "killed (attempt 1)" in output
+        # --retry now routes through the supervisor, which reports the
+        # attempt/kill totals instead of streaming per-attempt lines
+        assert "budget kill(s)" in output
+        assert "finished after" in output and "attempt(s)" in output
         assert "verify: identical to ungoverned run" in output
 
     def test_run_json_output(self):
@@ -896,3 +899,153 @@ class TestLedgerCommands:
         from repro.obs import lint_prometheus_text
 
         assert lint_prometheus_text(output) == []
+
+
+class TestSupervisorCommands:
+    """``run --retry``, ``supervise``, ``recover``, ``chaos --supervisor``."""
+
+    FAULT = '{"seed": 0, "rules": [{"op": "DIFFERENCE", "kind": "raise"}]}'
+
+    def test_run_retry_requires_a_checkpoint(self, tmp_path):
+        for n in ("0", "2"):
+            code, output = run_cli("run", "tc:4", "--retry", n)
+            assert code == 2
+            assert "--retry requires --checkpoint" in output
+
+    def test_run_negative_retry_is_a_usage_error(self, tmp_path):
+        code, output = run_cli(
+            "run", "tc:4", "--retry", "-1",
+            "--checkpoint", str(tmp_path / "ck.json"),
+        )
+        assert code == 2
+
+    def test_run_retry_converges_past_a_deadline(self, tmp_path):
+        """The acceptance scenario: tc:10 under a 50ms deadline converges
+        through supervised resume attempts to the verified database."""
+        import json
+
+        code, output = run_cli(
+            "run", "tc:10", "--deadline", "50",
+            "--checkpoint", str(tmp_path / "ck.json"),
+            "--retry", "200", "--verify", "--json",
+        )
+        assert code == 0
+        summary = json.loads(output)
+        block = summary["supervisor"]
+        assert block["outcome"] == "ok"
+        assert len(block["attempts"]) > 1
+        assert summary["identical_to_ungoverned_run"] is True
+
+    def test_supervise_retries_an_injected_fault(self, tmp_path):
+        import json
+
+        code, output = run_cli(
+            "supervise", "tc:6", "--faults", self.FAULT,
+            "--retry", "2", "--backoff", "0", "--json",
+        )
+        assert code == 0
+        history = json.loads(output)
+        assert history["outcome"] == "ok"
+        assert [a["decision"] for a in history["attempts"]] == ["retry", None]
+
+    def test_supervise_text_output_names_each_attempt(self):
+        code, output = run_cli(
+            "supervise", "tc:6", "--faults", self.FAULT,
+            "--retry", "2", "--backoff", "0", "--verify",
+        )
+        assert code == 0
+        assert "ok after 2 attempt(s)" in output
+        assert "attempt 1" in output and "FaultInjectedError" in output
+        assert "verify: identical to ungoverned run" in output
+
+    def test_supervise_exhaustion_exits_one(self):
+        code, output = run_cli(
+            "supervise", "tc:6", "--faults", self.FAULT, "--retry", "0",
+        )
+        assert code == 1
+        assert "terminal error" in output
+
+    def test_supervise_bad_faults_payload_exits_two(self):
+        code, output = run_cli("supervise", "tc:4", "--faults", "not json")
+        assert code == 2
+        assert "invalid --faults" in output
+
+    def test_supervise_negative_retry_exits_two(self):
+        code, output = run_cli("supervise", "tc:4", "--retry", "-3")
+        assert code == 2
+
+    def test_supervise_bad_engine_exits_two(self):
+        code, output = run_cli("supervise", "tc:4", "--engine", "warp")
+        assert code == 2
+
+    def test_breaker_quarantine_survives_processes_via_ledger(self, tmp_path):
+        """Two failing supervised runs against the same ledger trip the
+        breaker; the third (clean) submission is refused typed."""
+        led = str(tmp_path / "led")
+        poison = (
+            '{"seed": 0, "rules": ['
+            '{"op": "*", "kind": "raise", "occurrence": 1}]}'
+        )
+        for _ in range(2):
+            code, _output = run_cli(
+                "supervise", "tc:4", "--faults", poison, "--retry", "0",
+                "--breaker-threshold", "2", "--ledger", led,
+            )
+            assert code == 1
+        code, output = run_cli(
+            "supervise", "tc:4", "--breaker-threshold", "2", "--ledger", led,
+        )
+        assert code == 1
+        assert "quarantined" in output
+
+    def test_recover_missing_ledger_exits_three(self, tmp_path):
+        code, _output = run_cli(
+            "recover", "--ledger", str(tmp_path / "nope")
+        )
+        assert code == 3
+
+    def test_recover_resumes_a_crashed_run(self, tmp_path):
+        """A ``run_start`` with a live checkpoint and no closing record —
+        the crashed-process shape — is resumed to completion."""
+        import pytest as _pytest
+
+        from repro.core.errors import BudgetExceededError
+        from repro.obs.ledger import RunLedger, new_run_id
+        from repro.runtime import Limits, run_hardened
+        from repro.runtime.workloads import transitive_closure_workload
+
+        program, db = transitive_closure_workload(10)
+        led = tmp_path / "led"
+        checkpoint = tmp_path / "crash.json"
+        with _pytest.raises(BudgetExceededError):
+            run_hardened(
+                program, db, limits=Limits(deadline_s=0.05),
+                checkpoint_path=checkpoint,
+            )
+        run_id = new_run_id()
+        RunLedger(led).record_start(
+            {
+                "run_id": run_id, "ts": 1.0, "workload": "tc:10",
+                "spec": "tc:10", "engine": "naive", "fingerprint": "f" * 16,
+                "checkpoint": str(checkpoint), "limits": None,
+            }
+        )
+        code, output = run_cli(
+            "recover", "--ledger", str(led), "--retry", "300", "--verify"
+        )
+        assert code == 0
+        assert "1 resumed" in output
+        assert run_id in output
+        code, output = run_cli("recover", "--ledger", str(led))
+        assert code == 0
+        assert "0 open run(s)" in output
+
+    def test_chaos_supervisor_matrix_is_green(self):
+        import json
+
+        code, output = run_cli("chaos", "--supervisor", "--json")
+        assert code == 0
+        report = json.loads(output)
+        assert report["ok"] is True
+        decisions = {p["cell"]: p["observed"] for p in report["points"]}
+        assert decisions["poison/breaker/naive"] == "quarantined"
