@@ -46,7 +46,21 @@ Commands:
   actual rows, and report per-op p50/p95/max q-error plus workload
   fingerprint aggregates; exit 1 unless every dispatched op kind was
   scored (docs/OBSERVABILITY.md);
-* ``metrics [--prom] [--estimates] [--stats PATH] [--supervisor]`` —
+* ``optimize [workload|example] [--analyze] [--stats PATH]
+  [--rules a,b,c] [--explain] [--verify] [--no-cache] [--json]`` — the
+  cost-based plan optimizer (docs/OPTIMIZER.md): print the program
+  before and after rewriting, every applied rule with its algebraic
+  justification, and the join-ordering decisions (chosen order, cost
+  model verdict, estimated rows); ``--analyze`` runs ANALYZE on the
+  workload's database in-process so the join reorder is estimate-driven,
+  ``--stats PATH`` installs a persisted snapshot instead, ``--rules``
+  restricts the rewrite set to a comma-separated subset, ``--explain``
+  executes the optimized plan under the tracer and prints its EXPLAIN
+  (CHAINJOIN spans carry the chosen order and est rows), ``--verify``
+  checks the optimized program's final database is byte-identical to
+  the original's (exit 1 otherwise);
+* ``metrics [--prom] [--estimates] [--stats PATH] [--supervisor]
+  [--optimizer]`` —
   the same aggregated metrics as a JSON snapshot or (``--prom``) in the
   Prometheus text exposition format (per-op counters and wall-time
   histograms, ready to scrape); ``--estimates`` reruns the corpus under
@@ -56,7 +70,10 @@ Commands:
   snapshot; ``--supervisor`` runs a small deterministic supervised demo
   (a retried fault, a breaker-tripping poison workload, a quarantined
   submission) and adds the ``repro_retry_*`` / ``repro_breaker_*`` /
-  ``repro_recovery_*`` fault-tolerance families;
+  ``repro_recovery_*`` fault-tolerance families; ``--optimizer`` runs a
+  small deterministic plan-optimizer demo (cold plan, warm cache hit,
+  stats-free plan) and adds the ``repro_optimizer_*`` plan-cache /
+  rewrite / ordering counters;
 * ``prom-lint [FILE]`` — validate a Prometheus text payload (stdin when
   no file): name grammars, TYPE declarations, histogram cumulativity;
   exit 1 on format problems;
@@ -75,7 +92,8 @@ Commands:
 * ``run [workload] [--engine naive|vector] [--deadline MS] [--max-rows N]
   [--max-rows-per-op N] [--max-cells-per-op N] [--max-while N]
   [--checkpoint PATH] [--resume] [--retry N] [--verify] [--json]
-  [--progress] [--events PATH] [--flight-dir DIR] [--stats PATH]`` —
+  [--progress] [--events PATH] [--flight-dir DIR] [--stats PATH]
+  [--optimize]`` —
   run a workload
   (``tc:N`` for the synthetic transitive-closure fixpoint, or any
   bundled TA example) under the resource governor with
@@ -90,7 +108,11 @@ Commands:
   snapshot behind any live cardinality estimates) into DIR
   (docs/OBSERVABILITY.md); ``--stats PATH`` installs a persisted
   ANALYZE snapshot so the run is scored by the cardinality estimator
-  (``op_estimate`` events carry est/actual rows and q-error); with
+  (``op_estimate`` events carry est/actual rows and q-error);
+  ``--optimize`` rewrites the program through the cost-based plan
+  optimizer first (stats-driven join reorder when ``--stats`` is also
+  given; the ledger manifest and checkpoints fingerprint the optimized
+  plan); with
   ``--retry N`` the run routes through the fault-tolerant supervisor
   (error classification, checkpoint resume, deterministic backoff,
   vector→naive degradation, circuit-breaker admission) — ``--retry``
@@ -634,6 +656,7 @@ def _run(rest: list[str]) -> int:
     verify = "--verify" in rest
     json_out = "--json" in rest
     progress = "--progress" in rest
+    optimize = "--optimize" in rest
 
     names = [a for a in rest if not a.startswith("-") and a not in flag_values]
     spec = names[0] if names else "tc"
@@ -691,6 +714,24 @@ def _run(rest: list[str]) -> int:
         except StatsError as err:
             print(f"error: {err}")
             return 2
+
+    optimizer_manifest = None
+    if optimize:
+        # The optimized program replaces the original for every path
+        # below — hardened driver, supervisor, verify, and the ledger
+        # manifest all see (and fingerprint) the optimized plan.  The
+        # manifest also records the rules and the stats snapshot the
+        # plan was chosen from, so `repro replay` can re-derive the
+        # identical plan instead of diverging on the fingerprint.
+        from .engine.optimizer import optimize_program
+
+        optimized = optimize_program(program, stats)
+        program = optimized.program
+        optimizer_manifest = {
+            "rules": list(optimized.rules),
+            "applied": [rewrite.rule for rewrite in optimized.applied],
+            "stats": None if stats is None else stats.to_json(),
+        }
 
     limits_info = {
         "deadline_ms": deadline_ms,
@@ -769,6 +810,7 @@ def _run(rest: list[str]) -> int:
                     engine=engine,
                     verify=verify,
                     recorder=run_recorder,
+                    optimizer=optimizer_manifest,
                 )
             except QuarantinedError as err:
                 print(f"quarantined: {err}")
@@ -864,6 +906,7 @@ def _run(rest: list[str]) -> int:
                         workload=label, program=program, engine=engine,
                         error=err, limits=limits_info, attempts=attempts,
                         kills=kills, stats=stats, replay_spec=label,
+                        optimizer=optimizer_manifest,
                     )
                     if not json_out:
                         print(
@@ -886,6 +929,7 @@ def _run(rest: list[str]) -> int:
             workload=label, program=program, engine=engine,
             result_db=result, limits=limits_info, attempts=attempts,
             kills=kills, stats=stats, replay_spec=label,
+            optimizer=optimizer_manifest,
         )
     identical = None
     if verify:
@@ -1450,9 +1494,178 @@ def _stats_audit(rest: list[str]) -> int:
             )
         else:
             print(f"coverage: INCOMPLETE — never scored: {coverage['missing']}")
+        optimizer = report["optimizer"]
+        print(
+            f"optimizer pass: {optimizer['cases']} case(s) rescored "
+            f"post-rewrite ({optimizer['rewrites']} rewrite(s)), "
+            f"{optimizer['estimates']} estimate(s): p50 {optimizer['p50']}, "
+            f"p95 {optimizer['p95']}, max {optimizer['max']}"
+        )
+        if optimizer["regressed"]:
+            print(
+                f"optimizer REGRESSION: post-rewrite p95 {optimizer['p95']} "
+                f"> baseline {optimizer['baseline_p95']} x "
+                f"{optimizer['tolerance']}"
+            )
         if out_path is not None:
             print(f"report written to {out_path}")
+    if report["optimizer"]["regressed"]:
+        return 1
     return 0 if report["coverage"]["complete"] else 1
+
+
+def _optimize_target(rest: list[str], flag_values: set) -> tuple | None:
+    """Resolve the optimize command's target to ``(label, program, db)``."""
+    from .core.errors import ReproError
+    from .runtime.workloads import parse_workload
+
+    names = [a for a in rest if not a.startswith("-") and a not in flag_values]
+    spec = names[0] if names else "chain"
+    try:
+        workload = parse_workload(spec)
+    except ReproError as err:
+        print(f"error: {err}")
+        return None
+    if workload is not None:
+        return workload
+    name = _resolve_or_fail(spec)
+    if name is None:
+        return None
+    from .obs.examples import EXAMPLES
+
+    example = EXAMPLES[name]
+    if example.setup is None:
+        print(
+            f"error: example {name!r} is not a TA program over a tabular "
+            "database; it cannot be optimized"
+        )
+        return None
+    db, bound_run = example.setup()
+    program = getattr(bound_run, "__self__", None)
+    if program is None or not hasattr(program, "statements"):
+        print(f"error: example {name!r} does not expose a TA program")
+        return None
+    return name, program, db
+
+
+def _optimize(rest: list[str]) -> int:
+    import json
+
+    from .core.errors import StatsError
+    from .engine.optimizer import PLAN_CACHE, RULE_ORDER, RULES, optimize_program
+
+    json_out = "--json" in rest
+    analyze = "--analyze" in rest
+    explain = "--explain" in rest
+    verify = "--verify" in rest
+    no_cache = "--no-cache" in rest
+    stats_path = _flag_value(rest, "--stats")
+    rules_text = _flag_value(rest, "--rules")
+    flag_values = {v for v in (stats_path, rules_text) if v is not None}
+    target = _optimize_target(rest, flag_values)
+    if target is None:
+        return 2
+    label, program, db = target
+
+    rules = None
+    if rules_text is not None:
+        rules = [r.strip() for r in rules_text.split(",") if r.strip()]
+        unknown = sorted(set(rules) - set(RULES))
+        if unknown:
+            print(
+                f"error: unknown rule(s) {', '.join(unknown)}; "
+                f"known: {', '.join(RULE_ORDER)}"
+            )
+            return 2
+    stats = None
+    if stats_path is not None:
+        from .obs.stats import load_stats
+
+        try:
+            stats = load_stats(stats_path)
+        except StatsError as err:
+            print(f"error: {err}")
+            return 2
+    elif analyze:
+        from .obs.stats import analyze_database
+
+        stats = analyze_database(db)
+
+    result = optimize_program(
+        program, stats, rules=rules, cache=None if no_cache else PLAN_CACHE
+    )
+
+    identical = None
+    if verify:
+        identical = program.run(db) == result.program.run(db)
+
+    explain_text = None
+    if explain:
+        from .obs import observation
+        from .obs.estimator import estimation
+
+        with observation() as obs:
+            if stats is not None:
+                with estimation(stats):
+                    result.program.run(db)
+            else:
+                result.program.run(db)
+        explain_text = obs.explain()
+
+    if json_out:
+        data = result.to_json()
+        data["workload"] = label
+        data["stats"] = "analyze" if analyze else (stats_path or None)
+        if identical is not None:
+            data["identical"] = identical
+        print(json.dumps(data, indent=2))
+        return 0 if identical in (None, True) else 1
+
+    stats_note = (
+        f"stats {result.stats_fingerprint}" if stats is not None else "no stats"
+    )
+    print(f"plan for {label}  (fingerprint {result.fingerprint}, {stats_note})")
+    if result.cache_hit:
+        print("plan cache: hit (planning skipped)")
+    print()
+    print("before:")
+    for i, statement in enumerate(result.source.statements, start=1):
+        print(f"  {i:>2}. {statement!r}")
+    print("after:")
+    for i, statement in enumerate(result.program.statements, start=1):
+        print(f"  {i:>2}. {statement!r}")
+    print()
+    if result.applied:
+        print(f"applied rewrites ({len(result.applied)}):")
+        for rewrite in result.applied:
+            print(f"  - {rewrite.rule}: {rewrite.detail}")
+            print(f"      justified by: {rewrite.justification}")
+    else:
+        print("applied rewrites: none (program already normal)")
+    if result.decisions:
+        print("ordering decisions:")
+        for decision in result.decisions:
+            order = ", ".join(decision.leaves[i] for i in decision.order)
+            extra = (
+                f"  est_rows={decision.est_rows}"
+                if decision.est_rows is not None
+                else ""
+            )
+            print(
+                f"  - {decision.target}: {decision.outcome} "
+                f"[{order}] — {decision.reason}{extra}"
+            )
+    if explain_text is not None:
+        print()
+        print(explain_text)
+    if identical is not None:
+        print()
+        print(
+            "verify: optimized plan produced the identical database"
+            if identical
+            else "verify: MISMATCH between original and optimized plan"
+        )
+    return 0 if identical in (None, True) else 1
 
 
 def _metrics(rest: list[str]) -> int:
@@ -1534,11 +1747,29 @@ def _metrics(rest: list[str]) -> int:
             supervisor.submit(program, db, workload="tc:6")
         except QuarantinedError:
             pass
+    optimizer = None
+    if "--optimizer" in rest:
+        # A small deterministic optimizer demo so the plan-optimizer
+        # families export non-zero: one cold plan (miss + rewrites +
+        # a stats-driven reorder), one warm repeat (hit), and one
+        # stats-free plan (a stats-missing ordering outcome).
+        from .engine.optimizer import OPTIMIZER_STATS, PlanCache, optimize_program
+        from .obs.stats import analyze_database
+        from .runtime.workloads import chain_join_workload
+
+        OPTIMIZER_STATS.reset()
+        program, db = chain_join_workload(4)
+        chain_stats = analyze_database(db)
+        cache = PlanCache()
+        optimize_program(program, chain_stats, cache=cache)
+        optimize_program(program, chain_stats, cache=cache)
+        optimize_program(program, None, cache=cache)
+        optimizer = OPTIMIZER_STATS
     if "--prom" in rest:
         sys.stdout.write(
             prometheus_text(
                 obs.metrics, accuracy=accuracy, stats=stats, bus=bus,
-                supervisor=supervisor,
+                supervisor=supervisor, optimizer=optimizer,
             )
         )
         return 0
@@ -1548,6 +1779,8 @@ def _metrics(rest: list[str]) -> int:
         "callback_errors": bus.callback_errors,
         **bus.ring_totals(),
     }
+    if optimizer is not None:
+        snapshot["optimizer"] = optimizer.snapshot()
     print(json.dumps(snapshot, indent=2))
     return 0
 
@@ -1886,6 +2119,7 @@ COMMANDS: dict = {
     "stats": (_stats, "aggregated per-operation metrics over every example"),
     "analyze": (_analyze, "per-table/column statistics; persist an ANALYZE snapshot"),
     "stats-audit": (_stats_audit, "score every cardinality estimate (q-error audit)"),
+    "optimize": (_optimize, "cost-based plan optimizer: dump before/after plans"),
     "metrics": (_metrics, "metrics snapshot as JSON or Prometheus text"),
     "prom-lint": (_prom_lint, "validate a Prometheus text payload"),
     "engine-report": (_engine_report, "vector-engine kernel/fallback attribution"),

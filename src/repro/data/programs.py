@@ -33,6 +33,7 @@ __all__ = [
     "NAMES",
     "MAX_WHILE_ITERATIONS",
     "random_case",
+    "random_rewrite_case",
 ]
 
 #: While-loop budget every corpus consumer shares (generated loops are
@@ -287,5 +288,138 @@ def random_case(
                 _gen_statement(
                     rng, sizes, allow_wildcards=allow_wildcards, safe_only=False
                 )
+            )
+    return Program(statements), db
+
+
+# ----------------------------------------------------------------------
+# The rewrite-targeting family
+# ----------------------------------------------------------------------
+#
+# ``random_case`` hits the planner's PRODUCT+SELECT fusion often but the
+# other optimizer rewrites only by accident.  This family generates
+# programs *shaped like* each rule's redex — deep product chains,
+# σ-after-RENAME/PROJECT, dead projections, duplicate subexpressions,
+# σ-over-∪ — over the same adversarial databases, so the differential
+# harness can prove every rewrite sound on inputs with ⊥, repeated
+# attributes, and names-in-data.
+
+
+def _motif_chain(rng: random.Random, bases: list[str]) -> list[Statement]:
+    """A ≥3-way PRODUCT chain with trailing selects: join-reorder's redex."""
+    k = rng.randrange(3, 5)
+    if len(bases) >= k:
+        leaves = rng.sample(bases, k=k)
+    else:  # adversarial dbs reuse names; repeats keep the chain deep
+        leaves = [rng.choice(bases) for _ in range(k)]
+    target = rng.choice([n for n in NAMES if n not in bases] or ["T"])
+    statements = [Assignment(target, "PRODUCT", [leaves[0], leaves[1]])]
+    for leaf in leaves[2:]:
+        statements.append(Assignment(target, "PRODUCT", [target, leaf]))
+    for _ in range(rng.randrange(1, 3)):
+        statements.append(
+            Assignment(
+                target,
+                "SELECT",
+                [target],
+                {"left": _attr(rng), "right": _attr(rng)},
+            )
+        )
+    return statements
+
+
+def _motif_renamed_self_join(rng: random.Random, bases: list[str]) -> list[Statement]:
+    """RENAME a copy, product it against the original, then select —
+    σ can push through the RENAME when its attrs are untouched."""
+    base = rng.choice(bases)
+    alias = rng.choice([n for n in NAMES if n not in bases] or ["U"])
+    old, new = rng.sample(ATTRS, 2)
+    select_attr = rng.choice([a for a in ATTRS if a not in (old, new)])
+    target = rng.choice([n for n in NAMES if n not in (*bases, alias)] or ["T"])
+    return [
+        Assignment(alias, "RENAME", [base], {"old": old, "new": new}),
+        Assignment(alias, "SELECT", [alias], {"left": select_attr, "right": select_attr}),
+        Assignment(target, "PRODUCT", [base, alias]),
+        Assignment(
+            target, "SELECT", [target], {"left": select_attr, "right": _attr(rng)}
+        ),
+    ]
+
+
+def _motif_dead_projection(rng: random.Random, bases: list[str]) -> list[Statement]:
+    """A projection whose target is overwritten before any read, plus a
+    π∘π pair: prune-dead-project's two redexes."""
+    base = rng.choice(bases)
+    target = rng.choice([n for n in NAMES if n not in bases] or ["T"])
+    wide = [a for a in ATTRS if rng.random() < 0.8] or list(ATTRS[:2])
+    narrow = [a for a in wide if rng.random() < 0.5]
+    return [
+        Assignment(target, "PROJECT", [base], {"attrs": _attr_set(rng)}),
+        Assignment(target, "PROJECT", [base], {"attrs": wide}),
+        Assignment(target, "PROJECT", [target], {"attrs": narrow}),
+    ]
+
+
+def _motif_duplicate(rng: random.Random, bases: list[str]) -> list[Statement]:
+    """The same pure computation bound to two names: CSE's redex."""
+    base = rng.choice(bases)
+    op = rng.choice(("SELECT", "PROJECT", "DEDUP", "RENAME"))
+    params = _gen_params(rng, op, None)
+    spare = [n for n in NAMES if n not in bases] or ["T", "U"]
+    first = spare[0]
+    second = spare[1] if len(spare) > 1 else rng.choice(bases)
+    return [
+        Assignment(first, op, [base], dict(params)),
+        Assignment(second, op, [base], dict(params)),
+    ]
+
+
+def _motif_select_union(rng: random.Random, bases: list[str]) -> list[Statement]:
+    """σ over ∪: select-pushdown-union's redex."""
+    left, right = rng.sample(bases, 2) if len(bases) >= 2 else (bases[0], bases[0])
+    target = rng.choice([n for n in NAMES if n not in bases] or ["T"])
+    return [
+        Assignment(target, "UNION", [left, right]),
+        Assignment(
+            target, "SELECT", [target], {"left": _attr(rng), "right": _attr(rng)}
+        ),
+    ]
+
+
+_REWRITE_MOTIFS = (
+    _motif_chain,
+    _motif_renamed_self_join,
+    _motif_dead_projection,
+    _motif_duplicate,
+    _motif_select_union,
+)
+
+
+def random_rewrite_case(seed: int) -> tuple[Program, TabularDatabase]:
+    """A seeded (program, database) case shaped to trigger rewrites.
+
+    Every seed draws 2–4 motifs from the redex catalogue (each motif
+    maps onto one optimizer rule) plus a little safe-op noise between
+    them, over an adversarial :func:`random_database`.  Sizes stay small
+    enough (base tables ≤ 4 rows, chains ≤ 4-way) that the worst-case
+    product is a few hundred rows — no governor needed.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    n_tables = rng.randrange(3, 5)
+    db = random_database(
+        n_tables=n_tables,
+        height=rng.randrange(2, 5),
+        width=rng.randrange(1, 3),
+        seed=rng.randrange(10**9),
+    )
+    bases = sorted({str(t.name) for t in db.tables})
+    sizes = _Sizes(db)
+    statements: list[Statement] = []
+    for _ in range(rng.randrange(2, 5)):
+        motif = rng.choice(_REWRITE_MOTIFS)
+        statements.extend(motif(rng, bases))
+        if rng.random() < 0.4:
+            statements.extend(
+                _gen_statement(rng, sizes, allow_wildcards=False, safe_only=True)
             )
     return Program(statements), db

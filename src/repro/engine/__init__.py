@@ -31,6 +31,15 @@ __all__ = [
     "run_program",
     "fallback_report",
     "report_text",
+    "optimize_program",
+    "OptimizationResult",
+    "PlanCache",
+    "PLAN_CACHE",
+    "OPTIMIZER_STATS",
+    "RULES",
+    "RULE_ORDER",
+    "ChainJoin",
+    "SelectUnion",
 ]
 
 _LAZY = {
@@ -40,6 +49,15 @@ _LAZY = {
     "count_fusions": ("repro.engine.planner", "count_fusions"),
     "fallback_report": ("repro.engine.report", "fallback_report"),
     "report_text": ("repro.engine.report", "report_text"),
+    "optimize_program": ("repro.engine.optimizer", "optimize_program"),
+    "OptimizationResult": ("repro.engine.optimizer", "OptimizationResult"),
+    "PlanCache": ("repro.engine.optimizer", "PlanCache"),
+    "PLAN_CACHE": ("repro.engine.optimizer", "PLAN_CACHE"),
+    "OPTIMIZER_STATS": ("repro.engine.optimizer", "OPTIMIZER_STATS"),
+    "RULES": ("repro.engine.optimizer", "RULES"),
+    "RULE_ORDER": ("repro.engine.optimizer", "RULE_ORDER"),
+    "ChainJoin": ("repro.engine.optimizer", "ChainJoin"),
+    "SelectUnion": ("repro.engine.optimizer", "SelectUnion"),
 }
 
 

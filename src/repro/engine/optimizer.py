@@ -1,0 +1,1304 @@
+"""Cost-based plan optimizer driven by ANALYZE statistics (docs/OPTIMIZER.md).
+
+The planner (:mod:`repro.engine.planner`) performs one syntactic rewrite
+— product/select fusion.  This module is the *decision-making* layer on
+top of it: a catalogue of named, individually toggleable
+:class:`RewriteRule` passes, each justified by an algebraic identity of
+the tabular algebra, plus cost-based join ordering of PRODUCT chains
+driven by :class:`~repro.obs.stats.DatabaseStats` from ANALYZE.
+
+Soundness contract (enforced by the differential harness and the
+hypothesis property tests): an optimized program must produce the
+**byte-identical** final database of the original on success — same
+table grids, same column order, same row order within each table, same
+row attributes — and raise the same error type on failure.  Resource
+*profiles* (op counts, intermediate sizes, which statement a governor
+budget trips on) are exactly what optimization changes and are not part
+of the contract.
+
+Rule catalogue (applied in this order; each entry names the identity
+that justifies it — the full derivations live in docs/OPTIMIZER.md):
+
+``select-pushdown``
+    σ_{a≈b}(ρ_{n←o}(R)) = ρ_{n←o}(σ_{a≈b}(R)) when {a,b} ∩ {o,n} = ∅,
+    and σ_{a≈b}(π_A(R)) = π_A(σ_{a≈b}(R)) when a, b ∈ A.  Bubbles
+    selections left over renames/projections so they filter earlier and
+    expose PRODUCT+SELECT adjacency to fusion and join ordering.
+
+``prune-dead-project``
+    Dead-store elimination for projections (a PROJECT whose target is
+    overwritten before any read computes nothing observable — PROJECT
+    never raises, so removing it preserves error behaviour too) and
+    π_{A₂}(π_{A₁}(R)) = π_{A₁∩A₂}(R) (adjacent projection collapse —
+    the columns in A₁ \\ A₂ are dead).
+
+``cse``
+    Within a straight-line region, a repeated pure assignment with
+    identical operation, arguments, and parameters recomputes a value
+    already on hand; the duplicate is replaced by an identity copy
+    ``Y ← RENAME ⊥ ⊥ (X)`` (renaming an attribute to itself is the
+    identity on any table), valid while neither the arguments nor the
+    source target were overwritten in between.
+
+``fuse-product-select``
+    σ_{a≈b}(R × S) as one PRODUCTSELECT — the planner's fusion,
+    re-expressed as a toggleable rule with a recorded justification.
+
+``join-reorder``
+    × is associative/commutative up to column order and σ-filters
+    commute, so a PRODUCT/PRODUCTSELECT chain into one target may be
+    *evaluated* in any leaf order as long as the result is assembled in
+    syntactic order.  :class:`ChainJoin` does exactly that: hash-joins
+    the leaves in a cost-chosen order over row-index tuples, then sorts
+    the matches lexicographically (= the nested-loop order) and emits
+    rows with columns and the row-attribute fold in syntactic order.
+    Ordering is chosen by dynamic programming over the C_out cost
+    (sum of estimated intermediate cardinalities) for chains of ≤ 8
+    leaves and greedily beyond, with selectivities from ANALYZE NDVs;
+    missing stats keep the syntactic order, and stale stats (shape
+    mismatch at run time, the estimator's staleness guard) fall back
+    per combination.
+
+``select-pushdown-union``
+    σ_{a≈b}(R ∪ S) = σ_{a≈b}(R) ∪ σ_{a≈b}(S) — exactly, including row
+    order, because tabular union pads with ⊥ and weak equality strips ⊥
+    from both entry sets before comparing.  Fused as
+    :class:`SelectUnion` so the selection runs on the inputs.
+
+Plans are cached under ``(program fingerprint, stats fingerprint,
+enabled rules)`` — the normalized program fingerprint from
+:mod:`repro.obs.workload` plus the stats *content* fingerprint, so a
+re-ANALYZE invalidates every cached plan it could change.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Sequence
+
+from ..algebra.opshelpers import combine_row_attributes
+from ..algebra.programs.params import (
+    NOTHING,
+    Binding,
+    Lit,
+    Nothing,
+    Parameter,
+    ParamSet,
+    Star,
+)
+from ..algebra.programs.registry import OPERATIONS, OpSpec
+from ..algebra.programs.statements import Assignment, Program, Statement, While
+from ..core import EvaluationError, Symbol, Table, TabularDatabase, weakly_equal
+from ..obs import events as _ev
+from ..obs import runtime as _obs
+from ..obs.stats import DatabaseStats
+from ..obs.trace import NULL_SPAN
+from ..runtime import governor as _gv
+from .planner import _fusable, _fuse
+
+__all__ = [
+    "RULE_ORDER",
+    "RULES",
+    "Rewrite",
+    "RewriteRule",
+    "OrderDecision",
+    "OptimizationResult",
+    "PlanCache",
+    "PLAN_CACHE",
+    "OptimizerStats",
+    "OPTIMIZER_STATS",
+    "ChainJoin",
+    "SelectUnion",
+    "optimize_program",
+]
+
+#: Chains longer than this use greedy ordering instead of subset DP.
+DP_LEAF_LIMIT = 8
+
+#: Pseudo-op name the chain join dispatches under (events, governor,
+#: estimator, metrics — the same surfaces a registry op gets).
+CHAINJOIN_OP = "CHAINJOIN"
+
+
+# ----------------------------------------------------------------------
+# Records: applied rewrites, ordering decisions, the optimize result
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rewrite:
+    """One applied rewrite: which rule, where, and why it is sound."""
+
+    rule: str
+    detail: str
+    justification: str
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "detail": self.detail,
+            "justification": self.justification,
+        }
+
+
+@dataclass(frozen=True)
+class OrderDecision:
+    """One join-ordering decision over a PRODUCT chain."""
+
+    target: str
+    leaves: tuple[str, ...]
+    #: Chosen evaluation order as indices into ``leaves``.
+    order: tuple[int, ...]
+    #: ``reordered`` | ``syntactic`` | ``stats-missing``.
+    outcome: str
+    reason: str
+    est_rows: int | None = None
+    cost_syntactic: float | None = None
+    cost_chosen: float | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "target": self.target,
+            "leaves": list(self.leaves),
+            "order": list(self.order),
+            "order_names": [self.leaves[i] for i in self.order],
+            "outcome": self.outcome,
+            "reason": self.reason,
+            "est_rows": self.est_rows,
+            "cost_syntactic": self.cost_syntactic,
+            "cost_chosen": self.cost_chosen,
+        }
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """What :func:`optimize_program` decided, and the plan it produced."""
+
+    program: Program
+    source: Program
+    applied: tuple[Rewrite, ...]
+    decisions: tuple[OrderDecision, ...]
+    fingerprint: str
+    stats_fingerprint: str
+    rules: tuple[str, ...]
+    cache_hit: bool = False
+
+    def to_json(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "stats_fingerprint": self.stats_fingerprint,
+            "rules": list(self.rules),
+            "cache_hit": self.cache_hit,
+            "before": [repr(s) for s in self.source.statements],
+            "after": [repr(s) for s in self.program.statements],
+            "applied": [r.to_json() for r in self.applied],
+            "decisions": [d.to_json() for d in self.decisions],
+        }
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """A named, toggleable rewrite pass over one statement list."""
+
+    name: str
+    justification: str
+    apply: Callable[[list[Statement], "_Context"], list[Statement]]
+
+
+@dataclass
+class _Context:
+    """Mutable state threaded through the rule passes of one optimize."""
+
+    stats: DatabaseStats | None
+    applied: list[Rewrite] = field(default_factory=list)
+    decisions: list[OrderDecision] = field(default_factory=list)
+
+    def record(self, rule: str, detail: str) -> None:
+        self.applied.append(Rewrite(rule, detail, RULES[rule].justification))
+
+
+# ----------------------------------------------------------------------
+# Static-shape helpers shared by the rules
+# ----------------------------------------------------------------------
+
+
+def _lit(param: object) -> Symbol | None:
+    """The symbol of a literal parameter, else None."""
+    return param.symbol if isinstance(param, Lit) else None
+
+
+def _lit_set(param: object) -> frozenset[Symbol] | None:
+    """The symbol set of a wildcard-free set parameter, else None."""
+    if isinstance(param, Lit):
+        return frozenset([param.symbol])
+    if isinstance(param, Nothing):
+        return frozenset()
+    if isinstance(param, ParamSet):
+        items = param.positive + param.negative
+        if all(isinstance(p, Lit) for p in items):
+            return param.evaluate(Binding(), None)
+    return None
+
+
+def _static_params(statement: Assignment) -> bool:
+    """True when no parameter depends on wildcards or table contents."""
+    for param in statement.params.values():
+        if isinstance(param, Lit) or isinstance(param, Nothing):
+            continue
+        if _lit_set(param) is None:
+            return False
+    return True
+
+
+def _statement_writes(statement: Statement) -> frozenset[Symbol] | None:
+    """Names a statement definitely assigns; None = unknown (be safe)."""
+    if isinstance(statement, (SelectUnion, ChainJoin)):
+        return frozenset([statement.target_symbol()])
+    if isinstance(statement, Assignment):
+        if isinstance(statement.target, Lit):
+            return frozenset([statement.target.symbol])
+        return None
+    return None
+
+
+def _statement_reads(statement: Statement) -> frozenset[Symbol] | None:
+    """Names a statement reads tables from; None = unknown (be safe)."""
+    if isinstance(statement, (SelectUnion, ChainJoin)):
+        return statement.read_symbols()
+    if isinstance(statement, Assignment):
+        names: set[Symbol] = set()
+        for arg in statement.args:
+            if isinstance(arg, Lit):
+                names.add(arg.symbol)
+            else:
+                return None
+        return frozenset(names)
+    return None
+
+
+# ----------------------------------------------------------------------
+# select-pushdown: σ through RENAME and PROJECT
+# ----------------------------------------------------------------------
+
+
+def _pushdown_swap(
+    first: Statement, second: Statement
+) -> tuple[Assignment, Assignment, str] | None:
+    if not (isinstance(first, Assignment) and isinstance(second, Assignment)):
+        return None
+    if second.spec.name != "SELECT" or first.spec.name not in ("RENAME", "PROJECT"):
+        return None
+    if not (isinstance(first.target, Lit) and isinstance(second.target, Lit)):
+        return None
+    target = first.target.symbol
+    if second.target.symbol != target:
+        return None
+    if len(second.args) != 1 or _lit(second.args[0]) != target:
+        return None
+    left = _lit(second.params.get("left"))
+    right = _lit(second.params.get("right"))
+    if left is None or right is None:
+        return None
+    if first.spec.name == "RENAME":
+        old = _lit(first.params.get("old"))
+        new = _lit(first.params.get("new"))
+        if old is None or new is None:
+            return None
+        # The selection must not mention the renamed attribute on either
+        # side — then σ reads the same columns before and after ρ.
+        if {left, right} & {old, new}:
+            return None
+        detail = f"σ {left}≈{right} pushed below RENAME {old}→{new} into {target}"
+    else:
+        attrs = _lit_set(first.params.get("attrs"))
+        if attrs is None or left not in attrs or right not in attrs:
+            return None
+        detail = f"σ {left}≈{right} pushed below PROJECT into {target}"
+    swapped_select = Assignment(first.target, "SELECT", first.args, second.params)
+    swapped_first = Assignment(
+        first.target, first.spec.name, [first.target], first.params
+    )
+    return swapped_select, swapped_first, detail
+
+
+def _apply_select_pushdown(
+    statements: list[Statement], ctx: _Context
+) -> list[Statement]:
+    out = list(statements)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(out) - 1):
+            swap = _pushdown_swap(out[i], out[i + 1])
+            if swap is not None:
+                out[i], out[i + 1] = swap[0], swap[1]
+                ctx.record("select-pushdown", swap[2])
+                changed = True
+    return out
+
+
+# ----------------------------------------------------------------------
+# prune-dead-project: dead stores and adjacent projection collapse
+# ----------------------------------------------------------------------
+
+
+def _prunable_project(statement: Statement) -> bool:
+    return (
+        isinstance(statement, Assignment)
+        and statement.spec.name == "PROJECT"
+        and isinstance(statement.target, Lit)
+        and _lit_set(statement.params.get("attrs")) is not None
+        and all(isinstance(a, (Lit, Star)) for a in statement.args)
+    )
+
+
+def _dead_store(statements: Sequence[Statement], i: int) -> bool:
+    """True when statement ``i``'s target is overwritten before any read."""
+    target = statements[i].target.symbol
+    for j in range(i + 1, len(statements)):
+        nxt = statements[j]
+        if isinstance(nxt, While):
+            # The loop condition or body may read the target.
+            return False
+        reads = _statement_reads(nxt)
+        if reads is None or target in reads:
+            return False
+        if isinstance(nxt, Assignment) and isinstance(nxt.target, Lit):
+            if nxt.target.symbol == target:
+                return True
+    return False
+
+
+def _collapse_projects(
+    first: Statement, second: Statement
+) -> tuple[Assignment, str] | None:
+    if not (_prunable_project(first) and _prunable_project(second)):
+        return None
+    target = first.target.symbol
+    if second.target.symbol != target:
+        return None
+    if len(second.args) != 1 or _lit(second.args[0]) != target:
+        return None
+    attrs1 = _lit_set(first.params["attrs"])
+    attrs2 = _lit_set(second.params["attrs"])
+    kept = attrs1 & attrs2
+    dead = sorted(str(a) for a in attrs1 - kept)
+    param = (
+        ParamSet([Lit(s) for s in sorted(kept, key=lambda s: s.sort_key())])
+        if kept
+        else NOTHING
+    )
+    fused = Assignment(first.target, "PROJECT", first.args, {"attrs": param})
+    detail = f"π∘π over {target} collapsed; dead columns [{', '.join(dead)}]"
+    return fused, detail
+
+
+def _apply_prune_dead_project(
+    statements: list[Statement], ctx: _Context
+) -> list[Statement]:
+    # To a fixpoint: removing a dead store removes its *reads*, which can
+    # make an earlier overwritten projection dead in turn.
+    current = list(statements)
+    while True:
+        out: list[Statement] = []
+        for i, statement in enumerate(current):
+            if _prunable_project(statement) and _dead_store(current, i):
+                ctx.record(
+                    "prune-dead-project",
+                    f"dead π store into {statement.target.symbol} removed",
+                )
+                continue
+            out.append(statement)
+        collapsed: list[Statement] = []
+        for statement in out:
+            if collapsed:
+                pair = _collapse_projects(collapsed[-1], statement)
+                if pair is not None:
+                    collapsed[-1] = pair[0]
+                    ctx.record("prune-dead-project", pair[1])
+                    continue
+            collapsed.append(statement)
+        if len(collapsed) == len(current):
+            return collapsed
+        current = collapsed
+
+
+# ----------------------------------------------------------------------
+# cse: duplicate pure assignments become identity copies
+# ----------------------------------------------------------------------
+
+
+def _cse_key(statement: Statement):
+    """A value-semantics key for pure, fully static assignments."""
+    if not isinstance(statement, Assignment):
+        return None
+    spec = statement.spec
+    if spec.needs_fresh or spec.aggregate:
+        return None
+    if not isinstance(statement.target, Lit):
+        return None
+    if not all(isinstance(a, Lit) for a in statement.args):
+        return None
+    if not _static_params(statement):
+        return None
+    params = tuple(
+        (keyword, statement.params[keyword].evaluate(Binding(), None))
+        for keyword in sorted(statement.params)
+    )
+    return (spec.name, tuple(a.symbol for a in statement.args), params)
+
+
+def _identity_copy(target: Parameter, source: Symbol) -> Assignment:
+    # RENAME ⊥→⊥ replaces ⊥ header slots with ⊥: the identity on any
+    # table, so this statement is a pure copy that can never raise.
+    return Assignment(target, "RENAME", [source], {"old": None, "new": None})
+
+
+def _is_identity_copy(statement: Statement) -> bool:
+    return (
+        isinstance(statement, Assignment)
+        and statement.spec.name == "RENAME"
+        and _lit(statement.params.get("old")) is not None
+        and _lit(statement.params.get("new")) is not None
+        and statement.params["old"].symbol.is_null
+        and statement.params["new"].symbol.is_null
+    )
+
+
+def _apply_cse(statements: list[Statement], ctx: _Context) -> list[Statement]:
+    out = list(statements)
+    for j in range(len(out)):
+        if _is_identity_copy(out[j]):
+            continue  # already a copy; rewriting again is churn, not CSE
+        key = _cse_key(out[j])
+        if key is None:
+            continue
+        deps = set(key[1])
+        written: set[Symbol] = set()
+        for i in range(j - 1, -1, -1):
+            candidate = out[i]
+            writes = _statement_writes(candidate)
+            if writes is None:
+                break
+            if (
+                _cse_key(candidate) == key
+                and candidate.target.symbol not in written
+                and candidate.target.symbol not in deps
+            ):
+                source = candidate.target.symbol
+                ctx.record(
+                    "cse",
+                    f"{out[j].target} recomputes {key[0]}({', '.join(map(str, key[1]))});"
+                    f" copied from {source}",
+                )
+                out[j] = _identity_copy(out[j].target, source)
+                break
+            if writes & deps:
+                break
+            written |= writes
+    return out
+
+
+# ----------------------------------------------------------------------
+# fuse-product-select: the planner's fusion as a recorded rule
+# ----------------------------------------------------------------------
+
+
+def _apply_fusion(statements: list[Statement], ctx: _Context) -> list[Statement]:
+    out: list[Statement] = []
+    i = 0
+    while i < len(statements):
+        statement = statements[i]
+        if i + 1 < len(statements) and _fusable(statement, statements[i + 1]):
+            fused = _fuse(statement, statements[i + 1])
+            ctx.record(
+                "fuse-product-select",
+                f"σ fused into × for {fused.target}",
+            )
+            out.append(fused)
+            i += 2
+            continue
+        out.append(statement)
+        i += 1
+    return out
+
+
+# ----------------------------------------------------------------------
+# join-reorder: chain detection, costing, and the ChainJoin statement
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Cond:
+    """One σ_{left≈right} applied when the chain had ``prefix`` leaves."""
+
+    left: Symbol
+    right: Symbol
+    prefix: int
+
+
+@dataclass(frozen=True)
+class _Chain:
+    target: Symbol
+    leaves: tuple[Symbol, ...]
+    conds: tuple[_Cond, ...]
+    statements: tuple[Statement, ...]
+    end: int  # index just past the chain in the enclosing list
+
+
+def _match_chain(statements: Sequence[Statement], start: int) -> _Chain | None:
+    first = statements[start]
+    if not isinstance(first, Assignment):
+        return None
+    if first.spec.name not in ("PRODUCT", "PRODUCTSELECT"):
+        return None
+    if not isinstance(first.target, Lit):
+        return None
+    target = first.target.symbol
+    if not all(isinstance(a, Lit) for a in first.args):
+        return None
+    leaves = [a.symbol for a in first.args]
+    conds: list[_Cond] = []
+    if first.spec.name == "PRODUCTSELECT":
+        left, right = _lit(first.params["left"]), _lit(first.params["right"])
+        if left is None or right is None:
+            return None
+        conds.append(_Cond(left, right, 2))
+    j = start + 1
+    while j < len(statements):
+        statement = statements[j]
+        if not isinstance(statement, Assignment):
+            break
+        if not isinstance(statement.target, Lit) or statement.target.symbol != target:
+            break
+        name = statement.spec.name
+        if name == "SELECT":
+            if len(statement.args) != 1 or _lit(statement.args[0]) != target:
+                break
+            left = _lit(statement.params["left"])
+            right = _lit(statement.params["right"])
+            if left is None or right is None:
+                break
+            conds.append(_Cond(left, right, len(leaves)))
+            j += 1
+            continue
+        if name in ("PRODUCT", "PRODUCTSELECT"):
+            if len(statement.args) != 2 or not all(
+                isinstance(a, Lit) for a in statement.args
+            ):
+                break
+            if _lit(statement.args[0]) != target or _lit(statement.args[1]) == target:
+                break
+            leaves.append(statement.args[1].symbol)
+            if name == "PRODUCTSELECT":
+                left = _lit(statement.params["left"])
+                right = _lit(statement.params["right"])
+                if left is None or right is None:
+                    leaves.pop()
+                    break
+                conds.append(_Cond(left, right, len(leaves)))
+            j += 1
+            continue
+        break
+    if len(leaves) < 3:
+        return None
+    return _Chain(target, tuple(leaves), tuple(conds), tuple(statements[start:j]), j)
+
+
+def _order_chain(chain: _Chain, stats: DatabaseStats | None) -> OrderDecision:
+    k = len(chain.leaves)
+    identity = tuple(range(k))
+    base = dict(
+        target=str(chain.target),
+        leaves=tuple(str(s) for s in chain.leaves),
+        order=identity,
+    )
+    if stats is None:
+        return OrderDecision(
+            outcome="stats-missing", reason="no stats snapshot", **base
+        )
+    per_leaf = []
+    for name in chain.leaves:
+        entries = stats.for_name(str(name))
+        if not entries:
+            return OrderDecision(
+                outcome="stats-missing", reason=f"no stats for {name}", **base
+            )
+        per_leaf.append(entries)
+    heights = [sum(e.height for e in entries) for entries in per_leaf]
+
+    def has(leaf: int, attr: Symbol) -> bool:
+        return any(e.column_for(attr) is not None for e in per_leaf[leaf])
+
+    def ndv(leaf: int, attr: Symbol) -> int:
+        best = 0
+        for entry in per_leaf[leaf]:
+            column = entry.column_for(attr)
+            if column is not None:
+                best = max(best, column.ndv)
+        return best
+
+    selective: list[tuple[frozenset[int], float]] = []
+    for cond in chain.conds:
+        involved = frozenset(
+            l
+            for l in range(cond.prefix)
+            if has(l, cond.left) or has(l, cond.right)
+        )
+        if not involved:
+            # Neither attribute occurs: both entry sets are always ∅,
+            # the condition keeps every row.
+            continue
+        ndv_left = max((ndv(l, cond.left) for l in involved), default=0)
+        ndv_right = max((ndv(l, cond.right) for l in involved), default=0)
+        selective.append((involved, 1.0 / max(ndv_left, ndv_right, 1)))
+
+    def est(subset: frozenset[int]) -> float:
+        rows = 1.0
+        for l in subset:
+            rows *= heights[l]
+        for involved, sel in selective:
+            if involved <= subset:
+                rows *= sel
+        return rows
+
+    def order_cost(order: Sequence[int]) -> float:
+        return sum(est(frozenset(order[:p])) for p in range(2, k + 1))
+
+    cost_syntactic = order_cost(identity)
+    if k <= DP_LEAF_LIMIT:
+        best: dict[frozenset[int], tuple[float, tuple[int, ...]]] = {
+            frozenset([l]): (0.0, (l,)) for l in range(k)
+        }
+        for size in range(2, k + 1):
+            for subset in itertools.combinations(range(k), size):
+                fs = frozenset(subset)
+                rows = est(fs)
+                best[fs] = min(
+                    (best[fs - {last}][0] + rows, best[fs - {last}][1] + (last,))
+                    for last in subset
+                )
+        cost_chosen, chosen = best[frozenset(identity)]
+        method = "dp"
+    else:
+        pair_cost, pair = min(
+            (est(frozenset(p)), p) for p in itertools.permutations(range(k), 2)
+        )
+        chosen_list = list(pair)
+        cost_chosen = pair_cost
+        while len(chosen_list) < k:
+            members = frozenset(chosen_list)
+            step_cost, nxt = min(
+                (est(members | {l}), l) for l in range(k) if l not in members
+            )
+            chosen_list.append(nxt)
+            cost_chosen += step_cost
+        chosen = tuple(chosen_list)
+        method = "greedy"
+    est_rows = int(est(frozenset(identity)))
+    if cost_syntactic <= cost_chosen or chosen == identity:
+        return OrderDecision(
+            outcome="syntactic",
+            reason=f"{method}: syntactic order already optimal",
+            est_rows=est_rows,
+            cost_syntactic=cost_syntactic,
+            cost_chosen=cost_syntactic,
+            **base,
+        )
+    base["order"] = chosen
+    return OrderDecision(
+        outcome="reordered",
+        reason=f"{method}: C_out {cost_chosen:.0f} vs syntactic {cost_syntactic:.0f}",
+        est_rows=est_rows,
+        cost_syntactic=cost_syntactic,
+        cost_chosen=cost_chosen,
+        **base,
+    )
+
+
+class ChainJoin(Statement):
+    """A PRODUCT/σ chain evaluated in a cost-chosen leaf order.
+
+    Replaces a run of statements that left-fold ``k ≥ 3`` leaves into one
+    literal target with interleaved selections.  Per leaf-table
+    combination it joins row *indices* in the chosen order (hash joins
+    where a condition links the built side to the new leaf, filters as
+    soon as a condition's columns are all present — sound because the
+    conjunctive filters commute), then restores the exact naive result:
+    matched index tuples sorted lexicographically equal the nested-loop
+    row order, and rows are assembled with columns and the
+    order-sensitive row-attribute fold in *syntactic* leaf order.
+
+    Dispatches through a pseudo registry op (:data:`CHAINJOIN_OP`) so
+    events, governor accounting, estimation, and EXPLAIN spans see it
+    like any other operation.  Falls back to the original statements
+    under an active lineage scope (the provenance fold is
+    order-sensitive) and to syntactic evaluation order per combination
+    when a leaf's shape no longer matches the planning stats (stale).
+    """
+
+    def __init__(
+        self,
+        chain: _Chain,
+        order: tuple[int, ...],
+        stats: DatabaseStats | None,
+        est_rows: int | None = None,
+    ):
+        self.target = chain.target
+        self.leaves = chain.leaves
+        self.conds = chain.conds
+        self.order = order
+        self.stats = stats
+        self.est_rows = est_rows
+        self.source = chain.statements
+        self._spec = OpSpec(
+            name=CHAINJOIN_OP, function=self._join_tables, arity=len(chain.leaves)
+        )
+        self._arguments = {
+            "conds": tuple((c.left, c.right, c.prefix) for c in self.conds)
+        }
+
+    def target_symbol(self) -> Symbol:
+        return self.target
+
+    def read_symbols(self) -> frozenset[Symbol]:
+        return frozenset(self.leaves)
+
+    def _stats_fresh(self, tables: Sequence[Table]) -> bool:
+        if self.stats is None:
+            return False
+        return all(
+            self.stats.lookup(str(name), t.height, t.width) is not None
+            for name, t in zip(self.leaves, tables)
+        )
+
+    def _join_tables(self, *tables: Table, conds=None) -> Table:
+        k = len(tables)
+        headers = [t.column_attributes for t in tables]
+        resolved = []
+        for cond in self.conds:
+            pos_left = [
+                (l, j + 1)
+                for l in range(cond.prefix)
+                for j, attr in enumerate(headers[l])
+                if attr == cond.left
+            ]
+            pos_right = [
+                (l, j + 1)
+                for l in range(cond.prefix)
+                for j, attr in enumerate(headers[l])
+                if attr == cond.right
+            ]
+            if not pos_left and not pos_right:
+                continue  # ∅ ≈ ∅ holds for every row
+            involved = frozenset(l for l, _ in pos_left) | frozenset(
+                l for l, _ in pos_right
+            )
+            resolved.append((involved, pos_left, pos_right))
+        order = self.order if self._stats_fresh(tables) else tuple(range(k))
+
+        def values(positions, at: dict[int, int], tup: tuple[int, ...]):
+            return frozenset(
+                tables[l].entry(tup[at[l]], j) for l, j in positions
+            )
+
+        joined: list[int] = []
+        at: dict[int, int] = {}
+        tuples: list[tuple[int, ...]] | None = None
+        pending = list(resolved)
+        for leaf in order:
+            visible = set(joined) | {leaf}
+            ready = [c for c in pending if c[0] <= visible]
+            pending = [c for c in pending if not (c[0] <= visible)]
+            table = tables[leaf]
+            rows = list(range(1, table.height + 1))
+            local = [c for c in ready if c[0] <= {leaf}]
+            for _inv, pos_l, pos_r in local:
+                leaf_at = {leaf: 0}
+                rows = [
+                    i
+                    for i in rows
+                    if weakly_equal(
+                        values(pos_l, leaf_at, (i,)), values(pos_r, leaf_at, (i,))
+                    )
+                ]
+            others = [c for c in ready if not (c[0] <= {leaf})]
+            if tuples is None:
+                tuples = [(i,) for i in rows]
+                joined = [leaf]
+                at = {leaf: 0}
+                continue
+            hash_cond = None
+            for cond in others:
+                inv, pos_l, pos_r = cond
+                left_on_leaf = all(l == leaf for l, _ in pos_l)
+                right_on_leaf = all(l == leaf for l, _ in pos_r)
+                left_built = all(l != leaf for l, _ in pos_l)
+                right_built = all(l != leaf for l, _ in pos_r)
+                if pos_l and pos_r and (
+                    (left_built and right_on_leaf) or (right_built and left_on_leaf)
+                ):
+                    hash_cond = cond
+                    break
+            new_at = dict(at)
+            new_at[leaf] = len(joined)
+            if hash_cond is not None:
+                _inv, pos_l, pos_r = hash_cond
+                if all(l == leaf for l, _ in pos_l):
+                    leaf_pos, built_pos = pos_l, pos_r
+                else:
+                    leaf_pos, built_pos = pos_r, pos_l
+                leaf_at = {leaf: 0}
+                buckets: dict[frozenset, list[int]] = {}
+                for i in rows:
+                    key = frozenset(
+                        s for s in values(leaf_pos, leaf_at, (i,)) if not s.is_null
+                    )
+                    buckets.setdefault(key, []).append(i)
+                new_tuples = []
+                for tup in tuples:
+                    key = frozenset(
+                        s for s in values(built_pos, at, tup) if not s.is_null
+                    )
+                    for i in buckets.get(key, ()):
+                        new_tuples.append(tup + (i,))
+                others = [c for c in others if c is not hash_cond]
+            else:
+                new_tuples = [tup + (i,) for tup in tuples for i in rows]
+            for _inv, pos_l, pos_r in others:
+                new_tuples = [
+                    tup
+                    for tup in new_tuples
+                    if weakly_equal(
+                        values(pos_l, new_at, tup), values(pos_r, new_at, tup)
+                    )
+                ]
+            tuples = new_tuples
+            joined.append(leaf)
+            at = new_at
+        matches = sorted(
+            tuple(tup[at[l]] for l in range(k)) for tup in (tuples or [])
+        )
+        grid = [(self.target,) + tuple(a for h in headers for a in h)]
+        for index in matches:
+            parts = [tables[l].row(index[l]) for l in range(k)]
+            attr = parts[0][0]
+            for part in parts[1:]:
+                attr = combine_row_attributes(attr, part[0])
+            row = [attr]
+            for part in parts:
+                row.extend(part[1:])
+            grid.append(tuple(row))
+        return Table(grid)
+
+    def execute(self, db: TabularDatabase, interp) -> TabularDatabase:
+        gov = _gv.GOV
+        if gov.active and gov.governor is not None:
+            gov.governor.check(op=CHAINJOIN_OP)
+        obs = _obs.OBS
+        observing = obs.active
+        if observing and obs.lineage is not None:
+            # The provenance fold over column 0 is order-sensitive; the
+            # original statements thread it correctly.
+            for statement in self.source:
+                db = statement.execute(db, interp)
+            return db
+        cm = (
+            obs.tracer.span("statement", text=repr(self))
+            if observing and obs.tracer is not None
+            else NULL_SPAN
+        )
+        with cm as sp:
+            lists = [db.tables_named(name) for name in self.leaves]
+            results: list[Table] = []
+            combinations = 0
+            stale = 0
+            for tables in itertools.product(*lists):
+                combinations += 1
+                if not self._stats_fresh(tables):
+                    stale += 1
+                produced = self._spec.invoke(tables, self._arguments, interp.fresh)
+                results.extend(t.with_name(self.target) for t in produced)
+            new_db = db.replace_named(self.target, results)
+            if observing:
+                sp.set(
+                    combinations=combinations,
+                    tables_in=len(db),
+                    tables_out=len(new_db),
+                    order=[str(self.leaves[l]) for l in self.order],
+                    rules=["join-reorder"],
+                )
+                if self.est_rows is not None:
+                    sp.set(est_rows=self.est_rows, est_source="stats")
+                if stale:
+                    sp.set(stale_combinations=stale)
+                if obs.metrics is not None:
+                    obs.metrics.count("statements")
+                    obs.metrics.count("combinations", combinations)
+            return new_db
+
+    def __repr__(self) -> str:
+        order = ", ".join(str(self.leaves[l]) for l in self.order)
+        conds = ", ".join(f"{c.left}~{c.right}@{c.prefix}" for c in self.conds)
+        args = ", ".join(str(l) for l in self.leaves)
+        return (
+            f"{self.target} <- CHAINJOIN order [{order}] conds [{conds}] ({args})"
+        )
+
+
+def _apply_join_reorder(statements: list[Statement], ctx: _Context) -> list[Statement]:
+    out: list[Statement] = []
+    i = 0
+    while i < len(statements):
+        chain = _match_chain(statements, i)
+        if chain is None:
+            out.append(statements[i])
+            i += 1
+            continue
+        decision = _order_chain(chain, ctx.stats)
+        ctx.decisions.append(decision)
+        if decision.outcome == "reordered":
+            ctx.record(
+                "join-reorder",
+                f"{len(chain.leaves)}-way chain into {chain.target} evaluated as "
+                f"[{', '.join(decision.leaves[l] for l in decision.order)}] "
+                f"({decision.reason})",
+            )
+            out.append(
+                ChainJoin(chain, decision.order, ctx.stats, decision.est_rows)
+            )
+        else:
+            out.extend(chain.statements)
+        i = chain.end
+    return out
+
+
+# ----------------------------------------------------------------------
+# select-pushdown-union: the fused σ(R ∪ S) = σ(R) ∪ σ(S) statement
+# ----------------------------------------------------------------------
+
+
+class SelectUnion(Statement):
+    """``T ← σ_{a≈b}(R ∪ S)`` computed as ``σ_{a≈b}(R) ∪ σ_{a≈b}(S)``.
+
+    Exact, including row order: tabular union pads each side's rows with
+    ⊥ under the other side's columns, and weak equality strips ⊥ from
+    both entry sets, so a padded row satisfies the selection iff the
+    unpadded row does; filtering then padding preserves the
+    ρ-rows-then-σ-rows order.  Each component σ and the ∪ dispatch
+    through the registry, so telemetry sees the real (smaller) work.
+    """
+
+    def __init__(self, target: Lit, args: tuple[Lit, Lit], left: Lit, right: Lit):
+        self.target = target
+        self.args = args
+        self.left = left
+        self.right = right
+
+    def target_symbol(self) -> Symbol:
+        return self.target.symbol
+
+    def read_symbols(self) -> frozenset[Symbol]:
+        return frozenset(a.symbol for a in self.args)
+
+    def execute(self, db: TabularDatabase, interp) -> TabularDatabase:
+        gov = _gv.GOV
+        if gov.active and gov.governor is not None:
+            gov.governor.check(op="SELECTUNION")
+        obs = _obs.OBS
+        observing = obs.active
+        cm = (
+            obs.tracer.span("statement", text=repr(self))
+            if observing and obs.tracer is not None
+            else NULL_SPAN
+        )
+        with cm as sp:
+            target = self.target.symbol
+            select_spec = OPERATIONS["SELECT"]
+            union_spec = OPERATIONS["UNION"]
+            arguments = {"left": self.left.symbol, "right": self.right.symbol}
+            lefts = db.tables_named(self.args[0].symbol)
+            rights = db.tables_named(self.args[1].symbol)
+            results: list[Table] = []
+            combinations = 0
+            if lefts and rights:
+                filtered_left = [
+                    select_spec.invoke((t,), arguments, interp.fresh)[0]
+                    for t in lefts
+                ]
+                filtered_right = [
+                    select_spec.invoke((t,), arguments, interp.fresh)[0]
+                    for t in rights
+                ]
+                for fl in filtered_left:
+                    for fr in filtered_right:
+                        combinations += 1
+                        produced = union_spec.invoke((fl, fr), {}, interp.fresh)
+                        results.extend(t.with_name(target) for t in produced)
+            new_db = db.replace_named(target, results)
+            if observing:
+                sp.set(
+                    combinations=combinations,
+                    tables_in=len(db),
+                    tables_out=len(new_db),
+                    rules=["select-pushdown-union"],
+                )
+                if obs.metrics is not None:
+                    obs.metrics.count("statements")
+                    obs.metrics.count("combinations", combinations)
+            return new_db
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.target} <- SELECTUNION left {self.left} right {self.right} "
+            f"({self.args[0]}, {self.args[1]})"
+        )
+
+
+def _apply_select_pushdown_union(
+    statements: list[Statement], ctx: _Context
+) -> list[Statement]:
+    out: list[Statement] = []
+    i = 0
+    while i < len(statements):
+        first = statements[i]
+        second = statements[i + 1] if i + 1 < len(statements) else None
+        if (
+            isinstance(first, Assignment)
+            and isinstance(second, Assignment)
+            and first.spec.name == "UNION"
+            and second.spec.name == "SELECT"
+            and isinstance(first.target, Lit)
+            and isinstance(second.target, Lit)
+            and first.target.symbol == second.target.symbol
+            and len(second.args) == 1
+            and _lit(second.args[0]) == first.target.symbol
+            and all(isinstance(a, Lit) for a in first.args)
+            and _lit(second.params.get("left")) is not None
+            and _lit(second.params.get("right")) is not None
+        ):
+            fused = SelectUnion(
+                first.target,
+                (first.args[0], first.args[1]),
+                second.params["left"],
+                second.params["right"],
+            )
+            ctx.record(
+                "select-pushdown-union",
+                f"σ {fused.left}≈{fused.right} pushed into both sides of "
+                f"∪ for {first.target}",
+            )
+            out.append(fused)
+            i += 2
+            continue
+        out.append(first)
+        i += 1
+    return out
+
+
+# ----------------------------------------------------------------------
+# The rule registry and the optimize driver
+# ----------------------------------------------------------------------
+
+
+RULES: dict[str, RewriteRule] = {
+    rule.name: rule
+    for rule in (
+        RewriteRule(
+            "select-pushdown",
+            "σ_{a≈b}∘ρ_{n←o} = ρ_{n←o}∘σ_{a≈b} when {a,b}∩{o,n}=∅; "
+            "σ_{a≈b}∘π_A = π_A∘σ_{a≈b} when a,b∈A",
+            _apply_select_pushdown,
+        ),
+        RewriteRule(
+            "prune-dead-project",
+            "π never raises and assignment replaces its target wholesale, "
+            "so an unread, overwritten π store is unobservable; "
+            "π_{A₂}∘π_{A₁} = π_{A₁∩A₂}",
+            _apply_prune_dead_project,
+        ),
+        RewriteRule(
+            "cse",
+            "operations are deterministic functions of their argument "
+            "tables; RENAME ⊥→⊥ is the identity, so a duplicate pure "
+            "assignment equals a copy of the earlier result",
+            _apply_cse,
+        ),
+        RewriteRule(
+            "fuse-product-select",
+            "σ_{a≈b}(R × S) = PRODUCTSELECT_{a≈b}(R, S) by definition of "
+            "the derived operation",
+            _apply_fusion,
+        ),
+        RewriteRule(
+            "join-reorder",
+            "× is associative and commutative up to column order and "
+            "σ-filters commute, so a chain may be evaluated in any leaf "
+            "order when the result is assembled in syntactic order",
+            _apply_join_reorder,
+        ),
+        RewriteRule(
+            "select-pushdown-union",
+            "σ_{a≈b}(R ∪ S) = σ_{a≈b}(R) ∪ σ_{a≈b}(S): union's ⊥-padding "
+            "is invisible to weak equality",
+            _apply_select_pushdown_union,
+        ),
+    )
+}
+
+#: Application order of the shipped rules (structural rules first, the
+#: fused-statement builders last so they see the normalized program).
+RULE_ORDER = (
+    "select-pushdown",
+    "prune-dead-project",
+    "cse",
+    "fuse-product-select",
+    "join-reorder",
+    "select-pushdown-union",
+)
+
+
+class PlanCache:
+    """Fingerprint-keyed optimized-plan cache with FIFO eviction."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key) -> OptimizationResult | None:
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key, result: OptimizationResult) -> None:
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = result
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide plan cache (a re-ANALYZE changes the stats
+#: fingerprint, so stale plans are never returned — only evicted).
+PLAN_CACHE = PlanCache()
+
+
+class OptimizerStats:
+    """Process-wide optimizer counters for the Prometheus export."""
+
+    def __init__(self):
+        self.cache = {"hit": 0, "miss": 0}
+        self.rewrites: dict[str, int] = {}
+        self.ordering: dict[str, int] = {}
+
+    def record_cache(self, hit: bool) -> None:
+        self.cache["hit" if hit else "miss"] += 1
+
+    def record_rewrite(self, rule: str) -> None:
+        self.rewrites[rule] = self.rewrites.get(rule, 0) + 1
+
+    def record_decision(self, outcome: str) -> None:
+        self.ordering[outcome] = self.ordering.get(outcome, 0) + 1
+
+    def snapshot(self) -> dict:
+        return {
+            "cache": dict(self.cache),
+            "rewrites": dict(self.rewrites),
+            "ordering": dict(self.ordering),
+        }
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+#: The counters behind ``repro metrics --prom --optimizer``.
+OPTIMIZER_STATS = OptimizerStats()
+
+
+def _optimize_statements(
+    statements: Sequence[Statement], ctx: _Context, enabled: tuple[str, ...]
+) -> list[Statement]:
+    out: list[Statement] = []
+    for statement in statements:
+        if isinstance(statement, While):
+            before = len(ctx.applied)
+            body = _optimize_statements(statement.body.statements, ctx, enabled)
+            if len(ctx.applied) != before:
+                statement = While(statement.condition, Program(body))
+        out.append(statement)
+    for name in enabled:
+        out = RULES[name].apply(out, ctx)
+    return out
+
+
+def optimize_program(
+    program: Program,
+    stats: DatabaseStats | None = None,
+    *,
+    rules: Iterable[str] | None = None,
+    cache: PlanCache | None = PLAN_CACHE,
+) -> OptimizationResult:
+    """Optimize ``program`` under the enabled rules and ``stats``.
+
+    ``rules`` restricts the pass list (names from :data:`RULE_ORDER`;
+    order is fixed, membership is the toggle).  Results are cached under
+    ``(program fingerprint, stats fingerprint, enabled rules)``; pass
+    ``cache=None`` to bypass caching.
+    """
+    if rules is None:
+        enabled = RULE_ORDER
+    else:
+        requested = list(rules)
+        unknown = sorted(set(requested) - set(RULES))
+        if unknown:
+            raise EvaluationError(
+                f"unknown rewrite rule(s) {unknown}; known: {sorted(RULES)}"
+            )
+        enabled = tuple(r for r in RULE_ORDER if r in set(requested))
+    from ..obs.workload import fingerprint_program
+
+    fingerprint = fingerprint_program(program)
+    stats_fingerprint = stats.fingerprint if stats is not None else ""
+    key = (fingerprint, stats_fingerprint, enabled)
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None:
+            OPTIMIZER_STATS.record_cache(True)
+            return replace(cached, cache_hit=True)
+        OPTIMIZER_STATS.record_cache(False)
+    ctx = _Context(stats=stats)
+    statements = _optimize_statements(program.statements, ctx, enabled)
+    optimized = Program(statements) if ctx.applied else program
+    result = OptimizationResult(
+        program=optimized,
+        source=program,
+        applied=tuple(ctx.applied),
+        decisions=tuple(ctx.decisions),
+        fingerprint=fingerprint,
+        stats_fingerprint=stats_fingerprint,
+        rules=enabled,
+    )
+    for rewrite in result.applied:
+        OPTIMIZER_STATS.record_rewrite(rewrite.rule)
+        if _ev.EVT.active:
+            _ev.emit(
+                "plan_rewrite",
+                rule=rewrite.rule,
+                detail=rewrite.detail,
+                fingerprint=fingerprint,
+            )
+    for decision in result.decisions:
+        OPTIMIZER_STATS.record_decision(decision.outcome)
+    if cache is not None:
+        cache.put(key, result)
+    return result

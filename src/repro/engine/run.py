@@ -7,6 +7,11 @@ vector path plans the program (product/select fusion), then executes it
 inside an :func:`~repro.engine.runtime.engine_scope`, so the operation
 registry routes each invocation through the kernel catalogue with
 per-invocation fallback to the naive operations.
+
+``optimize=True`` additionally runs the program through the cost-based
+optimizer (:mod:`repro.engine.optimizer`) before execution — on either
+backend — using ``stats`` (or the active estimation scope's stats
+snapshot) to drive join ordering.
 """
 
 from __future__ import annotations
@@ -29,6 +34,8 @@ def run_program(
     fresh: FreshValueSource | None = None,
     max_while_iterations: int = 10_000,
     backend: VectorEngine | None = None,
+    optimize: bool = False,
+    stats=None,
 ) -> TabularDatabase:
     """Run ``program`` on ``db`` under the selected backend.
 
@@ -36,8 +43,18 @@ def run_program(
     ``"vector"`` plans the program and dispatches through the kernels.
     Pass a ``backend`` to inspect its ``stats`` afterwards (a fresh one
     is created per run otherwise, keeping the interner's id space
-    bounded to the run).
+    bounded to the run).  ``optimize=True`` applies the cost-based
+    rewrite rules first; ``stats`` is a
+    :class:`~repro.obs.stats.DatabaseStats` snapshot for join ordering
+    (defaults to the active estimation scope's snapshot, if any).
     """
+    if optimize:
+        from ..obs import estimator as _est
+        from .optimizer import optimize_program
+
+        if stats is None and _est.EST.active and _est.EST.estimator is not None:
+            stats = _est.EST.estimator.stats
+        program = optimize_program(program, stats).program
     if engine in (None, "naive"):
         return program.run(
             db, fresh=fresh, max_while_iterations=max_while_iterations

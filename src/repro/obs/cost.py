@@ -156,6 +156,18 @@ def _product_select(shapes: Sequence[Shape]) -> tuple:
     return (1, rows, cols, _cells(shapes) + r1 * r2 + rows * cols)
 
 
+def _chain_join(shapes: Sequence[Shape]) -> tuple:
+    # The optimizer's reordered PRODUCT/σ chain (variadic): full product
+    # of the leaves with one SELECT-style 1/3 selectivity guess — the
+    # shape model cannot see how many conditions the chain carries.
+    rows, cols = 1, 0
+    for r, c in shapes:
+        rows *= r
+        cols += c
+    rows = max(1, rows // 3)
+    return (1, rows, cols, _cells(shapes) + rows * cols)
+
+
 def _natural_join(shapes: Sequence[Shape]) -> tuple:
     (r1, c1), (r2, c2) = _first(shapes), _second(shapes)
     rows = max(r1, r2)
@@ -253,6 +265,7 @@ ESTIMATORS: dict[str, _Est] = {
     "SETNEW": _setnew,
     # Derived operations.
     "PRODUCTSELECT": _product_select,
+    "CHAINJOIN": _chain_join,
     "CLASSICALUNION": _union,
     "NATURALJOIN": _natural_join,
     "DEDUP": _linear(rows_factor=0.75),

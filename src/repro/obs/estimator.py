@@ -306,6 +306,20 @@ class CardinalityEstimator:
             return h1 - column.nulls if column is not None else h1
         if op == "PRODUCT":
             return h1 * stats[1].height
+        if op == "CHAINJOIN":
+            # The optimizer's reordered PRODUCT/σ chain: the full product
+            # of the leaves, one independent 1/NDV selectivity per
+            # condition, each NDV read from the leaves visible at the
+            # point (``prefix``) where the syntactic chain applied it.
+            rows = 1
+            for s in stats:
+                rows *= s.height
+            for left, right, prefix in arguments.get("conds", ()):
+                visible = stats[: min(prefix, len(stats))]
+                ndv_left = max((self._ndv(s, left) for s in visible), default=1)
+                ndv_right = max((self._ndv(s, right) for s in visible), default=1)
+                rows //= max(ndv_left, ndv_right, 1)
+            return rows
         if op == "PRODUCTSELECT":
             s2 = stats[1]
             ndv = max(

@@ -92,6 +92,7 @@ EVENT_KINDS = frozenset(
         "breaker_transition",  # circuit breaker moved: fingerprint, from_state, to_state
         "run_recovered",  # crash recovery resumed an orphaned run: run_id, workload
         "engine_degraded",  # degradation ladder fired: mode (engine|obs_shed), from/to
+        "plan_rewrite",  # optimizer applied a rewrite: rule, detail, fingerprint
     }
 )
 

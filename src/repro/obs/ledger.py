@@ -619,13 +619,18 @@ class RunRecorder:
         replay_spec: str | None = None,
         result_bytes_cap: int | None = None,
         supervisor: dict | None = None,
+        optimizer: dict | None = None,
     ) -> dict:
         """Drain the ring, build the manifest, append it to the ledger.
 
         ``replay_spec`` names how to re-derive the program and input
         database (a workload spec or example name); runs without one are
-        recorded but marked non-replayable.  The recorder detaches from
-        the bus, so a recorder finishes exactly once.
+        recorded but marked non-replayable.  ``optimizer`` records that
+        the run executed a rewritten plan (enabled rules + the stats
+        snapshot the plan was chosen from), so replay can re-derive the
+        same plan instead of diverging on the program fingerprint.  The
+        recorder detaches from the bus, so a recorder finishes exactly
+        once.
         """
         elapsed_ms = round((time.perf_counter() - self._started) * 1e3, 3)
         events = self.ring.drain()
@@ -796,6 +801,8 @@ class RunRecorder:
         }
         if supervisor is not None:
             manifest["supervisor"] = supervisor
+        if optimizer is not None:
+            manifest["optimizer"] = optimizer
         if self.ledger is not None:
             self.ledger.record(manifest)
         return manifest

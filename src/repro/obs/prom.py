@@ -80,6 +80,7 @@ def prometheus_text(
     stats=None,
     bus=None,
     supervisor=None,
+    optimizer=None,
 ) -> str:
     """One snapshot as the Prometheus text exposition format.
 
@@ -94,7 +95,10 @@ def prometheus_text(
     ``supervisor`` (a :class:`~repro.runtime.supervisor.Supervisor`)
     adds the fault-tolerance families — retry decision/backoff/exhaustion
     counters, circuit-breaker transition counters and per-fingerprint
-    open gauges, and crash-recovery outcome counters.
+    open gauges, and crash-recovery outcome counters; ``optimizer`` (an
+    :class:`~repro.engine.optimizer.OptimizerStats`) adds the
+    plan-optimizer families — plan-cache hit/miss counters, applied
+    rewrites by rule, and join-ordering outcomes.
     All are opt-in so the plain metrics export is unchanged.
     """
     operations = metrics.operations
@@ -267,6 +271,30 @@ def prometheus_text(
         )
         for outcome in sorted(sup_stats.recovery):
             out.sample(name, {"outcome": outcome}, sup_stats.recovery[outcome])
+
+    if optimizer is not None:
+        snapshot = optimizer.snapshot()
+        name = out.family(
+            "optimizer_plan_cache_total",
+            "counter",
+            "Plan-cache lookups by result (hit means planning was skipped).",
+        )
+        for result in sorted(snapshot["cache"]):
+            out.sample(name, {"result": result}, snapshot["cache"][result])
+        name = out.family(
+            "optimizer_rewrites_total",
+            "counter",
+            "Rewrites applied, by rule (each rule is individually toggleable).",
+        )
+        for rule in sorted(snapshot["rewrites"]):
+            out.sample(name, {"rule": rule}, snapshot["rewrites"][rule])
+        name = out.family(
+            "optimizer_ordering_total",
+            "counter",
+            "Join-ordering decisions by outcome (reordered = estimate-driven win).",
+        )
+        for outcome in sorted(snapshot["ordering"]):
+            out.sample(name, {"outcome": outcome}, snapshot["ordering"][outcome])
 
     if stats is not None:
         name = out.family(

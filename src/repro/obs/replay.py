@@ -186,6 +186,20 @@ def replay_run(manifest: dict, *, faults=None, engine: str | None = None) -> Rep
 
     program, db = resolve_runnable(str(spec))
 
+    optimizer = manifest.get("optimizer")
+    if optimizer is not None:
+        # The run executed a rewritten plan.  Re-derive it from the
+        # recorded rule set and the recorded stats snapshot (not a fresh
+        # ANALYZE — the plan must be the one that actually ran), so the
+        # fingerprint and op-sequence diffs compare like with like.
+        from ..engine.optimizer import optimize_program
+        from .stats import DatabaseStats
+
+        stats_data = optimizer.get("stats")
+        stats = None if stats_data is None else DatabaseStats.from_json(stats_data)
+        rules = optimizer.get("rules")
+        program = optimize_program(program, stats, rules=rules, cache=None).program
+
     recorded_fp = (manifest.get("program") or {}).get("fingerprint")
     current_fp = fingerprint_program(program)
     if recorded_fp is not None and current_fp != recorded_fp:

@@ -263,23 +263,33 @@ class WorkloadLog:
 # The q-error audit
 # ----------------------------------------------------------------------
 
-def _audit_corpus(seeds: int, tc_size: int) -> list[tuple[str, object, object]]:
-    """(label, program-runner, database) triples the audit replays."""
+def _audit_corpus(seeds: int, tc_size: int) -> list[tuple]:
+    """(label, program-runner, database, program, run-kwargs) tuples.
+
+    ``program`` is the recovered TA program when the runner is a plain
+    ``Program.run`` (bound method or closure), or None for example
+    runners of other source languages — the optimizer pass only rescores
+    cases whose program it can rewrite.
+    """
+    from ..algebra.programs.statements import Program
     from ..data.programs import random_case
     from ..runtime.workloads import parse_workload
     from .examples import EXAMPLES
 
-    corpus: list[tuple[str, object, object]] = []
+    corpus: list[tuple] = []
     for name in sorted(EXAMPLES):
         example = EXAMPLES[name]
         if example.setup is None:
             continue  # the OLAP example builds cubes, not a TA run
         db, run = example.setup()
-        corpus.append((name, run, db))
+        owner = getattr(run, "__self__", None)
+        program = owner if isinstance(owner, Program) else None
+        corpus.append((name, run, db, program, {}))
     label, program, db = parse_workload(f"tc:{tc_size}")
-    corpus.append((label, program.run, db))
+    corpus.append((label, program.run, db, program, {}))
     for seed in range(seeds):
         program, db = random_case(seed)
+        kwargs = {"max_while_iterations": _FUZZ_WHILE_BUDGET}
         corpus.append(
             (
                 f"fuzz:{seed}",
@@ -287,6 +297,8 @@ def _audit_corpus(seeds: int, tc_size: int) -> list[tuple[str, object, object]]:
                     d, max_while_iterations=_FUZZ_WHILE_BUDGET
                 ),
                 db,
+                program,
+                kwargs,
             )
         )
     return corpus
@@ -296,11 +308,35 @@ def _audit_corpus(seeds: int, tc_size: int) -> list[tuple[str, object, object]]:
 _FUZZ_WHILE_BUDGET = 12
 
 
+def _accuracy_overall(accuracy: "EstimateAccuracy") -> dict:
+    """p50/p95/max over every q-error sample an accuracy sink holds."""
+    all_q = [
+        q
+        for record in accuracy.ops.values()
+        for q in record._samples
+    ]
+    all_q.sort()
+    return {
+        "estimates": accuracy.count,
+        "p50": round(_percentile(all_q, 0.50), 3),
+        "p95": round(_percentile(all_q, 0.95), 3),
+        "max": round(all_q[-1], 3) if all_q else 0.0,
+    }
+
+
+#: Slack before the optimizer pass counts as a q-error regression: the
+#: rewritten plan runs a different op mix (CHAINJOIN replaces whole
+#: PRODUCT/SELECT prefixes), so tiny percentile wobbles are expected;
+#: a real mis-costed join order blows p95 out by far more than 25%.
+OPTIMIZER_REGRESSION_TOLERANCE = 1.25
+
+
 def stats_audit(
     seeds: int = DEFAULT_AUDIT_SEEDS,
     engine: str = "vector",
     tc_size: int = 6,
     top_k: int | None = None,
+    regression_tolerance: float = OPTIMIZER_REGRESSION_TOLERANCE,
 ) -> dict:
     """Replay the corpus under estimation; the machine-readable report.
 
@@ -311,17 +347,34 @@ def stats_audit(
     :class:`~repro.core.errors.ReproError` (the fuzz corpus legitimately
     hits undefined operations) still contribute every op completed
     before the error.
+
+    The audit then makes a second, *post-rewrite* pass: every case whose
+    program it can recover is pushed through
+    :func:`repro.engine.optimizer.optimize_program` with the same stats
+    snapshot and re-run, so the op sequence being scored is the one the
+    cost-based optimizer actually chose (CHAINJOIN orders, fused
+    selects, pruned projections).  The report's ``optimizer`` section
+    carries that pass's q-error percentiles and a ``regressed`` verdict:
+    True when the optimizer-chosen plans' p95 q-error exceeds the
+    unoptimized baseline by more than ``regression_tolerance`` — the
+    CLI turns that into a non-zero exit so CI catches a cost model
+    whose rewrites make its own estimates worse.
     """
     from ..core.errors import ReproError
+    from ..engine.optimizer import PlanCache, optimize_program
     from .stats import DEFAULT_TOP_K
 
     accuracy = EstimateAccuracy()
+    opt_accuracy = EstimateAccuracy()
     workload = None
     cases = errors = 0
+    opt_cases = opt_errors = opt_rewrites = 0
+    plan_cache = PlanCache()
     started = time.perf_counter()
+    rewritable = []
     with event_stream() as bus:
         workload = WorkloadLog(bus)
-        for label, run, db in _audit_corpus(seeds, tc_size):
+        for label, run, db, program, kwargs in _audit_corpus(seeds, tc_size):
             stats = analyze_database(
                 db, engine=engine, top_k=top_k or DEFAULT_TOP_K
             )
@@ -332,18 +385,35 @@ def stats_audit(
                         run(db)
                 except ReproError:
                     errors += 1
+            if program is not None:
+                rewritable.append((db, program, kwargs, stats))
+    # The post-rewrite pass runs outside the event stream: coverage is a
+    # property of the *baseline* corpus, and the rewritten plans dispatch
+    # ops (fused PRODUCTSELECT, CHAINJOIN) the baseline never does.
+    for db, program, kwargs, stats in rewritable:
+        try:
+            result = optimize_program(program, stats, cache=plan_cache)
+        except ReproError:
+            continue
+        opt_cases += 1
+        opt_rewrites += len(result.applied)
+        with estimation(stats, accuracy=opt_accuracy):
+            try:
+                result.program.run(db, **kwargs)
+            except ReproError:
+                opt_errors += 1
     elapsed = time.perf_counter() - started
 
     ops_report = accuracy.snapshot()
     estimated_ops = set(ops_report)
     dispatched = _dispatched_ops(workload)
     missing = sorted(dispatched - estimated_ops)
-    all_q = [
-        q
-        for record in accuracy.ops.values()
-        for q in record._samples
-    ]
-    all_q.sort()
+    overall = _accuracy_overall(accuracy)
+    opt_overall = _accuracy_overall(opt_accuracy)
+    regressed = (
+        opt_overall["estimates"] > 0
+        and opt_overall["p95"] > overall["p95"] * regression_tolerance
+    )
     return {
         "version": 1,
         "stats_schema_version": STATS_SCHEMA_VERSION,
@@ -356,11 +426,16 @@ def stats_audit(
         },
         "buckets": list(QERROR_BUCKETS),
         "ops": ops_report,
-        "overall": {
-            "estimates": accuracy.count,
-            "p50": round(_percentile(all_q, 0.50), 3),
-            "p95": round(_percentile(all_q, 0.95), 3),
-            "max": round(all_q[-1], 3) if all_q else 0.0,
+        "overall": overall,
+        "optimizer": {
+            **opt_overall,
+            "cases": opt_cases,
+            "errors": opt_errors,
+            "rewrites": opt_rewrites,
+            "ops": opt_accuracy.snapshot(),
+            "tolerance": regression_tolerance,
+            "baseline_p95": overall["p95"],
+            "regressed": regressed,
         },
         "coverage": {
             "dispatched_ops": sorted(dispatched),

@@ -307,6 +307,7 @@ class Supervisor:
         max_while_iterations: int = 10_000,
         run_id: str | None = None,
         recorder=None,
+        optimizer: dict | None = None,
         _recovered: bool = False,
     ) -> SupervisedRun:
         """Run one workload to a definitive outcome under the policy.
@@ -516,7 +517,9 @@ class Supervisor:
             run.error = terminal
             self.breaker.record_failure(fingerprint)
 
-        self._close(run, spec=spec, limits=limits, recorder=recorder)
+        self._close(
+            run, spec=spec, limits=limits, recorder=recorder, optimizer=optimizer
+        )
         return run
 
     def _note_degrade(self, run: SupervisedRun, mode: str, from_, to) -> None:
@@ -526,7 +529,9 @@ class Supervisor:
         if _ev.EVT.active:
             _ev.emit("engine_degraded", mode=mode, **{"from": from_, "to": to})
 
-    def _close(self, run: SupervisedRun, *, spec, limits, recorder) -> None:
+    def _close(
+        self, run: SupervisedRun, *, spec, limits, recorder, optimizer=None
+    ) -> None:
         """Journal the definitive outcome (manifest + supervision block)."""
         if recorder is not None:
             recorder.finish(
@@ -543,6 +548,7 @@ class Supervisor:
                 ],
                 replay_spec=spec,
                 supervisor=run.history(),
+                optimizer=optimizer,
             )
             return
         if self.ledger is None:

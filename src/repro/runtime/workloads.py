@@ -26,12 +26,17 @@ from ..core.errors import ReproError
 
 __all__ = [
     "DEFAULT_TC_NODES",
+    "DEFAULT_CHAIN_ROWS",
     "transitive_closure_workload",
+    "chain_join_workload",
     "parse_workload",
 ]
 
 #: Chain length used when ``tc`` is requested without a size.
 DEFAULT_TC_NODES = 12
+
+#: Per-table rows used when ``chain`` is requested without a size.
+DEFAULT_CHAIN_ROWS = 8
 
 
 def transitive_closure_workload(nodes: int = DEFAULT_TC_NODES):
@@ -84,23 +89,78 @@ def transitive_closure_workload(nodes: int = DEFAULT_TC_NODES):
     return program, db
 
 
+def chain_join_workload(rows: int = DEFAULT_CHAIN_ROWS):
+    """``(program, db)``: a 4-way PRODUCT chain with late selections.
+
+    Four tables ``A``–``D`` of ``rows`` rows, one distinct-valued data
+    column each (``A0``–``D0``, values ``0..rows-1``).  The program folds
+    them left-to-right and only then applies the two selections::
+
+        T ← A × B × C × D;  T ← σ_{A0≈D0}(T);  T ← σ_{B0≈C0}(T)
+
+    Evaluated syntactically the intermediate reaches ``rows⁴`` rows; an
+    order that pairs ``A`` with ``D`` and ``B`` with ``C`` early keeps
+    every intermediate at ``rows²`` — the workload the cost-based
+    optimizer exists to win, and the benchmark/golden-plan fixture for
+    the estimate-driven join order (final result: ``rows²`` rows).
+    """
+    from ..algebra.programs.statements import Program, assign
+    from ..core import TabularDatabase, make_table
+
+    if rows < 1:
+        raise ReproError(f"chain workload needs >= 1 row, got {rows}")
+    tables = []
+    for name in ("A", "B", "C", "D"):
+        attr = f"{name}0"
+        tables.append(
+            make_table(name, [attr], [[f"v{i}"] for i in range(rows)])
+        )
+    db = TabularDatabase(tables)
+    program = Program(
+        [
+            assign("T", "PRODUCT", "A", "B"),
+            assign("T", "PRODUCT", "T", "C"),
+            assign("T", "PRODUCT", "T", "D"),
+            assign("T", "SELECT", "T", left="A0", right="D0"),
+            assign("T", "SELECT", "T", left="B0", right="C0"),
+        ]
+    )
+    return program, db
+
+
 def parse_workload(spec: str):
     """Resolve a workload spec to ``(label, program, db)``, or None.
 
-    Recognized specs: ``tc`` and ``tc:N`` (transitive closure of an
-    N-node chain).  Anything else returns None so the caller can fall
-    back to the bundled-example registry.  A recognized-but-malformed
-    size raises :class:`~repro.core.errors.ReproError`.
+    Recognized specs: ``tc`` / ``tc:N`` (transitive closure of an N-node
+    chain) and ``chain`` / ``chain:N`` (a 4-way product chain with late
+    selections over N-row tables).  Anything else returns None so the
+    caller can fall back to the bundled-example registry.  A
+    recognized-but-malformed size raises
+    :class:`~repro.core.errors.ReproError`.
     """
     name, _, size = spec.partition(":")
-    if name != "tc":
-        return None
-    if not size:
-        nodes = DEFAULT_TC_NODES
-    else:
-        try:
-            nodes = int(size)
-        except ValueError:
-            raise ReproError(f"malformed workload size in {spec!r}; expected tc:N") from None
-    program, db = transitive_closure_workload(nodes)
-    return f"tc:{nodes}", program, db
+    if name == "tc":
+        if not size:
+            nodes = DEFAULT_TC_NODES
+        else:
+            try:
+                nodes = int(size)
+            except ValueError:
+                raise ReproError(
+                    f"malformed workload size in {spec!r}; expected tc:N"
+                ) from None
+        program, db = transitive_closure_workload(nodes)
+        return f"tc:{nodes}", program, db
+    if name == "chain":
+        if not size:
+            rows = DEFAULT_CHAIN_ROWS
+        else:
+            try:
+                rows = int(size)
+            except ValueError:
+                raise ReproError(
+                    f"malformed workload size in {spec!r}; expected chain:N"
+                ) from None
+        program, db = chain_join_workload(rows)
+        return f"chain:{rows}", program, db
+    return None

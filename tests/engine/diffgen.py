@@ -16,6 +16,12 @@ Three pieces, used by ``test_differential.py``:
   agree.  Agreement means: the same :class:`ReproError` type, or equal
   final databases *and* equal JSON serializations (byte-identical
   modulo the set order the database already canonicalizes).
+* :func:`check_case_optimized` — the three-way variant: naive,
+  vectorized, and the cost-based optimizer's rewritten plan (with fresh
+  ANALYZE stats installed, so join reordering is estimate-driven) must
+  all agree byte-for-byte.  ``test_optimizer_differential.py`` runs it
+  over both the shared corpus and the rewrite-targeting family
+  :func:`repro.data.programs.random_rewrite_case`.
 * :func:`shrink_case` — greedy delta debugging over a failing case:
   drop top-level statements, unroll/trim while loops, drop tables, drop
   data rows — keeping every reduction that still fails — until a local
@@ -28,7 +34,7 @@ import json
 
 from repro.core import TabularDatabase, Table, render_database
 from repro.core.errors import ReproError
-from repro.data.programs import MAX_WHILE_ITERATIONS, random_case
+from repro.data.programs import MAX_WHILE_ITERATIONS, random_case, random_rewrite_case
 from repro.engine import run_program
 from repro.algebra.programs.statements import Program, Statement, While
 from repro.runtime.checkpoint import database_to_data
@@ -36,13 +42,18 @@ from repro.runtime.checkpoint import database_to_data
 __all__ = [
     "MAX_WHILE_ITERATIONS",
     "gen_case",
+    "gen_rewrite_case",
     "check_case",
+    "check_case_optimized",
     "shrink_case",
     "describe_failure",
 ]
 
 #: The corpus generator under its historical test-suite name.
 gen_case = random_case
+
+#: The rewrite-targeting family (one motif per optimizer rule).
+gen_rewrite_case = random_rewrite_case
 
 
 # ----------------------------------------------------------------------
@@ -80,6 +91,59 @@ def check_case(
     vector_data = json.dumps(database_to_data(vector_db), sort_keys=True)
     if naive_data != vector_data:
         return "serialization mismatch (equal databases, different bytes)"
+    return None
+
+
+def check_case_optimized(
+    program: Program,
+    db: TabularDatabase,
+    max_while_iterations: int = MAX_WHILE_ITERATIONS,
+    rules=None,
+) -> str | None:
+    """Three-way agreement: naive, vector, and the optimized plan.
+
+    The program is pushed through the cost-based optimizer with a fresh
+    ANALYZE snapshot of ``db`` (so join reordering is stats-driven, not
+    just syntactic), and all three executions must produce the same
+    typed error or byte-identical serialized databases.  ``rules``
+    restricts the rewrite set (None = every shipped rule).
+    """
+    from repro.engine.optimizer import optimize_program
+    from repro.obs.stats import analyze_database
+
+    stats = analyze_database(db)
+    optimized = optimize_program(program, stats, rules=rules).program
+
+    outcomes = {
+        "naive": _outcome(
+            lambda: program.run(db, max_while_iterations=max_while_iterations)
+        ),
+        "vector": _outcome(
+            lambda: run_program(
+                program, db, engine="vector",
+                max_while_iterations=max_while_iterations,
+            )
+        ),
+        "optimized": _outcome(
+            lambda: optimized.run(db, max_while_iterations=max_while_iterations)
+        ),
+    }
+    kinds = {label: kind for label, (kind, _) in outcomes.items()}
+    if len(set(kinds.values())) > 1:
+        detail = " ".join(f"{label}={kind}" for label, kind in kinds.items())
+        return f"outcome mismatch: {detail}"
+    reference_label, (_, reference_db) = next(iter(outcomes.items()))
+    if reference_db is None:
+        return None
+    reference = json.dumps(database_to_data(reference_db), sort_keys=True)
+    for label, (_, result_db) in outcomes.items():
+        if result_db != reference_db:
+            return f"database mismatch: {label} != {reference_label}"
+        if json.dumps(database_to_data(result_db), sort_keys=True) != reference:
+            return (
+                f"serialization mismatch: {label} != {reference_label} "
+                "(equal databases, different bytes)"
+            )
     return None
 
 

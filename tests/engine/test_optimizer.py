@@ -1,0 +1,558 @@
+"""Unit tests for the cost-based plan optimizer (docs/OPTIMIZER.md).
+
+The differential fuzzer proves the rewrites sound in bulk; these tests
+pin the *decisions*: which redexes each rule matches, which it must
+refuse, how chains are costed and ordered, what the cache keys on, and
+what ChainJoin/SelectUnion do in their fallback paths.
+"""
+
+import pytest
+
+from repro.algebra.programs.params import Lit, Star
+from repro.algebra.programs.statements import Assignment, Program, While, assign
+from repro.core import EvaluationError, TabularDatabase, make_table
+from repro.engine.optimizer import (
+    PLAN_CACHE,
+    RULE_ORDER,
+    RULES,
+    ChainJoin,
+    OptimizerStats,
+    PlanCache,
+    SelectUnion,
+    optimize_program,
+)
+from repro.obs.stats import analyze_database
+
+
+def _db(*tables):
+    return TabularDatabase(tables)
+
+
+def _base(name, attr, values):
+    return make_table(name, [attr], [[v] for v in values])
+
+
+def _chain_db(rows=3):
+    # A/D share attr X and B/C share attr Y, so σ_{X≈X};σ_{Y≈Y} rewards
+    # the non-adjacent pairings (A,D) and (B,C) — a syntactic fold pays
+    # for the full cross product before either filter applies.
+    return _db(
+        _base("A", "X", [f"a{i}" for i in range(rows)]),
+        _base("B", "Y", [f"c{i}" for i in range(rows)]),
+        _base("C", "Y", [f"c{i}" for i in range(rows)]),
+        _base("D", "X", [f"a{i}" for i in range(rows)]),
+    )
+
+
+def _chain_program():
+    return Program(
+        [
+            assign("T", "PRODUCT", "A", "B"),
+            assign("T", "PRODUCT", "T", "C"),
+            assign("T", "PRODUCT", "T", "D"),
+            assign("T", "SELECT", "T", left="A0", right="D0"),
+        ]
+    )
+
+
+def _same(program, optimized, db):
+    assert program.run(db) == optimized.run(db)
+
+
+class TestSelectPushdown:
+    def test_pushes_through_rename_when_attrs_disjoint(self):
+        program = Program(
+            [
+                assign("T", "RENAME", "R", old="A", new="B"),
+                assign("T", "SELECT", "T", left="C", right="C"),
+            ]
+        )
+        result = optimize_program(program, rules=["select-pushdown"], cache=None)
+        assert [r.rule for r in result.applied] == ["select-pushdown"]
+        first, second = result.program.statements
+        assert first.spec.name == "SELECT"
+        assert second.spec.name == "RENAME"
+        # The swapped pair reads R and writes T at both steps.
+        assert str(first.args[0]) == "R"
+        assert str(second.args[0]) == "T"
+        db = _db(make_table("R", ["C", "A"], [["x", "p"], ["y", "q"]]))
+        _same(program, result.program, db)
+
+    def test_refuses_rename_touching_selected_attr(self):
+        program = Program(
+            [
+                assign("T", "RENAME", "R", old="A", new="B"),
+                assign("T", "SELECT", "T", left="A", right="C"),
+            ]
+        )
+        result = optimize_program(program, rules=["select-pushdown"], cache=None)
+        assert result.applied == ()
+        assert result.program is program
+
+    def test_pushes_through_project_when_attrs_kept(self):
+        program = Program(
+            [
+                assign("T", "PROJECT", "R", attrs=["A", "B"]),
+                assign("T", "SELECT", "T", left="A", right="B"),
+            ]
+        )
+        result = optimize_program(program, rules=["select-pushdown"], cache=None)
+        assert len(result.applied) == 1
+        assert result.program.statements[0].spec.name == "SELECT"
+        db = _db(make_table("R", ["A", "B", "C"], [["x", "x", "1"], ["x", "y", "2"]]))
+        _same(program, result.program, db)
+
+    def test_refuses_project_dropping_selected_attr(self):
+        program = Program(
+            [
+                assign("T", "PROJECT", "R", attrs=["A"]),
+                assign("T", "SELECT", "T", left="A", right="B"),
+            ]
+        )
+        result = optimize_program(program, rules=["select-pushdown"], cache=None)
+        assert result.applied == ()
+
+
+class TestPruneDeadProject:
+    def test_removes_project_overwritten_before_read(self):
+        program = Program(
+            [
+                assign("T", "PROJECT", "R", attrs=["A"]),
+                assign("T", "RENAME", "S", old="A", new="B"),
+            ]
+        )
+        result = optimize_program(program, rules=["prune-dead-project"], cache=None)
+        assert len(result.applied) == 1
+        assert "dead" in result.applied[0].detail
+        assert len(result.program.statements) == 1
+        assert result.program.statements[0].spec.name == "RENAME"
+
+    def test_keeps_project_that_is_read(self):
+        program = Program(
+            [
+                assign("T", "PROJECT", "R", attrs=["A"]),
+                assign("U", "DEDUP", "T"),
+                assign("T", "RENAME", "S", old="A", new="B"),
+            ]
+        )
+        result = optimize_program(program, rules=["prune-dead-project"], cache=None)
+        assert result.applied == ()
+
+    def test_keeps_project_before_while(self):
+        loop = While("T", Program([assign("T", "DIFFERENCE", "T", "T")]))
+        program = Program(
+            [
+                assign("T", "PROJECT", "R", attrs=["A"]),
+                loop,
+                assign("T", "RENAME", "S", old="A", new="B"),
+            ]
+        )
+        result = optimize_program(program, rules=["prune-dead-project"], cache=None)
+        assert result.applied == ()
+
+    def test_collapses_adjacent_projections(self):
+        program = Program(
+            [
+                assign("T", "PROJECT", "R", attrs=["A", "B"]),
+                assign("T", "PROJECT", "T", attrs=["B", "C"]),
+            ]
+        )
+        result = optimize_program(program, rules=["prune-dead-project"], cache=None)
+        assert len(result.applied) == 1
+        (fused,) = result.program.statements
+        assert fused.spec.name == "PROJECT"
+        db = _db(make_table("R", ["A", "B", "C"], [["1", "2", "3"]]))
+        _same(program, result.program, db)
+
+    def test_collapses_disjoint_projections_to_nothing(self):
+        program = Program(
+            [
+                assign("T", "PROJECT", "R", attrs=["A"]),
+                assign("T", "PROJECT", "T", attrs=["B"]),
+            ]
+        )
+        result = optimize_program(program, rules=["prune-dead-project"], cache=None)
+        assert len(result.applied) == 1
+        db = _db(make_table("R", ["A", "B"], [["1", "2"]]))
+        _same(program, result.program, db)
+
+
+class TestCse:
+    def test_duplicate_select_becomes_identity_copy(self):
+        program = Program(
+            [
+                assign("X", "SELECT", "R", left="A", right="B"),
+                assign("Y", "SELECT", "R", left="A", right="B"),
+            ]
+        )
+        result = optimize_program(program, rules=["cse"], cache=None)
+        assert [r.rule for r in result.applied] == ["cse"]
+        copy = result.program.statements[1]
+        assert copy.spec.name == "RENAME"
+        assert str(copy.args[0]) == "X"
+        db = _db(make_table("R", ["A", "B"], [["x", "x"], ["x", "y"]]))
+        _same(program, result.program, db)
+
+    def test_blocked_when_source_overwritten_between(self):
+        program = Program(
+            [
+                assign("X", "SELECT", "R", left="A", right="B"),
+                assign("X", "DEDUP", "S"),
+                assign("Y", "SELECT", "R", left="A", right="B"),
+            ]
+        )
+        result = optimize_program(program, rules=["cse"], cache=None)
+        assert result.applied == ()
+
+    def test_blocked_when_argument_overwritten_between(self):
+        program = Program(
+            [
+                assign("X", "SELECT", "R", left="A", right="B"),
+                assign("R", "DEDUP", "S"),
+                assign("Y", "SELECT", "R", left="A", right="B"),
+            ]
+        )
+        result = optimize_program(program, rules=["cse"], cache=None)
+        assert result.applied == ()
+
+    def test_fresh_name_ops_are_not_cse_candidates(self):
+        # TUPLENEW tags rows with *fresh* names: two runs differ.
+        program = Program(
+            [
+                assign("X", "TUPLENEW", "R", attr="A"),
+                assign("Y", "TUPLENEW", "R", attr="A"),
+            ]
+        )
+        result = optimize_program(program, rules=["cse"], cache=None)
+        assert result.applied == ()
+
+
+class TestJoinReorder:
+    def test_no_stats_keeps_syntactic_order(self):
+        result = optimize_program(
+            _chain_program(), None, rules=["join-reorder"], cache=None
+        )
+        (decision,) = result.decisions
+        assert decision.outcome == "stats-missing"
+        assert tuple(decision.order) == (0, 1, 2, 3)
+        assert not any(isinstance(s, ChainJoin) for s in result.program.statements)
+
+    def test_missing_leaf_stats_keeps_syntactic_order(self):
+        db = _chain_db()
+        partial = analyze_database(_db(*[t for t in db.tables if str(t.name) != "D"]))
+        result = optimize_program(
+            _chain_program(), partial, rules=["join-reorder"], cache=None
+        )
+        (decision,) = result.decisions
+        assert decision.outcome == "stats-missing"
+        assert "D" in decision.reason
+
+    def test_stats_drive_a_nonsyntactic_order(self):
+        db = _chain_db()
+        stats = analyze_database(db)
+        program = Program(
+            [
+                assign("T", "PRODUCT", "A", "B"),
+                assign("T", "PRODUCT", "T", "C"),
+                assign("T", "PRODUCT", "T", "D"),
+                assign("T", "SELECT", "T", left="X", right="X"),
+                assign("T", "SELECT", "T", left="Y", right="Y"),
+            ]
+        )
+        result = optimize_program(program, stats, rules=["join-reorder"], cache=None)
+        (decision,) = result.decisions
+        assert decision.outcome == "reordered"
+        assert tuple(decision.order) != (0, 1, 2, 3)
+        assert decision.cost_chosen < decision.cost_syntactic
+        (chain,) = result.program.statements
+        assert isinstance(chain, ChainJoin)
+        _same(program, result.program, db)
+
+    def test_short_chains_are_not_matched(self):
+        program = Program(
+            [
+                assign("T", "PRODUCT", "A", "B"),
+                assign("T", "SELECT", "T", left="X", right="X"),
+            ]
+        )
+        stats = analyze_database(_chain_db())
+        result = optimize_program(program, stats, rules=["join-reorder"], cache=None)
+        assert result.decisions == ()
+
+    def test_greedy_ordering_beyond_dp_limit(self):
+        names = [f"L{i}" for i in range(9)]
+        tables = [_base(name, f"K{i}", ["u", "v"]) for i, name in enumerate(names)]
+        # Make the *last* two leaves join selectively so a greedy start
+        # pairing them beats the syntactic fold.
+        tables[7] = _base("L7", "J", ["u", "v", "w"])
+        tables[8] = _base("L8", "J", ["u", "v", "w"])
+        db = _db(*tables)
+        statements = [assign("T", "PRODUCT", names[0], names[1])]
+        for name in names[2:]:
+            statements.append(assign("T", "PRODUCT", "T", name))
+        statements.append(assign("T", "SELECT", "T", left="J", right="J"))
+        program = Program(statements)
+        stats = analyze_database(db)
+        result = optimize_program(program, stats, rules=["join-reorder"], cache=None)
+        (decision,) = result.decisions
+        assert "greedy" in decision.reason
+        _same(program, result.program, db)
+
+    def test_chain_inside_while_body_is_reordered(self):
+        db = _chain_db()
+        stats = analyze_database(db)
+        body = list(_chain_program().statements) + [
+            assign("T", "SELECT", "T", left="X", right="X"),
+            assign("Flag", "DIFFERENCE", "Flag", "Flag"),
+        ]
+        program = Program([While("Flag", Program(body))])
+        result = optimize_program(program, stats, cache=None)
+        (loop,) = result.program.statements
+        assert isinstance(loop, While)
+        assert any(isinstance(s, ChainJoin) for s in loop.body.statements)
+        run_db = _db(*db.tables, _base("Flag", "F", ["go"]))
+        _same(program, result.program, run_db)
+
+
+class TestChainJoin:
+    def _optimized_chain(self):
+        db = _chain_db()
+        stats = analyze_database(db)
+        program = Program(
+            [
+                assign("T", "PRODUCT", "A", "B"),
+                assign("T", "PRODUCT", "T", "C"),
+                assign("T", "PRODUCT", "T", "D"),
+                assign("T", "SELECT", "T", left="X", right="X"),
+                assign("T", "SELECT", "T", left="Y", right="Y"),
+            ]
+        )
+        result = optimize_program(program, stats, rules=["join-reorder"], cache=None)
+        (chain,) = result.program.statements
+        return program, chain, db
+
+    def test_stale_stats_fall_back_per_combination(self):
+        program, chain, _db_planned = self._optimized_chain()
+        # A grown table no longer matches the planning snapshot's shape.
+        grown = _db(
+            _base("A", "X", [f"a{i}" for i in range(7)]),
+            *[t for t in _chain_db().tables if str(t.name) != "A"],
+        )
+        assert not chain._stats_fresh(
+            [grown.tables_named(n)[0] for n in ("A", "B", "C", "D")]
+        )
+        _same(program, Program([chain]), grown)
+
+    def test_lineage_scope_runs_source_statements(self):
+        from repro.obs.lineage import lineage
+        from repro.obs.runtime import observation
+
+        program, chain, db = self._optimized_chain()
+        with observation(), lineage():
+            lineage_db = Program([chain]).run(db)
+        assert lineage_db == program.run(db)
+
+    def test_repr_names_order_and_conds(self):
+        _program, chain, _db2 = self._optimized_chain()
+        text = repr(chain)
+        assert "CHAINJOIN" in text and "order [" in text and "conds [" in text
+
+    def test_explain_span_carries_order_and_estimate(self):
+        from repro.obs.estimator import estimation
+        from repro.obs.runtime import observation
+
+        program, chain, db = self._optimized_chain()
+        stats = analyze_database(db)
+        with observation() as obs, estimation(stats):
+            Program([chain]).run(db)
+        text = obs.explain()
+        assert "CHAINJOIN" in text
+        assert "rules=['join-reorder']" in text
+        assert "est_rows" in text
+
+
+class TestSelectUnion:
+    def test_union_select_pair_is_fused(self):
+        program = Program(
+            [
+                assign("T", "UNION", "R", "S"),
+                assign("T", "SELECT", "T", left="A", right="B"),
+            ]
+        )
+        result = optimize_program(
+            program, rules=["select-pushdown-union"], cache=None
+        )
+        (fused,) = result.program.statements
+        assert isinstance(fused, SelectUnion)
+        db = _db(
+            make_table("R", ["A", "B"], [["x", "x"], ["x", "y"]]),
+            make_table("S", ["B", "C"], [["z", "1"]]),
+        )
+        _same(program, result.program, db)
+
+    def test_empty_side_matches_naive_empty_semantics(self):
+        program = Program(
+            [
+                assign("T", "UNION", "R", "Missing"),
+                assign("T", "SELECT", "T", left="A", right="A"),
+            ]
+        )
+        result = optimize_program(
+            program, rules=["select-pushdown-union"], cache=None
+        )
+        db = _db(make_table("R", ["A"], [["x"]]))
+        _same(program, result.program, db)
+
+    def test_wildcard_union_is_not_fused(self):
+        program = Program(
+            [
+                Assignment("T", "UNION", [Star(1), "S"]),
+                assign("T", "SELECT", "T", left="A", right="B"),
+            ]
+        )
+        result = optimize_program(
+            program, rules=["select-pushdown-union"], cache=None
+        )
+        assert result.applied == ()
+
+
+class TestPlanCacheAndDriver:
+    def test_cache_hit_on_same_program_and_stats(self):
+        cache = PlanCache()
+        db = _chain_db()
+        stats = analyze_database(db)
+        first = optimize_program(_chain_program(), stats, cache=cache)
+        second = optimize_program(_chain_program(), stats, cache=cache)
+        assert not first.cache_hit and second.cache_hit
+        assert cache.hits == 1 and cache.misses == 1
+        assert second.program is first.program
+
+    def test_reanalyze_invalidates_by_stats_fingerprint(self):
+        cache = PlanCache()
+        db = _chain_db()
+        optimize_program(_chain_program(), analyze_database(db), cache=cache)
+        grown = _db(
+            _base("A", "X", [f"a{i}" for i in range(9)]),
+            *[t for t in db.tables if str(t.name) != "A"],
+        )
+        result = optimize_program(
+            _chain_program(), analyze_database(grown), cache=cache
+        )
+        assert not result.cache_hit
+        assert len(cache) == 2
+
+    def test_rule_subset_is_part_of_the_key(self):
+        cache = PlanCache()
+        program = _chain_program()
+        optimize_program(program, cache=cache)
+        result = optimize_program(program, rules=["cse"], cache=cache)
+        assert not result.cache_hit
+
+    def test_fifo_eviction_at_capacity(self):
+        cache = PlanCache(capacity=2)
+        for name in ("R", "S", "U"):
+            optimize_program(
+                Program([assign("T", "DEDUP", name)]), cache=cache
+            )
+        assert len(cache) == 2
+        # The oldest plan (over R) was evicted: probing it misses.
+        result = optimize_program(Program([assign("T", "DEDUP", "R")]), cache=cache)
+        assert not result.cache_hit
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(EvaluationError, match="unknown rewrite rule"):
+            optimize_program(_chain_program(), rules=["fuse-everything"])
+
+    def test_disabled_rules_do_not_fire(self):
+        program = Program(
+            [
+                assign("X", "SELECT", "R", left="A", right="B"),
+                assign("Y", "SELECT", "R", left="A", right="B"),
+            ]
+        )
+        result = optimize_program(program, rules=["join-reorder"], cache=None)
+        assert result.applied == ()
+        assert result.program is program
+
+    def test_rule_registry_matches_order(self):
+        assert set(RULE_ORDER) == set(RULES)
+        for name, rule in RULES.items():
+            assert rule.name == name
+            assert rule.justification
+
+    def test_plan_rewrite_events_are_emitted(self):
+        from repro.obs.events import event_stream
+
+        seen = []
+        with event_stream() as bus:
+            bus.attach(
+                lambda e: seen.append(e.data["rule"])
+                if e.kind == "plan_rewrite"
+                else None
+            )
+            optimize_program(
+                Program(
+                    [
+                        assign("T", "UNION", "R", "S"),
+                        assign("T", "SELECT", "T", left="A", right="B"),
+                    ]
+                ),
+                cache=None,
+            )
+        assert seen == ["select-pushdown-union"]
+
+    def test_optimizer_stats_counters(self):
+        stats = OptimizerStats()
+        stats.record_cache(True)
+        stats.record_cache(False)
+        stats.record_rewrite("cse")
+        stats.record_decision("reordered")
+        snap = stats.snapshot()
+        assert snap["cache"] == {"hit": 1, "miss": 1}
+        assert snap["rewrites"] == {"cse": 1}
+        assert snap["ordering"] == {"reordered": 1}
+        stats.reset()
+        assert stats.snapshot()["rewrites"] == {}
+
+    def test_global_cache_is_the_default(self):
+        PLAN_CACHE.clear()
+        program = Program([assign("T", "DEDUP", "R")])
+        optimize_program(program)
+        assert optimize_program(program).cache_hit
+        PLAN_CACHE.clear()
+
+    def test_run_program_optimize_flag(self):
+        from repro.engine import run_program
+
+        db = _chain_db()
+        expected = _chain_program().run(db)
+        for engine in ("naive", "vector"):
+            got = run_program(
+                _chain_program(),
+                db,
+                engine=engine,
+                optimize=True,
+                stats=analyze_database(db),
+            )
+            assert got == expected
+
+    def test_run_program_optimize_uses_estimation_scope_stats(self):
+        from repro.engine import run_program
+        from repro.obs.estimator import estimation
+
+        db = _chain_db()
+        expected = _chain_program().run(db)
+        with estimation(analyze_database(db)):
+            got = run_program(_chain_program(), db, optimize=True)
+        assert got == expected
+
+    def test_result_to_json_is_serializable(self):
+        import json
+
+        db = _chain_db()
+        result = optimize_program(
+            _chain_program(), analyze_database(db), cache=None
+        )
+        payload = json.loads(json.dumps(result.to_json()))
+        assert payload["before"] and payload["after"]
+        assert payload["rules"] == list(RULE_ORDER)

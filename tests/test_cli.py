@@ -901,6 +901,131 @@ class TestLedgerCommands:
         assert lint_prometheus_text(output) == []
 
 
+class TestOptimizeCommand:
+    """``repro optimize``: golden plans, the stats-driven order pair."""
+
+    def _json(self, *args):
+        import json
+
+        code, output = run_cli("optimize", *args, "--json")
+        assert code == 0, output
+        return json.loads(output)
+
+    def test_golden_plan_chain_with_stats(self):
+        report = self._json("chain:3", "--analyze")
+        assert report["workload"] == "chain:3"
+        assert [r["rule"] for r in report["applied"]] == [
+            "fuse-product-select",
+            "join-reorder",
+        ]
+        (decision,) = report["decisions"]
+        assert decision["outcome"] == "reordered"
+        assert decision["order_names"] == ["A", "D", "B", "C"]
+        assert decision["cost_chosen"] < decision["cost_syntactic"]
+        (after,) = report["after"]
+        assert after.startswith("T <- CHAINJOIN order [A, D, B, C]")
+        assert len(report["before"]) == 5
+
+    def test_golden_pair_stats_absence_changes_the_order(self):
+        # The estimator is load-bearing: the same program with no stats
+        # keeps the syntactic order and never builds a CHAINJOIN.
+        report = self._json("chain:3")
+        assert report["stats"] is None
+        (decision,) = report["decisions"]
+        assert decision["outcome"] == "stats-missing"
+        assert decision["order"] == [0, 1, 2, 3]
+        assert [r["rule"] for r in report["applied"]] == ["fuse-product-select"]
+        assert not any("CHAINJOIN" in line for line in report["after"])
+
+    def test_golden_plan_tc_workload(self):
+        report = self._json("tc:6", "--analyze")
+        assert report["workload"] == "tc:6"
+        rules = [r["rule"] for r in report["applied"]]
+        assert "fuse-product-select" in rules and "cse" in rules
+        assert report["before"] and report["after"]
+
+    def test_golden_plan_figure_example_is_already_optimal(self):
+        report = self._json("fig4-group", "--analyze")
+        assert report["workload"] == "fig4-group"
+        assert report["applied"] == []
+        assert report["before"] == report["after"]
+
+    def test_verify_confirms_identical_database(self):
+        code, output = run_cli("optimize", "chain:4", "--analyze", "--verify")
+        assert code == 0
+        assert "identical" in output
+
+    def test_explain_shows_chainjoin_span_with_order(self):
+        code, output = run_cli("optimize", "chain:3", "--analyze", "--explain")
+        assert code == 0
+        assert "CHAINJOIN" in output
+        assert "order=['A', 'D', 'B', 'C']" in output
+        assert "rules=['join-reorder']" in output
+
+    def test_rules_flag_restricts_the_set(self):
+        report = self._json("chain:3", "--analyze", "--rules", "cse")
+        assert report["rules"] == ["cse"]
+        assert report["applied"] == []
+
+    def test_unknown_rule_exits_two(self):
+        code, output = run_cli("optimize", "chain:3", "--rules", "warp-speed")
+        assert code == 2
+        assert "warp-speed" in output
+
+    def test_non_program_example_exits_two(self):
+        code, output = run_cli("optimize", "olap")
+        assert code == 2
+        assert "error" in output
+
+    def test_stats_file_round_trip(self, tmp_path):
+        stats_path = tmp_path / "chain-stats.json"
+        code, _ = run_cli("analyze", "chain:3", "--out", str(stats_path))
+        assert code == 0
+        report = self._json("chain:3", "--stats", str(stats_path))
+        (decision,) = report["decisions"]
+        assert decision["outcome"] == "reordered"
+
+    def test_metrics_optimizer_families(self):
+        code, output = run_cli("metrics", "--optimizer", "--prom")
+        assert code == 0
+        assert 'repro_optimizer_plan_cache_total{result="hit"} 1' in output
+        assert 'repro_optimizer_ordering_total{outcome="reordered"}' in output
+        assert 'repro_optimizer_ordering_total{outcome="stats-missing"}' in output
+        from repro.obs import lint_prometheus_text
+
+        assert lint_prometheus_text(output) == []
+
+    def test_run_optimize_flag_verifies(self, tmp_path):
+        stats_path = tmp_path / "stats.json"
+        code, _ = run_cli("analyze", "chain:4", "--out", str(stats_path))
+        assert code == 0
+        code, output = run_cli(
+            "run", "chain:4", "--stats", str(stats_path), "--optimize", "--verify"
+        )
+        assert code == 0
+        assert "identical" in output
+
+    def test_optimized_ledgered_run_replays_identically(self, tmp_path):
+        # The manifest records the rules + stats snapshot the plan was
+        # chosen from, so replay re-derives the same rewritten plan
+        # instead of diverging on the program fingerprint.
+        import json as _json
+
+        stats_path = tmp_path / "stats.json"
+        code, _ = run_cli("analyze", "chain:4", "--out", str(stats_path))
+        assert code == 0
+        ledger = str(tmp_path / "ledger")
+        code, output = run_cli(
+            "run", "chain:4", "--stats", str(stats_path), "--optimize",
+            "--ledger", ledger, "--json",
+        )
+        assert code == 0
+        run_id = _json.loads(output)["run_id"]
+        code, output = run_cli("replay", run_id, "--ledger", ledger)
+        assert code == 0
+        assert "identical" in output
+
+
 class TestSupervisorCommands:
     """``run --retry``, ``supervise``, ``recover``, ``chaos --supervisor``."""
 
